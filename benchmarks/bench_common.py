@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Sec. VI).  Conventions:
+
+* data collection happens once per module (module-level or cached), the
+  ``benchmark`` fixture times a representative unit of the work;
+* each module *prints* the regenerated table (run pytest with ``-s`` to
+  see it) and *asserts* the paper's shape — who wins, by what factor,
+  where crossovers fall — not absolute numbers;
+* paper-scale workloads (100M-element vectors, 48K matrices) are
+  evaluated with the Sec. IV analytic models, which the test suite
+  validates against the cycle-accurate simulator at reduced sizes; the
+  per-row ``mode`` column says which path produced each number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Aggregate DRAM bandwidth with data interleaved across all 4 Stratix
+#: DDR modules (Table IV note: "data is interleaved across the different
+#: DDR modules").
+STRATIX_AGG_BW = 4 * 19.2e9
+#: One DDR bank (the Sec. VI-C setting, interleaving disabled).
+STRATIX_BANK_BW = 19.2e9
+ARRIA_AGG_BW = 2 * 17.0e9
+
+
+def fmt_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    print(f"\n== {title} ==")
+    print(fmt_table(headers, rows))
+
+
+def us(seconds: float) -> str:
+    """Format seconds as microseconds."""
+    return f"{seconds * 1e6:,.0f}"
+
+
+def membound_time(bytes_moved: float, bandwidth: float,
+                  cycles: float, frequency: float) -> float:
+    """Completion time of a memory-fed pipeline: the slower of the
+    compute pipeline and the DRAM stream feeding it."""
+    return max(bytes_moved / bandwidth, cycles / frequency)

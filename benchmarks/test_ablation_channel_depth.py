@@ -1,0 +1,88 @@
+"""Ablation: channel sizing for the ATAX reconvergent composition.
+
+Sweeps the depth of the second GEMV's A channel across the Sec. V-B bound
+(a full row of tiles, N*T_N elements): every depth below it deadlocks,
+every depth at/above it completes — the bound is exact, not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import atax_reference, atax_streaming
+from repro.fpga import DeadlockError
+from repro.host import FblasContext
+from repro.models.iomodel import atax_min_channel_depth
+
+from bench_common import print_table
+
+M = N = 16
+TILE = 4
+WIDTH = 4
+RNG = np.random.default_rng(55)
+A = RNG.normal(size=(M, N)).astype(np.float32)
+X = RNG.normal(size=N).astype(np.float32)
+BOUND = atax_min_channel_depth(N, TILE)        # 64
+
+
+def attempt(depth):
+    ctx = FblasContext()
+    try:
+        res = atax_streaming(ctx, ctx.copy_to_device(A),
+                             ctx.copy_to_device(X), tile=TILE, width=WIDTH,
+                             channel_depth=depth)
+        return True, res
+    except DeadlockError:
+        return False, None
+
+
+def collect():
+    rows = []
+    outcomes = {}
+    for depth in (BOUND // 4, BOUND // 2, BOUND - 8, BOUND, BOUND + 8,
+                  2 * BOUND):
+        ok, res = attempt(depth)
+        outcomes[depth] = (ok, res)
+        rows.append((depth, f"{depth / BOUND:.2f}",
+                     "completes" if ok else "DEADLOCK",
+                     res.cycles if ok else "-"))
+    return rows, outcomes
+
+
+ROWS, OUTCOMES = collect()
+
+
+def test_channel_depth_sweep():
+    print_table(
+        f"Ablation: ATAX A-channel depth (bound N*T_N = {BOUND})",
+        ["depth", "depth/bound", "outcome", "cycles"], ROWS)
+    # The analytic bound is exact up to the slack other buffers contribute
+    # (the fan-out channel and the producer's pipeline registers hold a
+    # few more elements): well below the bound deadlocks, at or above it
+    # always completes.
+    for depth, (ok, _res) in OUTCOMES.items():
+        if depth >= BOUND:
+            assert ok, depth
+        elif depth <= BOUND // 2:
+            assert not ok, depth
+
+
+def test_completed_runs_are_correct():
+    ref = atax_reference(A, X)
+    for depth, (ok, res) in OUTCOMES.items():
+        if ok:
+            np.testing.assert_allclose(res.value, ref, rtol=1e-3, atol=1e-3)
+
+
+def test_oversizing_helps_only_through_overlap():
+    """Extra buffering beyond the bound can only improve completion by
+    letting the second GEMV trail a full row of tiles behind the first
+    (more overlap) — it never hurts, and the gain is bounded by the
+    pipelined fraction."""
+    c1 = OUTCOMES[BOUND][1].cycles
+    c2 = OUTCOMES[2 * BOUND][1].cycles
+    assert c2 <= c1
+    assert c2 >= 0.5 * c1
+
+
+def test_bench_atax_at_bound(benchmark):
+    benchmark.pedantic(attempt, args=(BOUND,), rounds=3, iterations=1)

@@ -1,0 +1,81 @@
+"""Ablation: double-buffered x blocks in the tiled GEMV (Sec. IV-B).
+
+The plain tiles-by-rows GEMV pays T_M/W dedicated cycles per tile to load
+the x block; the double-buffered variant hides that fetch under the
+previous tile's T_N*T_M/W compute cycles.  Expected cycle ratio:
+(1 + 1/T_N), so the win shrinks as tiles grow taller — measured here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import level2, reference
+from repro.fpga import Engine, sink_kernel, source_kernel
+from repro.streaming import row_tiles
+
+from bench_common import print_table
+
+RNG = np.random.default_rng(21)
+N = M = 64
+WIDTH = 4
+
+
+def run(kernel_fn, tile_n, tile_m):
+    a = RNG.normal(size=(N, M)).astype(np.float32)
+    x = RNG.normal(size=M).astype(np.float32)
+    y = RNG.normal(size=N).astype(np.float32)
+    sched = row_tiles(N, M, tile_n, tile_m)
+    eng = Engine()
+    ca = eng.channel("A", 16 * WIDTH)
+    cx = eng.channel("x", max(16 * WIDTH, 2 * tile_m))
+    cy = eng.channel("y", 16 * WIDTH)
+    co = eng.channel("o", 16 * WIDTH)
+    stream = [a.reshape(-1)[i] for i in sched.indices()]
+    out = []
+    eng.add_kernel("sa", source_kernel(ca, stream, WIDTH))
+    eng.add_kernel("sx", source_kernel(cx, x, WIDTH, repeat=N // tile_n))
+    eng.add_kernel("sy", source_kernel(cy, y, WIDTH))
+    eng.add_kernel("gemv", kernel_fn(
+        N, M, 1.5, 0.5, ca, cx, cy, co, tile_n, tile_m, WIDTH), latency=90)
+    eng.add_kernel("sink", sink_kernel(co, N, WIDTH, out))
+    report = eng.run()
+    expect = reference.gemv(1.5, a, x, 0.5, y)
+    np.testing.assert_allclose(out, expect, rtol=1e-3, atol=1e-3)
+    return report.cycles
+
+
+def collect():
+    rows = []
+    ratios = {}
+    for tn in (2, 4, 8, 16):
+        plain = run(level2.gemv_row_tiles, tn, 16)
+        db = run(level2.gemv_row_tiles_db, tn, 16)
+        predicted = 1 + 1 / tn
+        ratios[tn] = (plain / db, predicted)
+        rows.append((f"{tn}x16", plain, db, f"{plain / db:.3f}",
+                     f"{predicted:.3f}"))
+    return rows, ratios
+
+
+ROWS, RATIOS = collect()
+
+
+def test_double_buffering_ablation():
+    print_table(
+        f"Ablation: GEMV ({N}x{M}) x-block double buffering, W={WIDTH}",
+        ["tile", "plain cycles", "db cycles", "speedup",
+         "model 1+1/T_N"], ROWS)
+    for tn, (measured, predicted) in RATIOS.items():
+        assert measured > 1.0, tn                       # always helps
+        assert abs(measured - predicted) / predicted < 0.15, tn
+
+
+def test_benefit_shrinks_with_taller_tiles():
+    speedups = [RATIOS[tn][0] for tn in (2, 4, 8, 16)]
+    assert all(later < earlier
+               for earlier, later in zip(speedups, speedups[1:]))
+
+
+def test_bench_db_gemv(benchmark):
+    benchmark.pedantic(run, args=(level2.gemv_row_tiles_db, 8, 16),
+                       rounds=3, iterations=1)

@@ -1,0 +1,99 @@
+"""Ablation: what tiling buys a Level-2 module (Sec. III-B, IV-B).
+
+Compares the non-tiled GEMV (Listing 1: x replayed for every row) against
+the tiled variants, measuring actual DRAM I/O in the simulator and the
+bandwidth each needs to keep its pipeline fed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import level2
+from repro.fpga import Engine, sink_kernel, source_kernel
+from repro.models import iomodel, optimal_width, optimal_width_tiled_gemv
+from repro.streaming import row_tiles
+
+from bench_common import print_table
+
+N = M = 64
+RNG = np.random.default_rng(77)
+
+
+def run_nontiled(width=4):
+    a = RNG.normal(size=(N, M)).astype(np.float32)
+    x = RNG.normal(size=M).astype(np.float32)
+    y = np.zeros(N, dtype=np.float32)
+    eng = Engine()
+    ca = eng.channel("A", 64)
+    cx = eng.channel("x", 64)
+    cy = eng.channel("y", 64)
+    co = eng.channel("o", 64)
+    eng.add_kernel("sa", source_kernel(ca, a.reshape(-1), width))
+    eng.add_kernel("sx", source_kernel(cx, x, width, repeat=N))
+    eng.add_kernel("sy", source_kernel(cy, y, 1))
+    eng.add_kernel("gemv", level2.gemv_nontiled(
+        N, M, 1.0, 0.0, ca, cx, cy, co, width), latency=90)
+    eng.add_kernel("sink", sink_kernel(co, N, 1))
+    eng.run()
+    return ca.stats.pops + cx.stats.pops + cy.stats.pops + N
+
+
+def run_tiled(tile, width=4):
+    a = RNG.normal(size=(N, M)).astype(np.float32)
+    x = RNG.normal(size=M).astype(np.float32)
+    y = np.zeros(N, dtype=np.float32)
+    sched = row_tiles(N, M, tile, tile)
+    eng = Engine()
+    ca = eng.channel("A", 256)
+    cx = eng.channel("x", 256)
+    cy = eng.channel("y", 256)
+    co = eng.channel("o", 256)
+    stream = [a.reshape(-1)[i] for i in sched.indices()]
+    eng.add_kernel("sa", source_kernel(ca, stream, width))
+    eng.add_kernel("sx", source_kernel(cx, x, width, repeat=N // tile))
+    eng.add_kernel("sy", source_kernel(cy, y, width))
+    eng.add_kernel("gemv", level2.gemv_row_tiles(
+        N, M, 1.0, 0.0, ca, cx, cy, co, tile, tile, width), latency=90)
+    eng.add_kernel("sink", sink_kernel(co, N, width))
+    eng.run()
+    return ca.stats.pops + cx.stats.pops + cy.stats.pops + N
+
+
+def collect():
+    rows = [("none (Listing 1)", run_nontiled(),
+             N * M + N * M + 2 * N)]
+    for tile in (8, 16, 32, 64):
+        io = run_tiled(tile)
+        rows.append((f"{tile}x{tile}", io,
+                     iomodel.gemv_io_tiles_by_rows(N, M, tile)))
+    return rows
+
+
+ROWS = collect()
+
+
+def test_tiling_io_ablation():
+    print_table(
+        f"Ablation: GEMV ({N}x{M}) DRAM I/O vs tiling",
+        ["tiling", "measured I/O", "model I/O"], ROWS)
+    for name, measured, model in ROWS:
+        assert measured == model, name
+    # Tiling strictly reduces I/O, monotonically with tile size.
+    ios = [r[1] for r in ROWS]
+    assert all(hi > lo for hi, lo in zip(ios, ios[1:]))
+
+
+def test_largest_tile_approaches_compulsory_traffic():
+    compulsory = N * M + M + 2 * N
+    assert ROWS[-1][1] == compulsory
+
+
+def test_tiling_doubles_the_affordable_width():
+    """Sec. IV-B: with large tiles the optimal GEMV width doubles."""
+    b, f, s = 19.2e9, 300e6, 4
+    assert optimal_width_tiled_gemv(b, f, s, 1024, 1024) == \
+        2 * optimal_width(b, f, s, 2)
+
+
+def test_bench_tiled_gemv(benchmark):
+    benchmark.pedantic(run_tiled, args=(16,), rounds=3, iterations=1)

@@ -1,0 +1,98 @@
+"""Ablation: full unrolling vs problem size (Sec. III-A / Table V context).
+
+Fully-unrolled routines start a new problem every cycle, at the cost of
+instantiating every flop in silicon: resources grow with the routine's
+whole work (O(size^3) for GEMM).  This sweep finds the feasibility
+frontier on both devices — why the paper stops at 4x4 ("enough to
+saturate DRAM bandwidth") — and verifies the throughput claim on the
+simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import level3
+from repro.fpga import Engine, sink_kernel, source_kernel
+from repro.fpga.device import ARRIA10, STRATIX10
+from repro.fpga.resources import fully_unrolled_resources
+
+from bench_common import STRATIX_AGG_BW, print_table
+
+
+def gemm_flops(size):
+    return 2 * size ** 3
+
+
+def collect():
+    rows = []
+    feasibility = {}
+    for size in (2, 3, 4, 6, 8, 12, 16, 24):
+        usage = fully_unrolled_resources(gemm_flops(size))
+        fits_a = usage.fits(ARRIA10)
+        fits_s = usage.fits(STRATIX10)
+        feasibility[size] = (fits_a, fits_s)
+        bw_need = 4 * size * size * 4 * 297.5e6 / 1e9   # GB/s at II=1
+        rows.append((size, gemm_flops(size), usage.dsps,
+                     "yes" if fits_a else "NO",
+                     "yes" if fits_s else "NO", f"{bw_need:.0f}"))
+    return rows, feasibility
+
+
+ROWS, FEASIBILITY = collect()
+
+
+def test_unrolling_feasibility_frontier():
+    print_table(
+        "Ablation: fully-unrolled GEMM feasibility vs problem size",
+        ["size", "flops/problem", "DSPs", "fits Arria", "fits Stratix",
+         "BW need GB/s"], ROWS)
+    # 4x4 fits everywhere (the paper's choice)...
+    assert FEASIBILITY[4] == (True, True)
+    # ...but the frontier closes quickly: the Arria runs out of DSPs by
+    # 16^3, the Stratix (3x the DSPs) by 24^3.
+    assert FEASIBILITY[16][0] is False
+    assert FEASIBILITY[24] == (False, False)
+
+
+def test_bandwidth_crosses_before_dsps_on_stratix():
+    """At size 4 the unrolled design already wants ~76 GB/s — the full
+    board bandwidth — so bigger sizes are DRAM-starved even when they
+    fit, matching 'provided that enough memory bandwidth is available'."""
+    bw_need_4 = 4 * 16 * 4 * 297.5e6
+    assert bw_need_4 > 0.95 * STRATIX_AGG_BW
+
+
+def test_simulated_ii1_throughput():
+    """Cycle-accurate: with data on chip the unrolled GEMM really starts
+    one problem per cycle."""
+    rng = np.random.default_rng(9)
+    size, nb = 4, 128
+    s2 = size * size
+    stream = []
+    problems = []
+    for _ in range(nb):
+        a = rng.normal(size=(size, size)).astype(np.float32)
+        b = rng.normal(size=(size, size)).astype(np.float32)
+        c = np.zeros((size, size), dtype=np.float32)
+        problems.append((a, b))
+        stream.extend(a.reshape(-1))
+        stream.extend(b.reshape(-1))
+        stream.extend(c.reshape(-1))
+    eng = Engine()
+    ci = eng.channel("in", 6 * s2)
+    co = eng.channel("out", 2 * s2)
+    out = []
+    eng.add_kernel("src", source_kernel(ci, stream, 3 * s2))
+    eng.add_kernel("gemm", level3.gemm_unrolled(size, nb, 1.0, 0.0, ci, co),
+                   latency=30)
+    eng.add_kernel("sink", sink_kernel(co, nb * s2, s2, out))
+    rep = eng.run()
+    # one problem per cycle + pipeline depth + startup
+    assert rep.cycles <= nb + 30 + 16
+    got = np.array(out[:s2], dtype=np.float32).reshape(size, size)
+    np.testing.assert_allclose(got, problems[0][0] @ problems[0][1],
+                               rtol=1e-4, atol=1e-4)
+
+
+def test_bench_unrolled_gemm(benchmark):
+    benchmark(collect)

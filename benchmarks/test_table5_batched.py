@@ -1,0 +1,144 @@
+"""Table V: batched tiny-matrix GEMM/TRSM — fully unrolled vs MKL batched.
+
+The FPGA designs are the Sec. III-A fully-unrolled circuits: the whole
+4x4 routine body exists in silicon and accepts a new problem every clock
+cycle, so throughput is bounded only by how fast DRAM can feed problems
+(plus a fixed kernel-launch cost).  The CPU side is MKL's batched
+interface (calibrated roofline with the measured tiny-problem
+efficiency).
+
+Correctness of the unrolled kernels is demonstrated with a cycle-accurate
+simulated batch; the paper-scale table uses the feed-rate model.
+
+Shape assertions: CPU wins the small batch for GEMM (launch overhead
+amortizes slowly), the FPGA wins the large batch for GEMM and both sizes
+for TRSM — the crossovers of Table V.
+"""
+
+import numpy as np
+import pytest
+
+from repro.host import Fblas
+from repro.models import cpu
+
+from bench_common import STRATIX_AGG_BW, print_table, us
+
+SIZE = 4
+#: Fixed OpenCL kernel-launch + host-synchronization cost per batched
+#: invocation (calibrated on Table V's intercept: the paper's FPGA times
+#: extrapolate to ~115 us at batch size 0).
+FPGA_LAUNCH_OVERHEAD = 115e-6
+
+#: Published Table V (microseconds).
+PAPER = {
+    ("gemm", "single", 8192): (128.2, 144.7),
+    ("gemm", "single", 32768): (457.4, 275.3),
+    ("gemm", "double", 8192): (108.3, 187.5),
+    ("gemm", "double", 32768): (404.9, 461.0),
+    ("trsm", "single", 8192): (248.4, 144.0),
+    ("trsm", "single", 32768): (749.9, 341.6),
+    ("trsm", "double", 8192): (248.4, 184.1),
+    ("trsm", "double", 32768): (731.6, 589.2),
+}
+
+FREQS = {("gemm", "single"): 297.5e6, ("gemm", "double"): 297.5e6,
+         ("trsm", "single"): 335e6, ("trsm", "double"): 350e6}
+
+
+def fpga_batched(routine, precision, nbatch):
+    """Feed-rate model: one problem per cycle, DRAM permitting."""
+    esize = 4 if precision == "single" else 8
+    per_problem_bytes = (4 if routine == "gemm" else 3) * SIZE * SIZE * esize
+    f = FREQS[(routine, precision)]
+    per_cycle = 1 / f
+    per_bw = per_problem_bytes / STRATIX_AGG_BW
+    return FPGA_LAUNCH_OVERHEAD + nbatch * max(per_cycle, per_bw)
+
+
+def collect():
+    rows = []
+    results = {}
+    for routine in ("gemm", "trsm"):
+        for precision in ("single", "double"):
+            for nbatch in (8192, 32768):
+                if routine == "gemm":
+                    t_cpu = cpu.batched_gemm_time(SIZE, nbatch,
+                                                  precision).seconds
+                else:
+                    t_cpu = cpu.batched_trsm_time(SIZE, nbatch,
+                                                  precision).seconds
+                t_fpga = fpga_batched(routine, precision, nbatch)
+                results[(routine, precision, nbatch)] = (t_cpu, t_fpga)
+                p = PAPER[(routine, precision, nbatch)]
+                rows.append((routine.upper(), precision[0].upper(),
+                             f"{nbatch // 1024}K", us(t_cpu),
+                             f"{p[0]:,.0f}", us(t_fpga), f"{p[1]:,.0f}",
+                             f"{t_cpu / t_fpga:.2f}"))
+    return rows, results
+
+
+ROWS, RESULTS = collect()
+
+
+def test_table5_regeneration():
+    print_table(
+        "Table V: batched 4x4 routines, modeled us vs paper us",
+        ["routine", "P", "N", "CPU model", "CPU paper", "FPGA model",
+         "FPGA paper", "CPU/FPGA"], ROWS)
+    for key, (t_cpu, t_fpga) in RESULTS.items():
+        p_cpu, p_fpga = PAPER[key]
+        assert 0.4 < t_cpu * 1e6 / p_cpu < 2.5, key
+        assert 0.4 < t_fpga * 1e6 / p_fpga < 2.5, key
+
+
+def test_gemm_crossover():
+    """Table V's single-precision GEMM crossover: CPU wins 8K problems,
+    the FPGA wins 32K (launch overhead amortized, II=1 feed)."""
+    t_cpu, t_fpga = RESULTS[("gemm", "single", 8192)]
+    assert t_cpu < t_fpga
+    t_cpu, t_fpga = RESULTS[("gemm", "single", 32768)]
+    assert t_fpga < t_cpu
+
+
+def test_trsm_fpga_wins_large_batches():
+    """TRSM's solve recurrence hurts MKL far more than the unrolled
+    circuit: the FPGA wins the large batches in both precisions."""
+    for precision in ("single", "double"):
+        t_cpu, t_fpga = RESULTS[("trsm", precision, 32768)]
+        assert t_fpga < t_cpu, precision
+
+
+def test_throughput_is_one_problem_per_cycle_until_bandwidth():
+    """The unrolled design's marginal cost per problem is max(1/f,
+    bytes/BW) — for 4x4 single GEMM at 297.5 MHz the two terms almost
+    coincide ("enough to saturate DRAM bandwidth", Sec. VI-D)."""
+    t8 = fpga_batched("gemm", "single", 8192)
+    t32 = fpga_batched("gemm", "single", 32768)
+    marginal = (t32 - t8) / (32768 - 8192)
+    per_bw = 4 * 16 * 4 / STRATIX_AGG_BW
+    per_cycle = 1 / FREQS[("gemm", "single")]
+    assert marginal == pytest.approx(max(per_bw, per_cycle), rel=1e-6)
+    assert abs(per_bw - per_cycle) / per_bw < 0.05
+
+
+def test_simulated_batch_correctness(benchmark):
+    """Cycle-accurate check: the unrolled kernel really does accept one
+    problem per cycle and computes correct products."""
+    rng = np.random.default_rng(5)
+    fb = Fblas(width=16)
+    nb = 64
+    a = fb.copy_to_device(
+        rng.normal(size=(nb, SIZE, SIZE)).astype(np.float32))
+    b = fb.copy_to_device(
+        rng.normal(size=(nb, SIZE, SIZE)).astype(np.float32))
+    c = fb.copy_to_device(np.zeros((nb, SIZE, SIZE), dtype=np.float32))
+    a0, b0 = np.array(a.data), np.array(b.data)
+
+    out = benchmark.pedantic(fb.batched_gemm, args=(SIZE, a, b, c),
+                             rounds=1, iterations=1)
+    for i in range(nb):
+        np.testing.assert_allclose(out[i], a0[i] @ b0[i],
+                                   rtol=1e-3, atol=1e-3)
+    rec = fb.records[-1]
+    # II=1 plus latency and DRAM feed: well under 10 cycles per problem.
+    assert rec.cycles < 10 * nb + 100

@@ -1,0 +1,174 @@
+"""Table VI: CPU vs FPGA for the composed streaming applications.
+
+FPGA times: the Sec. V streaming compositions are memory-bound, so the
+model is the dominant per-bank stream time max'ed with the II=1 pipeline
+length (the simulator validates the same compositions cycle-accurately in
+tests/test_apps.py and benchmarks/test_fig11_composition.py).  Per the
+paper's configuration: width 32 (single) / 16 (double), tiles 2048^2;
+BICG alone is compiled wider (64) and interleaved to use all 4 DDR
+modules.  CPU times: the calibrated roofline of the MKL host.
+
+Shape assertions (Sec. VI-D): thanks to streaming composition the FPGA is
+faster or comparable on these memory-intensive kernels in both
+precisions; the board draws ~30% less power than the CPU.
+"""
+
+import pytest
+
+from repro.fpga.device import STRATIX10, PowerModel
+from repro.models import cpu
+
+from bench_common import (
+    STRATIX_AGG_BW,
+    STRATIX_BANK_BW,
+    membound_time,
+    print_table,
+    us,
+)
+
+#: Published Table VI (microseconds).
+PAPER = {
+    ("axpydot", "single", 4_000_000): (1_376, 1_101),
+    ("axpydot", "single", 16_000_000): (8_556, 3_783),
+    ("axpydot", "double", 4_000_000): (4_295, 2_023),
+    ("axpydot", "double", 16_000_000): (17_130, 7_297),
+    ("bicg", "single", 2048): (218, 550),
+    ("bicg", "single", 8192): (5_796, 5_879),
+    ("bicg", "double", 2048): (467.8, 795.7),
+    ("bicg", "double", 8192): (11_724, 9_939),
+    ("gemver", "single", 2048): (895, 2_407),
+    ("gemver", "single", 8192): (43_291, 37_094),
+    ("gemver", "double", 2048): (4_728, 4_425),
+    ("gemver", "double", 8192): (88_160, 64_115),
+}
+
+#: Fixed kernel launch + reconfiguration-free dispatch overhead per
+#: streamed composition (one OpenCL enqueue round trip).
+LAUNCH = 350e-6
+
+
+def _esize(p):
+    return 4 if p == "single" else 8
+
+
+def fpga_axpydot(n, precision):
+    """Each of w, v, u streams from its own bank at W=32: the completion
+    time is one vector stream plus pipeline latency."""
+    f = 370e6
+    w = 32 if precision == "single" else 16
+    per_stream = n * _esize(precision) / STRATIX_BANK_BW
+    return max(per_stream, n / w / f)
+
+
+def fpga_bicg(n, precision):
+    """A read once at width 64, interleaved across the 4 modules."""
+    f = 238e6
+    w = 64 if precision == "single" else 32
+    bytes_a = n * n * _esize(precision)
+    return LAUNCH + membound_time(bytes_a, STRATIX_AGG_BW, n * n / w, f)
+
+
+def fpga_gemver(n, precision):
+    """Two sequential components, each streaming ~N^2 through one bank
+    pair (B written then re-read dominates)."""
+    f = 236e6 if precision == "single" else 275e6
+    w = 32 if precision == "single" else 16
+    n2 = n * n
+    per_component = membound_time(n2 * _esize(precision), STRATIX_BANK_BW,
+                                  n2 / w, f)
+    return LAUNCH + 2 * per_component
+
+
+def collect():
+    rows = []
+    results = {}
+    cases = [
+        ("axpydot", fpga_axpydot, cpu.axpydot_time,
+         (4_000_000, 16_000_000)),
+        ("bicg", fpga_bicg, lambda n, p: cpu.bicg_time(n, n, p),
+         (2048, 8192)),
+        ("gemver", fpga_gemver, cpu.gemver_time, (2048, 8192)),
+    ]
+    for app, fpga_fn, cpu_fn, sizes in cases:
+        for precision in ("single", "double"):
+            for n in sizes:
+                t_cpu = cpu_fn(n, precision).seconds
+                t_fpga = fpga_fn(n, precision)
+                results[(app, precision, n)] = (t_cpu, t_fpga)
+                p = PAPER[(app, precision, n)]
+                size = f"{n // 10**6}M" if n >= 10**6 else f"{n}^2"
+                rows.append((app.upper(), precision[0].upper(), size,
+                             us(t_cpu), f"{p[0]:,.0f}", us(t_fpga),
+                             f"{p[1]:,.0f}", f"{t_cpu / t_fpga:.2f}"))
+    return rows, results
+
+
+ROWS, RESULTS = collect()
+
+
+def test_table6_regeneration():
+    print_table(
+        "Table VI: composed kernels, modeled us vs paper us",
+        ["app", "P", "N", "CPU model", "CPU paper", "FPGA model",
+         "FPGA paper", "CPU/FPGA"], ROWS)
+    for key, (t_cpu, t_fpga) in RESULTS.items():
+        p_cpu, p_fpga = PAPER[key]
+        assert 0.35 < t_cpu * 1e6 / p_cpu < 2.5, key
+        assert 0.35 < t_fpga * 1e6 / p_fpga < 2.5, key
+
+
+def test_fpga_wins_or_ties_large_sizes():
+    """At the large sizes the streamed FPGA version is faster or
+    comparable (within 15%) for every app and precision (Sec. VI-D)."""
+    for (app, precision, n), (t_cpu, t_fpga) in RESULTS.items():
+        if n in (16_000_000, 8192):
+            assert t_fpga < 1.15 * t_cpu, (app, precision)
+
+
+def test_cpu_wins_small_matrices():
+    """Launch overhead dominates tiny problems: the CPU keeps the 2K
+    BICG case (paper: 218 vs 550 us).  The paper's 2K GEMVER win (895 vs
+    2407 us) additionally relies on the 16 MB working set fitting the
+    Xeon's cache, which the DRAM roofline deliberately does not model —
+    there we only assert the FPGA's advantage collapses at 2K relative
+    to 8K."""
+    assert RESULTS[("bicg", "single", 2048)][0] < \
+        RESULTS[("bicg", "single", 2048)][1]
+    ratio_2k = (RESULTS[("gemver", "single", 2048)][0]
+                / RESULTS[("gemver", "single", 2048)][1])
+    ratio_8k = (RESULTS[("gemver", "single", 8192)][0]
+                / RESULTS[("gemver", "single", 8192)][1])
+    assert ratio_2k < ratio_8k
+    assert ratio_2k < 1.1
+
+
+def test_axpydot_streaming_advantage_grows_with_size():
+    small = RESULTS[("axpydot", "single", 4_000_000)]
+    large = RESULTS[("axpydot", "single", 16_000_000)]
+    assert large[0] / large[1] >= small[0] / small[1]
+
+
+def test_board_power_below_cpu():
+    """The FPGA board draws up to ~30% less power than the measured
+    CPU+DRAM (Sec. VI-D)."""
+    board = PowerModel(STRATIX10).estimate(0.3)
+    assert board < cpu.CPU_POWER
+    assert board > 0.6 * cpu.CPU_POWER
+
+
+def test_fpga_energy_advantage_compounds():
+    """Faster *and* lower power: energy per solved problem favors the
+    streamed FPGA by more than either factor alone, for every large case.
+    """
+    board = PowerModel(STRATIX10).estimate(0.3)
+    for (app, precision, n), (t_cpu, t_fpga) in RESULTS.items():
+        if n not in (16_000_000, 8192):
+            continue
+        e_cpu = t_cpu * cpu.CPU_POWER
+        e_fpga = t_fpga * board
+        assert e_fpga < e_cpu, (app, precision)
+        assert e_fpga / e_cpu < (t_fpga / t_cpu), (app, precision)
+
+
+def test_bench_model_evaluation(benchmark):
+    benchmark(collect)

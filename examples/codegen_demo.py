@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Code generator demo (Sec. II-C): JSON routine spec -> OpenCL + execution.
+
+Writes a routine specification file like the one FBLAS users author,
+generates the Intel-OpenCL-style kernels and DRAM helper kernels from it,
+prints one of them, and then *runs* the generated DOT design through the
+simulator backend to show the binding computes the right thing.
+
+Run:  python examples/codegen_demo.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.codegen import CodeGenerator
+from repro.fpga import Engine, sink_kernel, source_kernel
+
+SPEC = {
+    "routine": [
+        {
+            "blas_name": "dot",
+            "user_name": "streaming_sdot",
+            "precision": "single",
+            "width": 16,
+        },
+        {
+            "blas_name": "gemv",
+            "user_name": "tiled_dgemv",
+            "precision": "double",
+            "width": 8,
+            "tile_n_size": 1024,
+            "tile_m_size": 1024,
+            "matrix_order": "tiles_by_rows",
+        },
+        {
+            "blas_name": "gemm",
+            "user_name": "systolic_sgemm",
+            "precision": "single",
+            "width": 1,
+            "tile_n_size": 128,
+            "tile_m_size": 128,
+            "systolic_rows": 16,
+            "systolic_cols": 16,
+        },
+    ]
+}
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="fblas_codegen_"))
+    spec_path = workdir / "routines.json"
+    spec_path.write_text(json.dumps(SPEC, indent=2))
+    print(f"routine specification written to {spec_path}\n")
+
+    gen = CodeGenerator(spec_path)
+    paths = gen.write_all(workdir / "generated")
+    print(f"generated {len(paths)} OpenCL files:")
+    for p in paths:
+        print(f"  {p.name}")
+
+    print("\n--- streaming_sdot.cl (mirrors the paper's Fig. 5) ---")
+    print(gen["streaming_sdot"].source)
+
+    print("--- systolic_sgemm.cl (single-kernel systolic array) ---")
+    print(gen["systolic_sgemm"].source)
+
+    # Execute the generated DOT design on the simulator backend.
+    routine = gen["streaming_sdot"]
+    rng = np.random.default_rng(7)
+    n = 2048
+    x = rng.normal(size=n).astype(routine.dtype)
+    y = rng.normal(size=n).astype(routine.dtype)
+    eng = Engine()
+    cx = eng.channel("x", 64)
+    cy = eng.channel("y", 64)
+    cr = eng.channel("res", 4)
+    out = []
+    eng.add_kernel("src_x", source_kernel(cx, list(x), routine.spec.width))
+    eng.add_kernel("src_y", source_kernel(cy, list(y), routine.spec.width))
+    eng.add_kernel("dot", routine.make_kernel(n, cx, cy, cr),
+                   latency=routine.latency)
+    eng.add_kernel("sink", sink_kernel(cr, 1, 1, out))
+    report = eng.run()
+    print(f"generated DOT executed: result = {out[0]:.5f} "
+          f"(numpy: {float(np.dot(x, y)):.5f}) in {report.cycles} cycles "
+          f"(model: {routine.latency} + N/W = "
+          f"{routine.latency + n // routine.spec.width})")
+
+    # -- emit a whole composition as one file (Fig. 6's AXPYDOT) ---------
+    from repro.codegen import RoutineSpec, emit_composition
+    from repro.streaming import MDAG, scalar_stream, vector_stream
+
+    g = MDAG()
+    g.add_interface("read_w")
+    g.add_interface("read_v")
+    g.add_interface("read_u")
+    g.add_module("axpy0")
+    g.add_module("dot0")
+    g.add_interface("write_beta")
+    sig = vector_stream(4096)
+    g.connect("read_v", "axpy0", sig, sig)
+    g.connect("read_w", "axpy0", sig, sig)
+    g.connect("axpy0", "dot0", sig, sig)
+    g.connect("read_u", "dot0", sig, sig)
+    g.connect("dot0", "write_beta", scalar_stream(), scalar_stream())
+    comp = emit_composition(g, {
+        "axpy0": RoutineSpec("axpy", "axpy0", width=16),
+        "dot0": RoutineSpec("dot", "dot0", width=16),
+    }, name="axpydot")
+    comp_path = workdir / "generated" / "axpydot_composition.cl"
+    comp_path.write_text(comp)
+    print(f"\n--- {comp_path.name}: the Fig. 6 AXPYDOT composition as one "
+          "synthesizable file ---")
+    print("\n".join(comp.splitlines()[:24]))
+    print(f"... ({len(comp.splitlines())} lines total)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Conjugate gradient on the FPGA: an application built from FBLAS calls.
+
+The paper's introduction motivates FBLAS as the missing library layer that
+lets HPC codes target spatial architectures productively.  This example is
+that use-case: a complete CG solver for a symmetric positive-definite
+system, written against the host API exactly as one would write it against
+any BLAS — every GEMV/DOT/AXPY runs as a streaming design on the simulated
+board, and the per-call records add up to a device-time budget for the
+whole solve.
+
+Run:  python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro.host import Fblas
+
+
+def make_spd_system(n, rng):
+    """A well-conditioned SPD matrix and a right-hand side."""
+    q = rng.normal(size=(n, n)).astype(np.float32)
+    a = (q @ q.T / n + np.eye(n, dtype=np.float32) * 2.0).astype(np.float32)
+    b = rng.normal(size=n).astype(np.float32)
+    return a, b
+
+
+def conjugate_gradient(fb, a_buf, b_host, max_iter=50, tol=1e-5):
+    """Solve A x = b with CG, device-resident vectors throughout."""
+    n = len(b_host)
+    x = fb.copy_to_device(np.zeros(n, dtype=np.float32), name="cg_x")
+    r = fb.copy_to_device(b_host.copy(), name="cg_r")      # r = b - A*0
+    p = fb.copy_to_device(b_host.copy(), name="cg_p")
+    ap = fb.copy_to_device(np.zeros(n, dtype=np.float32), name="cg_ap")
+
+    rs_old = fb.dot(r, r)
+    history = []
+    for it in range(max_iter):
+        # ap <- A p            (one streamed GEMV)
+        ap.data[:] = 0
+        fb.gemv(1.0, a_buf, p, 0.0, ap)
+        # alpha = rs / (p^T ap)
+        alpha = float(rs_old) / float(fb.dot(p, ap))
+        # x <- x + alpha p ;  r <- r - alpha ap
+        fb.axpy(alpha, p, x)
+        fb.axpy(-alpha, ap, r)
+        rs_new = float(fb.dot(r, r))
+        history.append(np.sqrt(rs_new))
+        if np.sqrt(rs_new) < tol:
+            break
+        # p <- r + (rs_new/rs_old) p   == scal + axpy
+        fb.scal(rs_new / float(rs_old), p)
+        fb.axpy(1.0, r, p)
+        rs_old = rs_new
+    return fb.copy_from_device(x), history
+
+
+def main():
+    rng = np.random.default_rng(42)
+    n = 64
+    a, b = make_spd_system(n, rng)
+
+    fb = Fblas(width=8, tile=16)
+    a_buf = fb.copy_to_device(a, name="cg_A")
+    x, history = conjugate_gradient(fb, a_buf, b)
+
+    residual = np.linalg.norm(a @ x - b)
+    print(f"CG on a {n}x{n} SPD system (simulated Stratix 10):")
+    print(f"  iterations        : {len(history)}")
+    print(f"  final ||Ax - b||  : {residual:.3e}")
+    print(f"  residual history  : "
+          + " ".join(f"{h:.1e}" for h in history[:8]) + " ...")
+
+    calls = {}
+    cycles = {}
+    for rec in fb.records:
+        calls[rec.routine] = calls.get(rec.routine, 0) + 1
+        cycles[rec.routine] = cycles.get(rec.routine, 0) + rec.cycles
+    total_cycles = sum(cycles.values())
+    total_seconds = fb.context.total_seconds()
+    print(f"\n  device work ({len(fb.records)} routine calls, "
+          f"{total_cycles} cycles, {total_seconds * 1e6:.1f} us modeled):")
+    for routine in sorted(cycles, key=cycles.get, reverse=True):
+        share = cycles[routine] / total_cycles
+        print(f"    {routine:6s} x{calls[routine]:<3d} "
+              f"{cycles[routine]:>8d} cycles  {share:6.1%}")
+    print("\n  the GEMV dominates — exactly the module whose width/tiles "
+          "the Sec. IV models dimension.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Design-space exploration with the Sec. IV space/time models.
+
+Walks the paper's dimensioning story for a DOT module on the Stratix 10:
+
+1. sweep the vectorization width and tabulate resources (Table I fits),
+   latency, and projected throughput;
+2. compute the *optimal* width for the board's DDR bandwidth — wider
+   designs waste resources, narrower ones bottleneck the pipeline;
+3. verify both claims with cycle-accurate simulations on either side of
+   the optimum;
+4. show the tiled-GEMV twist: tiling lowers the bandwidth a module needs,
+   doubling the affordable width (Sec. IV-B).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.blas import level1
+from repro.fpga import Engine, sink_kernel
+from repro.fpga.device import STRATIX10, FrequencyModel
+from repro.fpga.memory import DramModel, read_kernel
+from repro.fpga.resources import level1_latency, level1_resources
+from repro.fpga.util import sink_kernel as _sink
+from repro.models import (
+    expected_performance,
+    level1_cycles,
+    optimal_width,
+    optimal_width_tiled_gemv,
+)
+
+
+def sweep_widths():
+    print("DOT on Stratix 10: width sweep (Sec. IV-A model)")
+    print(f"  {'W':>4} {'LUTs':>7} {'FFs':>7} {'DSPs':>5} {'lat':>4} "
+          f"{'cycles(1M)':>11} {'Gop/s @350MHz':>14}")
+    n = 1_000_000
+    f = 350e6
+    for w in (2, 4, 8, 16, 32, 64, 128):
+        usage = level1_resources("map_reduce", w)
+        lat = level1_latency("map_reduce", w)
+        cycles = level1_cycles("dot", n, w)
+        gops = 2 * n / (cycles / f) / 1e9
+        print(f"  {w:>4} {usage.luts:>7} {usage.ffs:>7} {usage.dsps:>5} "
+              f"{lat:>4} {cycles:>11} {gops:>14.1f}")
+
+
+def optimal_width_story():
+    dev = STRATIX10
+    f = FrequencyModel(dev).estimate("level1", "single")
+    w_opt = optimal_width(dev.dram_bank_bandwidth, f, 4,
+                          operands_per_cycle_per_lane=1)
+    print(f"\nOne DDR bank feeds {dev.dram_bank_bandwidth / 1e9:.1f} GB/s; "
+          f"at {f / 1e6:.0f} MHz and 4-byte floats the optimal per-operand")
+    print(f"width is W = ceil(B/(S*F)) = {w_opt}.  Each DOT operand stream "
+          "lives in its own bank, so the module is dimensioned per stream.")
+
+    # Demonstrate with the simulator: cycles per element at W below, at,
+    # and above the optimum, with DRAM bandwidth enforced.
+    n = 16384
+    print(f"\n  simulated DOT of N={n}, one bank per operand:")
+    print(f"  {'W':>4} {'cycles':>8} {'vs W_opt':>9}")
+    base = None
+    for w in (max(1, w_opt // 2), w_opt, 2 * w_opt, 4 * w_opt):
+        mem = DramModel(num_banks=2, bytes_per_cycle=dev.bytes_per_cycle(f))
+        x = mem.bind("x", np.ones(n, dtype=np.float32), bank=0)
+        y = mem.bind("y", np.ones(n, dtype=np.float32), bank=1)
+        eng = Engine(memory=mem)
+        cx = eng.channel("x", 4 * w)
+        cy = eng.channel("y", 4 * w)
+        cr = eng.channel("r", 4)
+        out = []
+        eng.add_kernel("rx", read_kernel(mem, x, cx, w))
+        eng.add_kernel("ry", read_kernel(mem, y, cy, w))
+        eng.add_kernel("dot", level1.dot_kernel(n, cx, cy, cr, w),
+                       latency=level1_latency("map_reduce", w))
+        eng.add_kernel("sink", _sink(cr, 1, 1, out))
+        cycles = eng.run().cycles
+        if base is None:
+            base = cycles
+        print(f"  {w:>4} {cycles:>8} {base / cycles:>8.2f}x")
+    print("  -> throughput saturates at the optimal width; extra lanes "
+          "only burn DSPs.")
+
+
+def tiling_story():
+    dev = STRATIX10
+    f = FrequencyModel(dev).estimate("level2", "single")
+    w_plain = optimal_width(dev.dram_bank_bandwidth, f, 4, 2)
+    w_tiled = optimal_width_tiled_gemv(dev.dram_bank_bandwidth, f, 4,
+                                       1024, 1024)
+    print(f"\nGEMV dimensioning (Sec. IV-B): non-tiled needs x with every "
+          f"element of A\n  -> W_opt = {w_plain}; with 1024x1024 tiles x "
+          f"is fetched once per tile\n  -> W_opt = {w_tiled} "
+          "(double: the whole bank feeds the matrix stream).")
+
+
+def automated_dse():
+    """Automated exploration: the Pareto frontier and budgeted choice."""
+    from repro.models.dse import (
+        cheapest_within,
+        explore_level1,
+        fastest,
+        pareto_frontier,
+    )
+    n = 1 << 22
+    points = explore_level1("dot", n, STRATIX10)
+    frontier = pareto_frontier(points)
+    print(f"\nAutomated DSE: DOT of N={n} on Stratix 10 — "
+          f"{len(points)} feasible points, {len(frontier)} on the "
+          "space/time Pareto frontier:")
+    for p in frontier:
+        print(f"  {p.describe()}")
+    best = fastest(points)
+    budget = best.seconds * 3
+    frugal = cheapest_within(points, budget)
+    print(f"\n  fastest: {best.describe()}")
+    print(f"  cheapest within a {budget * 1e6:.0f} us budget: "
+          f"{frugal.describe()}")
+    print("  -> the dimensioning answer of Sec. IV-B, automated.")
+
+
+if __name__ == "__main__":
+    sweep_widths()
+    optimal_width_story()
+    tiling_story()
+    automated_dse()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Systolic GEMM demo (Sec. III-C): PE grid, skew, and tile-ratio scaling.
+
+Runs the register-level systolic-array simulation: correctness against
+numpy, measured cycle counts against the analytic model, and the Fig. 10
+(right) effect — PE utilization approaching 100% as the memory-tile /
+compute-tile ratio grows.
+
+Run:  python examples/systolic_gemm.py
+"""
+
+import numpy as np
+
+from repro.blas.systolic import PE_FANOUT, SystolicConfig, SystolicGemm
+from repro.fpga.device import STRATIX10, FrequencyModel
+from repro.fpga.resources import gemm_systolic_resources
+from repro.models import expected_performance
+
+
+def main():
+    rng = np.random.default_rng(11)
+
+    print("Each PE has a constant fan-out of "
+          f"{PE_FANOUT} links (a/b/c in+out), independent of array size —")
+    print("the property that lets the systolic design scale where naive "
+          "unrolling fails.\n")
+
+    # -- correctness + timing on a small array -----------------------------
+    cfg = SystolicConfig(pr=4, pc=4, tile_r=16, tile_c=16)
+    sys_gemm = SystolicGemm(cfg)
+    n = m = k = 32
+    a = rng.normal(size=(n, k)).astype(np.float32)
+    b = rng.normal(size=(k, m)).astype(np.float32)
+    got, stats = sys_gemm.multiply(a, b)
+    err = np.max(np.abs(got - a @ b))
+    print(f"{cfg.pr}x{cfg.pc} PEs, {cfg.tile_r}x{cfg.tile_c} memory tile, "
+          f"{n}x{m}x{k} GEMM:")
+    print(f"  max |err| = {err:.2e}")
+    print(f"  measured cycles = {stats.cycles} "
+          f"(analytic model: {sys_gemm.expected_cycles(n, m, k)})")
+    print(f"  MACs = {stats.macs} (exact: {n * m * k})")
+    print(f"  PE utilization = {stats.pe_utilization(cfg):.1%}\n")
+
+    # -- Fig. 10 (right): utilization vs compute/memory tile ratio ----------
+    print("compute/memory tile ratio sweep (Fig. 10 right, 4x4 PEs, K=64):")
+    print(f"  {'ratio':>6} {'tile':>8} {'cycles':>8} {'PE util':>8}")
+    k = 64
+    for ratio in (1, 2, 4, 8):
+        tile = 4 * ratio
+        cfg = SystolicConfig(4, 4, tile, tile)
+        sg = SystolicGemm(cfg)
+        a = rng.normal(size=(tile, k)).astype(np.float32)
+        b = rng.normal(size=(k, tile)).astype(np.float32)
+        _, stats = sg.multiply(a, b)
+        print(f"  {ratio:>6} {tile:>5}x{tile:<3} {stats.cycles:>8} "
+              f"{stats.pe_utilization(cfg):>8.1%}")
+
+    # -- the paper's flagship configuration, modeled ------------------------
+    print("\nStratix 10 flagship design (40x80 PEs, 960x960 memory tile):")
+    usage = gemm_systolic_resources(40, 80, 960, 960, "single",
+                                    device=STRATIX10)
+    freq = FrequencyModel(STRATIX10).estimate(
+        "systolic", "single", utilization=usage.utilization(STRATIX10))
+    peak = expected_performance(usage.dsps, freq)
+    print(f"  DSPs = {usage.dsps} ({usage.dsps / 4468:.0%} of available), "
+          f"M20Ks = {usage.m20ks}")
+    print(f"  modeled frequency = {freq / 1e6:.0f} MHz")
+    print(f"  expected performance = {peak / 1e12:.2f} Tflop/s "
+          f"(paper measures 1.28 Tflop/s against this bar)")
+
+
+if __name__ == "__main__":
+    main()

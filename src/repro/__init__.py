@@ -1,0 +1,36 @@
+"""FBLAS reproduction: streaming linear algebra on a simulated FPGA.
+
+This package reproduces *FBLAS: Streaming Linear Algebra on FPGA* (De
+Matteis, de Fine Licht, Hoefler -- SC 2020) in pure Python.  The physical
+FPGA is replaced by a cycle-level streaming dataflow simulator; everything
+above it -- the 22 BLAS routines, the code generator, the host API, the
+space/time models, and the streaming-composition framework -- follows the
+paper's design.
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.fpga`      -- channels, cycle engine, DRAM, devices, resources
+* :mod:`repro.models`    -- work/depth, performance, and I/O models (Sec. IV/V)
+* :mod:`repro.streaming` -- tiling schedules, stream signatures, MDAG analysis
+* :mod:`repro.blas`      -- routine kernels (streaming + numpy references)
+* :mod:`repro.codegen`   -- JSON spec -> OpenCL source + simulator bindings
+* :mod:`repro.host`      -- BLAS-style host API over simulated device memory
+* :mod:`repro.apps`      -- AXPYDOT, BICG, ATAX, GEMVER compositions
+
+Quickstart::
+
+    import numpy as np
+    from repro.host import Fblas
+
+    fb = Fblas(width=16)
+    x = fb.copy_to_device(np.arange(1024, dtype=np.float32))
+    y = fb.copy_to_device(np.ones(1024, dtype=np.float32))
+    print(fb.sdot(x, y), fb.records[-1].cycles, "cycles")
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, blas, codegen, fpga, host, models, streaming
+
+__all__ = ["apps", "blas", "codegen", "fpga", "host", "models", "streaming",
+           "__version__"]

@@ -1,0 +1,120 @@
+"""AXPYDOT: z = w - alpha*v;  beta = z^T u  (Sec. V-A, Fig. 6).
+
+The host-layer version needs COPY + AXPY + DOT (7N memory I/O, three
+sequential pipelines); the streaming composition chains AXPY into DOT
+through an on-chip channel (3N+1 I/O, one pipeline).  On the paper's
+Stratix board the host version is additionally penalised because z is
+read and written in the same DDR bank — our DRAM model reproduces that
+contention, which is why measured speedups approach 4 rather than the
+ideal 3 (Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blas import level1, reference
+from ..fpga.engine import Engine, SimReport
+from ..fpga.memory import read_kernel
+from ..fpga.resources import level1_latency
+from ..fpga.util import sink_kernel
+from ..host.api import Fblas
+from ..host.context import FblasContext
+from ..streaming import MDAG, scalar_stream, vector_stream
+
+
+def axpydot_reference(w, v, u, alpha):
+    """Ground truth: beta = (w - alpha*v)^T u."""
+    z = reference.axpy(-alpha, v, w)
+    return reference.dot(z, u)
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    value: object
+    cycles: int
+    io_elements: int
+    seconds: float
+
+
+def axpydot_host(fb: Fblas, w, v, u, alpha) -> AppResult:
+    """Execute AXPYDOT with one host call per BLAS routine.
+
+    ``w``, ``v``, ``u`` are device buffers.  A fresh z buffer is allocated
+    (forced into a single bank, like the paper's BSP) and round-trips
+    through DRAM between the calls.
+    """
+    n = w.num_elements
+    start = len(fb.records)
+    io_before = fb.context.mem.total_elements_moved
+    # Place z in a bank not used by the inputs when one exists; even so,
+    # AXPY reads and writes z in the *same* module — the self-contention
+    # the paper blames for the >3x measured speedup.
+    if fb.context.mem.interleaving:
+        z = fb.allocate(n, dtype=w.data.dtype)
+    else:
+        used = {w.bank, v.bank, u.bank}
+        free = [b for b in range(fb.context.mem.num_banks)
+                if b not in used]
+        z = fb.allocate(n, dtype=w.data.dtype,
+                        bank=free[0] if free else (w.bank or 0))
+    fb.copy(w, z)
+    fb.axpy(-alpha, v, z)
+    beta = fb.dot(z, u)
+    recs = fb.records[start:]
+    cycles = sum(r.cycles for r in recs)
+    seconds = sum(r.seconds for r in recs)
+    io = (fb.context.mem.total_elements_moved - io_before
+          if fb.mode == "simulate" else sum(r.io_elements for r in recs))
+    return AppResult(beta, cycles, io, seconds)
+
+
+def axpydot_streaming(ctx: FblasContext, w, v, u, alpha,
+                      width: int = 16) -> AppResult:
+    """Execute AXPYDOT as one streaming composition (Fig. 6)."""
+    n = w.num_elements
+    dtype = w.data.dtype.type
+    precision = "single" if w.data.dtype == np.float32 else "double"
+    io_before = ctx.mem.total_elements_moved
+    eng = Engine(memory=ctx.mem)
+    cw = eng.channel("w", 4 * width)
+    cv = eng.channel("v", 4 * width)
+    cu = eng.channel("u", 4 * width)
+    cz = eng.channel("z", 4 * width)          # the on-chip AXPY->DOT edge
+    cres = eng.channel("beta", 4)
+    eng.add_kernel("read_w", read_kernel(ctx.mem, w, cw, width))
+    eng.add_kernel("read_v", read_kernel(ctx.mem, v, cv, width))
+    eng.add_kernel("read_u", read_kernel(ctx.mem, u, cu, width))
+    eng.add_kernel("axpy", level1.axpy_kernel(
+        n, -alpha, cv, cw, cz, width, dtype),
+        latency=level1_latency("map", width, precision))
+    eng.add_kernel("dot", level1.dot_kernel(n, cz, cu, cres, width, dtype),
+        latency=level1_latency("map_reduce", width, precision))
+    out = []
+    eng.add_kernel("sink", sink_kernel(cres, 1, 1, out))
+    report = eng.run()
+    io = ctx.mem.total_elements_moved - io_before + 1
+    freq = ctx.frequency_for("level1", precision)
+    return AppResult(out[0], report.cycles, io, report.cycles / freq)
+
+
+def axpydot_mdag(n: int) -> MDAG:
+    """The Fig. 6 MDAG, for static validity analysis."""
+    g = MDAG()
+    g.add_interface("read_w")
+    g.add_interface("read_v")
+    g.add_interface("read_u")
+    g.add_module("axpy")
+    g.add_module("dot")
+    g.add_interface("write_beta")
+    sig = vector_stream(n)
+    g.connect("read_w", "axpy", sig, sig)
+    g.connect("read_v", "axpy", sig, sig)
+    g.connect("axpy", "dot", sig, sig)
+    g.connect("read_u", "dot", sig, sig)
+    g.connect("dot", "write_beta", scalar_stream(), scalar_stream())
+    return g

@@ -1,0 +1,17 @@
+"""All 22 FBLAS routines: numpy references, streaming kernels, systolic GEMM."""
+
+from . import level1, level2, level3, reference
+from .routines import REGISTRY, RoutineInfo, all_routines, info
+from .systolic import (
+    PE_FANOUT,
+    SystolicConfig,
+    SystolicGemm,
+    SystolicStats,
+    pad_operands,
+)
+
+__all__ = [
+    "PE_FANOUT", "REGISTRY", "RoutineInfo", "SystolicConfig", "SystolicGemm",
+    "SystolicStats", "all_routines", "info", "level1", "level2", "level3",
+    "pad_operands", "reference",
+]

@@ -1,0 +1,247 @@
+"""Streaming Level-1 kernels.
+
+Each function is a generator implementing one BLAS Level-1 routine against
+the simulator's channel protocol (:mod:`repro.fpga.kernel`), mirroring the
+structure of the paper's HLS listings: an outer loop strip-mined by the
+vectorization width W, whose body pops W operands per stream, computes the
+unrolled inner loop, and pushes the results — one loop iteration per clock
+cycle (II = 1).
+
+Conventions: ``n`` is the vector length; widths need not divide ``n`` (the
+tail iteration is narrower); ``dtype`` selects single (np.float32) or
+double (np.float64) precision, with arithmetic performed in that dtype so
+rounding matches a hardware implementation of the same precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fpga.kernel import Clock, Pop, Push
+from . import reference
+
+
+def _chunk(vals, count):
+    """Normalize a Pop result (scalar when count==1) to a list."""
+    return [vals] if count == 1 else vals
+
+
+def scal_kernel(n, alpha, ch_x, ch_out, width=1, dtype=np.float32):
+    """SCAL: stream x, push alpha*x (Fig. 4 of the paper)."""
+    alpha = dtype(alpha)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        yield Push(ch_out, tuple(alpha * dtype(x) for x in xs), None)
+        yield Clock()
+        done += c
+
+
+def copy_kernel(n, ch_x, ch_out, width=1, dtype=np.float32):
+    """COPY: forward the stream unchanged."""
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        yield Push(ch_out, tuple(dtype(x) for x in xs), None)
+        yield Clock()
+        done += c
+
+
+def axpy_kernel(n, alpha, ch_x, ch_y, ch_out, width=1, dtype=np.float32):
+    """AXPY: push alpha*x + y."""
+    alpha = dtype(alpha)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        ys = _chunk((yield Pop(ch_y, c)), c)
+        yield Push(ch_out, tuple(alpha * dtype(x) + dtype(y)
+                                 for x, y in zip(xs, ys)), None)
+        yield Clock()
+        done += c
+
+
+def swap_kernel(n, ch_x, ch_y, ch_out_x, ch_out_y, width=1, dtype=np.float32):
+    """SWAP: route x to the y output and vice versa."""
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        ys = _chunk((yield Pop(ch_y, c)), c)
+        yield Push(ch_out_x, tuple(dtype(y) for y in ys), None)
+        yield Push(ch_out_y, tuple(dtype(x) for x in xs), None)
+        yield Clock()
+        done += c
+
+
+def rot_kernel(n, c_rot, s_rot, ch_x, ch_y, ch_out_x, ch_out_y,
+               width=1, dtype=np.float32):
+    """ROT: apply the plane rotation (c, s) elementwise."""
+    c_rot = dtype(c_rot)
+    s_rot = dtype(s_rot)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        ys = _chunk((yield Pop(ch_y, c)), c)
+        yield Push(ch_out_x, tuple(c_rot * dtype(x) + s_rot * dtype(y)
+                                   for x, y in zip(xs, ys)), None)
+        yield Push(ch_out_y, tuple(c_rot * dtype(y) - s_rot * dtype(x)
+                                   for x, y in zip(xs, ys)), None)
+        yield Clock()
+        done += c
+
+
+def rotm_kernel(n, param, ch_x, ch_y, ch_out_x, ch_out_y,
+                width=1, dtype=np.float32):
+    """ROTM: apply the modified rotation given by ``param`` elementwise."""
+    flag = float(param[0])
+    h11, h21, h12, h22 = (dtype(p) for p in param[1:5])
+    one, mone = dtype(1), dtype(-1)
+    if flag == -2.0:
+        h11, h12, h21, h22 = one, dtype(0), dtype(0), one
+    elif flag == 0.0:
+        h11, h22 = one, one
+    elif flag == 1.0:
+        h12, h21 = one, mone
+    elif flag != -1.0:
+        raise ValueError(f"invalid rotm flag {flag}")
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        ys = _chunk((yield Pop(ch_y, c)), c)
+        yield Push(ch_out_x, tuple(h11 * dtype(x) + h12 * dtype(y)
+                                   for x, y in zip(xs, ys)), None)
+        yield Push(ch_out_y, tuple(h21 * dtype(x) + h22 * dtype(y)
+                                   for x, y in zip(xs, ys)), None)
+        yield Clock()
+        done += c
+
+
+def dot_kernel(n, ch_x, ch_y, ch_res, width=1, dtype=np.float32, ii=1):
+    """DOT: accumulate x^T y, push the single result (Fig. 5).
+
+    The W-wide inner loop reduces through a binary tree; we reproduce the
+    tree's summation order so single-precision rounding matches the
+    hardware circuit rather than a sequential accumulation.
+
+    ``ii`` is the loop initiation interval.  FBLAS applies the
+    pipeline-enabling transformations of Sec. III-A (iteration-space
+    transposition, accumulation interleaving) so its modules achieve
+    ii=1 even in double precision, where the loop-carried accumulation
+    would otherwise force the scheduler to ii > 1; passing ii > 1 models
+    the *untransformed* loop for the ablation benchmark.
+    """
+    if ii < 1:
+        raise ValueError("initiation interval must be >= 1")
+    res = dtype(0)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        ys = _chunk((yield Pop(ch_y, c)), c)
+        res = res + _tree_reduce(
+            [dtype(x) * dtype(y) for x, y in zip(xs, ys)], dtype)
+        yield Clock(ii)
+        done += c
+    yield Push(ch_res, (res,), None)
+    yield Clock()
+
+
+def sdsdot_kernel(n, sb, ch_x, ch_y, ch_res, width=1):
+    """SDSDOT: single-precision inputs, double-precision accumulation."""
+    res = np.float64(sb)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        ys = _chunk((yield Pop(ch_y, c)), c)
+        res = res + _tree_reduce(
+            [np.float64(x) * np.float64(y) for x, y in zip(xs, ys)],
+            np.float64)
+        yield Clock()
+        done += c
+    yield Push(ch_res, (np.float32(res),), None)
+    yield Clock()
+
+
+def nrm2_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
+    """NRM2: sqrt of the sum of squares."""
+    acc = dtype(0)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        acc = acc + _tree_reduce([dtype(x) * dtype(x) for x in xs], dtype)
+        yield Clock()
+        done += c
+    yield Push(ch_res, (dtype(np.sqrt(acc)),), None)
+    yield Clock()
+
+
+def asum_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
+    """ASUM: sum of absolute values."""
+    acc = dtype(0)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        acc = acc + _tree_reduce([dtype(abs(dtype(x))) for x in xs], dtype)
+        yield Clock()
+        done += c
+    yield Push(ch_res, (acc,), None)
+    yield Clock()
+
+
+def iamax_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
+    """IAMAX: index of the first element of maximal magnitude."""
+    best = dtype(-1)
+    best_idx = 0
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        xs = _chunk((yield Pop(ch_x, c)), c)
+        for lane, x in enumerate(xs):
+            mag = abs(dtype(x))
+            if mag > best:
+                best = mag
+                best_idx = done + lane
+        yield Clock()
+        done += c
+    yield Push(ch_res, (best_idx,), None)
+    yield Clock()
+
+
+def rotg_kernel(ch_ab, ch_out, dtype=np.float32):
+    """ROTG: pop (a, b), push (r, z, c, s)."""
+    ab = yield Pop(ch_ab, 2)
+    r, z, c, s = reference.rotg(ab[0], ab[1], dtype=dtype)
+    yield Push(ch_out, (dtype(r), dtype(z), dtype(c), dtype(s)), None)
+    yield Clock()
+
+
+def rotmg_kernel(ch_in, ch_out, dtype=np.float32):
+    """ROTMG: pop (d1, d2, x1, y1), push (d1', d2', x1', param[0:5])."""
+    vals = yield Pop(ch_in, 4)
+    d1, d2, x1, param = reference.rotmg(*vals, dtype=dtype)
+    yield Push(ch_out, (dtype(d1), dtype(d2), dtype(x1)) +
+               tuple(dtype(p) for p in param), None)
+    yield Clock()
+
+
+def _tree_reduce(values, dtype):
+    """Sum a list the way the unrolled adder tree does (pairwise)."""
+    if not values:
+        return dtype(0)
+    level = list(values)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(level[i] + level[i + 1])
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,415 @@
+"""Streaming Level-2 kernels.
+
+Level-2 routines are the interesting case for tiling (Sec. III-B): the
+matrix is streamed in 2D tiles and the *same* routine admits multiple
+streaming implementations with different I/O complexities:
+
+* :func:`gemv_row_tiles` — A in tiles by rows; y is reused on chip, x must
+  be **replayed** ceil(N/T_N) times (Fig. 2, left);
+* :func:`gemv_col_tiles` — A in tiles by columns; x is reused, y partial
+  results are **replayed** (written out and re-read) ceil(M/T_M) times
+  (Fig. 2, right);
+* :func:`gemv_nontiled` — Listing 1 of the paper: no reuse at all, x is
+  replayed for every row.
+
+All kernels expect the matrix stream in the order produced by the matching
+:class:`repro.streaming.tiling.MatrixSchedule` with row-major elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fpga.kernel import Clock, Pop, Push
+from .level1 import _chunk, _tree_reduce
+
+
+def _pop_block(ch, count, width):
+    """Pop ``count`` elements in W-wide cycles; return them as a list.
+
+    This is a sub-generator used via ``yield from``; each W-chunk costs one
+    cycle, matching an interface that delivers W elements per clock.
+    """
+    out = []
+    done = 0
+    while done < count:
+        c = min(width, count - done)
+        vals = _chunk((yield Pop(ch, c)), c)
+        out.extend(vals)
+        yield Clock()
+        done += c
+    return out
+
+
+def _push_block(ch, values, width):
+    """Push a list of values in W-wide cycles (sub-generator)."""
+    n = len(values)
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        yield Push(ch, tuple(values[done:done + c]), None)
+        yield Clock()
+        done += c
+
+
+def gemv_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
+                   tile_n, tile_m, width=1, dtype=np.float32):
+    """GEMV y = alpha*A*x + beta*y, A (N x M) in tiles by rows.
+
+    Stream contract: ``ch_a`` carries A in T_N x T_M tiles by rows with
+    row-major elements; ``ch_x`` carries x in T_M blocks, the whole vector
+    replayed ceil(N/T_N) times; ``ch_y`` carries y once; ``ch_out``
+    receives y' in T_N blocks.  A block of y is reused on chip across an
+    entire row of tiles.
+    """
+    _check_tiles(n, tile_n, m, tile_m)
+    alpha = dtype(alpha)
+    beta = dtype(beta)
+    for ti in range(n // tile_n):
+        ys = yield from _pop_block(ch_y, tile_n, width)
+        acc = [dtype(0)] * tile_n
+        for tj in range(m // tile_m):
+            xs = yield from _pop_block(ch_x, tile_m, width)
+            for r in range(tile_n):
+                row_acc = dtype(0)
+                done = 0
+                while done < tile_m:
+                    c = min(width, tile_m - done)
+                    avals = _chunk((yield Pop(ch_a, c)), c)
+                    row_acc = row_acc + _tree_reduce(
+                        [dtype(a) * dtype(x)
+                         for a, x in zip(avals, xs[done:done + c])], dtype)
+                    yield Clock()
+                    done += c
+                acc[r] = acc[r] + row_acc
+        result = [alpha * a + beta * dtype(y) for a, y in zip(acc, ys)]
+        yield from _push_block(ch_out, result, width)
+
+
+def gemv_row_tiles_colmajor(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
+                            tile_n, tile_m, width=1, dtype=np.float32):
+    """GEMV, tiles by rows, with *column-major* elements inside each tile.
+
+    The fourth corner of the Sec. III-B mode matrix: tiles are visited by
+    rows (y reused, x replayed — same I/O complexity as
+    :func:`gemv_row_tiles`) but each tile streams column by column, the
+    order a producer like a transposed GER would emit.  Within a tile the
+    kernel applies one x element to a column of partial sums per burst,
+    so the accumulator is W-banked over rows instead of reduced over
+    columns.
+    """
+    _check_tiles(n, tile_n, m, tile_m)
+    alpha = dtype(alpha)
+    beta = dtype(beta)
+    for ti in range(n // tile_n):
+        ys = yield from _pop_block(ch_y, tile_n, width)
+        acc = [dtype(0)] * tile_n
+        for tj in range(m // tile_m):
+            xs = yield from _pop_block(ch_x, tile_m, width)
+            for c in range(tile_m):
+                xc = dtype(xs[c])
+                done = 0
+                while done < tile_n:
+                    cnt = min(width, tile_n - done)
+                    avals = _chunk((yield Pop(ch_a, cnt)), cnt)
+                    for i, a in enumerate(avals):
+                        acc[done + i] = acc[done + i] + dtype(a) * xc
+                    yield Clock()
+                    done += cnt
+        result = [alpha * a + beta * dtype(y) for a, y in zip(acc, ys)]
+        yield from _push_block(ch_out, result, width)
+
+
+def gemv_col_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
+                   tile_n, tile_m, width=1, dtype=np.float32):
+    """GEMV with A (N x M) in tiles by columns (Fig. 2, right).
+
+    A block of x is reused on chip across an entire column of tiles; the
+    partial y results stream out after every column of tiles and are
+    re-consumed on the next pass.  Stream contract: ``ch_a`` carries A in
+    tiles by columns (row-major elements); ``ch_x`` carries x exactly once
+    (M elements); ``ch_y`` must deliver the beta-scaled initial y on the
+    first pass and the previous pass's partials afterwards — in isolation
+    that replay goes through DRAM, in a composition through a feedback
+    channel of depth >= N (see :func:`y_replay_router`).  ``ch_out``
+    receives N elements per pass; only the final pass's values are the
+    result (the router separates them).
+    """
+    _check_tiles(n, tile_n, m, tile_m)
+    alpha = dtype(alpha)
+    beta = dtype(beta)
+    col_tiles_count = m // tile_m
+    for tj in range(col_tiles_count):
+        xs = yield from _pop_block(ch_x, tile_m, width)
+        for ti in range(n // tile_n):
+            ys = yield from _pop_block(ch_y, tile_n, width)
+            out = []
+            for r in range(tile_n):
+                row_acc = dtype(0)
+                done = 0
+                while done < tile_m:
+                    c = min(width, tile_m - done)
+                    avals = _chunk((yield Pop(ch_a, c)), c)
+                    row_acc = row_acc + _tree_reduce(
+                        [dtype(a) * dtype(x)
+                         for a, x in zip(avals, xs[done:done + c])], dtype)
+                    yield Clock()
+                    done += c
+                base = beta * dtype(ys[r]) if tj == 0 else dtype(ys[r])
+                out.append(base + alpha * row_acc)
+            yield from _push_block(ch_out, out, width)
+
+
+def gemv_row_tiles_db(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
+                      tile_n, tile_m, width=1, dtype=np.float32):
+    """GEMV, tiles by rows, with double-buffered x blocks.
+
+    :func:`gemv_row_tiles` spends T_M/W dedicated cycles loading each x
+    block before touching the tile.  Real FBLAS designs double-buffer: the
+    next block streams in *during* the current tile's T_N*T_M/W compute
+    cycles, so x fetches cost no extra time (Sec. IV-B: "new elements for
+    x are required every T_N*T_M/W clock cycles").  Same stream contract
+    as :func:`gemv_row_tiles`; only the cycle count differs, by the factor
+    (1 + 1/T_N) the ablation benchmark measures.
+    """
+    _check_tiles(n, tile_n, m, tile_m)
+    alpha = dtype(alpha)
+    beta = dtype(beta)
+    tiles_per_row = m // tile_m
+    total_tiles = (n // tile_n) * tiles_per_row
+
+    # Fill the first buffer up front (the only non-overlapped fetch).
+    x_next = yield from _pop_block(ch_x, tile_m, width)
+    tile_idx = 0
+    for ti in range(n // tile_n):
+        ys = yield from _pop_block(ch_y, tile_n, width)
+        acc = [dtype(0)] * tile_n
+        for tj in range(tiles_per_row):
+            xs = x_next
+            x_next = []
+            prefetch_left = tile_m if tile_idx + 1 < total_tiles else 0
+            for r in range(tile_n):
+                row_acc = dtype(0)
+                done = 0
+                while done < tile_m:
+                    c = min(width, tile_m - done)
+                    avals = _chunk((yield Pop(ch_a, c)), c)
+                    if prefetch_left > 0:
+                        pc = min(width, prefetch_left)
+                        pvals = _chunk((yield Pop(ch_x, pc)), pc)
+                        x_next.extend(pvals)
+                        prefetch_left -= pc
+                    row_acc = row_acc + _tree_reduce(
+                        [dtype(a) * dtype(x)
+                         for a, x in zip(avals, xs[done:done + c])], dtype)
+                    yield Clock()
+                    done += c
+                acc[r] = acc[r] + row_acc
+            # Tail: tiny tiles may not offer enough compute cycles to hide
+            # the whole fetch; finish it explicitly.
+            while prefetch_left > 0:
+                pc = min(width, prefetch_left)
+                pvals = _chunk((yield Pop(ch_x, pc)), pc)
+                x_next.extend(pvals)
+                prefetch_left -= pc
+                yield Clock()
+            tile_idx += 1
+        result = [alpha * a + beta * dtype(y) for a, y in zip(acc, ys)]
+        yield from _push_block(ch_out, result, width)
+
+
+def y_replay_router(n, passes, ch_from_gemv, ch_feedback, ch_final, width=1):
+    """Route the col-tiles GEMV's per-pass partials.
+
+    Passes 0..passes-2 loop back into ``ch_feedback`` (which must have
+    depth >= N to hold a full intermediate y); the final pass goes to
+    ``ch_final``.  In a real design this is either a DRAM round trip (the
+    2NM/T_M I/O term) or an on-chip loop when N is known and small.
+    """
+    for p in range(passes):
+        target = ch_final if p == passes - 1 else ch_feedback
+        done = 0
+        while done < n:
+            c = min(width, n - done)
+            vals = _chunk((yield Pop(ch_from_gemv, c)), c)
+            yield Push(target, tuple(vals), None)
+            yield Clock()
+            done += c
+
+
+def gemv_nontiled(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
+                  width=1, dtype=np.float32):
+    """Non-tiled GEMV (Listing 1): x replayed for every row of A.
+
+    Serves as the ablation baseline showing why tiling cuts the memory
+    bandwidth requirement (Sec. IV-B): this version needs W elements of A
+    *and* W elements of x per cycle.
+    """
+    if n < 1 or m < 1:
+        raise ValueError("dimensions must be positive")
+    alpha = dtype(alpha)
+    beta = dtype(beta)
+    for i in range(n):
+        yv = yield Pop(ch_y, 1)
+        acc = dtype(0)
+        done = 0
+        while done < m:
+            c = min(width, m - done)
+            avals = _chunk((yield Pop(ch_a, c)), c)
+            xvals = _chunk((yield Pop(ch_x, c)), c)
+            acc = acc + _tree_reduce(
+                [dtype(a) * dtype(x) for a, x in zip(avals, xvals)], dtype)
+            yield Clock()
+            done += c
+        yield Push(ch_out, (beta * dtype(yv) + alpha * acc,), None)
+        yield Clock()
+
+
+def gemv_transposed_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
+                              tile_n, tile_m, width=1, dtype=np.float32):
+    """GEMV^T s = alpha*A^T*x + beta*s, with A (N x M) in tiles by ROWS.
+
+    This is the schedule trick that makes BICG stream A once (Sec. V-A):
+    the transposed routine consumes the *same* physical stream of A as the
+    non-transposed one, accumulating into an M-element on-chip buffer
+    (costing M*sizeof(elem) bytes of M20K) instead of replaying its
+    output.  ``ch_x`` carries the N-element input once, in T_N blocks;
+    ``ch_y`` the M-element addend once; ``ch_out`` the M-element result.
+    """
+    _check_tiles(n, tile_n, m, tile_m)
+    alpha = dtype(alpha)
+    beta = dtype(beta)
+    s = [dtype(0)] * m
+    for ti in range(n // tile_n):
+        xs = yield from _pop_block(ch_x, tile_n, width)
+        for tj in range(m // tile_m):
+            for r in range(tile_n):
+                done = 0
+                while done < tile_m:
+                    c = min(width, tile_m - done)
+                    avals = _chunk((yield Pop(ch_a, c)), c)
+                    xr = dtype(xs[r])
+                    col0 = tj * tile_m + done
+                    for k, a in enumerate(avals):
+                        s[col0 + k] = s[col0 + k] + dtype(a) * xr
+                    yield Clock()
+                    done += c
+    ys = yield from _pop_block(ch_y, m, width)
+    result = [alpha * sv + beta * dtype(y) for sv, y in zip(s, ys)]
+    yield from _push_block(ch_out, result, width)
+
+
+def ger_kernel(n, m, alpha, ch_a, ch_x, ch_y, ch_out,
+               tile_n, tile_m, width=1, dtype=np.float32):
+    """GER A' = A + alpha*x*y^T, A in tiles by rows (map-class routine).
+
+    ``ch_x`` carries x in T_N blocks, once (each block reused across its
+    row of tiles); ``ch_y`` carries y in T_M blocks, the whole vector
+    replayed ceil(N/T_N) times; ``ch_out`` receives A' in the same tile
+    order as ``ch_a``.
+    """
+    _check_tiles(n, tile_n, m, tile_m)
+    alpha = dtype(alpha)
+    for ti in range(n // tile_n):
+        xs = yield from _pop_block(ch_x, tile_n, width)
+        for tj in range(m // tile_m):
+            ys = yield from _pop_block(ch_y, tile_m, width)
+            for r in range(tile_n):
+                xr = alpha * dtype(xs[r])
+                done = 0
+                while done < tile_m:
+                    c = min(width, tile_m - done)
+                    avals = _chunk((yield Pop(ch_a, c)), c)
+                    yield Push(ch_out, tuple(
+                        dtype(a) + xr * dtype(y)
+                        for a, y in zip(avals, ys[done:done + c])), None)
+                    yield Clock()
+                    done += c
+
+
+def syr_kernel(n, alpha, ch_a, ch_x_row, ch_x_col, ch_out,
+               tile_n, tile_m, width=1, dtype=np.float32):
+    """SYR A' = A + alpha*x*x^T on generic dense storage.
+
+    Implemented as GER with both vector operands fed from x: the interface
+    layer streams x twice (``ch_x_row`` in T_N blocks once, ``ch_x_col``
+    in T_M blocks replayed), as the paper's generic-routine fallback for
+    specialized matrix types prescribes.
+    """
+    yield from ger_kernel(n, n, alpha, ch_a, ch_x_row, ch_x_col, ch_out,
+                          tile_n, tile_m, width, dtype)
+
+
+def syr2_kernel(n, alpha, ch_a, ch_x_row, ch_y_col, ch_y_row, ch_x_col,
+                ch_out, tile_n, tile_m, width=1, dtype=np.float32):
+    """SYR2 A' = A + alpha*(x*y^T + y*x^T) on generic dense storage.
+
+    Row-block streams (x then y, T_N blocks, once) and column-block
+    streams (y then x, T_M blocks, replayed) arrive on four channels.
+    """
+    _check_tiles(n, tile_n, n, tile_m)
+    alpha = dtype(alpha)
+    for ti in range(n // tile_n):
+        xs = yield from _pop_block(ch_x_row, tile_n, width)
+        ys_row = yield from _pop_block(ch_y_row, tile_n, width)
+        for tj in range(n // tile_m):
+            ys = yield from _pop_block(ch_y_col, tile_m, width)
+            xs_col = yield from _pop_block(ch_x_col, tile_m, width)
+            for r in range(tile_n):
+                xr = alpha * dtype(xs[r])
+                yr = alpha * dtype(ys_row[r])
+                done = 0
+                while done < tile_m:
+                    c = min(width, tile_m - done)
+                    avals = _chunk((yield Pop(ch_a, c)), c)
+                    yield Push(ch_out, tuple(
+                        dtype(a) + xr * dtype(yv) + yr * dtype(xv)
+                        for a, yv, xv in zip(avals, ys[done:done + c],
+                                             xs_col[done:done + c])), None)
+                    yield Clock()
+                    done += c
+
+
+def trsv_kernel(n, ch_a, ch_b, ch_out, width=1, dtype=np.float32,
+                lower=True, unit_diag=False):
+    """TRSV: solve A x = b for triangular A streamed row by row.
+
+    A arrives as the full N x N generic storage, rows in solve order
+    (top-down for lower, bottom-up for upper); computed x values stay in
+    an on-chip buffer, so each row's partial dot product uses only
+    already-solved entries.  The loop-carried dependency makes this the
+    map-reduce routine with the worst initiation interval in real HLS; the
+    streamed version still processes W matrix elements per cycle.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    x = [dtype(0)] * n
+    rows = range(n) if lower else range(n - 1, -1, -1)
+    for i in rows:
+        bi = yield Pop(ch_b, 1)
+        acc = dtype(0)
+        row = []
+        done = 0
+        while done < n:
+            c = min(width, n - done)
+            avals = _chunk((yield Pop(ch_a, c)), c)
+            row.extend(dtype(a) for a in avals)
+            yield Clock()
+            done += c
+        js = range(i) if lower else range(i + 1, n)
+        for j in js:
+            acc = acc + row[j] * x[j]
+        xi = dtype(bi) - acc
+        if not unit_diag:
+            xi = xi / row[i]
+        x[i] = xi
+        yield Push(ch_out, (xi,), None)
+        yield Clock()
+
+
+def _check_tiles(n, tile_n, m, tile_m):
+    if n < 1 or m < 1:
+        raise ValueError("dimensions must be positive")
+    if n % tile_n or m % tile_m:
+        raise ValueError(
+            f"matrix {n}x{m} not divisible into {tile_n}x{tile_m} tiles")

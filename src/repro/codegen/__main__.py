@@ -1,0 +1,66 @@
+"""Command-line entry point for the code generator (Sec. II-C).
+
+Mirrors FBLAS's generator binary: a routine-specification JSON in,
+synthesizable kernel files out.
+
+Usage::
+
+    python -m repro.codegen routines.json -o generated/
+    python -m repro.codegen routines.json -o generated/ --target xilinx
+    python -m repro.codegen routines.json --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .generator import TARGETS, CodeGenerator
+from .spec import SpecError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.codegen",
+        description="Generate FBLAS HLS kernels from a routine "
+                    "specification file.")
+    parser.add_argument("spec", help="routine specification JSON file")
+    parser.add_argument("-o", "--output", default="generated",
+                        help="output directory (default: generated/)")
+    parser.add_argument("--target", choices=TARGETS, default="intel",
+                        help="synthesis backend (default: intel)")
+    parser.add_argument("--list", action="store_true",
+                        help="only list the routines the spec defines")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        gen = CodeGenerator(args.spec, target=args.target)
+    except (SpecError, FileNotFoundError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.list:
+        for name, routine in gen.routines.items():
+            s = routine.spec
+            extras = []
+            if s.tiled:
+                extras.append(f"tiles {s.tile_n_size}x{s.tile_m_size}")
+            if s.systolic_rows:
+                extras.append(
+                    f"systolic {s.systolic_rows}x{s.systolic_cols}")
+            detail = f" ({', '.join(extras)})" if extras else ""
+            print(f"{name}: {s.precision} {s.blas_name}, W={s.width}"
+                  f"{detail}")
+        return 0
+    paths = gen.write_all(args.output)
+    for p in paths:
+        print(p)
+    print(f"generated {len(paths)} files for target {args.target!r} "
+          f"in {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":           # pragma: no cover - exercised via CLI
+    sys.exit(main())

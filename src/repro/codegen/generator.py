@@ -1,0 +1,201 @@
+"""The template-based code generator (Sec. II-C).
+
+For every routine in a specification file the generator produces:
+
+* a synthesizable-style OpenCL source file (the artifact FBLAS feeds to
+  the Intel HLS compiler), plus read/write helper kernels for DRAM-facing
+  ports; and
+* a *simulator binding* — a factory building the equivalent streaming
+  kernel for :mod:`repro.fpga`, specialized with the spec's width, tile
+  sizes, and precision.  This is the "synthesis backend" of the
+  reproduction: generated designs actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..blas import level1, level2, level3
+from ..fpga.resources import level1_latency
+from . import templates, xilinx
+from .spec import RoutineSpec, SpecError, load_spec, parse_spec
+
+#: Supported synthesis targets: Intel OpenCL (the paper's release) and
+#: Xilinx Vivado HLS / SDAccel (the paper's stated future work).
+TARGETS = ("intel", "xilinx")
+_EXTENSIONS = {"intel": ".cl", "xilinx": ".cpp"}
+
+
+@dataclass
+class GeneratedRoutine:
+    """One generated routine: source text plus an executable binding."""
+
+    spec: RoutineSpec
+    source: str
+    helpers: Dict[str, str]
+    make_kernel: Callable
+    latency: int
+    target: str = "intel"
+
+    @property
+    def dtype(self):
+        return np.float32 if self.spec.precision == "single" else np.float64
+
+    def write(self, directory: Path) -> List[Path]:
+        """Write the kernel files; returns the paths written."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        ext = _EXTENSIONS[self.target]
+        paths = []
+        main = directory / f"{self.spec.user_name}{ext}"
+        main.write_text(self.source)
+        paths.append(main)
+        for name, text in self.helpers.items():
+            p = directory / f"{self.spec.user_name}_{name}{ext}"
+            p.write_text(text)
+            paths.append(p)
+        return paths
+
+
+def _binding(spec: RoutineSpec) -> Callable:
+    """Build the simulator factory for ``spec``.
+
+    The returned callable takes the problem sizes, scalars, and channels
+    of the routine (matching the signatures in :mod:`repro.blas`) with the
+    spec's non-functional parameters (width, tiles, dtype) already bound.
+    """
+    w = spec.width
+    dt = np.float32 if spec.precision == "single" else np.float64
+    name = spec.blas_name
+
+    if name == "scal":
+        return lambda n, alpha, ch_x, ch_out: level1.scal_kernel(
+            n, alpha, ch_x, ch_out, w, dt)
+    if name == "copy":
+        return lambda n, ch_x, ch_out: level1.copy_kernel(n, ch_x, ch_out, w, dt)
+    if name == "axpy":
+        return lambda n, alpha, ch_x, ch_y, ch_out: level1.axpy_kernel(
+            n, alpha, ch_x, ch_y, ch_out, w, dt)
+    if name == "swap":
+        return lambda n, cx, cy, cox, coy: level1.swap_kernel(
+            n, cx, cy, cox, coy, w, dt)
+    if name == "rot":
+        return lambda n, c, s, cx, cy, cox, coy: level1.rot_kernel(
+            n, c, s, cx, cy, cox, coy, w, dt)
+    if name == "rotm":
+        return lambda n, param, cx, cy, cox, coy: level1.rotm_kernel(
+            n, param, cx, cy, cox, coy, w, dt)
+    if name == "dot":
+        return lambda n, cx, cy, cr: level1.dot_kernel(n, cx, cy, cr, w, dt)
+    if name == "sdsdot":
+        return lambda n, sb, cx, cy, cr: level1.sdsdot_kernel(
+            n, sb, cx, cy, cr, w)
+    if name == "nrm2":
+        return lambda n, cx, cr: level1.nrm2_kernel(n, cx, cr, w, dt)
+    if name == "asum":
+        return lambda n, cx, cr: level1.asum_kernel(n, cx, cr, w, dt)
+    if name == "iamax":
+        return lambda n, cx, cr: level1.iamax_kernel(n, cx, cr, w, dt)
+    if name == "rotg":
+        return lambda ci, co: level1.rotg_kernel(ci, co, dt)
+    if name == "rotmg":
+        return lambda ci, co: level1.rotmg_kernel(ci, co, dt)
+
+    tn, tm = spec.tile_n_size, spec.tile_m_size
+    if name == "gemv":
+        if not spec.tiled:
+            return lambda n, m, alpha, beta, ca, cx, cy, co: \
+                level2.gemv_nontiled(n, m, alpha, beta, ca, cx, cy, co, w, dt)
+        if spec.transposed:
+            return lambda n, m, alpha, beta, ca, cx, cy, co: \
+                level2.gemv_transposed_row_tiles(
+                    n, m, alpha, beta, ca, cx, cy, co, tn, tm, w, dt)
+        if spec.matrix_order == "tiles_by_rows":
+            return lambda n, m, alpha, beta, ca, cx, cy, co: \
+                level2.gemv_row_tiles(
+                    n, m, alpha, beta, ca, cx, cy, co, tn, tm, w, dt)
+        return lambda n, m, alpha, beta, ca, cx, cy, co: \
+            level2.gemv_col_tiles(
+                n, m, alpha, beta, ca, cx, cy, co, tn, tm, w, dt)
+    if name == "ger":
+        return lambda n, m, alpha, ca, cx, cy, co: level2.ger_kernel(
+            n, m, alpha, ca, cx, cy, co, tn, tm, w, dt)
+    if name == "syr":
+        return lambda n, alpha, ca, cxr, cxc, co: level2.syr_kernel(
+            n, alpha, ca, cxr, cxc, co, tn, tm, w, dt)
+    if name == "syr2":
+        return lambda n, alpha, ca, cxr, cyc, cyr, cxc, co: \
+            level2.syr2_kernel(n, alpha, ca, cxr, cyc, cyr, cxc, co,
+                               tn, tm, w, dt)
+    if name == "trsv":
+        return lambda n, ca, cb, co: level2.trsv_kernel(
+            n, ca, cb, co, w, dt, spec.lower, spec.unit_diag)
+    if name == "gemm":
+        return lambda n, m, k, alpha, beta, ca, cb, cc, co: \
+            level3.gemm_tiled(n, m, k, alpha, beta, ca, cb, cc, co,
+                              tn, tm, w, dt)
+    if name == "syrk":
+        return lambda n, k, alpha, beta, ca, cat, cc, co: \
+            level3.syrk_tiled(n, k, alpha, beta, ca, cat, cc, co,
+                              tn, tm, w, dt)
+    if name == "syr2k":
+        return lambda n, k, alpha, beta, ca, cbt, cb, cat, cc, co: \
+            level3.syr2k_tiled(n, k, alpha, beta, ca, cbt, cb, cat, cc, co,
+                               tn, tm, w, dt)
+    if name == "trsm":
+        return lambda n, m, alpha, ca, cb, co: level3.trsm_tiled(
+            n, m, alpha, ca, cb, co, w, dt, spec.lower, spec.unit_diag)
+    raise SpecError(f"no simulator binding for {name!r}")  # pragma: no cover
+
+
+def generate_routine(spec: RoutineSpec, target: str = "intel"
+                     ) -> GeneratedRoutine:
+    """Generate one routine: source, helpers, simulator binding.
+
+    ``target`` selects the backend: ``"intel"`` emits OpenCL with
+    cl_intel_channels; ``"xilinx"`` emits Vivado-HLS C++ with hls::stream.
+    The simulator binding is target-independent.
+    """
+    if target not in TARGETS:
+        raise SpecError(f"unknown target {target!r}; pick from {TARGETS}")
+    backend = templates if target == "intel" else xilinx
+    source = backend.emit_routine(spec)
+    helpers = {}
+    ri = spec.routine_info
+    for port in ri.inputs:
+        helpers[f"read_{port.lower()}"] = backend.emit_read_helper(spec, port)
+    for port in ri.outputs:
+        helpers[f"write_{port.lower()}"] = backend.emit_write_helper(
+            spec, port)
+    latency = level1_latency(ri.inner_class, spec.width, spec.precision)
+    return GeneratedRoutine(spec=spec, source=source, helpers=helpers,
+                            make_kernel=_binding(spec), latency=latency,
+                            target=target)
+
+
+class CodeGenerator:
+    """Generate all routines of a specification."""
+
+    def __init__(self, specs, target: str = "intel"):
+        if isinstance(specs, (str, Path)):
+            specs = load_spec(specs)
+        elif isinstance(specs, dict):
+            specs = parse_spec(specs)
+        self.specs = list(specs)
+        self.target = target
+        self.routines: Dict[str, GeneratedRoutine] = {
+            s.user_name: generate_routine(s, target) for s in self.specs}
+
+    def __getitem__(self, user_name: str) -> GeneratedRoutine:
+        return self.routines[user_name]
+
+    def write_all(self, directory) -> List[Path]:
+        """Emit every generated .cl file into ``directory``."""
+        paths = []
+        for routine in self.routines.values():
+            paths.extend(routine.write(Path(directory)))
+        return paths

@@ -1,0 +1,156 @@
+"""Routine specification files (Sec. II-C).
+
+The FBLAS code generator accepts a JSON file listing the routines the user
+wants, with *functional* parameters (transposition, triangle, side — they
+change the routine's semantics) and *non-functional* parameters
+(vectorization width, tile sizes — they trade resources for performance).
+This module parses and validates those files into :class:`RoutineSpec`
+objects consumed by :mod:`repro.codegen.generator`.
+
+Example specification::
+
+    {
+      "routine": [
+        {"blas_name": "dot",  "user_name": "my_dot",
+         "precision": "single", "width": 16},
+        {"blas_name": "gemv", "user_name": "my_gemv",
+         "precision": "double", "width": 8,
+         "tile_n_size": 1024, "tile_m_size": 1024,
+         "matrix_order": "tiles_by_rows", "transposed": false}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..blas.routines import REGISTRY, info
+
+VALID_PRECISIONS = ("single", "double")
+VALID_ORDERS = ("tiles_by_rows", "tiles_by_cols")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class SpecError(ValueError):
+    """Raised on malformed routine specifications."""
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """One validated routine request."""
+
+    blas_name: str
+    user_name: str
+    precision: str = "single"
+    width: int = 1
+    tile_n_size: int = 0            # 0 = untiled
+    tile_m_size: int = 0
+    matrix_order: str = "tiles_by_rows"
+    transposed: bool = False
+    lower: bool = True
+    unit_diag: bool = False
+    side: str = "left"
+    # Systolic geometry (GEMM only); 0 selects the generic tiled kernel.
+    systolic_rows: int = 0
+    systolic_cols: int = 0
+
+    def __post_init__(self):
+        if self.blas_name not in REGISTRY:
+            raise SpecError(f"unknown BLAS routine {self.blas_name!r}")
+        if not _NAME_RE.match(self.user_name):
+            raise SpecError(f"invalid user_name {self.user_name!r}")
+        if self.precision not in VALID_PRECISIONS:
+            raise SpecError(
+                f"{self.user_name}: precision must be one of "
+                f"{VALID_PRECISIONS}, got {self.precision!r}")
+        if self.width < 1:
+            raise SpecError(f"{self.user_name}: width must be >= 1")
+        if self.matrix_order not in VALID_ORDERS:
+            raise SpecError(
+                f"{self.user_name}: matrix_order must be one of "
+                f"{VALID_ORDERS}")
+        if self.side not in ("left", "right"):
+            raise SpecError(f"{self.user_name}: side must be left/right")
+        ri = info(self.blas_name)
+        if self.tiled and not ri.supports_tiling:
+            raise SpecError(
+                f"{self.user_name}: routine {self.blas_name!r} does not "
+                "take tile sizes")
+        if (self.tile_n_size < 0 or self.tile_m_size < 0
+                or bool(self.tile_n_size) != bool(self.tile_m_size)):
+            raise SpecError(
+                f"{self.user_name}: tile sizes must be both set or both 0")
+        if (self.systolic_rows or self.systolic_cols):
+            if self.blas_name != "gemm":
+                raise SpecError(
+                    f"{self.user_name}: systolic geometry is GEMM-only")
+            if self.systolic_rows < 1 or self.systolic_cols < 1:
+                raise SpecError(
+                    f"{self.user_name}: systolic grid must be positive")
+            if (self.tile_n_size % self.systolic_rows
+                    or self.tile_m_size % self.systolic_cols):
+                raise SpecError(
+                    f"{self.user_name}: memory tile must be a multiple of "
+                    "the systolic grid")
+
+    @property
+    def tiled(self) -> bool:
+        return self.tile_n_size > 0
+
+    @property
+    def ctype(self) -> str:
+        return "float" if self.precision == "single" else "double"
+
+    @property
+    def prefix(self) -> str:
+        """BLAS-style precision prefix (s/d)."""
+        return "s" if self.precision == "single" else "d"
+
+    @property
+    def routine_info(self):
+        return info(self.blas_name)
+
+
+def parse_spec(data: dict) -> List[RoutineSpec]:
+    """Parse a decoded specification dict."""
+    if not isinstance(data, dict) or "routine" not in data:
+        raise SpecError("specification must be an object with a 'routine' list")
+    routines = data["routine"]
+    if not isinstance(routines, list) or not routines:
+        raise SpecError("'routine' must be a non-empty list")
+    specs = []
+    seen = set()
+    for i, entry in enumerate(routines):
+        if not isinstance(entry, dict):
+            raise SpecError(f"routine #{i} is not an object")
+        unknown = set(entry) - {f.strip() for f in (
+            "blas_name", "user_name", "precision", "width", "tile_n_size",
+            "tile_m_size", "matrix_order", "transposed", "lower",
+            "unit_diag", "side", "systolic_rows", "systolic_cols")}
+        if unknown:
+            raise SpecError(f"routine #{i}: unknown keys {sorted(unknown)}")
+        if "blas_name" not in entry:
+            raise SpecError(f"routine #{i}: missing blas_name")
+        kwargs = dict(entry)
+        kwargs.setdefault("user_name", f"{kwargs['blas_name']}_{i}")
+        spec = RoutineSpec(**kwargs)
+        if spec.user_name in seen:
+            raise SpecError(f"duplicate user_name {spec.user_name!r}")
+        seen.add(spec.user_name)
+        specs.append(spec)
+    return specs
+
+
+def load_spec(path) -> List[RoutineSpec]:
+    """Load and parse a JSON specification file."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid JSON in {path}: {exc}") from exc
+    return parse_spec(data)

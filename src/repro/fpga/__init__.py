@@ -1,0 +1,39 @@
+"""FPGA substrate simulator.
+
+This subpackage stands in for the physical FPGA of the paper: bounded FIFO
+channels (:mod:`channel`), a cycle-stepped engine with backpressure and
+deadlock detection (:mod:`engine`), a banked DRAM model (:mod:`memory`),
+the device catalog of Table II (:mod:`device`) and the resource/latency
+calibration of Tables I and III (:mod:`resources`).
+"""
+
+from .channel import Channel, ChannelError
+from .device import ARRIA10, DEVICES, STRATIX10, FpgaDevice, FrequencyModel, PowerModel
+from .engine import DeadlockError, Engine, SimReport, SimulationError
+from .kernel import Clock, Kernel, Pop, Push
+from .memory import DramBuffer, DramModel, read_kernel, write_kernel
+from .resources import (
+    ResourceUsage,
+    fully_unrolled_resources,
+    gemm_systolic_resources,
+    level1_latency,
+    level1_resources,
+    level2_resources,
+)
+from .util import (
+    duplicate_kernel,
+    forward_kernel,
+    scalar_sink,
+    sink_kernel,
+    source_kernel,
+)
+
+__all__ = [
+    "ARRIA10", "Channel", "ChannelError", "Clock", "DEVICES", "DeadlockError",
+    "DramBuffer", "DramModel", "Engine", "FpgaDevice", "FrequencyModel",
+    "Kernel", "Pop", "PowerModel", "Push", "ResourceUsage", "STRATIX10",
+    "SimReport", "SimulationError", "duplicate_kernel", "forward_kernel",
+    "fully_unrolled_resources", "gemm_systolic_resources", "level1_latency",
+    "level1_resources", "level2_resources", "read_kernel", "scalar_sink",
+    "sink_kernel", "source_kernel", "write_kernel",
+]

@@ -1,0 +1,162 @@
+"""Bounded FIFO channels — the on-chip communication primitive.
+
+HLS tools expose typed, bounded, single-producer/single-consumer queues
+(Intel OpenCL *channels*, Xilinx *streams*).  FBLAS modules communicate
+exclusively through them.  This module models a channel at cycle
+granularity:
+
+* bounded capacity (``depth``) — a full channel back-pressures its producer;
+* *staged* writes — a value pushed at cycle ``t`` by a pipeline with latency
+  ``L`` becomes visible to the consumer at cycle ``t + L``, which is how the
+  simulator reproduces pipeline latency without simulating every register.
+  In-flight values live in the producer's pipeline registers, not in the
+  FIFO, so a push of ``k`` values with latency ``L`` is granted ``k * L``
+  slots of *headroom* beyond the FIFO depth (a W-lane pipeline of depth L
+  physically holds up to W*L results).  Matured values enter the FIFO only
+  while it has space; the overflow waits staged, stalling the pipeline —
+  the backpressure behaviour of a full HLS channel;
+* occupancy statistics used by the MDAG analysis and tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class ChannelError(RuntimeError):
+    """Raised on protocol violations (pop from empty, push to full...)."""
+
+
+@dataclass
+class ChannelStats:
+    """Lifetime counters for a channel, for I/O accounting and tests."""
+
+    pushes: int = 0
+    pops: int = 0
+    max_occupancy: int = 0
+    stalled_push_cycles: int = 0
+    stalled_pop_cycles: int = 0
+
+
+class Channel:
+    """A bounded FIFO with latency staging.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports and deadlock diagnostics.
+    depth:
+        Maximum number of elements the FIFO holds.  Staged (in-flight)
+        elements count against the capacity, as they occupy skid-buffer
+        space in a real design.
+    """
+
+    def __init__(self, name: str, depth: int = 64):
+        if depth < 1:
+            raise ValueError(f"channel {name!r}: depth must be >= 1, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._fifo: deque = deque()
+        # Staged values: list of (ready_cycle, value) kept sorted by arrival.
+        self._staged: deque = deque()
+        self.stats = ChannelStats()
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Elements currently visible to the consumer."""
+        return len(self._fifo)
+
+    @property
+    def in_flight(self) -> int:
+        """Elements pushed but not yet visible (pipeline latency)."""
+        return len(self._staged)
+
+    def space(self, headroom: int = 0) -> int:
+        """Free slots a producer may still push into.
+
+        ``headroom`` is the extra capacity contributed by the producer's
+        own pipeline registers (latency x lanes for the push at hand).
+        """
+        return self.depth + headroom - len(self._fifo) - len(self._staged)
+
+    def can_push(self, count: int = 1, headroom: int = 0) -> bool:
+        return self.space(headroom) >= count
+
+    def can_pop(self, count: int = 1) -> bool:
+        return len(self._fifo) >= count
+
+    # -- data movement ----------------------------------------------------
+    def push(self, values, ready_cycle: int, headroom: int = 0) -> None:
+        """Stage ``values`` to become visible at ``ready_cycle``."""
+        if not self.can_push(len(values), headroom):
+            raise ChannelError(
+                f"push of {len(values)} to full channel {self.name!r} "
+                f"(occupancy={self.occupancy}, in_flight={self.in_flight}, "
+                f"depth={self.depth})"
+            )
+        for v in values:
+            self._staged.append((ready_cycle, v))
+        self.stats.pushes += len(values)
+
+    def pop(self, count: int = 1) -> list:
+        """Remove and return ``count`` visible elements."""
+        if not self.can_pop(count):
+            raise ChannelError(
+                f"pop of {count} from channel {self.name!r} with only "
+                f"{self.occupancy} visible elements"
+            )
+        out = [self._fifo.popleft() for _ in range(count)]
+        self.stats.pops += len(out)
+        return out
+
+    def peek(self):
+        """Return the head element without removing it."""
+        if not self._fifo:
+            raise ChannelError(f"peek on empty channel {self.name!r}")
+        return self._fifo[0]
+
+    # -- simulation hooks ---------------------------------------------------
+    def mature(self, cycle: int) -> int:
+        """Move due staged values into the FIFO, as far as space allows.
+
+        Called by the engine at the start of every cycle.  Returns the
+        number of values that became visible.  Values whose ready time has
+        passed but that find the FIFO full stay staged (the producer's
+        pipeline is stalled by backpressure) and enter on a later cycle.
+        """
+        moved = 0
+        while (self._staged and self._staged[0][0] <= cycle
+               and len(self._fifo) < self.depth):
+            self._fifo.append(self._staged.popleft()[1])
+            moved += 1
+        if self.occupancy > self.stats.max_occupancy:
+            self.stats.max_occupancy = self.occupancy
+        return moved
+
+    def can_mature_later(self) -> bool:
+        """True if a staged value could still enter the FIFO unaided.
+
+        Used by deadlock detection: staged values destined for a full FIFO
+        cannot make progress unless some kernel pops first.
+        """
+        return bool(self._staged) and len(self._fifo) < self.depth
+
+    def next_maturity(self):
+        """Earliest cycle a staged value becomes visible, or None."""
+        return self._staged[0][0] if self._staged else None
+
+    @property
+    def drained(self) -> bool:
+        """True when no data remains visible or in flight."""
+        return not self._fifo and not self._staged
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, depth={self.depth}, "
+            f"occ={self.occupancy}, in_flight={self.in_flight})"
+        )

@@ -1,0 +1,165 @@
+"""Device catalog and frequency/power models (Tables II and III).
+
+Resource totals come straight from Table II of the paper.  Frequencies and
+power draws of synthesized designs are *empirical* quantities that the
+Intel toolchain reports; we model them with per-device calibration tables
+(anchored at the paper's Table III/IV/V/VI numbers) plus a generic fallback
+so that unseen configurations still get plausible estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """One row of resources (totals or available-after-BSP)."""
+
+    alms: int
+    ffs: int
+    m20ks: int
+    dsps: int
+
+    def fits(self, other: "ResourceBudget") -> bool:
+        """True if ``other`` (a usage) fits in this budget."""
+        return (other.alms <= self.alms and other.ffs <= self.ffs
+                and other.m20ks <= self.m20ks and other.dsps <= self.dsps)
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """An FPGA board as used in the paper's evaluation (Table II)."""
+
+    name: str
+    total: ResourceBudget
+    available: ResourceBudget
+    dram_banks: int
+    dram_bank_bytes: int              # capacity per DDR module
+    dram_bank_bandwidth: float        # bytes/sec per module
+    hyperflex: bool                   # register retiming technology
+    hardened_double: bool             # native double-precision DSP support
+    #: Peak design frequency (Hz) for small/medium pipelines, with and
+    #: without HyperFlex, calibrated on Table III.
+    f_max_hyperflex: float
+    f_max: float
+
+    def bytes_per_cycle(self, frequency: float) -> int:
+        """Peak DRAM bank bandwidth expressed in bytes per clock cycle."""
+        return max(1, int(self.dram_bank_bandwidth / frequency))
+
+
+#: Intel Arria 10 GX 1150 on a Bittware board (Table II, first row).
+ARRIA10 = FpgaDevice(
+    name="Arria 10 GX 1150",
+    total=ResourceBudget(alms=427_000, ffs=1_700_000, m20ks=2_700, dsps=1_518),
+    available=ResourceBudget(alms=392_000, ffs=1_500_000, m20ks=2_400,
+                             dsps=1_518),
+    dram_banks=2,
+    dram_bank_bytes=8 * GB,
+    dram_bank_bandwidth=17.0 * GB,
+    hyperflex=False,
+    hardened_double=False,
+    f_max_hyperflex=222e6,   # no HyperFlex on Arria; ceiling observed 222 MHz
+    f_max=222e6,
+)
+
+#: Intel Stratix 10 GX 2800 on a Bittware board (Table II, second row).
+STRATIX10 = FpgaDevice(
+    name="Stratix 10 GX 2800",
+    total=ResourceBudget(alms=933_000, ffs=3_700_000, m20ks=11_700,
+                         dsps=5_760),
+    available=ResourceBudget(alms=692_000, ffs=2_800_000, m20ks=8_900,
+                             dsps=4_468),
+    dram_banks=4,
+    dram_bank_bytes=8 * GB,
+    dram_bank_bandwidth=19.2 * GB,
+    hyperflex=True,
+    hardened_double=False,
+    f_max_hyperflex=370e6,
+    f_max=270e6,
+)
+
+DEVICES: Dict[str, FpgaDevice] = {
+    "arria10": ARRIA10,
+    "stratix10": STRATIX10,
+}
+
+
+class FrequencyModel:
+    """Estimate the clock frequency a design closes timing at.
+
+    Anchored on the paper's measurements (Table III/IV/V/VI): small
+    streaming pipelines reach the device's f_max (with HyperFlex on
+    Stratix), while large systolic arrays close at a lower frequency that
+    degrades with chip utilisation.
+    """
+
+    #: (device key, routine class, precision) -> MHz, from Table III.
+    CALIBRATION: Dict[Tuple[str, str, str], float] = {
+        ("arria10", "level1", "single"): 150e6,
+        ("arria10", "level1", "double"): 150e6,
+        ("arria10", "level2", "single"): 145e6,
+        ("arria10", "level2", "double"): 132e6,
+        ("arria10", "systolic", "single"): 197e6,
+        ("arria10", "systolic", "double"): 222e6,
+        ("stratix10", "level1", "single"): 358e6,
+        ("stratix10", "level1", "double"): 366e6,
+        ("stratix10", "level2", "single"): 347e6,
+        ("stratix10", "level2", "double"): 347e6,
+        ("stratix10", "systolic", "single"): 216e6,
+        ("stratix10", "systolic", "double"): 260e6,
+    }
+
+    def __init__(self, device: FpgaDevice):
+        self.device = device
+        self._key = next(k for k, d in DEVICES.items() if d is device)
+
+    def estimate(self, routine_class: str, precision: str = "single",
+                 utilization: float = 0.0,
+                 hyperflex: Optional[bool] = None) -> float:
+        """Frequency in Hz.
+
+        ``routine_class`` is one of ``level1``, ``level2``, ``level3``,
+        ``systolic``.  ``utilization`` (0..1, fraction of the busiest
+        resource) derates large designs; ``hyperflex=False`` disables the
+        retiming boost on Stratix.
+        """
+        if routine_class == "level3":
+            routine_class = "systolic"
+        cal = self.CALIBRATION.get((self._key, routine_class, precision))
+        if cal is None:
+            cal = self.device.f_max
+        use_hf = self.device.hyperflex if hyperflex is None else (
+            hyperflex and self.device.hyperflex)
+        if not use_hf and self.device.hyperflex:
+            # Calibrated Stratix level-1/2 numbers assume HyperFlex on.
+            cal = min(cal, self.device.f_max)
+        # Routing congestion derate: designs above ~70% utilisation lose
+        # frequency roughly linearly (observed on the big systolic arrays).
+        derate = 1.0 - 0.35 * max(0.0, utilization - 0.7)
+        return cal * derate
+
+
+class PowerModel:
+    """Board power estimate (Watts), affine in chip utilisation.
+
+    Calibrated on Tables III-VI: the Arria board idles near 46 W and peaks
+    around 52 W; the Stratix board spans roughly 58-70.5 W.  The paper
+    measures whole-board power via ``aocl``, hence the large static share.
+    """
+
+    STATIC = {"arria10": 46.0, "stratix10": 57.5}
+    DYNAMIC = {"arria10": 7.5, "stratix10": 15.0}
+
+    def __init__(self, device: FpgaDevice):
+        self.device = device
+        self._key = next(k for k, d in DEVICES.items() if d is device)
+
+    def estimate(self, utilization: float) -> float:
+        """Power in Watts for a design using ``utilization`` of the chip."""
+        u = min(max(utilization, 0.0), 1.0)
+        return self.STATIC[self._key] + self.DYNAMIC[self._key] * u

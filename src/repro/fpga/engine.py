@@ -1,0 +1,372 @@
+"""Cycle-stepped simulation engine.
+
+The engine advances simulated time one clock cycle at a time.  Each cycle:
+
+1. staged channel values whose pipeline latency has elapsed become visible
+   (:meth:`Channel.mature`);
+2. the DRAM model's per-cycle bandwidth budgets are reset;
+3. every kernel is resumed and runs until it ends its cycle (yields
+   ``Clock``) or blocks on a ``Pop``/``Push`` that cannot be satisfied.
+
+A kernel blocked this cycle is retried next cycle; its stall cycles are
+counted.  If a cycle passes in which *nothing* can make progress — no kernel
+stepped, no staged value will ever mature, no kernel is sleeping on a timer
+— the composition is deadlocked and a :class:`DeadlockError` describing
+every blocked kernel is raised.  This is precisely the "stalls forever"
+condition of invalid module compositions in Sec. V of the FBLAS paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .channel import Channel
+from .kernel import Clock, Kernel, KernelBody, Pop, Push
+
+#: Safety bound on ops a kernel may perform within one simulated cycle.
+#: Real kernels perform O(W) pops/pushes per cycle; hitting this bound means
+#: a kernel body forgot to yield ``Clock()``.
+MAX_OPS_PER_CYCLE = 1_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel protocol violations."""
+
+
+def _adapt_iterable(body):
+    """Turn a plain iterable of ops into a generator the engine can drive.
+
+    Pop results cannot be delivered into a plain iterable, so this adapter
+    is only suitable for scripted Push/Clock sequences (and empty bodies).
+    """
+    def gen():
+        yield from iter(body)
+    return gen()
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the composition can make no further progress.
+
+    Attributes
+    ----------
+    blocked:
+        Mapping of kernel name to a human-readable description of the op it
+        is blocked on.
+    cycle:
+        The simulated cycle at which the deadlock was detected.
+    """
+
+    def __init__(self, cycle: int, blocked: Dict[str, str]):
+        self.cycle = cycle
+        self.blocked = blocked
+        detail = "; ".join(f"{k}: {v}" for k, v in blocked.items())
+        super().__init__(f"deadlock at cycle {cycle}: {detail}")
+
+
+@dataclass
+class SimReport:
+    """Result of a simulation run."""
+
+    cycles: int
+    kernels: Dict[str, "Kernel"]
+    channels: Dict[str, Channel]
+    #: Per-channel summed occupancy over all cycles (only filled when the
+    #: engine ran with ``trace=True``); divide by cycles for the mean.
+    occupancy_sums: Dict[str, int] = field(default_factory=dict)
+    #: Per-kernel per-cycle state strings ('#': worked, 's': stalled,
+    #: 'z': sleeping, '-': done), trace mode only.
+    timelines: Dict[str, List[str]] = field(default_factory=dict)
+
+    def kernel_stats(self, name: str):
+        return self.kernels[name].stats
+
+    def channel_stats(self, name: str):
+        return self.channels[name].stats
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(k.stats.stall_cycles for k in self.kernels.values())
+
+    # -- profiling ---------------------------------------------------------
+    def kernel_utilization(self, name: str) -> float:
+        """Fraction of a kernel's live cycles it did work (vs stalling)."""
+        s = self.kernels[name].stats
+        busy = s.active_cycles
+        total = busy + s.stall_cycles
+        return busy / total if total else 0.0
+
+    def bottleneck(self) -> str:
+        """The kernel that stalled the most — where to spend resources.
+
+        This is the dimensioning question of Sec. IV-B: a module stalled
+        on its inputs is over-provisioned (its producers or DRAM are the
+        bottleneck); a module everyone else waits on is under-provisioned.
+        """
+        if not self.kernels:
+            raise ValueError("no kernels in report")
+        return max(self.kernels, key=lambda n:
+                   self.kernels[n].stats.stall_cycles)
+
+    def mean_occupancy(self, channel: str) -> float:
+        """Average FIFO occupancy (requires a trace-enabled run)."""
+        if channel not in self.occupancy_sums:
+            raise ValueError(
+                f"no occupancy trace for {channel!r}; run the engine "
+                "with trace=True")
+        return self.occupancy_sums[channel] / max(self.cycles, 1)
+
+    def timeline(self, max_width: int = 72) -> str:
+        """ASCII Gantt of kernel activity (requires a trace-enabled run).
+
+        Each row is one kernel; each column a bucket of cycles, showing
+        the bucket's dominant state: ``#`` working, ``s`` stalled, ``z``
+        sleeping, ``-`` finished.  Backpressure chains are immediately
+        visible as diagonal bands of ``s``.
+        """
+        if not self.timelines:
+            raise ValueError(
+                "no timeline recorded; run the engine with trace=True")
+        span = max(len(t) for t in self.timelines.values())
+        bucket = max(1, math.ceil(span / max_width))
+        name_w = max(len(n) for n in self.timelines)
+        lines = [f"timeline ({span} cycles, {bucket} cycles/char):"]
+        for name, states in self.timelines.items():
+            row = []
+            for start in range(0, span, bucket):
+                chunk = states[start:start + bucket]
+                if not chunk:
+                    row.append(" ")
+                    continue
+                # precedence: work > stall > sleep > done
+                for ch in ("#", "s", "z", "-"):
+                    if ch in chunk:
+                        row.append(ch)
+                        break
+            lines.append(f"  {name:>{name_w}} |{''.join(row)}|")
+        return "\n".join(lines)
+
+    def profile(self) -> str:
+        """Human-readable utilization/backpressure summary."""
+        lines = [f"profile over {self.cycles} cycles:"]
+        for name in self.kernels:
+            s = self.kernels[name].stats
+            lines.append(
+                f"  kernel  {name:20s} util={self.kernel_utilization(name):6.1%}"
+                f" active={s.active_cycles} stalled={s.stall_cycles}")
+        for name, ch in self.channels.items():
+            st = ch.stats
+            occ = (f" mean_occ={self.mean_occupancy(name):.1f}"
+                   if name in self.occupancy_sums else "")
+            lines.append(
+                f"  channel {name:20s} max_occ={st.max_occupancy}"
+                f" push_stalls={st.stalled_push_cycles}"
+                f" pop_stalls={st.stalled_pop_cycles}{occ}")
+        lines.append(f"  bottleneck: {self.bottleneck()}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [f"simulation finished in {self.cycles} cycles"]
+        for name, k in self.kernels.items():
+            s = k.stats
+            lines.append(
+                f"  kernel {name}: active={s.active_cycles} "
+                f"stalled={s.stall_cycles} span=[{s.start_cycle},{s.finish_cycle}]"
+            )
+        for name, ch in self.channels.items():
+            st = ch.stats
+            lines.append(
+                f"  channel {name}: pushes={st.pushes} pops={st.pops} "
+                f"max_occ={st.max_occupancy}"
+            )
+        return "\n".join(lines)
+
+
+class Engine:
+    """Owns channels and kernels and advances the clock.
+
+    Parameters
+    ----------
+    memory:
+        Optional :class:`repro.fpga.memory.DramModel`; its per-cycle
+        bandwidth budgets are reset at every clock edge.
+    """
+
+    #: Cap on per-kernel timeline samples kept in trace mode.
+    MAX_TRACE_CYCLES = 100_000
+
+    def __init__(self, memory=None, trace: bool = False):
+        self.memory = memory
+        self.trace = trace
+        self.channels: Dict[str, Channel] = {}
+        self.kernels: Dict[str, Kernel] = {}
+        self._occupancy_sums: Dict[str, int] = {}
+        self._timelines: Dict[str, List[str]] = {}
+        self.now = 0
+
+    # -- construction -------------------------------------------------------
+    def channel(self, name: str, depth: int = 64) -> Channel:
+        """Create and register a channel."""
+        if name in self.channels:
+            raise ValueError(f"duplicate channel name {name!r}")
+        ch = Channel(name, depth)
+        self.channels[name] = ch
+        return ch
+
+    def add_kernel(self, name: str, body: KernelBody, latency: int = 1) -> Kernel:
+        """Register a kernel generator under ``name``.
+
+        ``body`` is normally a generator; any iterable of ops is accepted
+        (useful for scripted pushes), but only generators can receive Pop
+        results.
+        """
+        if name in self.kernels:
+            raise ValueError(f"duplicate kernel name {name!r}")
+        if not hasattr(body, "send"):
+            body = _adapt_iterable(body)
+        k = Kernel(name, body, latency)
+        k._resume_value = None  # value delivered at next generator resume
+        self.kernels[name] = k
+        return k
+
+    # -- execution ----------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> SimReport:
+        """Run until every kernel completes; return the report.
+
+        Raises :class:`DeadlockError` if the composition stalls forever and
+        :class:`SimulationError` if ``max_cycles`` elapses first.
+        """
+        kernels = list(self.kernels.values())
+        while True:
+            if all(k.done for k in kernels):
+                return SimReport(self.now, dict(self.kernels),
+                                 dict(self.channels),
+                                 dict(self._occupancy_sums),
+                                 dict(self._timelines))
+            if self.now >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles without finishing"
+                )
+            self._step_cycle(kernels)
+
+    def _step_cycle(self, kernels: List[Kernel]) -> None:
+        t = self.now
+        matured = 0
+        for ch in self.channels.values():
+            matured += ch.mature(t)
+            if self.trace:
+                self._occupancy_sums[ch.name] = (
+                    self._occupancy_sums.get(ch.name, 0) + ch.occupancy)
+        if self.memory is not None:
+            self.memory.begin_cycle(t)
+
+        progressed = matured > 0
+        sleepers = 0
+        for k in kernels:
+            if k.done:
+                state = "-"
+            elif k.sleep_until > t:
+                sleepers += 1
+                state = "z"
+            else:
+                stepped = self._step_kernel(k, t)
+                if stepped:
+                    progressed = True
+                state = "#" if stepped else "s"
+            if self.trace and t < self.MAX_TRACE_CYCLES:
+                self._timelines.setdefault(k.name, []).append(state)
+
+        if not progressed and sleepers == 0:
+            # Staged values that can still enter a non-full FIFO will make
+            # progress on a later cycle; staged values behind a full FIFO
+            # cannot move unless some kernel pops, and no kernel stepped.
+            staged = any(ch.can_mature_later() for ch in self.channels.values())
+            if not staged and not all(k.done for k in kernels):
+                blocked = {
+                    k.name: self._describe_block(k)
+                    for k in kernels
+                    if not k.done
+                }
+                raise DeadlockError(t, blocked)
+        self.now = t + 1
+
+    def _describe_block(self, k: Kernel) -> str:
+        op = k.blocked_on
+        if isinstance(op, Pop):
+            return (
+                f"pop({op.count}) from {op.channel.name!r} "
+                f"(occupancy={op.channel.occupancy})"
+            )
+        if isinstance(op, Push):
+            return (
+                f"push({len(op.values)}) to {op.channel.name!r} "
+                f"(space={op.channel.space()}/{op.channel.depth})"
+            )
+        return "not yet started"
+
+    def _step_kernel(self, k: Kernel, t: int) -> bool:
+        """Resume kernel ``k`` for cycle ``t``; return True if it progressed."""
+        if k.stats.start_cycle is None:
+            k.stats.start_cycle = t
+        progressed = False
+        ops = 0
+        while True:
+            if ops > MAX_OPS_PER_CYCLE:
+                raise SimulationError(
+                    f"kernel {k.name!r} performed more than "
+                    f"{MAX_OPS_PER_CYCLE} ops in one cycle; missing Clock()?"
+                )
+            if k.blocked_on is not None:
+                op = k.blocked_on
+                k.blocked_on = None
+            else:
+                try:
+                    op = k.body.send(k._resume_value)
+                except StopIteration:
+                    k.done = True
+                    k.stats.finish_cycle = t
+                    return True
+                k._resume_value = None
+
+            if isinstance(op, Pop):
+                if op.count > op.channel.depth:
+                    raise SimulationError(
+                        f"kernel {k.name!r} pops {op.count} per cycle from "
+                        f"channel {op.channel.name!r} of depth "
+                        f"{op.channel.depth}; a channel must be at least "
+                        "as deep as its consumer's width")
+                if op.channel.can_pop(op.count):
+                    vals = op.channel.pop(op.count)
+                    k._resume_value = vals[0] if op.count == 1 else vals
+                    progressed = True
+                    ops += 1
+                    continue
+                k.blocked_on = op
+                k.stats.stall_cycles += 1
+                op.channel.stats.stalled_pop_cycles += 1
+                return progressed
+            if isinstance(op, Push):
+                n = len(op.values)
+                lat = op.latency if op.latency is not None else k.latency
+                # The producer's pipeline registers hold up to lat * n
+                # values beyond the FIFO depth (n lanes, lat stages deep).
+                headroom = lat * n
+                if op.channel.can_push(n, headroom):
+                    op.channel.push(op.values, t + lat, headroom)
+                    progressed = True
+                    ops += 1
+                    continue
+                k.blocked_on = op
+                k.stats.stall_cycles += 1
+                op.channel.stats.stalled_push_cycles += 1
+                return progressed
+            if isinstance(op, Clock):
+                k.stats.active_cycles += 1
+                if op.cycles > 1:
+                    k.sleep_until = t + op.cycles
+                return True
+            raise SimulationError(
+                f"kernel {k.name!r} yielded unknown op {op!r}"
+            )

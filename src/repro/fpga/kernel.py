@@ -1,0 +1,125 @@
+"""Kernel protocol for the cycle-stepped simulator.
+
+A *kernel* (the simulator's unit of hardware: an FBLAS module, a memory
+interface module, a feeder/drainer of the systolic array...) is written as a
+Python generator that yields *ops*:
+
+``Pop(ch, count)``
+    Wait until ``count`` elements are visible on ``ch``, then receive them
+    (the generator's ``send`` value is the list of popped elements).  Within
+    one cycle a kernel may pop from several channels — this models the W
+    operands an unrolled inner loop consumes per clock.
+
+``Push(ch, values, latency=None)``
+    Wait until ``ch`` has space, then stage ``values`` to become visible
+    ``latency`` cycles later (defaults to the kernel's pipeline latency).
+
+``Clock(n=1)``
+    End the current cycle (advance the kernel's clock by ``n``).  Everything
+    a kernel does between two ``Clock`` yields happens "in the same clock
+    cycle"; a kernel with initiation interval 1 therefore pops its W
+    operands, pushes its W results, and yields ``Clock()`` once per loop
+    iteration.
+
+The engine (see :mod:`repro.fpga.engine`) resumes each kernel every cycle
+until it blocks or ends its cycle.  A blocked op is retried on subsequent
+cycles; the blocking cycles are counted as stalls, which is how the
+simulator exposes backpressure and the deadlocks of invalid compositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Optional
+
+from .channel import Channel
+
+
+@dataclass(frozen=True)
+class Pop:
+    """Receive ``count`` elements from ``channel`` (blocking)."""
+
+    channel: Channel
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class Push:
+    """Send ``values`` on ``channel`` (blocking while full).
+
+    ``latency`` overrides the kernel's pipeline latency for this push;
+    interface modules use latency 1 (they are simple address generators),
+    compute modules use their circuit depth.
+    """
+
+    channel: Channel
+    values: tuple
+    latency: Optional[int] = None
+
+    @staticmethod
+    def of(channel: Channel, values, latency: Optional[int] = None) -> "Push":
+        if isinstance(values, (list, tuple)):
+            return Push(channel, tuple(values), latency)
+        return Push(channel, (values,), latency)
+
+
+@dataclass(frozen=True)
+class Clock:
+    """End the current simulated cycle (advance by ``cycles``)."""
+
+    cycles: int = 1
+
+
+KernelBody = Generator  # yields Pop/Push/Clock, receives pop results
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel activity counters filled in by the engine."""
+
+    active_cycles: int = 0
+    stall_cycles: int = 0
+    start_cycle: Optional[int] = None
+    finish_cycle: Optional[int] = None
+
+    @property
+    def total_cycles(self) -> int:
+        if self.start_cycle is None or self.finish_cycle is None:
+            return 0
+        return self.finish_cycle - self.start_cycle
+
+
+class Kernel:
+    """A named kernel instance bound to a generator body.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name (unique within an engine).
+    body:
+        The generator implementing the kernel.
+    latency:
+        Default pipeline latency, in cycles, applied to ``Push`` ops that do
+        not specify one.  This is the *circuit depth* of Sec. IV of the
+        paper: results of the inner-loop circuit emerge this many cycles
+        after their operands enter.
+    """
+
+    def __init__(self, name: str, body: KernelBody, latency: int = 1):
+        if latency < 1:
+            raise ValueError(f"kernel {name!r}: latency must be >= 1")
+        self.name = name
+        self.body = body
+        self.latency = latency
+        self.stats = KernelStats()
+        self.done = False
+        # Op the kernel is currently blocked on, for diagnostics.
+        self.blocked_on: Optional[object] = None
+        # Cycles remaining on an explicit Clock(n>1) wait.
+        self.sleep_until: int = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else (
+            f"blocked on {self.blocked_on}" if self.blocked_on else "runnable"
+        )
+        return f"Kernel({self.name!r}, {state})"

@@ -1,0 +1,251 @@
+"""Off-chip DRAM model: banks, bandwidth, interleaving, I/O accounting.
+
+The evaluation boards carry 2 (Arria) or 4 (Stratix) DDR4 modules.  On the
+Stratix board, automatic memory interleaving is disabled by the BSP, so each
+buffer lives in a single bank and two kernels touching the same bank contend
+for its bandwidth — the effect that slows the non-streamed AXPYDOT in the
+paper (Sec. VI-C) and boosts the measured speedup from 3x to 4x.
+
+The model is deliberately simple and countable:
+
+* each bank grants at most ``bytes_per_cycle`` bytes per simulated cycle;
+* a buffer is placed in one bank (or striped over all of them when
+  interleaving is on, drawing from the pooled budget);
+* every element moved is counted, giving the *number of memory I/O
+  operations* the paper's Sec. V analysis reasons about.
+
+Interface kernels (:func:`read_kernel`, :func:`write_kernel`) bridge DRAM
+and channels: they are the circles of the paper's MDAG figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from .kernel import Clock, Pop, Push
+
+
+@dataclass
+class BankStats:
+    bytes_read: int = 0
+    bytes_written: int = 0
+    denied_cycles: int = 0
+
+
+class DramBuffer:
+    """A named allocation in device DRAM.
+
+    ``data`` is the backing numpy array (the "device memory").  ``bank`` is
+    the DDR module index, or ``None`` when the buffer is interleaved across
+    all banks.
+    """
+
+    def __init__(self, name: str, data: np.ndarray, bank: Optional[int]):
+        self.name = name
+        self.data = data
+        self.bank = bank
+        self.elements_read = 0
+        self.elements_written = 0
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.itemsize
+
+    @property
+    def num_elements(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "interleaved" if self.bank is None else f"bank {self.bank}"
+        return f"DramBuffer({self.name!r}, {self.data.shape}, {where})"
+
+
+class DramModel:
+    """Banked DRAM with per-cycle bandwidth budgets.
+
+    Parameters
+    ----------
+    num_banks:
+        Number of DDR modules on the board.
+    bytes_per_cycle:
+        Peak bytes one bank can move per FPGA clock cycle (bank bandwidth
+        divided by design frequency).
+    interleaving:
+        When True, buffers allocated without an explicit bank are striped
+        across all banks and draw from the pooled budget.
+    """
+
+    def __init__(self, num_banks: int = 4, bytes_per_cycle: int = 64,
+                 interleaving: bool = False, stride_penalty: float = 2.0):
+        if num_banks < 1:
+            raise ValueError("need at least one DRAM bank")
+        if bytes_per_cycle < 1:
+            raise ValueError("bytes_per_cycle must be positive")
+        if stride_penalty < 1.0:
+            raise ValueError("stride_penalty must be >= 1")
+        self.num_banks = num_banks
+        self.bytes_per_cycle = bytes_per_cycle
+        self.interleaving = interleaving
+        #: Budget multiplier charged for non-contiguous accesses: strided
+        #: bursts waste DRAM row activations, so a gather of k elements
+        #: costs ``stride_penalty * k`` elements of budget (the effect
+        #: behind the paper's note that striped accesses inferred as
+        #: unaligned cost the HyperFlex optimization).
+        self.stride_penalty = stride_penalty
+        self.buffers: Dict[str, DramBuffer] = {}
+        self.bank_stats = [BankStats() for _ in range(num_banks)]
+        self._budget = [0] * num_banks
+        self._pool_budget = 0
+        self._next_bank = 0
+        self.begin_cycle(0)
+
+    # -- allocation ---------------------------------------------------------
+    def allocate(self, name: str, shape, dtype=np.float32,
+                 bank: Optional[int] = None) -> DramBuffer:
+        """Allocate a zero-initialised buffer."""
+        return self.bind(name, np.zeros(shape, dtype=dtype), bank)
+
+    def bind(self, name: str, data: np.ndarray,
+             bank: Optional[int] = None) -> DramBuffer:
+        """Place an existing array in DRAM (copying host data to device)."""
+        if name in self.buffers:
+            raise ValueError(f"duplicate buffer name {name!r}")
+        if bank is not None and not (0 <= bank < self.num_banks):
+            raise ValueError(f"bank {bank} out of range [0,{self.num_banks})")
+        if bank is None and not self.interleaving:
+            # Round-robin placement, mirroring manual allocation on the
+            # Stratix board where interleaving is disabled.
+            bank = self._next_bank
+            self._next_bank = (self._next_bank + 1) % self.num_banks
+        buf = DramBuffer(name, np.array(data, copy=True), bank)
+        self.buffers[name] = buf
+        return buf
+
+    # -- per-cycle bandwidth ------------------------------------------------
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset bandwidth budgets; called by the engine each clock edge."""
+        for b in range(self.num_banks):
+            self._budget[b] = self.bytes_per_cycle
+        self._pool_budget = self.num_banks * self.bytes_per_cycle
+
+    def _grant(self, buf: DramBuffer, nbytes: int) -> int:
+        if buf.bank is None:
+            granted = min(nbytes, self._pool_budget)
+            self._pool_budget -= granted
+        else:
+            granted = min(nbytes, self._budget[buf.bank])
+            self._budget[buf.bank] -= granted
+            # Interleaved traffic shares the same physical pins.
+            self._pool_budget = max(0, self._pool_budget - granted)
+            if granted == 0:
+                self.bank_stats[buf.bank].denied_cycles += 1
+        return granted
+
+    def request_read(self, buf: DramBuffer, nbytes: int,
+                     contiguous: bool = True) -> int:
+        """Grant up to ``nbytes`` of read budget this cycle.
+
+        Non-contiguous (gather) accesses are charged ``stride_penalty``x
+        budget per useful byte, halving the effective bandwidth at the
+        default penalty.
+        """
+        factor = 1.0 if contiguous else self.stride_penalty
+        granted = int(self._grant(buf, int(nbytes * factor)) // factor)
+        if buf.bank is not None:
+            self.bank_stats[buf.bank].bytes_read += granted
+        return granted
+
+    def request_write(self, buf: DramBuffer, nbytes: int,
+                      contiguous: bool = True) -> int:
+        factor = 1.0 if contiguous else self.stride_penalty
+        granted = int(self._grant(buf, int(nbytes * factor)) // factor)
+        if buf.bank is not None:
+            self.bank_stats[buf.bank].bytes_written += granted
+        return granted
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def total_elements_moved(self) -> int:
+        """Total memory I/O operations (element reads + writes) so far."""
+        return sum(b.elements_read + b.elements_written
+                   for b in self.buffers.values())
+
+
+# ---------------------------------------------------------------------------
+# Interface kernels (the MDAG "circle" nodes)
+# ---------------------------------------------------------------------------
+
+def read_kernel(mem: DramModel, buf: DramBuffer, ch, width: int = 1,
+                order: Optional[Iterable[int]] = None, repeat: int = 1):
+    """Stream ``buf`` into ``ch``, ``width`` elements per cycle at most.
+
+    ``order`` is an iterable of flat indices defining the streaming order
+    (e.g. a tiled schedule from :mod:`repro.streaming.tiling`); by default
+    the buffer is streamed linearly.  ``repeat`` replays the whole order
+    that many times (the "vector must be replayed" case of Sec. III-B).
+    """
+    itemsize = buf.itemsize
+    flat = buf.data.reshape(-1)
+    for _ in range(repeat):
+        it: Iterator[int] = iter(order) if order is not None else iter(
+            range(buf.num_elements))
+        pending: list = []
+        exhausted = False
+        while pending or not exhausted:
+            while not exhausted and len(pending) < width:
+                try:
+                    pending.append(next(it))
+                except StopIteration:
+                    exhausted = True
+            if not pending:
+                break
+            contiguous = all(b == a + 1 for a, b in zip(pending, pending[1:]))
+            granted = mem.request_read(buf, len(pending) * itemsize,
+                                       contiguous=contiguous) // itemsize
+            if granted > 0:
+                vals = tuple(flat[i] for i in pending[:granted])
+                buf.elements_read += granted
+                yield Push(ch, vals, 1)
+                del pending[:granted]
+            yield Clock()
+
+
+def write_kernel(mem: DramModel, buf: DramBuffer, ch, count: int,
+                 width: int = 1, order: Optional[Iterable[int]] = None):
+    """Drain ``count`` elements from ``ch`` into ``buf``.
+
+    ``order`` gives the flat destination index for each received element
+    (default: linear).  Each cycle the kernel stores whatever the channel
+    has delivered (up to ``width`` elements) within the bank's bandwidth
+    grant, so partial grants and a slower producer do not halve the write
+    rate.
+    """
+    itemsize = buf.itemsize
+    flat = buf.data.reshape(-1)
+    it: Iterator[int] = iter(order) if order is not None else iter(range(count))
+    received = 0
+    pending: list = []
+    while received < count or pending:
+        # Top up the staging register with whatever is already visible;
+        # block for at least one element when empty (avoids busy-spin).
+        if received < count and len(pending) < width:
+            avail = min(ch.occupancy, width - len(pending),
+                        count - received)
+            if avail == 0 and not pending:
+                avail = 1
+            if avail > 0:
+                vals = yield Pop(ch, avail)
+                if avail == 1:
+                    vals = [vals]
+                pending.extend(vals)
+                received += avail
+        granted = mem.request_write(buf, len(pending) * itemsize) // itemsize
+        if granted > 0:
+            for v in pending[:granted]:
+                flat[next(it)] = v
+            buf.elements_written += granted
+            del pending[:granted]
+        yield Clock()

@@ -1,0 +1,258 @@
+"""Resource-usage estimation, calibrated on the paper's Tables I and III.
+
+The paper's own space/time analysis (Sec. IV-A) reduces computational
+resource consumption to *linear functions of the circuit work* CW, with
+tool- and device-specific coefficients:
+
+* SCAL (map):        LUT = 49·CW,  FF = 96·CW,  DSP = CW,    CW = W
+* DOT (map-reduce):  LUT ≈ 18·CW,  FF ≈ 40·CW,  DSP = CW/2,  CW = 2W
+
+We implement exactly that model, with the coefficients of Table I, plus a
+constant per-module interface overhead and per-device infrastructure terms
+fitted on Table III.  Double precision has no hardened DSP support on
+either device, so it costs 4 DSPs per operation and roughly an order of
+magnitude more soft logic (Sec. VI-B) — the DP coefficients below are
+fitted on the DDOT/DGEMV/DGEMM rows of Table III.
+
+All coefficients live in module-level dictionaries so that tests and the
+benchmarks can reference (and challenge) the calibration explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import FpgaDevice, ResourceBudget
+
+#: Bytes of one M20K on-chip RAM block (20 Kbit).
+M20K_BYTES = 2560
+
+#: Latency (cycles) of a hardened single-precision add/multiply on the
+#: evaluated devices (Sec. IV-A: "the latency for both addition and
+#: multiplication is 6 clock cycles").
+FLOAT_OP_LATENCY = 6
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Estimated chip resources of one synthesized module."""
+
+    luts: int
+    ffs: int
+    m20ks: int
+    dsps: int
+
+    @property
+    def alms(self) -> int:
+        """ALM estimate: an ALM packs roughly one LUT plus carry logic."""
+        return int(self.luts * 1.05)
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(self.luts + other.luts, self.ffs + other.ffs,
+                             self.m20ks + other.m20ks, self.dsps + other.dsps)
+
+    def scaled(self, k: float) -> "ResourceUsage":
+        return ResourceUsage(int(self.luts * k), int(self.ffs * k),
+                             int(self.m20ks * k), int(self.dsps * k))
+
+    def budget(self) -> ResourceBudget:
+        return ResourceBudget(alms=self.alms, ffs=self.ffs,
+                              m20ks=self.m20ks, dsps=self.dsps)
+
+    def utilization(self, device: FpgaDevice) -> float:
+        """Fraction of the busiest resource on ``device`` (available)."""
+        a = device.available
+        return max(self.alms / a.alms, self.ffs / a.ffs,
+                   self.m20ks / a.m20ks, self.dsps / a.dsps)
+
+    def fits(self, device: FpgaDevice) -> bool:
+        return device.available.fits(self.budget())
+
+
+# ---------------------------------------------------------------------------
+# Calibration tables
+# ---------------------------------------------------------------------------
+
+#: Per-unit-of-circuit-work coefficients, single precision (Table I fits).
+#: ``lut_base`` is the constant control-logic term visible in the DOT
+#: column (174 LUTs at W=2, where the linear term alone gives 72).
+SP_COEFF = {
+    # routine class: (lut/CW, ff/CW, dsp/CW, CW per lane)
+    "map":        dict(lut=49.0, ff=96.0, dsp=1.0, cw_per_lane=1,
+                       lut_base=0),
+    "map_reduce": dict(lut=18.5, ff=40.0, dsp=0.5, cw_per_lane=2,
+                       lut_base=105),
+}
+
+#: Double precision is emulated in soft logic: ~4 DSPs and an order of
+#: magnitude more LUT/FF per lane (fitted on DDOT/DGEMV, Table III).
+DP_COEFF = {
+    "map":        dict(lut=900.0, ff=1500.0, dsp=4.0, cw_per_lane=1,
+                       lut_base=0),
+    "map_reduce": dict(lut=470.0, ff=800.0, dsp=2.0, cw_per_lane=2,
+                       lut_base=400),
+}
+
+#: Constant per-module interface/control overhead (fitted on Table III
+#: level-1 rows: e.g. SDOT W=256 uses 331 DSPs = 256 + overhead).
+MODULE_OVERHEAD = dict(lut=800, ff=2500, dsp=72)
+
+#: One DRAM interface module (read or write helper kernel): an address
+#: generator plus burst buffers.  Streaming compositions save these —
+#: the paper measures up to -40% resources vs the non-streamed designs.
+INTERFACE_MODULE = dict(lut=1800, ff=4200, m20k=8, dsp=4)
+
+
+def interface_module_resources() -> "ResourceUsage":
+    """Resources of one read/write DRAM interface kernel."""
+    return ResourceUsage(luts=INTERFACE_MODULE["lut"],
+                         ffs=INTERFACE_MODULE["ff"],
+                         m20ks=INTERFACE_MODULE["m20k"],
+                         dsps=INTERFACE_MODULE["dsp"])
+
+#: Per-device M20K infrastructure (BSP, channel skid buffers).  The Stratix
+#: BSP reserves on the order of a thousand blocks even for tiny designs
+#: (Table III: SDOT uses 1028 M20K on Stratix vs 1 on Arria).
+INFRA_M20K = {"Arria 10 GX 1150": 1, "Stratix 10 GX 2800": 950}
+
+#: Systolic GEMM per-PE coefficients (fitted on Table III GEMM rows).
+GEMM_PE_COEFF = {
+    "single": dict(alm=100.0, ff=290.0, dsp=1.0),
+    "double": dict(alm=1400.0, ff=3100.0, dsp=4.0),
+}
+#: Extra DSPs for GEMM feeders/drain helpers.
+GEMM_HELPER_DSPS = {"single": 66, "double": 120}
+#: Tile buffers are double-buffered and replicated for banked access.
+GEMM_TILE_BUFFER_FACTOR = 1.7
+
+
+def _elem_size(precision: str) -> int:
+    if precision == "single":
+        return 4
+    if precision == "double":
+        return 8
+    raise ValueError(f"unknown precision {precision!r}")
+
+
+def _coeff(routine_class: str, precision: str) -> dict:
+    table = SP_COEFF if precision == "single" else DP_COEFF
+    if routine_class not in table:
+        raise ValueError(
+            f"routine class must be 'map' or 'map_reduce', got "
+            f"{routine_class!r}")
+    return table[routine_class]
+
+
+# ---------------------------------------------------------------------------
+# Estimators
+# ---------------------------------------------------------------------------
+
+def level1_resources(routine_class: str, width: int,
+                     precision: str = "single",
+                     include_overhead: bool = False,
+                     device: FpgaDevice | None = None) -> ResourceUsage:
+    """Resources of a Level-1 module with vectorization width ``width``.
+
+    ``routine_class`` is ``"map"`` (SCAL, AXPY, COPY...) or ``"map_reduce"``
+    (DOT, NRM2, ASUM...).  With ``include_overhead`` the constant interface
+    logic and per-device M20K infrastructure are added (that is what the
+    compiler reports for a standalone synthesized module, Table III);
+    without it the estimate is the bare inner-loop circuit (Table I).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    c = _coeff(routine_class, precision)
+    cw = c["cw_per_lane"] * width
+    usage = ResourceUsage(luts=int(c["lut"] * cw) + c["lut_base"],
+                          ffs=int(c["ff"] * cw),
+                          m20ks=0, dsps=math.ceil(c["dsp"] * cw))
+    if include_overhead:
+        usage = usage + ResourceUsage(
+            luts=MODULE_OVERHEAD["lut"], ffs=MODULE_OVERHEAD["ff"],
+            m20ks=INFRA_M20K.get(device.name, 1) if device else 1,
+            dsps=MODULE_OVERHEAD["dsp"])
+    return usage
+
+
+def level1_latency(routine_class: str, width: int,
+                   precision: str = "single") -> int:
+    """Pipeline latency (cycles) of a Level-1 inner-loop circuit.
+
+    Map circuits have constant depth (one multiplier): Table I reports 50
+    cycles for SCAL at every width.  Map-reduce circuits add a log-depth
+    adder tree: DOT grows from 82 cycles at W=2 to 105 at W=64, well fitted
+    by ``78 + 4.5·log2(W)``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    scale = 1.0 if precision == "single" else 1.6
+    if routine_class == "map":
+        return int(50 * scale)
+    return int((78 + 4.5 * math.log2(max(width, 2))) * scale)
+
+
+def level2_resources(width: int, tile_size: int,
+                     precision: str = "single",
+                     device: FpgaDevice | None = None) -> ResourceUsage:
+    """Resources of a tiled Level-2 module (GEMV-like).
+
+    The compute datapath is a DOT-style map-reduce circuit of width W; the
+    tile buffers for the reused vector blocks occupy M20Ks, replicated for
+    W-wide parallel access (fitted on Table III: SGEMV W=256 uses 210
+    M20Ks on Arria, DGEMV W=128 uses 216).
+    """
+    base = level1_resources("map_reduce", width, precision)
+    esize = _elem_size(precision)
+    tile_bytes = 2 * tile_size * esize        # x-block and y-block buffers
+    banked = int(0.8 * width * (esize // 4))  # replication for unrolled access
+    m20ks = banked + math.ceil(tile_bytes / M20K_BYTES)
+    if device is not None:
+        m20ks += INFRA_M20K.get(device.name, 1)
+    extra = ResourceUsage(luts=MODULE_OVERHEAD["lut"] * 2,
+                          ffs=MODULE_OVERHEAD["ff"] * 2,
+                          m20ks=m20ks, dsps=28)
+    return base + extra
+
+
+def gemm_systolic_resources(pr: int, pc: int, tile_r: int, tile_c: int,
+                            precision: str = "single",
+                            device: FpgaDevice | None = None) -> ResourceUsage:
+    """Resources of a PR x PC systolic GEMM with memory tile TR x TC.
+
+    DSPs scale with the number of PEs (4x in double precision, emulated);
+    M20Ks hold the A/B/C memory tiles, double-buffered (fitted on Table
+    III: the Stratix SGEMM with a 40x80 array and 960x960 tiles uses 7767
+    M20Ks, 86% of the device).
+    """
+    if pr < 1 or pc < 1:
+        raise ValueError("systolic array dimensions must be >= 1")
+    if tile_r % pr or tile_c % pc:
+        raise ValueError(
+            f"memory tile ({tile_r}x{tile_c}) must be a multiple of the "
+            f"compute grid ({pr}x{pc})")
+    c = GEMM_PE_COEFF[precision]
+    pes = pr * pc
+    esize = _elem_size(precision)
+    tile_bytes = (tile_r * tile_c + tile_r * tile_c + tile_r * tile_c) * esize
+    m20ks = math.ceil(GEMM_TILE_BUFFER_FACTOR * tile_bytes / M20K_BYTES)
+    if device is not None:
+        m20ks += INFRA_M20K.get(device.name, 1)
+    return ResourceUsage(
+        luts=int(c["alm"] * pes / 1.05),
+        ffs=int(c["ff"] * pes),
+        m20ks=m20ks,
+        dsps=int(c["dsp"] * pes) + GEMM_HELPER_DSPS[precision],
+    )
+
+
+def fully_unrolled_resources(flops: int, precision: str = "single") -> ResourceUsage:
+    """Resources of a fully unrolled routine performing ``flops`` ops.
+
+    Used for the batched tiny-matrix designs of Table V, where the whole
+    routine body is one combinational pipeline that accepts a new problem
+    every cycle.
+    """
+    c = SP_COEFF["map_reduce"] if precision == "single" else DP_COEFF["map_reduce"]
+    return ResourceUsage(luts=int(c["lut"] * flops), ffs=int(c["ff"] * flops),
+                         m20ks=0, dsps=math.ceil(c["dsp"] * flops))

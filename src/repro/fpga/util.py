@@ -1,0 +1,84 @@
+"""On-chip data sources and sinks.
+
+The paper's single-module evaluation (Sec. VI-B) generates input data
+directly on the FPGA "to test the scaling behavior of the memory bound
+applications ... considering vectorization width that can exploit memory
+interfaces faster than the one offered by the testbed".  These kernels play
+that role: they feed/drain channels at ``width`` elements per cycle without
+consuming DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .kernel import Clock, Pop, Push
+
+
+def source_kernel(ch, data: Sequence, width: int = 1, repeat: int = 1):
+    """Push ``data`` into ``ch``, up to ``width`` elements per cycle.
+
+    ``repeat`` replays the whole sequence (vector replay, Sec. III-B).
+    """
+    n = len(data)
+    for _ in range(repeat):
+        i = 0
+        while i < n:
+            chunk = min(width, n - i)
+            yield Push(ch, tuple(data[i:i + chunk]), 1)
+            yield Clock()
+            i += chunk
+
+
+def sink_kernel(ch, count: int, width: int = 1, out: Optional[List] = None):
+    """Pop ``count`` elements from ``ch``; append them to ``out`` if given."""
+    remaining = count
+    while remaining > 0:
+        chunk = min(width, remaining)
+        vals = yield Pop(ch, chunk)
+        if chunk == 1:
+            vals = [vals]
+        if out is not None:
+            out.extend(vals)
+        yield Clock()
+        remaining -= chunk
+
+
+def scalar_sink(ch, out: List):
+    """Pop a single element (e.g. a DOT result) into ``out``."""
+    val = yield Pop(ch, 1)
+    out.append(val)
+    yield Clock()
+
+
+def forward_kernel(ch_in, ch_out, count: int, width: int = 1):
+    """Copy ``count`` elements from ``ch_in`` to ``ch_out`` (a wire)."""
+    remaining = count
+    while remaining > 0:
+        chunk = min(width, remaining)
+        vals = yield Pop(ch_in, chunk)
+        if chunk == 1:
+            vals = (vals,)
+        yield Push(ch_out, tuple(vals), 1)
+        yield Clock()
+        remaining -= chunk
+
+
+def duplicate_kernel(ch_in, outs: Sequence, count: int, width: int = 1):
+    """Fan a stream out to several consumers (one producer, many readers).
+
+    Models sharing one interface module between modules that read the same
+    data, as in the BICG composition where both GEMVs read matrix A.
+    """
+    remaining = count
+    while remaining > 0:
+        chunk = min(width, remaining)
+        vals = yield Pop(ch_in, chunk)
+        if chunk == 1:
+            vals = (vals,)
+        else:
+            vals = tuple(vals)
+        for ch_out in outs:
+            yield Push(ch_out, vals, 1)
+        yield Clock()
+        remaining -= chunk

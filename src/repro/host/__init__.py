@@ -1,0 +1,7 @@
+"""Host API: BLAS-style calls executed on the simulated FPGA."""
+
+from .api import Fblas, Handle
+from .context import CallRecord, FblasContext
+from . import orders
+
+__all__ = ["CallRecord", "Fblas", "FblasContext", "Handle", "orders"]

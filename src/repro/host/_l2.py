@@ -1,0 +1,353 @@
+"""Level-2 host calls (mixin for :class:`repro.host.api.Fblas`)."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..blas import level2, reference
+from ..fpga.engine import Engine
+from ..fpga.memory import read_kernel, write_kernel
+from ..fpga.resources import level1_latency
+from ..models import iomodel
+from ..models.performance import gemv_cycles, routine_flops
+from ..streaming.tiling import row_tiles
+from . import orders
+from .context import CallRecord
+
+
+class Level2Mixin:
+    """BLAS Level-2 routines over device buffers."""
+
+    def gemv(self, alpha, a, x, beta, y, trans=False, scheme="rows",
+             async_=False):
+        """y <- alpha*op(A)*x + beta*y.
+
+        ``scheme`` picks the streaming specialization (Sec. III-B):
+        ``"rows"`` streams A in tiles by rows (y reused on chip, x
+        replayed from DRAM — I/O NM + MN/T_N + 2N); ``"cols"`` streams A
+        in tiles by columns (x reused, the partial y replayed through a
+        feedback loop — I/O NM + M + 2NM/T_M).  Transposed GEMV currently
+        uses the rows scheme.
+        """
+        n, m = a.data.shape
+        xlen, ylen = (n, m) if trans else (m, n)
+        if x.num_elements != xlen or y.num_elements != ylen:
+            raise ValueError(
+                f"gemv shape mismatch: A {a.data.shape}, x {x.num_elements}, "
+                f"y {y.num_elements}, trans={trans}")
+        if scheme not in ("rows", "cols"):
+            raise ValueError(f"scheme must be rows/cols, got {scheme!r}")
+        if scheme == "cols" and trans:
+            raise ValueError("the cols scheme is not available transposed")
+        if scheme == "cols":
+            return self._execute(
+                lambda: self._gemv_cols_impl(alpha, a, x, beta, y), async_)
+        return self._execute(
+            lambda: self._gemv_impl(alpha, a, x, beta, y, trans), async_)
+
+    def _gemv_cols_impl(self, alpha, a, x, beta, y):
+        from ..models.performance import gemv_cycles as _gc
+        from ..streaming.tiling import col_tiles
+        n, m = a.data.shape
+        precision = self._precision(a)
+        freq = self._frequency("level2", a.data.dtype)
+        tn = self._fit_tile(n)
+        tm = self._fit_tile(m)
+        if self.mode == "model":
+            result = reference.gemv(alpha, a.data, x.data.reshape(-1),
+                                    beta, y.data.reshape(-1))
+            y.data.reshape(-1)[:] = result
+            self.context.record(CallRecord(
+                "gemv", precision, _gc(n, m, self.width), freq,
+                iomodel.gemv_io_tiles_by_cols(n, m, tm),
+                routine_flops("gemv", n, m), "model"))
+            return self.context.copy_from_device(y)
+
+        io_before = self.context.mem.total_elements_moved
+        sched = col_tiles(n, m, tn, tm)
+        passes = m // tm
+        eng = Engine(memory=self.context.mem)
+        ca = eng.channel("A", self.channel_depth)
+        cx = eng.channel("x", self.channel_depth)
+        cy = eng.channel("y", max(self.channel_depth, 2 * n))
+        co = eng.channel("partial", self.channel_depth)
+        cfinal = eng.channel("out", self.channel_depth)
+        dt = a.data.dtype.type
+        eng.add_kernel("read_a", read_kernel(
+            self.context.mem, a, ca, self.width, order=sched.indices()))
+        eng.add_kernel("read_x", read_kernel(
+            self.context.mem, x, cx, self.width))
+        eng.add_kernel("read_y", read_kernel(
+            self.context.mem, y, cy, self.width))
+        eng.add_kernel("gemv", level2.gemv_col_tiles(
+            n, m, alpha, beta, ca, cx, cy, co, tn, tm, self.width, dt),
+            latency=level1_latency("map_reduce", self.width, precision))
+        eng.add_kernel("router", level2.y_replay_router(
+            n, passes, co, cy, cfinal, self.width))
+        eng.add_kernel("write_y", write_kernel(
+            self.context.mem, y, cfinal, n, self.width))
+        report = eng.run()
+        # The feedback loop stands in for the DRAM replay of y; charge the
+        # I/O the paper's scheme pays: each non-final pass writes and
+        # re-reads the N partials.
+        replay_io = 2 * n * (passes - 1)
+        io = (self.context.mem.total_elements_moved - io_before
+              + replay_io)
+        self.context.record(CallRecord(
+            "gemv", precision, report.cycles, freq, io,
+            routine_flops("gemv", n, m), "simulate"))
+        return self.context.copy_from_device(y)
+
+    def _gemv_impl(self, alpha, a, x, beta, y, trans):
+        n, m = a.data.shape
+        precision = self._precision(a)
+        freq = self._frequency("level2", a.data.dtype)
+        tn = self._fit_tile(n)
+        tm = self._fit_tile(m)
+        if self.mode == "model":
+            result = reference.gemv(alpha, a.data, x.data.reshape(-1),
+                                    beta, y.data.reshape(-1), trans=trans)
+            y.data.reshape(-1)[:] = result
+            cycles = gemv_cycles(n, m, self.width)
+            io = iomodel.gemv_io_tiles_by_rows(n, m, tn)
+            self.context.record(CallRecord(
+                "gemv", precision, cycles, freq, io,
+                routine_flops("gemv", n, m), "model"))
+            return self.context.copy_from_device(y)
+
+        io_before = self.context.mem.total_elements_moved
+        sched = row_tiles(n, m, tn, tm)
+        eng = Engine(memory=self.context.mem)
+        ca = eng.channel("A", self.channel_depth)
+        cx = eng.channel("x", self.channel_depth)
+        cy = eng.channel("y", self.channel_depth)
+        co = eng.channel("out", self.channel_depth)
+        eng.add_kernel("read_a", read_kernel(
+            self.context.mem, a, ca, self.width, order=sched.indices()))
+        dt = a.data.dtype.type
+        latency = level1_latency("map_reduce", self.width, precision)
+        if not trans:
+            eng.add_kernel("read_x", read_kernel(
+                self.context.mem, x, cx, self.width, repeat=n // tn))
+            eng.add_kernel("read_y", read_kernel(
+                self.context.mem, y, cy, self.width))
+            eng.add_kernel("gemv", level2.gemv_row_tiles(
+                n, m, alpha, beta, ca, cx, cy, co, tn, tm, self.width, dt),
+                latency=latency)
+            out_len = n
+        else:
+            eng.add_kernel("read_x", read_kernel(
+                self.context.mem, x, cx, self.width))
+            eng.add_kernel("read_y", read_kernel(
+                self.context.mem, y, cy, self.width))
+            eng.add_kernel("gemv", level2.gemv_transposed_row_tiles(
+                n, m, alpha, beta, ca, cx, cy, co, tn, tm, self.width, dt),
+                latency=latency)
+            out_len = m
+        eng.add_kernel("write_y", write_kernel(
+            self.context.mem, y, co, out_len, self.width))
+        report = eng.run()
+        io = self.context.mem.total_elements_moved - io_before
+        self.context.record(CallRecord(
+            "gemv", precision, report.cycles, freq, io,
+            routine_flops("gemv", n, m), "simulate"))
+        return self.context.copy_from_device(y)
+
+    def ger(self, alpha, x, y, a, async_=False):
+        """A <- A + alpha * x y^T."""
+        n, m = a.data.shape
+        if x.num_elements != n or y.num_elements != m:
+            raise ValueError("ger shape mismatch")
+        return self._execute(lambda: self._ger_impl(alpha, x, y, a), async_)
+
+    def _ger_impl(self, alpha, x, y, a):
+        n, m = a.data.shape
+        precision = self._precision(a)
+        freq = self._frequency("level2", a.data.dtype)
+        tn = self._fit_tile(n)
+        tm = self._fit_tile(m)
+        if self.mode == "model":
+            a.data[:, :] = reference.ger(alpha, x.data.reshape(-1),
+                                         y.data.reshape(-1), a.data)
+            self.context.record(CallRecord(
+                "ger", precision, gemv_cycles(n, m, self.width), freq,
+                2 * n * m + n + m * math.ceil(n / tn),
+                routine_flops("ger", n, m), "model"))
+            return self.context.copy_from_device(a)
+
+        io_before = self.context.mem.total_elements_moved
+        sched = row_tiles(n, m, tn, tm)
+        eng = Engine(memory=self.context.mem)
+        ca = eng.channel("A", self.channel_depth)
+        cx = eng.channel("x", self.channel_depth)
+        cy = eng.channel("y", self.channel_depth)
+        co = eng.channel("out", self.channel_depth)
+        eng.add_kernel("read_a", read_kernel(
+            self.context.mem, a, ca, self.width, order=sched.indices()))
+        eng.add_kernel("read_x", read_kernel(
+            self.context.mem, x, cx, self.width))
+        eng.add_kernel("read_y", read_kernel(
+            self.context.mem, y, cy, self.width, repeat=n // tn))
+        eng.add_kernel("ger", level2.ger_kernel(
+            n, m, alpha, ca, cx, cy, co, tn, tm, self.width,
+            a.data.dtype.type),
+            latency=level1_latency("map", self.width, precision))
+        eng.add_kernel("write_a", write_kernel(
+            self.context.mem, a, co, n * m, self.width,
+            order=sched.indices()))
+        report = eng.run()
+        io = self.context.mem.total_elements_moved - io_before
+        self.context.record(CallRecord(
+            "ger", precision, report.cycles, freq, io,
+            routine_flops("ger", n, m), "simulate"))
+        return self.context.copy_from_device(a)
+
+    def syr(self, alpha, x, a, async_=False):
+        """A <- A + alpha * x x^T."""
+        n = x.num_elements
+        if a.data.shape != (n, n):
+            raise ValueError("syr shape mismatch")
+        return self._execute(lambda: self._syr_impl(alpha, x, a), async_)
+
+    def _syr_impl(self, alpha, x, a):
+        n = x.num_elements
+        precision = self._precision(a)
+        freq = self._frequency("level2", a.data.dtype)
+        tn = self._fit_tile(n)
+        if self.mode == "model":
+            a.data[:, :] = reference.syr(alpha, x.data.reshape(-1), a.data)
+            self.context.record(CallRecord(
+                "syr", precision, gemv_cycles(n, n, self.width), freq,
+                2 * n * n + n + n * math.ceil(n / tn),
+                routine_flops("syr", n), "model"))
+            return self.context.copy_from_device(a)
+
+        io_before = self.context.mem.total_elements_moved
+        sched = row_tiles(n, n, tn, tn)
+        eng = Engine(memory=self.context.mem)
+        ca = eng.channel("A", self.channel_depth)
+        cxr = eng.channel("xr", self.channel_depth)
+        cxc = eng.channel("xc", self.channel_depth)
+        co = eng.channel("out", self.channel_depth)
+        eng.add_kernel("read_a", read_kernel(
+            self.context.mem, a, ca, self.width, order=sched.indices()))
+        eng.add_kernel("read_xr", read_kernel(
+            self.context.mem, x, cxr, self.width))
+        eng.add_kernel("read_xc", read_kernel(
+            self.context.mem, x, cxc, self.width, repeat=n // tn))
+        eng.add_kernel("syr", level2.syr_kernel(
+            n, alpha, ca, cxr, cxc, co, tn, tn, self.width,
+            a.data.dtype.type),
+            latency=level1_latency("map", self.width, precision))
+        eng.add_kernel("write_a", write_kernel(
+            self.context.mem, a, co, n * n, self.width,
+            order=sched.indices()))
+        report = eng.run()
+        io = self.context.mem.total_elements_moved - io_before
+        self.context.record(CallRecord(
+            "syr", precision, report.cycles, freq, io,
+            routine_flops("syr", n), "simulate"))
+        return self.context.copy_from_device(a)
+
+    def syr2(self, alpha, x, y, a, async_=False):
+        """A <- A + alpha * (x y^T + y x^T)."""
+        n = x.num_elements
+        if a.data.shape != (n, n) or y.num_elements != n:
+            raise ValueError("syr2 shape mismatch")
+        return self._execute(lambda: self._syr2_impl(alpha, x, y, a), async_)
+
+    def _syr2_impl(self, alpha, x, y, a):
+        n = x.num_elements
+        precision = self._precision(a)
+        freq = self._frequency("level2", a.data.dtype)
+        tn = self._fit_tile(n)
+        if self.mode == "model":
+            a.data[:, :] = reference.syr2(alpha, x.data.reshape(-1),
+                                          y.data.reshape(-1), a.data)
+            self.context.record(CallRecord(
+                "syr2", precision, gemv_cycles(n, n, self.width), freq,
+                2 * n * n + 2 * n + 2 * n * math.ceil(n / tn),
+                routine_flops("syr2", n), "model"))
+            return self.context.copy_from_device(a)
+
+        io_before = self.context.mem.total_elements_moved
+        sched = row_tiles(n, n, tn, tn)
+        eng = Engine(memory=self.context.mem)
+        ca = eng.channel("A", self.channel_depth)
+        cxr = eng.channel("xr", self.channel_depth)
+        cyc = eng.channel("yc", self.channel_depth)
+        cyr = eng.channel("yr", self.channel_depth)
+        cxc = eng.channel("xc", self.channel_depth)
+        co = eng.channel("out", self.channel_depth)
+        replay = n // tn
+        eng.add_kernel("read_a", read_kernel(
+            self.context.mem, a, ca, self.width, order=sched.indices()))
+        eng.add_kernel("read_xr", read_kernel(
+            self.context.mem, x, cxr, self.width))
+        eng.add_kernel("read_yc", read_kernel(
+            self.context.mem, y, cyc, self.width, repeat=replay))
+        eng.add_kernel("read_yr", read_kernel(
+            self.context.mem, y, cyr, self.width))
+        eng.add_kernel("read_xc", read_kernel(
+            self.context.mem, x, cxc, self.width, repeat=replay))
+        eng.add_kernel("syr2", level2.syr2_kernel(
+            n, alpha, ca, cxr, cyc, cyr, cxc, co, tn, tn, self.width,
+            a.data.dtype.type),
+            latency=level1_latency("map", self.width, precision))
+        eng.add_kernel("write_a", write_kernel(
+            self.context.mem, a, co, n * n, self.width,
+            order=sched.indices()))
+        report = eng.run()
+        io = self.context.mem.total_elements_moved - io_before
+        self.context.record(CallRecord(
+            "syr2", precision, report.cycles, freq, io,
+            routine_flops("syr2", n), "simulate"))
+        return self.context.copy_from_device(a)
+
+    def trsv(self, a, b, lower=True, unit_diag=False, async_=False):
+        """Solve A x = b in place of b (triangular A, generic storage)."""
+        n = b.num_elements
+        if a.data.shape != (n, n):
+            raise ValueError("trsv shape mismatch")
+        return self._execute(
+            lambda: self._trsv_impl(a, b, lower, unit_diag), async_)
+
+    def _trsv_impl(self, a, b, lower, unit_diag):
+        n = b.num_elements
+        precision = self._precision(a)
+        freq = self._frequency("level2", a.data.dtype)
+        if self.mode == "model":
+            x = reference.trsv(a.data, b.data.reshape(-1), lower=lower,
+                               unit_diag=unit_diag)
+            b.data.reshape(-1)[:] = x
+            self.context.record(CallRecord(
+                "trsv", precision, gemv_cycles(n, n, self.width), freq,
+                n * n + 2 * n, routine_flops("trsv", n), "model"))
+            return self.context.copy_from_device(b)
+
+        io_before = self.context.mem.total_elements_moved
+        row_order = list(orders.trsv_row_order(n, lower))
+        solve_order = (list(range(n)) if lower
+                       else list(range(n - 1, -1, -1)))
+        eng = Engine(memory=self.context.mem)
+        ca = eng.channel("A", self.channel_depth)
+        cb = eng.channel("b", self.channel_depth)
+        co = eng.channel("out", self.channel_depth)
+        eng.add_kernel("read_a", read_kernel(
+            self.context.mem, a, ca, self.width, order=row_order))
+        eng.add_kernel("read_b", read_kernel(
+            self.context.mem, b, cb, 1, order=solve_order))
+        eng.add_kernel("trsv", level2.trsv_kernel(
+            n, ca, cb, co, self.width, a.data.dtype.type, lower, unit_diag),
+            latency=level1_latency("map_reduce", self.width, precision))
+        eng.add_kernel("write_x", write_kernel(
+            self.context.mem, b, co, n, 1, order=solve_order))
+        report = eng.run()
+        io = self.context.mem.total_elements_moved - io_before
+        self.context.record(CallRecord(
+            "trsv", precision, report.cycles, freq, io,
+            routine_flops("trsv", n), "simulate"))
+        return self.context.copy_from_device(b)

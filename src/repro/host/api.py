@@ -1,0 +1,226 @@
+"""The FBLAS host API (Sec. II-B).
+
+:class:`Fblas` exposes library calls matching classical BLAS in signature
+and behaviour, executed on the simulated FPGA.  Calls are synchronous by
+default; passing ``async_=True`` returns a :class:`Handle` immediately
+(the paper's asynchronous flavour) which materializes on ``wait()`` or at
+:meth:`Fblas.finish`.
+
+Precision is carried by the device buffers (float32 = s-routines, float64
+= d-routines); classic prefixed names (``sdot``, ``dgemv``, ``isamax``,
+...) are provided as checked aliases.
+
+Two execution modes:
+
+``simulate``
+    Every call builds a full streaming design — DRAM interface kernels,
+    the routine module, write-back — and runs it cycle by cycle.  Exact
+    but meant for moderate sizes.
+``model``
+    Results come from the numpy reference; cycles and I/O come from the
+    Sec. IV/V closed forms (which the tests validate against the
+    simulator).  This is how the paper-scale benchmark tables are
+    produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..fpga.device import STRATIX10, FpgaDevice
+from ._l1 import Level1Mixin
+from ._l2 import Level2Mixin
+from ._l3 import Level3Mixin
+from .context import FblasContext
+
+_PREFIXED = {
+    "s": np.float32, "d": np.float64,
+}
+
+#: Routines reachable through BLAS-prefixed aliases.
+_ALIASABLE = {
+    "scal", "copy", "axpy", "swap", "rot", "rotm", "dot", "nrm2", "asum",
+    "gemv", "ger", "syr", "syr2", "trsv", "gemm", "syrk", "syr2k", "trsm",
+    "rotg", "rotmg",
+}
+
+
+class Handle:
+    """Deferred result of an asynchronous call."""
+
+    def __init__(self, thunk: Callable):
+        self._thunk = thunk
+        self._done = False
+        self._value = None
+
+    def wait(self):
+        """Block until the call completes; returns the result."""
+        if not self._done:
+            self._value = self._thunk()
+            self._done = True
+        return self._value
+
+    def result(self):
+        return self.wait()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
+    """FBLAS library instance bound to one device context."""
+
+    def __init__(self, context: Optional[FblasContext] = None,
+                 device: FpgaDevice = STRATIX10, mode: str = "simulate",
+                 width: Optional[int] = None, tile: Optional[int] = None,
+                 systolic_rows: int = 4, systolic_cols: int = 4,
+                 channel_depth: int = 256, **context_kwargs):
+        if mode not in ("simulate", "model"):
+            raise ValueError(f"mode must be simulate/model, got {mode!r}")
+        self.context = context or FblasContext(device=device,
+                                               **context_kwargs)
+        self.mode = mode
+        self.width = width or self.context.default_width
+        self.tile = tile or self.context.default_tile
+        if systolic_rows < 1 or systolic_cols < 1:
+            raise ValueError("systolic grid must be positive")
+        self.systolic_rows = systolic_rows
+        self.systolic_cols = systolic_cols
+        self.channel_depth = channel_depth
+        self._pending: List[Handle] = []
+
+    # -- convenience passthroughs ------------------------------------------------
+    def copy_to_device(self, array, name=None, bank=None):
+        return self.context.copy_to_device(array, name, bank)
+
+    def copy_from_device(self, buf):
+        return self.context.copy_from_device(buf)
+
+    def allocate(self, shape, dtype=np.float32, name=None, bank=None):
+        return self.context.allocate(shape, dtype, name, bank)
+
+    @property
+    def records(self):
+        return self.context.records
+
+    # -- async plumbing ---------------------------------------------------------
+    def _execute(self, thunk: Callable, async_: bool):
+        if not async_:
+            return thunk()
+        handle = Handle(thunk)
+        self._pending.append(handle)
+        return handle
+
+    def finish(self) -> None:
+        """Complete every outstanding asynchronous call, in issue order."""
+        for handle in self._pending:
+            handle.wait()
+        self._pending.clear()
+
+    # -- generated-routine invocation -------------------------------------------
+    def invoke(self, routine, *args, async_=False, **kwargs):
+        """Call a code-generator routine through the host API.
+
+        ``routine`` is a :class:`repro.codegen.GeneratedRoutine` (or a
+        bare :class:`RoutineSpec`); the call runs with the routine's
+        specialized non-functional parameters — vectorization width, tile
+        sizes, functional flags — instead of this instance's defaults,
+        mirroring how FBLAS host programs call the kernels their
+        specification file produced.  Positional/keyword arguments follow
+        the corresponding named method (e.g. ``invoke(gen_dot, x, y)``).
+        """
+        spec = getattr(routine, "spec", routine)
+        for arg in args:
+            if hasattr(arg, "data") and hasattr(arg.data, "dtype"):
+                want = (np.float32 if spec.precision == "single"
+                        else np.float64)
+                self._check_dtype(spec.user_name, want, arg)
+        method = getattr(self, spec.blas_name)
+        if spec.blas_name == "gemv":
+            kwargs.setdefault("trans", spec.transposed)
+        elif spec.blas_name in ("trsv", "trsm"):
+            kwargs.setdefault("lower", spec.lower)
+            kwargs.setdefault("unit_diag", spec.unit_diag)
+        saved_width, saved_tile = self.width, self.tile
+        self.width = spec.width
+        if spec.tiled:
+            self.tile = max(spec.tile_n_size, spec.tile_m_size)
+        try:
+            if spec.blas_name in ("rotg", "rotmg"):
+                dtype = (np.float32 if spec.precision == "single"
+                         else np.float64)
+                return method(*args, dtype=dtype, **kwargs)
+            return method(*args, async_=async_, **kwargs)
+        finally:
+            self.width, self.tile = saved_width, saved_tile
+
+    # -- prefixed BLAS aliases ----------------------------------------------------
+    def __getattr__(self, name: str):
+        # isamax/idamax
+        if name in ("isamax", "idamax"):
+            want = _PREFIXED[name[1]]
+            def checked_iamax(x, **kw):
+                self._check_dtype(name, want, x)
+                return self.iamax(x, **kw)
+            return checked_iamax
+        if name == "sdsdot":
+            raise AttributeError(name)  # defined concretely on the mixin
+        if len(name) > 1 and name[0] in _PREFIXED and name[1:] in _ALIASABLE:
+            base = name[1:]
+            want = _PREFIXED[name[0]]
+            method = getattr(self, base)
+
+            def checked(*args, **kwargs):
+                for arg in args:
+                    if hasattr(arg, "data") and hasattr(arg.data, "dtype"):
+                        self._check_dtype(name, want, arg)
+                if base in ("rotg", "rotmg"):
+                    kwargs.setdefault("dtype", want)
+                return method(*args, **kwargs)
+
+            checked.__name__ = name
+            return checked
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    @staticmethod
+    def _check_dtype(name, want, buf):
+        if buf.data.dtype != want:
+            raise TypeError(
+                f"{name} requires {np.dtype(want).name} buffers, got "
+                f"{buf.data.dtype.name} ({buf.name!r})")
+
+    # -- shared helpers used by the mixins -----------------------------------------
+    def _precision(self, buf) -> str:
+        return "single" if buf.data.dtype == np.float32 else "double"
+
+    def _frequency(self, routine_class: str, dtype) -> float:
+        precision = "single" if np.dtype(dtype) == np.float32 else "double"
+        return self.context.frequency_for(routine_class, precision)
+
+    def _same_length(self, x, y) -> int:
+        if x.num_elements != y.num_elements:
+            raise ValueError(
+                f"vector length mismatch: {x.num_elements} vs "
+                f"{y.num_elements}")
+        if x.data.dtype != y.data.dtype:
+            raise TypeError(
+                f"mixed precision: {x.data.dtype} vs {y.data.dtype}")
+        return x.num_elements
+
+    def _fit_tile(self, n: int, multiple_of: int = 1) -> int:
+        """Largest divisor of n that is <= the default tile and a multiple
+        of ``multiple_of`` (streaming kernels need exact tiling)."""
+        if n % multiple_of:
+            raise ValueError(
+                f"dimension {n} is not a multiple of the compute grid "
+                f"({multiple_of})")
+        best = multiple_of
+        limit = max(self.tile, multiple_of)
+        for d in range(multiple_of, n + 1, multiple_of):
+            if n % d == 0 and d <= limit:
+                best = d
+        return best

@@ -1,0 +1,167 @@
+"""Design-space exploration over the Sec. IV space/time models.
+
+The paper's models exist "to enable the user to choose desirable
+combinations of parameters to optimize performance and/or resource usage
+of her circuit design".  This module turns them into a search: enumerate
+candidate configurations (vectorization widths, tile sizes, systolic
+grids), estimate each point's resources / frequency / completion time on a
+chosen device, discard points that do not fit, and return the Pareto
+frontier of the space/time trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..fpga.device import FpgaDevice, FrequencyModel
+from ..fpga.resources import (
+    ResourceUsage,
+    gemm_systolic_resources,
+    level1_latency,
+    level1_resources,
+    level2_resources,
+)
+from .performance import gemm_systolic_cycles, level1_cycles, pipeline_cycles
+from .workdepth import routine_class
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    routine: str
+    precision: str
+    params: Tuple[Tuple[str, int], ...]       # sorted (name, value) pairs
+    usage: ResourceUsage
+    cycles: int
+    frequency: float
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency
+
+    @property
+    def utilization_key(self) -> int:
+        """Scalar resource cost used for Pareto domination (DSPs are the
+        scarce compute resource on both devices)."""
+        return self.usage.dsps
+
+    def param(self, name: str) -> int:
+        return dict(self.params)[name]
+
+    def describe(self) -> str:
+        ps = ", ".join(f"{k}={v}" for k, v in self.params)
+        return (f"{self.routine}[{ps}]: {self.cycles} cycles @ "
+                f"{self.frequency / 1e6:.0f} MHz = {self.seconds * 1e6:.1f} "
+                f"us, {self.usage.dsps} DSPs")
+
+
+def explore_level1(routine: str, n: int, device: FpgaDevice,
+                   precision: str = "single",
+                   widths: Optional[Sequence[int]] = None
+                   ) -> List[DesignPoint]:
+    """Evaluate a Level-1 routine across vectorization widths."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    widths = widths or (2, 4, 8, 16, 32, 64, 128, 256)
+    klass = routine_class(routine)
+    fm = FrequencyModel(device)
+    points = []
+    for w in widths:
+        usage = level1_resources(klass, w, precision,
+                                 include_overhead=True, device=device)
+        if not usage.fits(device):
+            continue
+        f = fm.estimate("level1", precision,
+                        utilization=usage.utilization(device))
+        points.append(DesignPoint(
+            routine=routine, precision=precision, params=(("width", w),),
+            usage=usage, cycles=level1_cycles(routine, n, w), frequency=f))
+    return points
+
+
+def explore_gemv(n: int, m: int, device: FpgaDevice,
+                 precision: str = "single",
+                 widths: Optional[Sequence[int]] = None,
+                 tiles: Optional[Sequence[int]] = None) -> List[DesignPoint]:
+    """Evaluate tiled GEMV across (width, tile) combinations."""
+    widths = widths or (8, 16, 32, 64, 128)
+    tiles = tiles or (128, 256, 512, 1024, 2048)
+    fm = FrequencyModel(device)
+    points = []
+    for w in widths:
+        for t in tiles:
+            usage = level2_resources(w, t, precision, device=device)
+            if not usage.fits(device):
+                continue
+            f = fm.estimate("level2", precision,
+                            utilization=usage.utilization(device))
+            cd = level1_latency("map_reduce", w, precision)
+            cycles = pipeline_cycles(cd, 1, math.ceil(n * m / w))
+            points.append(DesignPoint(
+                routine="gemv", precision=precision,
+                params=(("tile", t), ("width", w)),
+                usage=usage, cycles=cycles, frequency=f))
+    return points
+
+
+def explore_systolic_gemm(n: int, m: int, k: int, device: FpgaDevice,
+                          precision: str = "single",
+                          grids: Optional[Sequence[Tuple[int, int]]] = None,
+                          ratios: Sequence[int] = (3, 6, 9, 12)
+                          ) -> List[DesignPoint]:
+    """Evaluate systolic GEMM across PE grids and memory/compute ratios."""
+    grids = grids or ((8, 8), (16, 16), (32, 32), (16, 8), (40, 80))
+    fm = FrequencyModel(device)
+    points = []
+    for pr, pc in grids:
+        for ratio in ratios:
+            tr, tc = pr * ratio, pc * ratio
+            usage = gemm_systolic_resources(pr, pc, tr, tc, precision,
+                                            device=device)
+            if not usage.fits(device):
+                continue
+            f = fm.estimate("systolic", precision,
+                            utilization=usage.utilization(device))
+            n_pad = math.ceil(n / tr) * tr
+            m_pad = math.ceil(m / tc) * tc
+            cycles = gemm_systolic_cycles(n_pad, m_pad, k, pr, pc, tr, tc)
+            points.append(DesignPoint(
+                routine="gemm", precision=precision,
+                params=(("pc", pc), ("pr", pr), ("ratio", ratio)),
+                usage=usage, cycles=cycles, frequency=f))
+    return points
+
+
+def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated in (seconds, DSPs): the space/time frontier."""
+    pts = sorted(points, key=lambda p: (p.seconds, p.utilization_key))
+    frontier: List[DesignPoint] = []
+    best_cost = None
+    for p in pts:
+        if best_cost is None or p.utilization_key < best_cost:
+            frontier.append(p)
+            best_cost = p.utilization_key
+    return frontier
+
+
+def fastest(points: Iterable[DesignPoint]) -> DesignPoint:
+    """The minimum-time point (ties broken by fewer DSPs)."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("no feasible design points")
+    return min(pts, key=lambda p: (p.seconds, p.utilization_key))
+
+
+def cheapest_within(points: Iterable[DesignPoint],
+                    time_budget: float) -> DesignPoint:
+    """The fewest-resources point meeting a completion-time budget —
+    the paper's "complete the computation within a time budget" use-case.
+    """
+    feasible = [p for p in points if p.seconds <= time_budget]
+    if not feasible:
+        raise ValueError(
+            f"no design meets the {time_budget * 1e6:.1f} us budget")
+    return min(feasible, key=lambda p: (p.utilization_key, p.seconds))

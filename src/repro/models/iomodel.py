@@ -1,0 +1,164 @@
+"""I/O-complexity models for tiling schemes and streaming compositions.
+
+Everything in Sec. III-B and Sec. V of the paper that counts *memory I/O
+operations* (element reads and writes against off-chip DRAM) is collected
+here.  These closed forms are asserted against the simulator's actual DRAM
+access counters in the integration tests, and drive the Fig. 11 and Table
+VI benchmark analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+# ---------------------------------------------------------------------------
+# GEMV tiling schemes (Sec. III-B, Fig. 2)
+# ---------------------------------------------------------------------------
+
+def gemv_io_tiles_by_rows(n: int, m: int, tile_n: int) -> int:
+    """I/O of GEMV receiving A in tiles by rows: NM + MN/T_N + 2N.
+
+    y is reused on chip; x must be *replayed* ceil(N/T_N) times.
+    """
+    _check(n, m)
+    return n * m + m * math.ceil(n / tile_n) + 2 * n
+
+
+def gemv_io_tiles_by_cols(n: int, m: int, tile_m: int) -> int:
+    """I/O of GEMV receiving A in tiles by columns: NM + M + 2NM/T_M.
+
+    x is reused on chip; y must be replayed (written and re-read)
+    ceil(M/T_M) times.
+    """
+    _check(n, m)
+    return n * m + m + 2 * n * math.ceil(m / tile_m)
+
+
+def gemv_replay_count_rows(n: int, tile_n: int) -> int:
+    """Times the x vector is re-read in the tiles-by-rows scheme."""
+    return math.ceil(n / tile_n)
+
+
+def gemv_replay_count_cols(m: int, tile_m: int) -> int:
+    """Times the y vector is written+re-read in the tiles-by-cols scheme."""
+    return math.ceil(m / tile_m)
+
+
+def gemm_io_tiled(n: int, m: int, k: int, tile_n: int, tile_m: int) -> int:
+    """I/O of the tiled GEMM: A replayed per tile column, B per tile row.
+
+    NK * ceil(M/T_M)  (A)  +  KM * ceil(N/T_N)  (B)  +  2NM  (C in/out) —
+    the classic communication volume the memory tiles control, and the
+    denominator of the Sec. III-C systolic design's off-chip traffic.
+    """
+    _check(n, m, k)
+    return (n * k * math.ceil(m / tile_m) + k * m * math.ceil(n / tile_n)
+            + 2 * n * m)
+
+
+# ---------------------------------------------------------------------------
+# Composed applications (Sec. V)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompositionIO:
+    """I/O and completion-cycle estimates for host-layer vs streaming."""
+
+    sequential_io: int
+    streaming_io: int
+    sequential_cycles: int
+    streaming_cycles: int
+
+    @property
+    def io_reduction(self) -> float:
+        return self.sequential_io / self.streaming_io
+
+    @property
+    def cycle_speedup(self) -> float:
+        return self.sequential_cycles / self.streaming_cycles
+
+
+def axpydot(n: int, l_copy: int = 50, l_axpy: int = 50,
+            l_dot: int = 100, width: int = 1) -> CompositionIO:
+    """AXPYDOT: z = w - alpha*v;  beta = z^T u  (Sec. V-A).
+
+    Host layer: COPY (2N) + AXPY (3N) + DOT (2N) = 7N I/O ops and three
+    sequential pipelines of ~N/W cycles each.  Streaming: AXPY chains into
+    DOT, the copy disappears: 3N+1 I/O ops and one pipeline of ~N/W cycles.
+    """
+    _check(n)
+    steps = math.ceil(n / width)
+    return CompositionIO(
+        sequential_io=7 * n,
+        streaming_io=3 * n + 1,
+        sequential_cycles=(l_copy + steps) + (l_axpy + steps) + (l_dot + steps),
+        streaming_cycles=l_copy + l_axpy + l_dot + steps,
+    )
+
+
+def bicg(n: int, m: int, l_gemv: int = 100, width: int = 1) -> CompositionIO:
+    """BICG: q = A p and s = A^T r (Sec. V-A, Fig. 7).
+
+    Both GEMVs read A; streaming reads it once (2NM -> NM) but does not
+    shorten the NM-cycle pipeline (the two GEMVs run in parallel anyway).
+    """
+    _check(n, m)
+    steps = math.ceil(n * m / width)
+    return CompositionIO(
+        sequential_io=2 * n * m + 2 * (m + n),
+        streaming_io=n * m + 2 * (m + n),
+        sequential_cycles=2 * (l_gemv + steps),
+        streaming_cycles=l_gemv + steps,
+    )
+
+
+def gemver(n: int, l_mod: int = 100, width: int = 1) -> CompositionIO:
+    """GEMVER (Sec. V-C, Fig. 9).
+
+    B = A + u1 v1^T + u2 v2^T;  x = beta*B^T y + z;  w = alpha*B x.
+    Classic BLAS: two GER, two GEMV, two copies: ~8N^2 + 10N I/O and
+    5N^2 + N cycles.  The streaming version runs component (1) — GER, GER,
+    GEMV^T fused — then component (2) — the final GEMV — for ~3N^2 + 9N
+    I/O and 2N^2 cycles.
+    """
+    _check(n)
+    n2 = n * n
+    steps = math.ceil(n2 / width)
+    return CompositionIO(
+        sequential_io=8 * n2 + 10 * n,
+        streaming_io=3 * n2 + 9 * n,
+        sequential_cycles=5 * steps + math.ceil(n / width),
+        streaming_cycles=2 * steps + 2 * l_mod,
+    )
+
+
+def atax_min_channel_depth(n_cols: int, tile_n: int) -> int:
+    """Minimal A-channel depth making the streamed ATAX valid (Sec. V-B).
+
+    The first GEMV produces its first output block only after consuming an
+    entire row of tiles of A (N * T_N elements); until then the second
+    GEMV's A channel must buffer everything it is being sent.
+    """
+    if n_cols < 1 or tile_n < 1:
+        raise ValueError("dimensions must be positive")
+    return n_cols * tile_n
+
+
+def atax_io(n: int, m: int, streaming_valid: bool) -> int:
+    """I/O of ATAX y = A^T A x (A is M x N).
+
+    A fully streamed (valid) composition reads A once; the fallback that
+    breaks the MDAG lets both GEMVs read A independently, matching the
+    non-streamed I/O volume (Sec. V-B).
+    """
+    _check(n, m)
+    base = 2 * n + n  # x in, y out, intermediate vector
+    return (n * m if streaming_valid else 2 * n * m) + base
+
+
+def _check(*dims: int) -> None:
+    for d in dims:
+        if d < 1:
+            raise ValueError("dimensions must be positive")

@@ -1,0 +1,248 @@
+"""Execute an MDAG composition plan on the simulator.
+
+:mod:`repro.streaming.scheduler` decides *how* to run a composition
+(channel depths, sequential components, DRAM round trips); this module
+actually runs it.  The caller attaches *bindings* to the MDAG's nodes —
+
+* a compute node binds a kernel factory taking ``(inputs, outputs)``
+  channel dicts keyed by port name, plus a pipeline latency;
+* a read interface binds a DRAM buffer (with optional streaming order and
+  replay) feeding its out-edges;
+* a write interface binds a destination buffer draining its in-edge —
+
+and :func:`execute_plan` builds one engine per plan component, wiring
+on-chip edges as FIFO channels at the planned depths, fanning shared
+interface reads out through duplicate kernels, materializing cut edges
+through scratch DRAM buffers, and running the components in order.
+
+This is the machinery that turns the paper's "derive valid FBLAS
+compositions" future work into an end-to-end flow: MDAG in, results and a
+cycle/I-O report out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..fpga.engine import Engine, SimReport
+from ..fpga.memory import DramBuffer, DramModel, read_kernel, write_kernel
+from ..fpga.util import duplicate_kernel
+from .mdag import MDAG, MDAGError
+from .scheduler import CompositionPlan, plan_composition
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an MDAG is not fully bound or bindings are malformed."""
+
+
+@dataclass
+class ComputeBinding:
+    """Kernel factory for a compute node.
+
+    ``factory(inputs, outputs)`` receives dicts of channels keyed by the
+    port names used in :meth:`BoundMDAG.connect`.
+    """
+
+    factory: Callable[[Dict, Dict], object]
+    latency: int = 1
+
+
+@dataclass
+class ReadBinding:
+    """DRAM source for a read-interface node (one signature, any fanout)."""
+
+    buffer: DramBuffer
+    width: int = 1
+    order: Optional[Callable[[], Iterable[int]]] = None   # fresh iterator
+    repeat: int = 1
+
+
+@dataclass
+class WriteBinding:
+    """DRAM sink for a write-interface node (single in-edge)."""
+
+    buffer: DramBuffer
+    count: int
+    width: int = 1
+    order: Optional[Callable[[], Iterable[int]]] = None
+
+
+class BoundMDAG(MDAG):
+    """An MDAG whose edges carry port names and whose nodes carry bindings."""
+
+    def __init__(self):
+        super().__init__()
+        self.bindings: Dict[str, object] = {}
+
+    def bind(self, node: str, binding) -> None:
+        if node not in self.graph:
+            raise MDAGError(f"unknown node {node!r}")
+        kind = self.kind(node)
+        if kind == "compute" and not isinstance(binding, ComputeBinding):
+            raise ExecutionError(
+                f"{node!r} is a compute node; bind a ComputeBinding")
+        if kind == "interface" and not isinstance(
+                binding, (ReadBinding, WriteBinding)):
+            raise ExecutionError(
+                f"{node!r} is an interface; bind a Read/WriteBinding")
+        self.bindings[node] = binding
+
+    def connect(self, src: str, dst: str, produces, consumes,
+                depth: int = 64, src_port: str = "out",
+                dst_port: str = "in") -> None:
+        super().connect(src, dst, produces, consumes, depth)
+        self.graph.edges[src, dst]["src_port"] = src_port
+        self.graph.edges[src, dst]["dst_port"] = dst_port
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a plan."""
+
+    plan: CompositionPlan
+    reports: List[SimReport]
+    io_elements: int
+
+    @property
+    def cycles(self) -> int:
+        return sum(r.cycles for r in self.reports)
+
+
+def execute_plan(mdag: BoundMDAG, mem: DramModel,
+                 plan: Optional[CompositionPlan] = None,
+                 windows=None, buffer_budget: int = 0) -> ExecutionResult:
+    """Plan (unless given) and run a bound MDAG on ``mem``."""
+    if plan is None:
+        plan = plan_composition(mdag, windows=windows,
+                                buffer_budget=buffer_budget)
+    _check_bound(mdag)
+    io_before = mem.total_elements_moved
+    cut = set(plan.materialized_edges)
+
+    # Scratch DRAM buffers for materialized compute->compute edges.
+    scratch: Dict[Tuple[str, str], DramBuffer] = {}
+    for u, v in cut:
+        if mdag.kind(u) == "compute":
+            total = mdag.graph.edges[u, v]["produces"].total
+            # float64 scratch holds either precision's values exactly;
+            # consumers re-cast to their own dtype.
+            scratch[(u, v)] = mem.allocate(
+                f"_mat_{u}_{v}_{len(scratch)}", total, dtype=np.float64)
+
+    reports: List[SimReport] = []
+    for comp_idx, component in enumerate(plan.components):
+        eng = Engine(memory=mem)
+        in_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
+        out_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
+        # interface fanout bookkeeping: read node -> list of its channels
+        read_fanout: Dict[str, List] = {}
+
+        for u, v, data in mdag.graph.edges(data=True):
+            produces = data["produces"]
+            if (u, v) in cut:
+                # Producer side: drain into DRAM in the producer's
+                # component (compute producers only; interface producers
+                # simply re-read in the consumer's component).
+                if (mdag.kind(u) == "compute"
+                        and u in component):
+                    ch = eng.channel(f"cut_{u}_{v}",
+                                     max(64, 2 * _width_of(mdag, u)))
+                    out_chans[u][data["src_port"]] = ch
+                    buf = scratch[(u, v)]
+                    eng.add_kernel(f"write_{u}_{v}", write_kernel(
+                        mem, buf, ch, produces.total,
+                        _width_of(mdag, u)))
+                # Consumer side: read back in the consumer's component.
+                if v in component:
+                    ch = eng.channel(f"mat_{u}_{v}",
+                                     max(64, 2 * _width_of(mdag, v)))
+                    in_chans[v][data["dst_port"]] = ch
+                    consumes = data["consumes"]
+                    if mdag.kind(u) == "compute":
+                        src_buf = scratch[(u, v)]
+                        repeat = max(1, consumes.total // produces.total)
+                        eng.add_kernel(f"read_{u}_{v}", read_kernel(
+                            mem, src_buf, ch, _width_of(mdag, v),
+                            repeat=repeat))
+                    else:
+                        binding = mdag.bindings[u]
+                        eng.add_kernel(f"read_{u}_{v}", read_kernel(
+                            mem, binding.buffer, ch, binding.width,
+                            order=(binding.order() if binding.order
+                                   else None),
+                            repeat=binding.repeat))
+                continue
+            if u not in component and v not in component:
+                continue
+            if u not in component or v not in component:  # pragma: no cover
+                raise ExecutionError(
+                    f"on-chip edge {u!r}->{v!r} spans components; "
+                    "plan is inconsistent")
+            depth = plan.channel_depths.get((u, v), data["depth"])
+            ch = eng.channel(f"{u}__{v}", max(depth, 4))
+            if mdag.kind(u) == "interface":
+                read_fanout.setdefault(u, []).append((ch, produces))
+            else:
+                out_chans[u][data["src_port"]] = ch
+            if mdag.kind(v) == "interface":
+                in_chans[v][data["dst_port"]] = ch
+            else:
+                in_chans[v][data["dst_port"]] = ch
+
+        # Instantiate node kernels.
+        for node in component:
+            kind = mdag.kind(node)
+            binding = mdag.bindings.get(node)
+            if kind == "compute":
+                eng.add_kernel(node, binding.factory(
+                    in_chans[node], out_chans[node]),
+                    latency=binding.latency)
+            elif isinstance(binding, ReadBinding):
+                chans = read_fanout.get(node, [])
+                if not chans:
+                    continue          # all of its edges were materialized
+                total = chans[0][1].total
+                if len(chans) == 1:
+                    eng.add_kernel(f"read_{node}", read_kernel(
+                        mem, binding.buffer, chans[0][0], binding.width,
+                        order=binding.order() if binding.order else None,
+                        repeat=binding.repeat))
+                else:
+                    feed = eng.channel(f"{node}__fan",
+                                       max(64, 2 * binding.width))
+                    eng.add_kernel(f"read_{node}", read_kernel(
+                        mem, binding.buffer, feed, binding.width,
+                        order=binding.order() if binding.order else None,
+                        repeat=binding.repeat))
+                    eng.add_kernel(f"fan_{node}", duplicate_kernel(
+                        feed, [c for c, _s in chans], total,
+                        binding.width))
+            elif isinstance(binding, WriteBinding):
+                chans = list(in_chans[node].values())
+                if not chans:
+                    continue
+                if len(chans) != 1:
+                    raise ExecutionError(
+                        f"write interface {node!r} must have one in-edge")
+                eng.add_kernel(f"write_{node}", write_kernel(
+                    mem, binding.buffer, chans[0], binding.count,
+                    binding.width,
+                    order=binding.order() if binding.order else None))
+        reports.append(eng.run())
+
+    return ExecutionResult(plan=plan, reports=reports,
+                           io_elements=mem.total_elements_moved - io_before)
+
+
+def _width_of(mdag: BoundMDAG, node: str) -> int:
+    binding = mdag.bindings.get(node)
+    return getattr(binding, "width", 1) or 1
+
+
+def _check_bound(mdag: BoundMDAG) -> None:
+    missing = [n for n in mdag.graph.nodes if n not in mdag.bindings]
+    if missing:
+        raise ExecutionError(f"unbound nodes: {sorted(missing)}")

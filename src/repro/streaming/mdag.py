@@ -1,0 +1,231 @@
+"""Module DAG (MDAG) construction and validity analysis (Sec. V).
+
+A computation is a DAG whose vertices are hardware modules — *interface*
+modules (off-chip memory access, drawn as circles in the paper) and
+*compute* modules (FBLAS routines, rectangles) — and whose edges are FIFO
+channels.  The analysis implemented here answers, statically, the paper's
+validity questions:
+
+* every edge must move the same number of elements in the same order on
+  both ends (checked against :class:`StreamSignature` pairs);
+* a *multitree* MDAG (at most one path between any pair of vertices) with
+  valid edges is always valid;
+* if two vertices are joined by two or more vertex-disjoint paths, the
+  composition can stall forever unless some channel is sized to buffer the
+  producer's full reordering window (the ATAX case) — such pairs are
+  reported along with the edges that need explicit sizing.
+
+The *dynamic* counterpart of this analysis is the simulator's
+:class:`~repro.fpga.engine.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .interface import StreamSignature
+
+DEFAULT_CHANNEL_DEPTH = 64
+
+
+class MDAGError(ValueError):
+    """Raised on malformed MDAG construction."""
+
+
+@dataclass
+class EdgeIssue:
+    """One validity problem found by :meth:`MDAG.validate`."""
+
+    kind: str            # "signature", "replay", "cycle", "buffering"
+    detail: str
+    edge: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of the static MDAG analysis."""
+
+    valid: bool
+    is_multitree: bool
+    issues: List[EdgeIssue] = field(default_factory=list)
+    #: Vertex pairs joined by >= 2 vertex-disjoint paths; these make the
+    #: MDAG a non-multitree and require explicit channel sizing.
+    reconvergent_pairs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.valid
+
+
+class MDAG:
+    """A module DAG under construction."""
+
+    def __init__(self):
+        self.graph = nx.DiGraph()
+
+    # -- construction -------------------------------------------------------
+    def add_interface(self, name: str) -> str:
+        """Add an interface module (off-chip memory reader/writer)."""
+        return self._add(name, "interface")
+
+    def add_module(self, name: str) -> str:
+        """Add a compute module (an FBLAS routine instance)."""
+        return self._add(name, "compute")
+
+    def _add(self, name: str, kind: str) -> str:
+        if name in self.graph:
+            raise MDAGError(f"duplicate module name {name!r}")
+        self.graph.add_node(name, kind=kind)
+        return name
+
+    def connect(self, src: str, dst: str, produces: StreamSignature,
+                consumes: StreamSignature,
+                depth: int = DEFAULT_CHANNEL_DEPTH) -> None:
+        """Add a FIFO edge carrying ``produces`` into ``consumes``."""
+        for node in (src, dst):
+            if node not in self.graph:
+                raise MDAGError(f"unknown module {node!r}")
+        if self.graph.has_edge(src, dst):
+            raise MDAGError(f"duplicate edge {src!r} -> {dst!r}")
+        self.graph.add_edge(src, dst, produces=produces, consumes=consumes,
+                            depth=depth)
+
+    def kind(self, name: str) -> str:
+        return self.graph.nodes[name]["kind"]
+
+    # -- analysis -------------------------------------------------------------
+    def is_multitree(self) -> bool:
+        """True if there is at most one path between any pair of vertices."""
+        return not self._multipath_pairs()
+
+    def _multipath_pairs(self) -> List[Tuple[str, str]]:
+        """Vertex pairs with more than one (not necessarily disjoint) path."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            return []
+        order = list(nx.topological_sort(self.graph))
+        pairs = []
+        for src in order:
+            counts: Dict[str, int] = {src: 1}
+            for v in order:
+                if v == src or v not in self.graph:
+                    continue
+                total = sum(counts.get(u, 0)
+                            for u in self.graph.predecessors(v))
+                if total:
+                    counts[v] = total
+                    if total > 1:
+                        pairs.append((src, v))
+        return pairs
+
+    def reconvergent_pairs(self) -> List[Tuple[str, str]]:
+        """Pairs joined by >= 2 internally vertex-disjoint paths.
+
+        These are the pairs the paper singles out (Sec. V-B): data fans out
+        at the first vertex and rejoins at the second, so one branch can
+        only progress if the other's data is buffered in a channel.
+        """
+        out = []
+        for u, v in self._multipath_pairs():
+            try:
+                k = len(list(nx.node_disjoint_paths(self.graph, u, v)))
+            except nx.NetworkXNoPath:  # pragma: no cover - defensive
+                continue
+            if k >= 2:
+                out.append((u, v))
+        return out
+
+    def validate(self) -> ValidationReport:
+        """Run the full static analysis."""
+        issues: List[EdgeIssue] = []
+
+        if not nx.is_directed_acyclic_graph(self.graph):
+            issues.append(EdgeIssue("cycle", "MDAG contains a cycle"))
+            return ValidationReport(valid=False, is_multitree=False,
+                                    issues=issues)
+
+        for u, v, data in self.graph.edges(data=True):
+            produces: StreamSignature = data["produces"]
+            consumes: StreamSignature = data["consumes"]
+            reason = produces.mismatch_reason(consumes)
+            if reason is None:
+                continue
+            # Replay between two *compute* modules is never allowed: a
+            # compute module cannot re-emit past data (Sec. V).  An
+            # interface module can, by re-reading DRAM.
+            if (self.kind(u) == "compute" and
+                    produces.total < consumes.total):
+                issues.append(EdgeIssue(
+                    "replay",
+                    f"{u!r} -> {v!r}: consumer requires replayed data "
+                    f"({consumes.total} elements) that compute module "
+                    f"{u!r} only produces once ({produces.total}); "
+                    "replay is only possible from interface modules",
+                    (u, v)))
+            else:
+                issues.append(EdgeIssue(
+                    "signature", f"{u!r} -> {v!r}: {reason}", (u, v)))
+
+        reconv = self.reconvergent_pairs()
+        multitree = not self._multipath_pairs()
+        for u, v in reconv:
+            # The composition can still be made valid by sizing a channel
+            # to the producer's reordering window; we flag the pair and let
+            # the caller bring the data-size-specific bound.
+            issues.append(EdgeIssue(
+                "buffering",
+                f"two vertex-disjoint paths from {u!r} to {v!r}: valid only "
+                "if a channel on one branch buffers the full reordering "
+                "window (invalid for dynamic problem sizes)",
+                (u, v)))
+
+        valid = not any(i.kind in ("signature", "replay", "cycle")
+                        for i in issues) and not reconv
+        return ValidationReport(valid=valid, is_multitree=multitree,
+                                issues=issues, reconvergent_pairs=reconv)
+
+    def required_depth(self, u: str, v: str, window: int) -> None:
+        """Record that edge (u, v) needs at least ``window`` slots.
+
+        Raising the stored depth turns a reconvergent composition into a
+        valid one *for the given problem size* — exactly remedy (a) of
+        Sec. V-B.  The simulator builders read this attribute.
+        """
+        if not self.graph.has_edge(u, v):
+            raise MDAGError(f"no edge {u!r} -> {v!r}")
+        if window < 1:
+            raise MDAGError("window must be positive")
+        data = self.graph.edges[u, v]
+        data["depth"] = max(data["depth"], window)
+
+    def depth(self, u: str, v: str) -> int:
+        return self.graph.edges[u, v]["depth"]
+
+    # -- reporting -------------------------------------------------------------
+    def io_operations(self) -> int:
+        """Total off-chip elements moved.
+
+        A read interface that fans the *same* stream out to several
+        consumers reads DRAM once (the BICG trick); distinct signatures
+        from one interface cost one read each.  Writes count per edge.
+        """
+        total = 0
+        for node, nd in self.graph.nodes(data=True):
+            if nd["kind"] != "interface":
+                continue
+            distinct = {self.graph.edges[node, v]["produces"]
+                        for v in self.graph.successors(node)}
+            total += sum(sig.total for sig in distinct)
+            for u in self.graph.predecessors(node):
+                total += self.graph.edges[u, node]["consumes"].total
+        return total
+
+    def describe(self) -> str:
+        lines = ["MDAG:"]
+        for n, d in self.graph.nodes(data=True):
+            lines.append(f"  [{d['kind']:9s}] {n}")
+        for u, v, d in self.graph.edges(data=True):
+            lines.append(f"  {u} -> {v} ({d['produces'].total} elems, "
+                         f"depth {d['depth']})")
+        return "\n".join(lines)

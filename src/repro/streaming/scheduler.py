@@ -1,0 +1,270 @@
+"""General MDAG composition planning — the paper's stated future work.
+
+Sec. V of the paper analyses compositions case by case and leaves "a full
+general case analysis of MDAGs, that could help the user in deriving valid
+FBLAS compositions" as future work.  This module implements that analysis:
+given any MDAG, :func:`plan_composition` produces a :class:`CompositionPlan`
+that is guaranteed valid, by combining the paper's two remedies for
+reconvergent (non-multitree) graphs:
+
+a) **channel sizing** — if the caller supplies the producer's reordering
+   window for an edge (e.g. the ATAX bound N*T_N) and it fits the on-chip
+   buffer budget, the edge's FIFO is deepened and the composition stays
+   fully streamed;
+b) **splitting** — otherwise the graph is cut into *sequential components*:
+   every edge entering a reconvergence vertex from a compute module is
+   materialized through DRAM (a writer interface in one component, a
+   reader in a later one), exactly how the paper splits GEMVER into
+   GER->GER->GEMV^T followed by the final GEMV.
+
+The resulting plan reports per-component subgraphs (each individually a
+valid multitree), the required channel depths, the DRAM-materialized
+edges, and the total off-chip I/O — so the cost of a plan can be compared
+against the fully sequential host-layer execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .mdag import MDAG, MDAGError, ValidationReport
+
+
+class PlanningError(ValueError):
+    """Raised when no valid plan exists (semantically broken MDAGs)."""
+
+
+@dataclass
+class CompositionPlan:
+    """A valid execution plan for an MDAG.
+
+    Attributes
+    ----------
+    components:
+        Node sets, in execution order; component k+1 starts after
+        component k has drained to DRAM.
+    materialized_edges:
+        Edges replaced by a DRAM round trip (write in the producer's
+        component, read in the consumer's).
+    channel_depths:
+        Required FIFO depth per remaining on-chip edge.
+    sized_edges:
+        Edges whose depth was raised to a reordering window (remedy a).
+    """
+
+    mdag: MDAG
+    components: List[Set[str]]
+    materialized_edges: List[Tuple[str, str]] = field(default_factory=list)
+    channel_depths: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    sized_edges: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def fully_streamed(self) -> bool:
+        return self.num_components == 1 and not self.materialized_edges
+
+    def component_of(self, node: str) -> int:
+        for i, comp in enumerate(self.components):
+            if node in comp:
+                return i
+        raise KeyError(node)
+
+    def io_operations(self) -> int:
+        """Off-chip elements moved under this plan.
+
+        Interface reads are deduplicated per distinct fan-out signature
+        (see :meth:`MDAG.io_operations`).  Each materialized edge adds: a
+        fresh read when its producer is an interface (the data already
+        lives in DRAM), a write plus a (possibly replayed) read when both
+        ends are compute modules.
+        """
+        total = self.mdag.io_operations()
+        cut = set(self.materialized_edges)
+        for u, v in self.materialized_edges:
+            data = self.mdag.graph.edges[u, v]
+            if self.mdag.kind(u) == "interface":
+                # The read moves to a later component.  If a live sibling
+                # edge shares the signature, the two can no longer share
+                # one physical read: one extra read appears.  A cut edge
+                # with no live sharer keeps its single (already counted)
+                # read.
+                sig = data["produces"]
+                shared = any(
+                    self.mdag.graph.edges[u, w]["produces"] == sig
+                    and (u, w) not in cut
+                    for w in self.mdag.graph.successors(u) if w != v)
+                if shared:
+                    total += data["consumes"].total
+            elif self.mdag.kind(v) == "interface":
+                pass                       # it was a write already
+            else:
+                total += (data["produces"].total + data["consumes"].total)
+        return total
+
+    def sequential_io_operations(self) -> int:
+        """Off-chip elements if *every* edge went through DRAM (the
+        host-layer execution: one kernel per module, all intermediates in
+        memory, no shared reads)."""
+        total = 0
+        for u, v, data in self.mdag.graph.edges(data=True):
+            ku, kv = self.mdag.kind(u), self.mdag.kind(v)
+            if ku == "interface" and kv == "interface":
+                # DRAM-to-DRAM copy: one read plus one write.
+                total += data["produces"].total + data["consumes"].total
+            elif ku == "interface":
+                total += data["consumes"].total      # one read per consumer
+            elif kv == "interface":
+                total += data["produces"].total      # one write
+            else:
+                total += (data["produces"].total
+                          + data["consumes"].total)  # round trip
+        return total
+
+    def io_reduction(self) -> float:
+        return self.sequential_io_operations() / self.io_operations()
+
+    def describe(self) -> str:
+        lines = [f"composition plan: {self.num_components} component(s)"]
+        for i, comp in enumerate(self.components):
+            lines.append(f"  component {i}: {sorted(comp)}")
+        for u, v in self.materialized_edges:
+            lines.append(f"  DRAM round trip: {u} -> {v}")
+        for u, v in self.sized_edges:
+            lines.append(f"  sized channel:  {u} -> {v} "
+                         f"(depth {self.channel_depths[(u, v)]})")
+        lines.append(f"  off-chip I/O: {self.io_operations()} "
+                     f"(host layer: {self.sequential_io_operations()})")
+        return "\n".join(lines)
+
+
+def plan_composition(mdag: MDAG,
+                     windows: Optional[Dict[Tuple[str, str], int]] = None,
+                     buffer_budget: int = 0) -> CompositionPlan:
+    """Derive a valid plan for ``mdag``.
+
+    Parameters
+    ----------
+    windows:
+        Reordering window (elements) per edge, for reconvergent pairs the
+        caller can bound — e.g. ``{("read_A", "gemv2"): n * tile_n}`` for
+        ATAX.  Only consulted for edges involved in reconvergence.
+    buffer_budget:
+        On-chip elements available for channel sizing (remedy a).  Windows
+        larger than the budget force a split (remedy b).
+
+    Raises
+    ------
+    PlanningError
+        If the MDAG has semantic edge errors (count/order mismatches,
+        compute-module replay) or cycles — no amount of buffering or
+        splitting fixes those.
+    """
+    windows = dict(windows or {})
+    report = mdag.validate()
+    graph = mdag.graph
+    cut: Set[Tuple[str, str]] = set()
+    hard: List[str] = []
+    for issue in report.issues:
+        if issue.kind == "cycle":
+            hard.append(issue.detail)
+        elif issue.kind in ("signature", "replay") and issue.edge:
+            u, v = issue.edge
+            produces = graph.edges[u, v]["produces"]
+            consumes = graph.edges[u, v]["consumes"]
+            # A DRAM round trip can re-order a stream and replay it any
+            # whole number of times — so such edges are *fixable* by
+            # mandatory materialization.  Anything else is semantic.
+            if consumes.total % max(produces.total, 1) == 0:
+                cut.add((u, v))
+            else:
+                hard.append(issue.detail)
+    if hard:
+        raise PlanningError(
+            "MDAG has semantic errors that planning cannot fix: "
+            + "; ".join(hard))
+
+    depths: Dict[Tuple[str, str], int] = {
+        (u, v): data["depth"] for u, v, data in graph.edges(data=True)}
+    sized: List[Tuple[str, str]] = []
+    budget_left = buffer_budget
+
+    # Work on a copy so channel sizing can retire reconvergent pairs.
+    work = MDAG()
+    work.graph = graph.copy()
+    work.graph.remove_edges_from(cut)
+
+    while True:
+        pairs = work.reconvergent_pairs()
+        if not pairs:
+            break
+        a, b = pairs[0]
+        resolved = False
+        # Remedy (a): size one incoming edge of b whose window is known.
+        for u in list(work.graph.predecessors(b)):
+            win = windows.get((u, b))
+            if win is not None and win <= budget_left:
+                depths[(u, b)] = max(depths.get((u, b), 0), win)
+                sized.append((u, b))
+                budget_left -= win
+                # A sized edge no longer participates in the stall cycle;
+                # model that by treating it as resolved for analysis.
+                work.graph.remove_edge(u, b)
+                resolved = True
+                break
+        if resolved:
+            continue
+        # Remedy (b): materialize every incoming edge of the reconvergence
+        # vertex through DRAM, pushing it (and its descendants) into a
+        # later sequential component.
+        for u in list(work.graph.predecessors(b)):
+            cut.add((u, b))
+            work.graph.remove_edge(u, b)
+
+    # Stage assignment: a node starts one stage after any producer whose
+    # edge was materialized; on-chip edges keep producer and consumer in
+    # the same stage.
+    stages: Dict[str, int] = {}
+    for node in nx.topological_sort(graph):
+        stage = 0
+        for u in graph.predecessors(node):
+            base = stages[u]
+            stage = max(stage, base + 1 if (u, node) in cut else base)
+        stages[node] = stage
+    # Any surviving on-chip edge that now spans two sequential components
+    # must also be materialized: its producer's component drains before
+    # the consumer's starts, so the data has to persist in DRAM.
+    for u, v in graph.edges():
+        if (u, v) not in cut and stages[u] != stages[v]:
+            cut.add((u, v))
+    num_stages = max(stages.values(), default=0) + 1
+    components: List[Set[str]] = [set() for _ in range(num_stages)]
+    for node, stage in stages.items():
+        components[stage].add(node)
+
+    plan = CompositionPlan(mdag=mdag, components=components,
+                           materialized_edges=sorted(cut),
+                           channel_depths=depths, sized_edges=sized)
+    _check_plan(mdag, plan)
+    return plan
+
+
+def _check_plan(mdag: MDAG, plan: CompositionPlan) -> None:
+    """Post-condition: every component, with cut edges removed and sized
+    edges discounted, is a valid multitree."""
+    g = mdag.graph.copy()
+    g.remove_edges_from(plan.materialized_edges)
+    g.remove_edges_from(plan.sized_edges)
+    for comp in plan.components:
+        sub = g.subgraph(comp)
+        helper = MDAG()
+        helper.graph = nx.DiGraph(sub)
+        if helper._multipath_pairs():       # pragma: no cover - invariant
+            raise PlanningError(
+                f"internal error: component {sorted(comp)} is not a "
+                "multitree after planning")

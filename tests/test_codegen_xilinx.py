@@ -1,0 +1,137 @@
+"""Xilinx backend and CLI tests for the code generator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.codegen import CodeGenerator, RoutineSpec, SpecError, generate_routine
+from repro.codegen.__main__ import main as cli_main
+from repro.fpga import Engine, sink_kernel, source_kernel
+
+
+class TestXilinxBackend:
+    def test_dot_emits_hls_stream_and_pragmas(self):
+        r = generate_routine(RoutineSpec("dot", "xdot", width=8),
+                             target="xilinx")
+        assert "hls::stream" in r.source
+        assert "#pragma HLS PIPELINE II=1" in r.source
+        assert "#pragma HLS UNROLL" in r.source
+        assert "acc += ch_x.read() * ch_y.read()" in r.source
+        assert r.target == "xilinx"
+
+    def test_scal_carries_width_constant(self):
+        r = generate_routine(RoutineSpec("scal", "xs", width=16),
+                             target="xilinx")
+        assert "n / 16" in r.source
+        assert "alpha * x" in r.source
+
+    def test_helpers_use_axi_master(self):
+        r = generate_routine(RoutineSpec("axpy", "xa"), target="xilinx")
+        assert "#pragma HLS INTERFACE m_axi" in r.helpers["read_x"]
+        assert "m_axi" in r.helpers["write_out"]
+
+    def test_generic_template_uses_dataflow(self):
+        r = generate_routine(
+            RoutineSpec("gemv", "xg", width=4, tile_n_size=64,
+                        tile_m_size=64), target="xilinx")
+        assert "#pragma HLS DATAFLOW" in r.source
+        assert "memory tile 64 x 64" in r.source
+
+    def test_double_precision_type(self):
+        r = generate_routine(RoutineSpec("dot", "xd", precision="double"),
+                             target="xilinx")
+        assert "typedef double xd_t;" in r.source
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SpecError):
+            generate_routine(RoutineSpec("dot", "d"), target="quartus")
+
+    def test_files_use_cpp_extension(self, tmp_path):
+        gen = CodeGenerator({"routine": [
+            {"blas_name": "dot", "user_name": "xd", "width": 4}]},
+            target="xilinx")
+        paths = gen.write_all(tmp_path)
+        assert all(p.suffix == ".cpp" for p in paths)
+
+    def test_every_routine_generates_for_xilinx(self):
+        from repro.blas import all_routines
+        for name in all_routines():
+            kwargs = {}
+            if name in ("gemv", "ger", "syr", "syr2", "gemm", "syrk",
+                        "syr2k"):
+                kwargs = dict(tile_n_size=8, tile_m_size=8)
+            r = generate_routine(RoutineSpec(name, f"x_{name}", **kwargs),
+                                 target="xilinx")
+            assert "hls" in r.source or "void" in r.source
+
+    def test_binding_is_target_independent(self):
+        """The same spec runs identically on the simulator regardless of
+        the emitted source's target."""
+        rng = np.random.default_rng(3)
+        n, w = 64, 8
+        x = rng.normal(size=n).astype(np.float32)
+        y = rng.normal(size=n).astype(np.float32)
+        results = []
+        for target in ("intel", "xilinx"):
+            r = generate_routine(RoutineSpec("dot", "tdot", width=w),
+                                 target=target)
+            eng = Engine()
+            cx = eng.channel("x", 64)
+            cy = eng.channel("y", 64)
+            cr = eng.channel("r", 4)
+            out = []
+            eng.add_kernel("sx", source_kernel(cx, list(x), w))
+            eng.add_kernel("sy", source_kernel(cy, list(y), w))
+            eng.add_kernel("dot", r.make_kernel(n, cx, cy, cr),
+                           latency=r.latency)
+            eng.add_kernel("sink", sink_kernel(cr, 1, 1, out))
+            eng.run()
+            results.append(out[0])
+        assert results[0] == results[1]
+
+
+class TestCli:
+    def _spec_file(self, tmp_path):
+        p = tmp_path / "spec.json"
+        p.write_text(json.dumps({"routine": [
+            {"blas_name": "dot", "user_name": "cli_dot", "width": 8},
+            {"blas_name": "gemv", "user_name": "cli_gemv", "width": 4,
+             "tile_n_size": 64, "tile_m_size": 64},
+        ]}))
+        return p
+
+    def test_generates_files(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        out = tmp_path / "gen"
+        rc = cli_main([str(spec), "-o", str(out)])
+        assert rc == 0
+        assert (out / "cli_dot.cl").exists()
+        assert (out / "cli_gemv_read_a.cl").exists()
+
+    def test_xilinx_target(self, tmp_path):
+        spec = self._spec_file(tmp_path)
+        out = tmp_path / "gen"
+        rc = cli_main([str(spec), "-o", str(out), "--target", "xilinx"])
+        assert rc == 0
+        assert (out / "cli_dot.cpp").exists()
+        assert "hls::stream" in (out / "cli_dot.cpp").read_text()
+
+    def test_list_mode(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        rc = cli_main([str(spec), "--list"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "cli_dot: single dot, W=8" in captured.out
+        assert "tiles 64x64" in captured.out
+
+    def test_bad_spec_reports_error(self, tmp_path, capsys):
+        p = tmp_path / "bad.json"
+        p.write_text('{"routine": [{"blas_name": "warp_drive"}]}')
+        rc = cli_main([str(p)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        rc = cli_main([str(tmp_path / "nope.json")])
+        assert rc == 1

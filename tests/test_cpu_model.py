@@ -1,0 +1,73 @@
+"""Roofline CPU model calibration tests against the paper's Table IV."""
+
+import pytest
+
+from repro.models import cpu
+
+
+class TestCalibration:
+    """Model estimates land within ~35% of the measured MKL numbers."""
+
+    @pytest.mark.parametrize("n,precision,paper_us", [
+        (16_000_000, "single", 2_050),
+        (16_000_000, "double", 4_079),
+        (256_000_000, "single", 35_131),
+        (128_000_000, "double", 35_124),
+    ])
+    def test_dot(self, n, precision, paper_us):
+        got = cpu.dot_time(n, precision).seconds * 1e6
+        assert abs(got - paper_us) / paper_us < 0.35
+
+    @pytest.mark.parametrize("n,precision,paper_us", [
+        (8192, "single", 5_402),
+        (8192, "double", 9_810),
+    ])
+    def test_gemv(self, n, precision, paper_us):
+        got = cpu.gemv_time(n, n, precision).seconds * 1e6
+        assert abs(got - paper_us) / paper_us < 0.35
+
+    @pytest.mark.parametrize("n,precision,paper_s", [
+        (8192, "single", 1.56),
+        (8192, "double", 3.14),
+    ])
+    def test_gemm(self, n, precision, paper_s):
+        got = cpu.gemm_time(n, n, n, precision).seconds
+        assert abs(got - paper_s) / paper_s < 0.2
+
+    def test_axpydot(self):
+        got = cpu.axpydot_time(4_000_000).seconds * 1e6
+        assert abs(got - 1_376) / 1_376 < 0.5
+
+    def test_gemver(self):
+        got = cpu.gemver_time(8192).seconds * 1e6
+        assert abs(got - 43_291) / 43_291 < 0.35
+
+
+class TestRooflineStructure:
+    def test_dot_is_memory_bound(self):
+        assert cpu.dot_time(1 << 24).bound == "memory"
+
+    def test_big_gemm_is_compute_bound(self):
+        assert cpu.gemm_time(4096, 4096, 4096).bound == "compute"
+
+    def test_tiny_gemm_is_memory_bound(self):
+        assert cpu.gemm_time(4, 4, 4).bound == "memory"
+
+    def test_double_precision_halves_peak(self):
+        sp = cpu.gemm_time(4096, 4096, 4096, "single").seconds
+        dp = cpu.gemm_time(4096, 4096, 4096, "double").seconds
+        assert dp == pytest.approx(2 * sp, rel=0.01)
+
+    def test_batched_overhead_dominates_small_batches(self):
+        one = cpu.batched_gemm_time(4, 1)
+        many = cpu.batched_gemm_time(4, 32_000)
+        assert one.seconds > 0.9 * 30e-6
+        assert many.seconds > 100 * one.seconds / 32  # scales with batch
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cpu._estimate(-1, 0, "single")
+
+    def test_gflops_property(self):
+        est = cpu.gemm_time(1024, 1024, 1024)
+        assert est.gflops > 100

@@ -1,0 +1,183 @@
+"""Tests for the device catalog (Table II) and resource model (Tables I, III)."""
+
+import pytest
+
+from repro.fpga import (
+    ARRIA10,
+    DEVICES,
+    STRATIX10,
+    FrequencyModel,
+    PowerModel,
+    ResourceUsage,
+    fully_unrolled_resources,
+    gemm_systolic_resources,
+    level1_latency,
+    level1_resources,
+    level2_resources,
+)
+
+
+class TestDeviceCatalog:
+    def test_table2_arria_totals(self):
+        assert ARRIA10.total.alms == 427_000
+        assert ARRIA10.total.dsps == 1518
+        assert ARRIA10.dram_banks == 2
+
+    def test_table2_stratix_totals(self):
+        assert STRATIX10.total.dsps == 5760
+        assert STRATIX10.available.dsps == 4468
+        assert STRATIX10.dram_banks == 4
+
+    def test_bsp_reserves_resources(self):
+        for dev in DEVICES.values():
+            assert dev.available.alms <= dev.total.alms
+            assert dev.available.m20ks <= dev.total.m20ks
+
+    def test_no_hardened_double_precision(self):
+        assert not ARRIA10.hardened_double
+        assert not STRATIX10.hardened_double
+
+    def test_bytes_per_cycle(self):
+        # 19.2 GB/s at 300 MHz = 64 B/cycle
+        assert STRATIX10.bytes_per_cycle(300e6) == 64
+
+
+class TestTable1Calibration:
+    """The resource model reproduces Table I's SCAL/DOT columns."""
+
+    @pytest.mark.parametrize("w,luts,ffs,dsps", [
+        (2, 98, 192, 2), (4, 196, 384, 4), (8, 392, 768, 8),
+        (16, 784, 1536, 16), (32, 1568, 3072, 32), (64, 3136, 6144, 64),
+    ])
+    def test_scal_row(self, w, luts, ffs, dsps):
+        u = level1_resources("map", w)
+        assert u.luts == luts
+        assert u.ffs == ffs
+        assert u.dsps == dsps
+
+    @pytest.mark.parametrize("w,luts,ffs,dsps", [
+        (8, 378, 640, 8), (16, 650, 1280, 16),
+        (32, 1194, 2560, 32), (64, 2474, 5120, 64),
+    ])
+    def test_dot_row_within_tolerance(self, w, luts, ffs, dsps):
+        u = level1_resources("map_reduce", w)
+        assert u.dsps == dsps
+        assert u.ffs == ffs
+        assert abs(u.luts - luts) / luts < 0.25   # linear fit, Sec. IV-A
+
+    def test_scal_latency_constant_50(self):
+        for w in (2, 8, 64):
+            assert level1_latency("map", w) == 50
+
+    @pytest.mark.parametrize("w,lat", [(2, 82), (4, 85), (8, 89),
+                                       (16, 93), (32, 97), (64, 105)])
+    def test_dot_latency_log_growth(self, w, lat):
+        assert abs(level1_latency("map_reduce", w) - lat) <= 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            level1_resources("map", 0)
+        with pytest.raises(ValueError):
+            level1_resources("bogus", 4)
+        with pytest.raises(ValueError):
+            level1_latency("map", 0)
+
+
+class TestTable3Calibration:
+    """Standalone synthesized modules land near the Table III rows."""
+
+    def test_sdot_w256_arria(self):
+        u = level1_resources("map_reduce", 256, "single",
+                             include_overhead=True, device=ARRIA10)
+        assert abs(u.dsps - 331) < 40
+        assert abs(u.alms - 9756) / 9756 < 0.35
+
+    def test_ddot_w128_uses_4x_dsps(self):
+        u = level1_resources("map_reduce", 128, "double",
+                             include_overhead=True, device=ARRIA10)
+        assert abs(u.dsps - 512) / 512 < 0.25
+
+    def test_double_precision_logic_order_of_magnitude(self):
+        sp = level1_resources("map_reduce", 128, "single")
+        dp = level1_resources("map_reduce", 128, "double")
+        assert 8 < dp.luts / sp.luts < 40
+
+    def test_sgemv_w256_m20ks(self):
+        u = level2_resources(256, 1024, "single", device=ARRIA10)
+        assert abs(u.m20ks - 210) / 210 < 0.35
+
+    def test_stratix_infrastructure_m20ks(self):
+        u = level1_resources("map_reduce", 256, "single",
+                             include_overhead=True, device=STRATIX10)
+        assert u.m20ks > 800                    # BSP infrastructure
+
+    def test_sgemm_stratix_40x80(self):
+        u = gemm_systolic_resources(40, 80, 960, 960, "single",
+                                    device=STRATIX10)
+        assert abs(u.dsps - 3270) / 3270 < 0.1
+        assert abs(u.m20ks - 7767) / 7767 < 0.4
+        assert u.fits(STRATIX10)
+
+    def test_dgemm_arria_16x8(self):
+        u = gemm_systolic_resources(16, 8, 384, 384, "double", device=ARRIA10)
+        assert abs(u.dsps - 622) / 622 < 0.2
+
+    def test_oversized_array_does_not_fit(self):
+        u = gemm_systolic_resources(80, 80, 960, 960, "single",
+                                    device=ARRIA10)
+        assert not u.fits(ARRIA10)
+
+    def test_tile_must_match_grid(self):
+        with pytest.raises(ValueError):
+            gemm_systolic_resources(4, 4, 10, 16)
+
+
+class TestResourceUsageAlgebra:
+    def test_addition(self):
+        a = ResourceUsage(10, 20, 1, 2)
+        b = ResourceUsage(5, 10, 1, 1)
+        c = a + b
+        assert (c.luts, c.ffs, c.m20ks, c.dsps) == (15, 30, 2, 3)
+
+    def test_utilization_uses_busiest_resource(self):
+        u = ResourceUsage(luts=0, ffs=0, m20ks=0, dsps=ARRIA10.available.dsps)
+        assert u.utilization(ARRIA10) == pytest.approx(1.0)
+
+    def test_fully_unrolled_scales_with_flops(self):
+        small = fully_unrolled_resources(128)
+        big = fully_unrolled_resources(1024)
+        assert big.dsps == 8 * small.dsps
+
+
+class TestFrequencyModel:
+    def test_stratix_level1_hits_calibrated_value(self):
+        f = FrequencyModel(STRATIX10).estimate("level1", "single")
+        assert 340e6 < f < 380e6
+
+    def test_arria_is_slower_than_stratix(self):
+        fa = FrequencyModel(ARRIA10).estimate("level1", "single")
+        fs = FrequencyModel(STRATIX10).estimate("level1", "single")
+        assert fa < fs
+
+    def test_high_utilization_derates(self):
+        m = FrequencyModel(STRATIX10)
+        assert m.estimate("systolic", "single", utilization=0.95) < \
+            m.estimate("systolic", "single", utilization=0.1)
+
+    def test_hyperflex_disabled_caps_frequency(self):
+        m = FrequencyModel(STRATIX10)
+        assert m.estimate("level1", "single", hyperflex=False) <= \
+            STRATIX10.f_max
+
+
+class TestPowerModel:
+    def test_ranges_match_paper_tables(self):
+        pa = PowerModel(ARRIA10)
+        ps = PowerModel(STRATIX10)
+        assert 46 <= pa.estimate(0.1) <= 53
+        assert 57 <= ps.estimate(0.1) <= 72
+        assert ps.estimate(0.9) > ps.estimate(0.1)
+
+    def test_utilization_clipped(self):
+        p = PowerModel(ARRIA10)
+        assert p.estimate(5.0) == p.estimate(1.0)

@@ -1,0 +1,121 @@
+"""Design-space exploration tests (Sec. IV use-cases, automated)."""
+
+import pytest
+
+from repro.fpga.device import ARRIA10, STRATIX10
+from repro.models.dse import (
+    cheapest_within,
+    explore_gemv,
+    explore_level1,
+    explore_systolic_gemm,
+    fastest,
+    pareto_frontier,
+)
+
+
+class TestLevel1Exploration:
+    def test_wider_is_faster_and_costlier(self):
+        points = explore_level1("dot", 1 << 20, STRATIX10)
+        by_width = sorted(points, key=lambda p: p.param("width"))
+        for lo, hi in zip(by_width, by_width[1:]):
+            assert hi.cycles < lo.cycles
+            assert hi.usage.dsps > lo.usage.dsps
+
+    def test_infeasible_widths_are_dropped(self):
+        """Widths whose DP logic exceeds the Arria are not returned."""
+        points = explore_level1("dot", 1 << 20, ARRIA10,
+                                precision="double",
+                                widths=(64, 128, 256, 512, 1024))
+        assert points                          # some fit
+        assert all(p.param("width") <= 256 for p in points)
+
+    def test_every_point_fits_the_device(self):
+        for p in explore_level1("scal", 1 << 16, ARRIA10):
+            assert p.usage.fits(ARRIA10)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            explore_level1("dot", 0, STRATIX10)
+
+
+class TestSelection:
+    def test_fastest_is_widest_feasible(self):
+        points = explore_level1("dot", 1 << 22, STRATIX10)
+        best = fastest(points)
+        assert best.param("width") == max(p.param("width") for p in points)
+
+    def test_cheapest_within_budget(self):
+        """The paper's dimensioning question: don't overprovision."""
+        points = explore_level1("dot", 1 << 22, STRATIX10)
+        generous = cheapest_within(points, time_budget=1.0)
+        assert generous.param("width") == min(p.param("width")
+                                              for p in points)
+        tight = cheapest_within(points, fastest(points).seconds * 1.01)
+        assert tight.param("width") >= generous.param("width")
+
+    def test_impossible_budget_raises(self):
+        points = explore_level1("dot", 1 << 22, STRATIX10)
+        with pytest.raises(ValueError):
+            cheapest_within(points, time_budget=1e-12)
+
+    def test_fastest_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            fastest([])
+
+
+class TestPareto:
+    def test_frontier_is_subset_and_nondominated(self):
+        points = explore_gemv(2048, 2048, STRATIX10)
+        frontier = pareto_frontier(points)
+        assert frontier
+        assert all(f in points for f in frontier)
+        for f in frontier:
+            dominated = any(
+                p.seconds <= f.seconds
+                and p.utilization_key < f.utilization_key
+                for p in points)
+            assert not dominated
+
+    def test_frontier_sorted_by_time(self):
+        points = explore_gemv(1024, 1024, ARRIA10)
+        frontier = pareto_frontier(points)
+        secs = [p.seconds for p in frontier]
+        assert secs == sorted(secs)
+
+    def test_tiles_do_not_change_compute_time_but_gemv_frontier_prefers_small(self):
+        """With compute time set by W alone, the frontier keeps the
+        cheapest tile per width (tiles cost M20Ks, not time in this
+        model — their benefit is bandwidth, covered by iomodel)."""
+        points = explore_gemv(1024, 1024, STRATIX10, widths=(32,),
+                              tiles=(256, 1024))
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 1
+
+
+class TestSystolicExploration:
+    def test_paper_flagship_is_on_the_stratix_frontier(self):
+        points = explore_systolic_gemm(
+            3840, 3840, 3840, STRATIX10,
+            grids=((16, 16), (32, 32), (40, 80)), ratios=(6, 12, 24))
+        frontier = pareto_frontier(points)
+        best = fastest(points)
+        assert (best.param("pr"), best.param("pc")) == (40, 80)
+        assert best in frontier
+
+    def test_arria_cannot_host_the_stratix_flagship(self):
+        points = explore_systolic_gemm(
+            3840, 3840, 3840, ARRIA10, grids=((40, 80),), ratios=(6, 12))
+        assert points == []
+
+    def test_double_precision_shrinks_feasible_grids(self):
+        sp = explore_systolic_gemm(768, 768, 768, ARRIA10,
+                                   grids=((16, 16), (32, 32)), ratios=(3,))
+        dp = explore_systolic_gemm(768, 768, 768, ARRIA10,
+                                   precision="double",
+                                   grids=((16, 16), (32, 32)), ratios=(3,))
+        assert len(dp) < len(sp)
+
+    def test_describe_is_informative(self):
+        points = explore_level1("dot", 1 << 16, STRATIX10, widths=(16,))
+        text = points[0].describe()
+        assert "width=16" in text and "DSPs" in text

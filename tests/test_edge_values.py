@@ -1,0 +1,92 @@
+"""Robustness of the streaming kernels to extreme floating-point inputs."""
+
+import numpy as np
+import pytest
+
+from repro.blas import level1, reference
+from repro.codegen import RoutineSpec, generate_routine
+from repro.fpga import Engine, sink_kernel, source_kernel
+from repro.blas.level2 import gemv_col_tiles, y_replay_router
+from repro.streaming import col_tiles
+
+from helpers import run_map_kernel, run_reduction_kernel, stream_of
+
+
+class TestExtremeValues:
+    def test_scal_propagates_inf(self):
+        x = [1.0, float("inf"), -2.0]
+        outs, _ = run_map_kernel(
+            lambda ci, co: level1.scal_kernel(3, 2.0, ci, co, 1,
+                                              np.float64),
+            {"x": (x, 1)}, {"o": 3}, 1)
+        assert outs["o"][1] == float("inf")
+
+    def test_dot_with_zeros_vector(self):
+        n = 32
+        out, _ = run_reduction_kernel(
+            lambda cx, cy, cr: level1.dot_kernel(n, cx, cy, cr, 4),
+            {"x": ([0.0] * n, 4), "y": ([1e30] * n, 4)})
+        assert out[0] == 0.0
+
+    def test_asum_of_negatives(self):
+        x = [-1.0, -2.0, -3.0, -4.0]
+        out, _ = run_reduction_kernel(
+            lambda cx, cr: level1.asum_kernel(4, cx, cr, 2, np.float64),
+            {"x": (x, 2)})
+        assert out[0] == 10.0
+
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_single_precision_overflow_behaves_like_hardware(self):
+        """Values beyond float32 range saturate to inf in the stream, the
+        way a single-precision datapath would."""
+        x = np.array([3e38, 3e38], dtype=np.float32)
+        out, _ = run_reduction_kernel(
+            lambda cx, cr: level1.nrm2_kernel(2, cx, cr, 2, np.float32),
+            {"x": (list(x), 2)})
+        assert np.isinf(out[0])
+
+    def test_iamax_all_equal(self):
+        out, _ = run_reduction_kernel(
+            lambda cx, cr: level1.iamax_kernel(5, cx, cr, 2),
+            {"x": ([2.0] * 5, 2)})
+        assert out[0] == 0
+
+    def test_single_element_vectors(self):
+        out, _ = run_reduction_kernel(
+            lambda cx, cy, cr: level1.dot_kernel(1, cx, cy, cr, 8),
+            {"x": ([3.0], 1), "y": ([4.0], 1)})
+        assert out[0] == 12.0
+
+
+class TestGeneratedColTilesGemv:
+    def test_binding_dispatches_col_tiles_variant(self):
+        """A spec with matrix_order=tiles_by_cols produces the Fig. 2
+        (right) implementation; executed with its y-replay router."""
+        rng = np.random.default_rng(3)
+        n, m, t, w = 8, 8, 4, 2
+        gen = generate_routine(RoutineSpec(
+            "gemv", "colgemv", width=w, tile_n_size=t, tile_m_size=t,
+            matrix_order="tiles_by_cols"))
+        a = rng.normal(size=(n, m)).astype(np.float32)
+        x = rng.normal(size=m).astype(np.float32)
+        y = rng.normal(size=n).astype(np.float32)
+        sched = col_tiles(n, m, t, t)
+        passes = m // t
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", 256)
+        cy = eng.channel("y", max(64, 2 * n))
+        co = eng.channel("o", 256)
+        cf = eng.channel("final", 256)
+        out = []
+        eng.add_kernel("sa", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("sx", source_kernel(cx, list(x), w))
+        eng.add_kernel("sy", source_kernel(cy, list(y), w))
+        eng.add_kernel("gemv", gen.make_kernel(n, m, 1.5, 0.5, ca, cx,
+                                               cy, co),
+                       latency=gen.latency)
+        eng.add_kernel("router", y_replay_router(n, passes, co, cy, cf, w))
+        eng.add_kernel("sink", sink_kernel(cf, n, w, out))
+        eng.run()
+        np.testing.assert_allclose(
+            out, reference.gemv(1.5, a, x, 0.5, y), rtol=1e-4, atol=1e-4)

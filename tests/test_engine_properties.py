@@ -1,0 +1,209 @@
+"""Property-based tests on the simulator's core invariants.
+
+These pin down the substrate guarantees everything else relies on:
+data conservation through arbitrary pipelines, FIFO ordering, timing lower
+bounds, determinism, and clean failure propagation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga import (
+    Channel,
+    Clock,
+    DeadlockError,
+    Engine,
+    Pop,
+    Push,
+    sink_kernel,
+    source_kernel,
+)
+from repro.fpga.util import duplicate_kernel, forward_kernel
+
+
+def passthrough(n, ch_in, ch_out, width):
+    done = 0
+    while done < n:
+        c = min(width, n - done)
+        vals = yield Pop(ch_in, c)
+        if c == 1:
+            vals = (vals,)
+        yield Push(ch_out, tuple(vals), None)
+        yield Clock()
+        done += c
+
+
+chain_params = st.tuples(
+    st.integers(1, 200),                       # n
+    st.integers(1, 4),                         # number of chained stages
+    st.lists(st.integers(1, 16), min_size=4, max_size=4),   # widths
+    st.lists(st.integers(1, 80), min_size=4, max_size=4),   # latencies
+    st.integers(2, 64),                        # extra channel depth
+).map(lambda t: (t[0], t[1], t[2], t[3], t[4] + max(t[2])))
+# A channel must be at least as deep as its consumer's per-cycle width;
+# the map above keeps the generated depths structurally valid.
+
+
+class TestConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(chain_params)
+    def test_chained_pipelines_conserve_data_and_order(self, params):
+        """Any chain of forwarding stages delivers exactly the input,
+        in order, for any widths, latencies, and channel depths."""
+        n, stages, widths, latencies, depth = params
+        data = list(range(n))
+        eng = Engine()
+        chans = [eng.channel(f"c{i}", depth) for i in range(stages + 1)]
+        eng.add_kernel("src", source_kernel(chans[0], data, widths[0]))
+        for s in range(stages):
+            eng.add_kernel(f"k{s}", passthrough(
+                n, chans[s], chans[s + 1], widths[s % 4]),
+                latency=latencies[s % 4])
+        out = []
+        eng.add_kernel("sink", sink_kernel(chans[-1], n, widths[-1], out))
+        report = eng.run()
+        assert out == data
+        # lower bound: data can't move faster than the narrowest stage
+        narrowest = min(widths[s % 4] for s in range(stages))
+        assert report.cycles >= n // max(narrowest, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 100), st.integers(1, 8), st.integers(1, 8))
+    def test_fanout_duplicates_exactly(self, n, width, consumers):
+        data = list(range(n))
+        eng = Engine()
+        cin = eng.channel("in", 64)
+        outs = [eng.channel(f"o{i}", 64) for i in range(consumers)]
+        eng.add_kernel("src", source_kernel(cin, data, width))
+        eng.add_kernel("dup", duplicate_kernel(cin, outs, n, width))
+        sinks = []
+        for i, ch in enumerate(outs):
+            lst = []
+            sinks.append(lst)
+            eng.add_kernel(f"s{i}", sink_kernel(ch, n, width, lst))
+        eng.run()
+        for lst in sinks:
+            assert lst == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 120), st.integers(1, 10), st.integers(1, 10))
+    def test_mismatched_widths_still_conserve(self, n, w_prod, w_cons):
+        """Producer and consumer widths need not match: the FIFO decouples
+        them without loss or reordering."""
+        data = list(np.arange(n, dtype=float))
+        eng = Engine()
+        ch = eng.channel("c", 32)
+        out = []
+        eng.add_kernel("src", source_kernel(ch, data, w_prod))
+        eng.add_kernel("sink", sink_kernel(ch, n, w_cons, out))
+        eng.run()
+        assert out == data
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_reports(self):
+        def build():
+            eng = Engine()
+            c1 = eng.channel("a", 8)
+            c2 = eng.channel("b", 8)
+            eng.add_kernel("src", source_kernel(c1, list(range(100)), 3))
+            eng.add_kernel("mid", forward_kernel(c1, c2, 100, 5))
+            eng.add_kernel("sink", sink_kernel(c2, 100, 2))
+            return eng.run()
+
+        r1 = build()
+        r2 = build()
+        assert r1.cycles == r2.cycles
+        assert r1.total_stall_cycles == r2.total_stall_cycles
+
+
+class TestTimingBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(8, 400), st.integers(1, 8), st.integers(1, 90))
+    def test_cycle_count_bounds(self, n, width, latency):
+        """N/W <= cycles <= N/W + O(latency) for a stall-free pipeline."""
+        eng = Engine()
+        ci = eng.channel("i", 8 * width)
+        co = eng.channel("o", 8 * width)
+        eng.add_kernel("src", source_kernel(ci, [0.0] * n, width))
+        eng.add_kernel("k", passthrough(n, ci, co, width), latency=latency)
+        eng.add_kernel("sink", sink_kernel(co, n, width))
+        cycles = eng.run().cycles
+        steps = -(-n // width)
+        assert cycles >= steps
+        assert cycles <= steps + 2 * latency + 16
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 6))
+    def test_latency_delays_first_output_only(self, latency, width):
+        """Latency shifts the completion time by ~L, independent of N."""
+        def run(lat):
+            n = 240
+            eng = Engine()
+            ci = eng.channel("i", 8 * width)
+            co = eng.channel("o", 8 * width)
+            eng.add_kernel("src", source_kernel(ci, [0.0] * n, width))
+            eng.add_kernel("k", passthrough(n, ci, co, width), latency=lat)
+            eng.add_kernel("sink", sink_kernel(co, n, width))
+            return eng.run().cycles
+
+        base = run(1)
+        delayed = run(1 + latency)
+        assert 0 <= delayed - base <= latency + 4
+
+
+class TestFailurePropagation:
+    def test_kernel_exception_surfaces(self):
+        """A bug inside a kernel body aborts the simulation loudly."""
+        eng = Engine()
+        ch = eng.channel("c", 4)
+
+        def broken():
+            yield Push(ch, (1.0,), 1)
+            raise RuntimeError("kernel bug")
+
+        eng.add_kernel("bad", broken())
+        eng.add_kernel("sink", sink_kernel(ch, 1, 1))
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            eng.run()
+
+    def test_nan_values_flow_through_unharmed(self):
+        """The substrate is value-agnostic: Nainput -> NaN output, no
+        hangs or crashes."""
+        data = [1.0, float("nan"), 3.0]
+        eng = Engine()
+        ch = eng.channel("c", 8)
+        out = []
+        eng.add_kernel("src", source_kernel(ch, data, 1))
+        eng.add_kernel("sink", sink_kernel(ch, 3, 1, out))
+        eng.run()
+        assert out[0] == 1.0 and np.isnan(out[1]) and out[2] == 3.0
+
+    def test_empty_kernel_completes_immediately(self):
+        eng = Engine()
+        eng.add_kernel("noop", iter(()))
+        assert eng.run().cycles <= 1
+
+
+class TestChannelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(), min_size=1, max_size=50),
+           st.integers(1, 16))
+    def test_fifo_order_under_partial_maturity(self, values, depth):
+        """Whatever the interleaving of pushes/matures/pops, a channel
+        never reorders elements."""
+        ch = Channel("c", depth=max(depth, 1))
+        popped = []
+        cycle = 0
+        i = 0
+        while len(popped) < len(values):
+            if i < len(values) and ch.can_push(1, headroom=2):
+                ch.push([values[i]], cycle + (i % 3), headroom=2)
+                i += 1
+            ch.mature(cycle)
+            while ch.can_pop():
+                popped.extend(ch.pop())
+            cycle += 1
+        assert popped == values

@@ -1,0 +1,93 @@
+"""Host invocation of generated routines (spec file -> host call)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import RoutineSpec, generate_routine
+from repro.host import Fblas
+
+RNG = np.random.default_rng(61)
+
+
+def f32(a):
+    return np.asarray(a, dtype=np.float32)
+
+
+@pytest.fixture
+def fb():
+    return Fblas(width=4, tile=8)
+
+
+class TestInvoke:
+    def test_generated_dot_uses_spec_width(self, fb):
+        gen = generate_routine(RoutineSpec("dot", "wide_dot", width=16))
+        x = fb.copy_to_device(f32(RNG.normal(size=64)))
+        y = fb.copy_to_device(f32(RNG.normal(size=64)))
+        got = fb.invoke(gen, x, y)
+        assert got == pytest.approx(float(np.dot(x.data, y.data)), rel=1e-4)
+        # the instance default width (4) is untouched afterwards
+        assert fb.width == 4
+
+    def test_spec_width_changes_cycle_count(self, fb):
+        narrow = generate_routine(RoutineSpec("dot", "w2", width=2))
+        wide = generate_routine(RoutineSpec("dot", "w16", width=16))
+        x = fb.copy_to_device(f32(RNG.normal(size=512)))
+        y = fb.copy_to_device(f32(RNG.normal(size=512)))
+        fb.invoke(narrow, x, y)
+        c_narrow = fb.records[-1].cycles
+        fb.invoke(wide, x, y)
+        c_wide = fb.records[-1].cycles
+        assert c_narrow > 2 * c_wide
+
+    def test_transposed_gemv_flag_comes_from_spec(self, fb):
+        gen = generate_routine(RoutineSpec(
+            "gemv", "gemvT", width=4, tile_n_size=8, tile_m_size=8,
+            transposed=True))
+        a = fb.copy_to_device(f32(RNG.normal(size=(8, 8))))
+        x = fb.copy_to_device(f32(RNG.normal(size=8)))
+        y = fb.copy_to_device(f32(RNG.normal(size=8)))
+        y0 = np.array(y.data)
+        got = fb.invoke(gen, 1.0, a, x, 1.0, y)
+        np.testing.assert_allclose(got, a.data.T @ x.data + y0,
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_trsv_functional_params_come_from_spec(self, fb):
+        gen = generate_routine(RoutineSpec("trsv", "upper_trsv", width=2,
+                                           lower=False))
+        n = 6
+        raw = f32(RNG.normal(size=(n, n))) + n * np.eye(n, dtype=np.float32)
+        t = np.triu(raw)
+        a = fb.copy_to_device(t)
+        b = fb.copy_to_device(f32(RNG.normal(size=n)))
+        b0 = np.array(b.data)
+        x = fb.invoke(gen, a, b)
+        np.testing.assert_allclose(t @ x, b0, rtol=1e-3, atol=1e-3)
+
+    def test_precision_mismatch_rejected(self, fb):
+        gen = generate_routine(RoutineSpec("dot", "ddot", width=4,
+                                           precision="double"))
+        x = fb.copy_to_device(f32(RNG.normal(size=8)))
+        y = fb.copy_to_device(f32(RNG.normal(size=8)))
+        with pytest.raises(TypeError):
+            fb.invoke(gen, x, y)
+
+    def test_invoke_accepts_bare_spec(self, fb):
+        spec = RoutineSpec("scal", "s", width=8)
+        x = fb.copy_to_device(f32(RNG.normal(size=32)))
+        x0 = np.array(x.data)
+        got = fb.invoke(spec, 2.0, x)
+        np.testing.assert_allclose(got, 2.0 * x0, rtol=1e-6)
+
+    def test_invoke_async(self, fb):
+        gen = generate_routine(RoutineSpec("nrm2", "norm", width=8))
+        x = fb.copy_to_device(f32(RNG.normal(size=64)))
+        h = fb.invoke(gen, x, async_=True)
+        assert not h.done
+        assert h.wait() == pytest.approx(float(np.linalg.norm(x.data)),
+                                         rel=1e-4)
+
+    def test_invoke_rotg(self, fb):
+        gen = generate_routine(RoutineSpec("rotg", "rg",
+                                           precision="double"))
+        r, z, c, s = fb.invoke(gen, 3.0, 4.0)
+        assert c * 3.0 + s * 4.0 == pytest.approx(r)

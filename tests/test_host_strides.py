@@ -1,0 +1,133 @@
+"""Strided (incx/incy) Level-1 host calls — classic BLAS semantics."""
+
+import numpy as np
+import pytest
+
+from repro.host import Fblas
+
+RNG = np.random.default_rng(71)
+
+
+def f32(a):
+    return np.asarray(a, dtype=np.float32)
+
+
+@pytest.fixture
+def fb():
+    return Fblas(width=4)
+
+
+class TestStridedCalls:
+    @pytest.mark.parametrize("incx", [1, 2, 3])
+    def test_scal_strided(self, fb, incx):
+        raw = f32(RNG.normal(size=24))
+        x = fb.copy_to_device(raw.copy())
+        n = 1 + (24 - 1) // incx
+        out = fb.scal(2.0, x, incx=incx)
+        expect = raw.copy()
+        expect[::incx] = 2.0 * expect[::incx][:n]
+        np.testing.assert_allclose(out, expect, rtol=1e-6)
+
+    def test_scal_strided_leaves_gaps_untouched(self, fb):
+        raw = f32(np.ones(10))
+        x = fb.copy_to_device(raw)
+        fb.scal(5.0, x, incx=2)
+        np.testing.assert_allclose(x.data[1::2], 1.0)
+        np.testing.assert_allclose(x.data[0::2], 5.0)
+
+    @pytest.mark.parametrize("incx,incy", [(2, 1), (1, 2), (2, 3)])
+    def test_dot_strided(self, fb, incx, incy):
+        xs = f32(RNG.normal(size=30))
+        ys = f32(RNG.normal(size=30))
+        x = fb.copy_to_device(xs)
+        y = fb.copy_to_device(ys)
+        n = min(1 + 29 // incx, 1 + 29 // incy)
+        got = fb.dot(x, y, n=n, incx=incx, incy=incy)
+        want = float(np.dot(xs[::incx][:n], ys[::incy][:n]))
+        assert got == pytest.approx(want, rel=1e-4)
+
+    def test_axpy_strided(self, fb):
+        xs = f32(RNG.normal(size=16))
+        ys = f32(RNG.normal(size=16))
+        x = fb.copy_to_device(xs)
+        y = fb.copy_to_device(ys)
+        out = fb.axpy(0.5, x, y, n=8, incx=2, incy=2)
+        expect = ys.copy()
+        expect[::2] = 0.5 * xs[::2] + ys[::2]
+        np.testing.assert_allclose(out, expect, rtol=1e-5)
+
+    def test_copy_strided_scatter(self, fb):
+        xs = f32(RNG.normal(size=8))
+        x = fb.copy_to_device(xs)
+        y = fb.copy_to_device(f32(np.zeros(16)))
+        fb.copy(x, y, n=8, incx=1, incy=2)
+        np.testing.assert_allclose(y.data[::2], xs, rtol=1e-6)
+        np.testing.assert_allclose(y.data[1::2], 0.0)
+
+    def test_explicit_n_subvector(self, fb):
+        xs = f32(RNG.normal(size=32))
+        ys = f32(RNG.normal(size=32))
+        x = fb.copy_to_device(xs)
+        y = fb.copy_to_device(ys)
+        got = fb.dot(x, y, n=10)
+        assert got == pytest.approx(float(np.dot(xs[:10], ys[:10])),
+                                    rel=1e-4)
+
+    def test_model_mode_agrees(self):
+        xs = f32(RNG.normal(size=40))
+        sim = Fblas(width=4)
+        mod = Fblas(mode="model", width=4)
+        x1 = sim.copy_to_device(xs.copy())
+        x2 = mod.copy_to_device(xs.copy())
+        sim.scal(3.0, x1, incx=3)
+        mod.scal(3.0, x2, incx=3)
+        np.testing.assert_allclose(x1.data, x2.data, rtol=1e-6)
+
+
+class TestStridedBandwidth:
+    def test_strided_reads_cost_bandwidth(self):
+        """Gathered (strided) DRAM access halves effective bandwidth
+        (row-activation overhead), so the same logical dot takes longer
+        with incx=2 than with unit stride."""
+        n = 4096
+        raw = f32(RNG.normal(size=2 * n))
+        cycles = {}
+        for incx in (1, 2):
+            fb2 = Fblas(width=16)
+            x = fb2.copy_to_device(raw)
+            y = fb2.copy_to_device(raw)
+            fb2.dot(x, y, n=n, incx=incx, incy=incx)
+            cycles[incx] = fb2.records[-1].cycles
+        assert cycles[2] > 1.5 * cycles[1]
+
+    def test_contiguous_flag_in_dram_model(self):
+        from repro.fpga.memory import DramModel
+        mem = DramModel(num_banks=1, bytes_per_cycle=16)
+        buf = mem.allocate("a", 64)
+        assert mem.request_read(buf, 16, contiguous=True) == 16
+        mem.begin_cycle(1)
+        assert mem.request_read(buf, 16, contiguous=False) == 8
+
+    def test_penalty_validation(self):
+        from repro.fpga.memory import DramModel
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            DramModel(stride_penalty=0.5)
+
+
+class TestStrideValidation:
+    def test_zero_stride_rejected(self, fb):
+        x = fb.copy_to_device(f32(RNG.normal(size=8)))
+        with pytest.raises(ValueError):
+            fb.scal(1.0, x, incx=0)
+
+    def test_overrun_rejected(self, fb):
+        x = fb.copy_to_device(f32(RNG.normal(size=8)))
+        with pytest.raises(ValueError):
+            fb.scal(1.0, x, n=8, incx=2)
+
+    def test_mismatched_strided_lengths_rejected(self, fb):
+        x = fb.copy_to_device(f32(RNG.normal(size=8)))
+        y = fb.copy_to_device(f32(RNG.normal(size=8)))
+        with pytest.raises(ValueError):
+            fb.dot(x, y, incx=2)   # 4 strided x vs 8 y elements

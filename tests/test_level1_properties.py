@@ -1,0 +1,165 @@
+"""Hypothesis conformance: streaming Level-1 kernels == references.
+
+Randomized vector contents, lengths, and vectorization widths, for both
+precisions — the streaming implementations must agree with the numpy
+references under every configuration (up to the precision's rounding).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import level1, reference
+
+from helpers import run_map_kernel, run_reduction_kernel
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                   width=32)
+
+
+def vec_and_width():
+    return st.tuples(
+        st.lists(finite, min_size=1, max_size=64),
+        st.integers(1, 16),
+        st.sampled_from([np.float32, np.float64]),
+    )
+
+
+def two_vecs_and_width():
+    return st.tuples(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=64),
+        st.integers(1, 16),
+        st.sampled_from([np.float32, np.float64]),
+    )
+
+
+def _tols(dtype):
+    return dict(rtol=2e-4, atol=2e-4) if dtype == np.float32 else \
+        dict(rtol=1e-10, atol=1e-10)
+
+
+class TestMapRoutines:
+    @settings(max_examples=25, deadline=None)
+    @given(vec_and_width(), finite)
+    def test_scal(self, vw, alpha):
+        data, w, dtype = vw
+        x = np.array(data, dtype=dtype)
+        outs, _ = run_map_kernel(
+            lambda ci, co: level1.scal_kernel(len(x), alpha, ci, co, w,
+                                              dtype),
+            {"x": (list(x), w)}, {"o": len(x)}, w)
+        np.testing.assert_allclose(outs["o"], reference.scal(alpha, x),
+                                   **_tols(dtype))
+
+    @settings(max_examples=25, deadline=None)
+    @given(two_vecs_and_width(), finite)
+    def test_axpy(self, pairs_w, alpha):
+        pairs, w, dtype = pairs_w
+        x = np.array([p[0] for p in pairs], dtype=dtype)
+        y = np.array([p[1] for p in pairs], dtype=dtype)
+        outs, _ = run_map_kernel(
+            lambda cx, cy, co: level1.axpy_kernel(
+                len(x), alpha, cx, cy, co, w, dtype),
+            {"x": (list(x), w), "y": (list(y), w)}, {"o": len(x)}, w)
+        np.testing.assert_allclose(outs["o"], reference.axpy(alpha, x, y),
+                                   **_tols(dtype))
+
+    @settings(max_examples=20, deadline=None)
+    @given(two_vecs_and_width())
+    def test_swap_is_an_involution_of_streams(self, pairs_w):
+        pairs, w, dtype = pairs_w
+        x = np.array([p[0] for p in pairs], dtype=dtype)
+        y = np.array([p[1] for p in pairs], dtype=dtype)
+        outs, _ = run_map_kernel(
+            lambda cx, cy, cox, coy: level1.swap_kernel(
+                len(x), cx, cy, cox, coy, w, dtype),
+            {"x": (list(x), w), "y": (list(y), w)},
+            {"ox": len(x), "oy": len(x)}, w)
+        np.testing.assert_allclose(outs["ox"], y, **_tols(dtype))
+        np.testing.assert_allclose(outs["oy"], x, **_tols(dtype))
+
+    @settings(max_examples=20, deadline=None)
+    @given(two_vecs_and_width(), st.floats(0, 2 * np.pi))
+    def test_rot_preserves_norm(self, pairs_w, theta):
+        """Plane rotations are isometries — checked end to end through
+        the streaming kernel in double precision."""
+        pairs, w, _ = pairs_w
+        dtype = np.float64
+        x = np.array([p[0] for p in pairs], dtype=dtype)
+        y = np.array([p[1] for p in pairs], dtype=dtype)
+        c, s = float(np.cos(theta)), float(np.sin(theta))
+        outs, _ = run_map_kernel(
+            lambda cx, cy, cox, coy: level1.rot_kernel(
+                len(x), c, s, cx, cy, cox, coy, w, dtype),
+            {"x": (list(x), w), "y": (list(y), w)},
+            {"ox": len(x), "oy": len(x)}, w)
+        before = np.linalg.norm(np.concatenate([x, y]))
+        after = np.linalg.norm(np.concatenate([outs["ox"], outs["oy"]]))
+        assert after == pytest.approx(before, rel=1e-9, abs=1e-9)
+
+
+class TestReductions:
+    @settings(max_examples=25, deadline=None)
+    @given(two_vecs_and_width())
+    def test_dot(self, pairs_w):
+        pairs, w, dtype = pairs_w
+        x = np.array([p[0] for p in pairs], dtype=dtype)
+        y = np.array([p[1] for p in pairs], dtype=dtype)
+        out, _ = run_reduction_kernel(
+            lambda cx, cy, cr: level1.dot_kernel(len(x), cx, cy, cr, w,
+                                                 dtype),
+            {"x": (list(x), w), "y": (list(y), w)})
+        want = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+        assert out[0] == pytest.approx(want, rel=1e-3, abs=1e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(vec_and_width())
+    def test_nrm2_nonnegative_and_correct(self, vw):
+        data, w, dtype = vw
+        x = np.array(data, dtype=dtype)
+        out, _ = run_reduction_kernel(
+            lambda cx, cr: level1.nrm2_kernel(len(x), cx, cr, w, dtype),
+            {"x": (list(x), w)})
+        assert out[0] >= 0
+        assert out[0] == pytest.approx(float(np.linalg.norm(
+            x.astype(np.float64))), rel=1e-3, abs=1e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(vec_and_width())
+    def test_asum_is_l1_norm(self, vw):
+        data, w, dtype = vw
+        x = np.array(data, dtype=dtype)
+        out, _ = run_reduction_kernel(
+            lambda cx, cr: level1.asum_kernel(len(x), cx, cr, w, dtype),
+            {"x": (list(x), w)})
+        assert out[0] == pytest.approx(float(np.abs(
+            x.astype(np.float64)).sum()), rel=1e-3, abs=1e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(vec_and_width())
+    def test_iamax_matches_reference(self, vw):
+        data, w, dtype = vw
+        x = np.array(data, dtype=dtype)
+        out, _ = run_reduction_kernel(
+            lambda cx, cr: level1.iamax_kernel(len(x), cx, cr, w, dtype),
+            {"x": (list(x), w)})
+        assert out[0] == reference.iamax(x)
+
+    @settings(max_examples=15, deadline=None)
+    @given(two_vecs_and_width())
+    def test_dot_width_invariance(self, pairs_w):
+        """The result is independent of the vectorization width up to
+        floating-point re-association (exact in double precision for the
+        integral values used here)."""
+        pairs, _w, _dt = pairs_w
+        x = np.array([round(p[0]) for p in pairs], dtype=np.float64)
+        y = np.array([round(p[1]) for p in pairs], dtype=np.float64)
+        results = []
+        for w in (1, 4, 16):
+            out, _ = run_reduction_kernel(
+                lambda cx, cy, cr, w=w: level1.dot_kernel(
+                    len(x), cx, cy, cr, w, np.float64),
+                {"x": (list(x), w), "y": (list(y), w)})
+            results.append(float(out[0]))
+        assert results[0] == results[1] == results[2]

@@ -1,0 +1,387 @@
+"""Streaming Level-2 kernels vs numpy references, including tiling I/O."""
+
+import numpy as np
+import pytest
+
+from repro.blas import level2, reference
+from repro.fpga import Engine, sink_kernel, source_kernel
+from repro.models import iomodel
+from repro.streaming import col_tiles, row_tiles
+
+from helpers import stream_of
+
+RNG = np.random.default_rng(11)
+
+
+def _vec(n, dtype=np.float32):
+    return RNG.normal(size=n).astype(dtype)
+
+
+def _mat(n, m, dtype=np.float32):
+    return RNG.normal(size=(n, m)).astype(dtype)
+
+
+def run_gemv_rows(n, m, tn, tm, w, alpha=1.5, beta=0.5, dtype=np.float32):
+    a, x, y = _mat(n, m, dtype), _vec(m, dtype), _vec(n, dtype)
+    sched = row_tiles(n, m, tn, tm)
+    eng = Engine()
+    ca = eng.channel("A", 256)
+    cx = eng.channel("x", 256)
+    cy = eng.channel("y", 256)
+    co = eng.channel("out", 256)
+    out = []
+    replay = n // tn
+    eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+    eng.add_kernel("src_x", source_kernel(cx, list(x), w, repeat=replay))
+    eng.add_kernel("src_y", source_kernel(cy, list(y), w))
+    eng.add_kernel("gemv", level2.gemv_row_tiles(
+        n, m, alpha, beta, ca, cx, cy, co, tn, tm, w, dtype), latency=90)
+    eng.add_kernel("sink", sink_kernel(co, n, w, out))
+    rep = eng.run()
+    expect = reference.gemv(alpha, a, x, beta, y)
+    return np.array(out), expect, rep, (ca, cx, cy)
+
+
+class TestGemvRowTiles:
+    @pytest.mark.parametrize("n,m,tn,tm,w", [
+        (8, 8, 4, 4, 1), (8, 12, 4, 6, 2), (16, 16, 4, 8, 4),
+        (4, 4, 4, 4, 4), (12, 6, 3, 3, 3),
+    ])
+    def test_matches_reference(self, n, m, tn, tm, w):
+        out, expect, _, _ = run_gemv_rows(n, m, tn, tm, w)
+        np.testing.assert_allclose(out, expect, rtol=1e-4, atol=1e-5)
+
+    def test_x_is_replayed_per_tile_row(self):
+        """The tiles-by-rows scheme consumes x N/T_N times (Sec. III-B)."""
+        n, m, tn, tm = 16, 8, 4, 4
+        _, _, _, (ca, cx, cy) = run_gemv_rows(n, m, tn, tm, 2)
+        assert cx.stats.pops == m * (n // tn)
+        assert ca.stats.pops == n * m
+        assert cy.stats.pops == n
+
+    def test_io_matches_model(self):
+        n, m, tn, tm = 16, 8, 4, 4
+        _, _, _, (ca, cx, cy) = run_gemv_rows(n, m, tn, tm, 2)
+        measured = ca.stats.pops + cx.stats.pops + cy.stats.pops + n
+        assert measured == iomodel.gemv_io_tiles_by_rows(n, m, tn)
+
+    def test_double_precision(self):
+        out, expect, _, _ = run_gemv_rows(8, 8, 4, 4, 2, dtype=np.float64)
+        np.testing.assert_allclose(out, expect, rtol=1e-12)
+
+    def test_indivisible_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            list(level2.gemv_row_tiles(10, 8, 1.0, 0.0, None, None, None,
+                                       None, 3, 4))
+
+
+class TestGemvRowTilesDoubleBuffered:
+    def _run(self, n, m, tn, tm, w, alpha=1.5, beta=0.5):
+        a, x, y = _mat(n, m), _vec(m), _vec(n)
+        sched = row_tiles(n, m, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", max(256, 2 * tm))
+        cy = eng.channel("y", 256)
+        co = eng.channel("out", 256)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("src_x", source_kernel(cx, list(x), w,
+                                              repeat=n // tn))
+        eng.add_kernel("src_y", source_kernel(cy, list(y), w))
+        eng.add_kernel("gemv", level2.gemv_row_tiles_db(
+            n, m, alpha, beta, ca, cx, cy, co, tn, tm, w), latency=90)
+        eng.add_kernel("sink", sink_kernel(co, n, w, out))
+        rep = eng.run()
+        return np.array(out), reference.gemv(alpha, a, x, beta, y), rep
+
+    @pytest.mark.parametrize("n,m,tn,tm,w", [
+        (8, 8, 4, 4, 2), (16, 16, 4, 8, 4), (8, 12, 2, 6, 3),
+        (4, 4, 4, 4, 1), (16, 8, 8, 4, 2),
+    ])
+    def test_matches_reference(self, n, m, tn, tm, w):
+        out, expect, _ = self._run(n, m, tn, tm, w)
+        np.testing.assert_allclose(out, expect, rtol=1e-4, atol=1e-5)
+
+    def test_faster_than_plain_variant(self):
+        n, m, tn, tm, w = 32, 32, 4, 8, 2
+        _, _, rep_db = self._run(n, m, tn, tm, w)
+        out, expect, rep_plain, _chans = run_gemv_rows(n, m, tn, tm, w)
+        np.testing.assert_allclose(out, expect, rtol=1e-4, atol=1e-5)
+        assert rep_db.cycles < rep_plain.cycles
+        # Sec. IV-B model: the fetch overhead hidden is ~1/T_N of cycles.
+        ratio = rep_plain.cycles / rep_db.cycles
+        assert 1.05 < ratio < 1.4
+
+
+class TestGemvRowTilesColMajor:
+    """The fourth Sec. III-B streaming mode: row tiles, col-major elems."""
+
+    @pytest.mark.parametrize("n,m,tn,tm,w", [
+        (8, 8, 4, 4, 2), (8, 12, 4, 6, 3), (16, 16, 8, 4, 4),
+        (4, 4, 4, 4, 1),
+    ])
+    def test_matches_reference(self, n, m, tn, tm, w):
+        from repro.streaming import ElementOrder, MatrixSchedule, TileOrder
+        a, x, y = _mat(n, m), _vec(m), _vec(n)
+        sched = MatrixSchedule(n, m, tn, tm, TileOrder.BY_ROWS,
+                               ElementOrder.COL_MAJOR)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", 256)
+        cy = eng.channel("y", 256)
+        co = eng.channel("o", 256)
+        out = []
+        eng.add_kernel("sa", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("sx", source_kernel(cx, list(x), w,
+                                           repeat=n // tn))
+        eng.add_kernel("sy", source_kernel(cy, list(y), w))
+        eng.add_kernel("gemv", level2.gemv_row_tiles_colmajor(
+            n, m, 1.4, 0.6, ca, cx, cy, co, tn, tm, w), latency=90)
+        eng.add_kernel("sink", sink_kernel(co, n, w, out))
+        eng.run()
+        np.testing.assert_allclose(out, reference.gemv(1.4, a, x, 0.6, y),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_same_io_complexity_as_row_major(self):
+        """Element order inside the tile changes the wire order, not the
+        I/O volume — x is still replayed once per tile row."""
+        from repro.streaming import ElementOrder, MatrixSchedule, TileOrder
+        n, m, tn, tm, w = 8, 8, 4, 4, 2
+        a, x, y = _mat(n, m), _vec(m), _vec(n)
+        sched = MatrixSchedule(n, m, tn, tm, TileOrder.BY_ROWS,
+                               ElementOrder.COL_MAJOR)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", 256)
+        cy = eng.channel("y", 256)
+        co = eng.channel("o", 256)
+        eng.add_kernel("sa", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("sx", source_kernel(cx, list(x), w,
+                                           repeat=n // tn))
+        eng.add_kernel("sy", source_kernel(cy, list(y), w))
+        eng.add_kernel("gemv", level2.gemv_row_tiles_colmajor(
+            n, m, 1.0, 0.0, ca, cx, cy, co, tn, tm, w), latency=90)
+        eng.add_kernel("sink", sink_kernel(co, n, w))
+        eng.run()
+        measured = ca.stats.pops + cx.stats.pops + cy.stats.pops + n
+        assert measured == iomodel.gemv_io_tiles_by_rows(n, m, tn)
+
+
+class TestGemvColTiles:
+    def _run(self, n, m, tn, tm, w, alpha=2.0, beta=0.3):
+        a, x, y = _mat(n, m), _vec(m), _vec(n)
+        sched = col_tiles(n, m, tn, tm)
+        passes = m // tm
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", 256)
+        cy = eng.channel("y", max(2 * n, 64))     # feedback needs >= N
+        co = eng.channel("o", 256)
+        cfinal = eng.channel("final", 256)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("src_x", source_kernel(cx, list(x), w))
+        eng.add_kernel("src_y", source_kernel(cy, list(y), w))
+        eng.add_kernel("gemv", level2.gemv_col_tiles(
+            n, m, alpha, beta, ca, cx, cy, co, tn, tm, w), latency=90)
+        eng.add_kernel("router", level2.y_replay_router(
+            n, passes, co, cy, cfinal, w))
+        eng.add_kernel("sink", sink_kernel(cfinal, n, w, out))
+        rep = eng.run()
+        return np.array(out), reference.gemv(alpha, a, x, beta, y), rep, co
+
+    @pytest.mark.parametrize("n,m,tn,tm,w", [
+        (8, 8, 4, 4, 2), (8, 16, 4, 4, 4), (6, 9, 3, 3, 1),
+    ])
+    def test_matches_reference(self, n, m, tn, tm, w):
+        out, expect, _, _ = self._run(n, m, tn, tm, w)
+        np.testing.assert_allclose(out, expect, rtol=1e-4, atol=1e-5)
+
+    def test_y_replayed_per_tile_column(self):
+        """y streams out once per column of tiles (Sec. III-B, Fig. 2)."""
+        n, m, tn, tm = 8, 16, 4, 4
+        _, _, _, co = self._run(n, m, tn, tm, 2)
+        assert co.stats.pushes == n * (m // tm)
+
+
+class TestGemvNontiled:
+    def test_matches_reference_with_full_replay(self):
+        n, m, w = 6, 8, 2
+        a, x, y = _mat(n, m), _vec(m), _vec(n)
+        eng = Engine()
+        ca = eng.channel("A", 128)
+        cx = eng.channel("x", 128)
+        cy = eng.channel("y", 128)
+        co = eng.channel("o", 128)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, list(a.reshape(-1)), w))
+        eng.add_kernel("src_x", source_kernel(cx, list(x), w, repeat=n))
+        eng.add_kernel("src_y", source_kernel(cy, list(y), 1))
+        eng.add_kernel("gemv", level2.gemv_nontiled(
+            n, m, 1.0, 1.0, ca, cx, cy, co, w), latency=60)
+        eng.add_kernel("sink", sink_kernel(co, n, 1, out))
+        eng.run()
+        np.testing.assert_allclose(out, reference.gemv(1.0, a, x, 1.0, y),
+                                   rtol=1e-4, atol=1e-5)
+        # the non-tiled kernel replays x for EVERY row: N*M pops
+        assert cx.stats.pops == n * m
+
+
+class TestGemvTransposed:
+    def test_same_a_stream_as_nontransposed(self):
+        """GEMV^T consumes A in tiles by rows — the BICG sharing trick."""
+        n, m, tn, tm, w = 8, 12, 4, 6, 2
+        a = _mat(n, m)
+        x = _vec(n)      # input of length N
+        y = _vec(m)      # addend of length M
+        sched = row_tiles(n, m, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", 256)
+        cy = eng.channel("y", 256)
+        co = eng.channel("o", 256)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("src_x", source_kernel(cx, list(x), w))
+        eng.add_kernel("src_y", source_kernel(cy, list(y), w))
+        eng.add_kernel("gemvT", level2.gemv_transposed_row_tiles(
+            n, m, 1.2, 0.8, ca, cx, cy, co, tn, tm, w), latency=90)
+        eng.add_kernel("sink", sink_kernel(co, m, w, out))
+        eng.run()
+        expect = reference.gemv(1.2, a, x, 0.8, y, trans=True)
+        np.testing.assert_allclose(out, expect, rtol=1e-4, atol=1e-5)
+        assert cx.stats.pops == n       # x NOT replayed
+
+
+class TestGer:
+    def test_matches_reference(self):
+        n, m, tn, tm, w = 8, 8, 4, 4, 2
+        a, x, y = _mat(n, m), _vec(n), _vec(m)
+        sched = row_tiles(n, m, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cx = eng.channel("x", 64)
+        cy = eng.channel("y", 64)
+        co = eng.channel("o", 256)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("src_x", source_kernel(cx, list(x), w))
+        eng.add_kernel("src_y", source_kernel(cy, list(y), w,
+                                              repeat=n // tn))
+        eng.add_kernel("ger", level2.ger_kernel(
+            n, m, 0.9, ca, cx, cy, co, tn, tm, w), latency=50)
+        eng.add_kernel("sink", sink_kernel(co, n * m, w, out))
+        eng.run()
+        got = np.empty(n * m, dtype=np.float32)
+        flatpos = list(sched.indices())
+        for streamed, flat_idx in zip(out, flatpos):
+            got[flat_idx] = streamed
+        np.testing.assert_allclose(got.reshape(n, m),
+                                   reference.ger(0.9, x, y, a),
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestSyr:
+    def test_matches_reference(self):
+        n, tn, tm, w = 8, 4, 4, 2
+        a, x = _mat(n, n), _vec(n)
+        sched = row_tiles(n, n, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cxr = eng.channel("xr", 64)
+        cxc = eng.channel("xc", 64)
+        co = eng.channel("o", 256)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("src_xr", source_kernel(cxr, list(x), w))
+        eng.add_kernel("src_xc", source_kernel(cxc, list(x), w,
+                                               repeat=n // tn))
+        eng.add_kernel("syr", level2.syr_kernel(
+            n, 1.1, ca, cxr, cxc, co, tn, tm, w), latency=50)
+        eng.add_kernel("sink", sink_kernel(co, n * n, w, out))
+        eng.run()
+        got = np.empty(n * n, dtype=np.float32)
+        for streamed, flat_idx in zip(out, sched.indices()):
+            got[flat_idx] = streamed
+        np.testing.assert_allclose(got.reshape(n, n),
+                                   reference.syr(1.1, x, a),
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestSyr2:
+    def test_matches_reference(self):
+        n, tn, tm, w = 4, 2, 2, 2
+        a, x, y = _mat(n, n), _vec(n), _vec(n)
+        sched = row_tiles(n, n, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cxr = eng.channel("xr", 64)
+        cyc = eng.channel("yc", 64)
+        cyr = eng.channel("yr", 64)
+        cxc = eng.channel("xc", 64)
+        co = eng.channel("o", 256)
+        out = []
+        replay = n // tn
+        eng.add_kernel("src_a", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("src_xr", source_kernel(cxr, list(x), w))
+        eng.add_kernel("src_yc", source_kernel(cyc, list(y), w, repeat=replay))
+        eng.add_kernel("src_yr", source_kernel(cyr, list(y), w))
+        eng.add_kernel("src_xc", source_kernel(cxc, list(x), w, repeat=replay))
+        eng.add_kernel("syr2", level2.syr2_kernel(
+            n, 0.6, ca, cxr, cyc, cyr, cxc, co, tn, tm, w), latency=50)
+        eng.add_kernel("sink", sink_kernel(co, n * n, w, out))
+        eng.run()
+        got = np.empty(n * n, dtype=np.float32)
+        for streamed, flat_idx in zip(out, sched.indices()):
+            got[flat_idx] = streamed
+        np.testing.assert_allclose(got.reshape(n, n),
+                                   reference.syr2(0.6, x, y, a),
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestTrsv:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_solves_triangular_system(self, lower):
+        n, w = 8, 2
+        a = _mat(n, n) + n * np.eye(n, dtype=np.float32)
+        t = np.tril(a) if lower else np.triu(a)
+        b = _vec(n)
+        # rows streamed in solve order
+        row_order = range(n) if lower else range(n - 1, -1, -1)
+        a_stream = [t[i, j] for i in row_order for j in range(n)]
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cb = eng.channel("b", 64)
+        co = eng.channel("o", 64)
+        out = []
+        b_stream = [b[i] for i in row_order]
+        eng.add_kernel("src_a", source_kernel(ca, a_stream, w))
+        eng.add_kernel("src_b", source_kernel(cb, b_stream, 1))
+        eng.add_kernel("trsv", level2.trsv_kernel(
+            n, ca, cb, co, w, lower=lower), latency=60)
+        eng.add_kernel("sink", sink_kernel(co, n, 1, out))
+        eng.run()
+        x = np.empty(n, dtype=np.float32)
+        for val, i in zip(out, row_order):
+            x[i] = val
+        np.testing.assert_allclose(t @ x, b, rtol=1e-3, atol=1e-4)
+
+    def test_unit_diag(self):
+        n = 4
+        a = np.tril(_mat(n, n), -1) + np.eye(n, dtype=np.float32) * 42
+        b = _vec(n)
+        eng = Engine()
+        ca = eng.channel("A", 64)
+        cb = eng.channel("b", 16)
+        co = eng.channel("o", 16)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, list(a.reshape(-1)), 2))
+        eng.add_kernel("src_b", source_kernel(cb, list(b), 1))
+        eng.add_kernel("trsv", level2.trsv_kernel(
+            n, ca, cb, co, 2, lower=True, unit_diag=True), latency=60)
+        eng.add_kernel("sink", sink_kernel(co, n, 1, out))
+        eng.run()
+        unit = np.tril(a, -1) + np.eye(n, dtype=np.float32)
+        np.testing.assert_allclose(unit @ np.array(out), b,
+                                   rtol=1e-4, atol=1e-5)

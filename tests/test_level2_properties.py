@@ -1,0 +1,118 @@
+"""Hypothesis conformance for Level-2 streaming kernels.
+
+Random shapes (constrained to exact tilings), random tile geometry and
+widths: GEMV (all variants) and GER must agree with the references, and
+the tiling I/O identities must hold for every configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import level2, reference
+from repro.fpga import Engine, sink_kernel, source_kernel
+from repro.models import iomodel
+from repro.streaming import row_tiles
+
+from helpers import stream_of
+
+RNG = np.random.default_rng(113)
+
+
+def geometry():
+    """(n, m, tn, tm, w): dims exact multiples of tiles, w free."""
+    return st.tuples(
+        st.integers(1, 4), st.integers(1, 4),     # tile grid
+        st.integers(1, 4), st.integers(1, 4),     # tile dims
+        st.integers(1, 6),                        # width
+    ).map(lambda t: (t[0] * t[2], t[1] * t[3], t[2], t[3], t[4]))
+
+
+def _build_gemv(n, m, tn, tm, w, variant, alpha, beta, data=None):
+    if data is None:
+        data = (RNG.normal(size=(n, m)).astype(np.float32),
+                RNG.normal(size=m).astype(np.float32),
+                RNG.normal(size=n).astype(np.float32))
+    a, x, y = data
+    sched = row_tiles(n, m, tn, tm)
+    eng = Engine()
+    ca = eng.channel("A", 512)
+    cx = eng.channel("x", max(512, 2 * tm))
+    cy = eng.channel("y", 512)
+    co = eng.channel("o", 512)
+    out = []
+    eng.add_kernel("sa", source_kernel(ca, stream_of(a, sched), w))
+    eng.add_kernel("sx", source_kernel(cx, list(x), w, repeat=n // tn))
+    eng.add_kernel("sy", source_kernel(cy, list(y), w))
+    kernel = {"plain": level2.gemv_row_tiles,
+              "db": level2.gemv_row_tiles_db}[variant]
+    eng.add_kernel("gemv", kernel(n, m, alpha, beta, ca, cx, cy, co,
+                                  tn, tm, w), latency=90)
+    eng.add_kernel("sink", sink_kernel(co, n, w, out))
+    eng.run()
+    return np.array(out), reference.gemv(alpha, a, x, beta, y), (ca, cx, cy)
+
+
+class TestGemvConformance:
+    @settings(max_examples=30, deadline=None)
+    @given(geometry(), st.floats(-2, 2), st.floats(-2, 2))
+    def test_row_tiles_any_geometry(self, geo, alpha, beta):
+        n, m, tn, tm, w = geo
+        out, want, _ = _build_gemv(n, m, tn, tm, w, "plain", alpha, beta)
+        np.testing.assert_allclose(out, want, rtol=1e-3, atol=1e-3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometry())
+    def test_double_buffered_equals_plain(self, geo):
+        n, m, tn, tm, w = geo
+        data = (RNG.normal(size=(n, m)).astype(np.float32),
+                RNG.normal(size=m).astype(np.float32),
+                RNG.normal(size=n).astype(np.float32))
+        out_p, want, _ = _build_gemv(n, m, tn, tm, w, "plain", 1.0, 1.0,
+                                     data=data)
+        out_d, _, _ = _build_gemv(n, m, tn, tm, w, "db", 1.0, 1.0,
+                                  data=data)
+        np.testing.assert_allclose(out_p, want, rtol=1e-3, atol=1e-3)
+        np.testing.assert_allclose(out_d, out_p, rtol=1e-5, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometry())
+    def test_io_identity_every_geometry(self, geo):
+        """Measured channel traffic equals the Sec. III-B closed form for
+        every tiling geometry."""
+        n, m, tn, tm, w = geo
+        _, _, (ca, cx, cy) = _build_gemv(n, m, tn, tm, w, "plain", 1, 0)
+        measured = ca.stats.pops + cx.stats.pops + cy.stats.pops + n
+        assert measured == iomodel.gemv_io_tiles_by_rows(n, m, tn)
+
+
+class TestGerConformance:
+    @settings(max_examples=25, deadline=None)
+    @given(geometry(), st.floats(-2, 2))
+    def test_any_geometry(self, geo, alpha):
+        n, m, tn, tm, w = geo
+        a = RNG.normal(size=(n, m)).astype(np.float32)
+        x = RNG.normal(size=n).astype(np.float32)
+        y = RNG.normal(size=m).astype(np.float32)
+        sched = row_tiles(n, m, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 512)
+        cx = eng.channel("x", 512)
+        cy = eng.channel("y", 512)
+        co = eng.channel("o", 512)
+        out = []
+        eng.add_kernel("sa", source_kernel(ca, stream_of(a, sched), w))
+        eng.add_kernel("sx", source_kernel(cx, list(x), w))
+        eng.add_kernel("sy", source_kernel(cy, list(y), w,
+                                           repeat=n // tn))
+        eng.add_kernel("ger", level2.ger_kernel(
+            n, m, alpha, ca, cx, cy, co, tn, tm, w), latency=50)
+        eng.add_kernel("sink", sink_kernel(co, n * m, w, out))
+        eng.run()
+        got = np.empty(n * m, dtype=np.float32)
+        for v, idx in zip(out, sched.indices()):
+            got[idx] = v
+        np.testing.assert_allclose(got.reshape(n, m),
+                                   reference.ger(alpha, x, y, a),
+                                   rtol=1e-3, atol=1e-3)

@@ -1,0 +1,225 @@
+"""Streaming Level-3 kernels vs numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.blas import level3, reference
+from repro.fpga import Engine, sink_kernel, source_kernel
+
+RNG = np.random.default_rng(13)
+
+
+def _mat(n, m, dtype=np.float32):
+    return RNG.normal(size=(n, m)).astype(dtype)
+
+
+def gemm_streams(a, b, c, tn, tm):
+    """Produce the A/B/C streams the tiled GEMM kernel expects."""
+    n, k = a.shape
+    _, m = b.shape
+    sa, sb, sc = [], [], []
+    for ti in range(n // tn):
+        for tj in range(m // tm):
+            for kk in range(k):
+                sa.extend(a[ti * tn:(ti + 1) * tn, kk])
+                sb.extend(b[kk, tj * tm:(tj + 1) * tm])
+            sc.extend(c[ti * tn:(ti + 1) * tn,
+                        tj * tm:(tj + 1) * tm].reshape(-1))
+    return sa, sb, sc
+
+
+def collect_tiles(stream, n, m, tn, tm, dtype=np.float32):
+    """Reassemble the tile-ordered output stream into a matrix."""
+    out = np.empty((n, m), dtype=dtype)
+    pos = 0
+    for ti in range(n // tn):
+        for tj in range(m // tm):
+            block = np.array(stream[pos:pos + tn * tm],
+                             dtype=dtype).reshape(tn, tm)
+            out[ti * tn:(ti + 1) * tn, tj * tm:(tj + 1) * tm] = block
+            pos += tn * tm
+    return out
+
+
+def run_gemm(n, m, k, tn, tm, w, alpha=1.0, beta=0.0):
+    a, b, c = _mat(n, k), _mat(k, m), _mat(n, m)
+    sa, sb, sc = gemm_streams(a, b, c, tn, tm)
+    eng = Engine()
+    ca = eng.channel("A", 512)
+    cb = eng.channel("B", 512)
+    cc = eng.channel("C", 512)
+    co = eng.channel("o", 512)
+    out = []
+    eng.add_kernel("src_a", source_kernel(ca, sa, w))
+    eng.add_kernel("src_b", source_kernel(cb, sb, w))
+    eng.add_kernel("src_c", source_kernel(cc, sc, w))
+    eng.add_kernel("gemm", level3.gemm_tiled(
+        n, m, k, alpha, beta, ca, cb, cc, co, tn, tm, w), latency=90)
+    eng.add_kernel("sink", sink_kernel(co, n * m, w, out))
+    rep = eng.run()
+    got = collect_tiles(out, n, m, tn, tm)
+    expect = reference.gemm(alpha, a, b, beta, c)
+    return got, expect, rep
+
+
+class TestGemmTiled:
+    @pytest.mark.parametrize("n,m,k,tn,tm,w", [
+        (4, 4, 4, 2, 2, 1), (8, 8, 8, 4, 4, 2), (8, 6, 5, 4, 3, 2),
+        (4, 4, 1, 4, 4, 4),
+    ])
+    def test_matches_reference(self, n, m, k, tn, tm, w):
+        got, expect, _ = run_gemm(n, m, k, tn, tm, w, alpha=1.3, beta=0.4)
+        np.testing.assert_allclose(got, expect, rtol=1e-4, atol=1e-4)
+
+    def test_pure_multiply(self):
+        got, expect, _ = run_gemm(8, 8, 8, 4, 4, 4)
+        np.testing.assert_allclose(got, expect, rtol=1e-4, atol=1e-4)
+
+    def test_cycles_scale_with_nmk_over_w(self):
+        _, _, r1 = run_gemm(8, 8, 8, 4, 4, 1)
+        _, _, r4 = run_gemm(8, 8, 8, 4, 4, 4)
+        assert r1.cycles > 2 * r4.cycles
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            list(level3.gemm_tiled(7, 8, 4, 1, 0, None, None, None, None,
+                                   2, 4))
+        with pytest.raises(ValueError):
+            list(level3.gemm_tiled(8, 8, 0, 1, 0, None, None, None, None,
+                                   4, 4))
+
+
+class TestSyrkTiled:
+    def test_matches_reference(self):
+        n, k, tn, tm, w = 6, 4, 3, 3, 2
+        a, c = _mat(n, k), _mat(n, n)
+        at = np.ascontiguousarray(a.T)
+        sa, sat, sc = gemm_streams(a, at, c, tn, tm)
+        eng = Engine()
+        ca = eng.channel("A", 512)
+        cat = eng.channel("At", 512)
+        cc = eng.channel("C", 512)
+        co = eng.channel("o", 512)
+        out = []
+        eng.add_kernel("src_a", source_kernel(ca, sa, w))
+        eng.add_kernel("src_at", source_kernel(cat, sat, w))
+        eng.add_kernel("src_c", source_kernel(cc, sc, w))
+        eng.add_kernel("syrk", level3.syrk_tiled(
+            n, k, 2.0, 0.5, ca, cat, cc, co, tn, tm, w), latency=90)
+        eng.add_kernel("sink", sink_kernel(co, n * n, w, out))
+        eng.run()
+        got = collect_tiles(out, n, n, tn, tm)
+        np.testing.assert_allclose(got, reference.syrk(2.0, a, 0.5, c),
+                                   rtol=1e-4, atol=1e-4)
+
+
+class TestSyr2kTiled:
+    def test_matches_reference(self):
+        n, k, tn, tm, w = 4, 3, 2, 2, 2
+        a, b, c = _mat(n, k), _mat(n, k), _mat(n, n)
+        bt = np.ascontiguousarray(b.T)
+        at = np.ascontiguousarray(a.T)
+        sa, sbt, sc = gemm_streams(a, bt, c, tn, tm)
+        sb, sat, _ = gemm_streams(b, at, c, tn, tm)
+        eng = Engine()
+        chans = {nm: eng.channel(nm, 512)
+                 for nm in ("A", "Bt", "B", "At", "C", "o")}
+        out = []
+        eng.add_kernel("src_a", source_kernel(chans["A"], sa, w))
+        eng.add_kernel("src_bt", source_kernel(chans["Bt"], sbt, w))
+        eng.add_kernel("src_b", source_kernel(chans["B"], sb, w))
+        eng.add_kernel("src_at", source_kernel(chans["At"], sat, w))
+        eng.add_kernel("src_c", source_kernel(chans["C"], sc, w))
+        eng.add_kernel("syr2k", level3.syr2k_tiled(
+            n, k, 1.5, 0.25, chans["A"], chans["Bt"], chans["B"],
+            chans["At"], chans["C"], chans["o"], tn, tm, w), latency=90)
+        eng.add_kernel("sink", sink_kernel(chans["o"], n * n, w, out))
+        eng.run()
+        got = collect_tiles(out, n, n, tn, tm)
+        np.testing.assert_allclose(
+            got, reference.syr2k(1.5, a, b, 0.25, c), rtol=1e-4, atol=1e-4)
+
+
+class TestTrsmTiled:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_solves(self, lower):
+        n, m, w = 6, 4, 2
+        a = _mat(n, n) + n * np.eye(n, dtype=np.float32)
+        t = np.tril(a) if lower else np.triu(a)
+        b = _mat(n, m)
+        eng = Engine()
+        ca = eng.channel("A", 256)
+        cb = eng.channel("B", 256)
+        co = eng.channel("o", 256)
+        out = []
+        # B streamed column by column
+        b_stream = list(b.T.reshape(-1))
+        eng.add_kernel("src_a", source_kernel(ca, list(t.reshape(-1)), w))
+        eng.add_kernel("src_b", source_kernel(cb, b_stream, w))
+        eng.add_kernel("trsm", level3.trsm_tiled(
+            n, m, 1.0, ca, cb, co, w, lower=lower), latency=90)
+        eng.add_kernel("sink", sink_kernel(co, n * m, w, out))
+        eng.run()
+        x = np.array(out, dtype=np.float32).reshape(m, n).T
+        np.testing.assert_allclose(t @ x, b, rtol=1e-3, atol=1e-3)
+
+
+class TestUnrolled:
+    def test_gemm_unrolled_batch(self):
+        size, nbatch = 4, 10
+        problems = [( _mat(size, size), _mat(size, size), _mat(size, size))
+                    for _ in range(nbatch)]
+        stream = []
+        for a, b, c in problems:
+            stream.extend(a.reshape(-1))
+            stream.extend(b.reshape(-1))
+            stream.extend(c.reshape(-1))
+        eng = Engine()
+        ci = eng.channel("in", 3 * size * size * 2)
+        co = eng.channel("out", size * size * 2)
+        out = []
+        eng.add_kernel("src", source_kernel(ci, stream, 3 * size * size))
+        eng.add_kernel("gemm4", level3.gemm_unrolled(
+            size, nbatch, 1.0, 1.0, ci, co), latency=30)
+        eng.add_kernel("sink", sink_kernel(co, nbatch * size * size,
+                                           size * size, out))
+        rep = eng.run()
+        for i, (a, b, c) in enumerate(problems):
+            got = np.array(out[i * 16:(i + 1) * 16],
+                           dtype=np.float32).reshape(size, size)
+            np.testing.assert_allclose(got, reference.gemm(1.0, a, b, 1.0, c),
+                                       rtol=1e-4, atol=1e-4)
+        # fully unrolled: a new problem per clock, so ~latency + nbatch
+        assert rep.cycles <= 30 + nbatch + 10
+
+    def test_trsm_unrolled_batch(self):
+        size, nbatch = 4, 6
+        problems = []
+        stream = []
+        for _ in range(nbatch):
+            a = np.tril(_mat(size, size)) + size * np.eye(
+                size, dtype=np.float32)
+            b = _mat(size, size)
+            problems.append((a, b))
+            stream.extend(a.reshape(-1))
+            stream.extend(b.reshape(-1))
+        eng = Engine()
+        ci = eng.channel("in", 2 * size * size * 2)
+        co = eng.channel("out", size * size * 2)
+        out = []
+        eng.add_kernel("src", source_kernel(ci, stream, 2 * size * size))
+        eng.add_kernel("trsm4", level3.trsm_unrolled(
+            size, nbatch, 1.0, ci, co), latency=40)
+        eng.add_kernel("sink", sink_kernel(co, nbatch * size * size,
+                                           size * size, out))
+        eng.run()
+        for i, (a, b) in enumerate(problems):
+            x = np.array(out[i * 16:(i + 1) * 16],
+                         dtype=np.float32).reshape(size, size)
+            np.testing.assert_allclose(a @ x, b, rtol=1e-3, atol=1e-3)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            list(level3.gemm_unrolled(0, 4, 1.0, 0.0, None, None))
+        with pytest.raises(ValueError):
+            list(level3.trsm_unrolled(4, 0, 1.0, None, None))

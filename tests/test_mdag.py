@@ -1,0 +1,193 @@
+"""Tests for MDAG construction and the Sec. V validity analysis."""
+
+import pytest
+
+from repro.streaming import (
+    MDAG,
+    MDAGError,
+    StreamSignature,
+    matrix_stream,
+    row_tiles,
+    scalar_stream,
+    vector_stream,
+)
+
+
+def _sig(n):
+    return vector_stream(n)
+
+
+def axpydot_mdag(n=1024):
+    """Fig. 6: w, v -> axpy -> z -> dot <- u."""
+    g = MDAG()
+    g.add_interface("read_w")
+    g.add_interface("read_v")
+    g.add_interface("read_u")
+    g.add_module("axpy")
+    g.add_module("dot")
+    g.add_interface("write_beta")
+    g.connect("read_w", "axpy", _sig(n), _sig(n))
+    g.connect("read_v", "axpy", _sig(n), _sig(n))
+    g.connect("axpy", "dot", _sig(n), _sig(n))
+    g.connect("read_u", "dot", _sig(n), _sig(n))
+    g.connect("dot", "write_beta", scalar_stream(), scalar_stream())
+    return g
+
+
+def atax_mdag(n=64, m=64, tn=8, tm=8):
+    """Fig. 8: one A interface feeds both GEMVs; first feeds second."""
+    sched = row_tiles(m, n, tn, tm)
+    g = MDAG()
+    g.add_interface("read_A")
+    g.add_interface("read_x")
+    g.add_module("gemv1")
+    g.add_module("gemv2")
+    g.add_interface("write_y")
+    asig = matrix_stream(sched)
+    g.connect("read_A", "gemv1", asig, asig)
+    g.connect("read_A", "gemv2", asig, asig)
+    g.connect("read_x", "gemv1", _sig(n), _sig(n))
+    g.connect("gemv1", "gemv2", _sig(m), _sig(m))
+    g.connect("gemv2", "write_y", _sig(n), _sig(n))
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        g = MDAG()
+        g.add_module("a")
+        with pytest.raises(MDAGError):
+            g.add_module("a")
+
+    def test_duplicate_edge_rejected(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", _sig(4), _sig(4))
+        with pytest.raises(MDAGError):
+            g.connect("a", "b", _sig(4), _sig(4))
+
+    def test_unknown_node_rejected(self):
+        g = MDAG()
+        g.add_module("a")
+        with pytest.raises(MDAGError):
+            g.connect("a", "ghost", _sig(4), _sig(4))
+
+    def test_kinds(self):
+        g = MDAG()
+        g.add_interface("i")
+        g.add_module("m")
+        assert g.kind("i") == "interface"
+        assert g.kind("m") == "compute"
+
+
+class TestEdgeValidity:
+    def test_count_mismatch_flagged(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", _sig(10), _sig(20))
+        rep = g.validate()
+        assert not rep.valid
+        assert any(i.kind == "replay" for i in rep.issues)
+
+    def test_order_mismatch_flagged(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        rowsig = matrix_stream(row_tiles(8, 8, 4, 4))
+        colsig = matrix_stream(row_tiles(8, 8, 2, 2))
+        g.connect("a", "b", rowsig, colsig)
+        rep = g.validate()
+        assert not rep.valid
+        assert any(i.kind == "signature" for i in rep.issues)
+
+    def test_interface_may_replay(self):
+        """An interface can re-read DRAM; replay from it is legal."""
+        g = MDAG()
+        g.add_interface("read_x")
+        g.add_module("gemv")
+        replayed = vector_stream(16, replay=4)
+        g.connect("read_x", "gemv", replayed, replayed)
+        assert g.validate().valid
+
+    def test_compute_module_cannot_replay(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", vector_stream(16), vector_stream(16, replay=4))
+        rep = g.validate()
+        assert any(i.kind == "replay" for i in rep.issues)
+
+
+class TestMultitree:
+    def test_axpydot_is_valid_multitree(self):
+        rep = axpydot_mdag().validate()
+        assert rep.valid
+        assert rep.is_multitree
+        assert not rep.reconvergent_pairs
+
+    def test_bicg_shape_is_multitree(self):
+        """Fig. 7: shared A read fans out, but paths never reconverge."""
+        g = MDAG()
+        g.add_interface("read_A")
+        g.add_module("gemv")
+        g.add_module("gemvT")
+        g.add_interface("write_q")
+        g.add_interface("write_s")
+        sched = row_tiles(16, 16, 4, 4)
+        asig = matrix_stream(sched)
+        g.connect("read_A", "gemv", asig, asig)
+        g.connect("read_A", "gemvT", asig, asig)
+        g.connect("gemv", "write_q", _sig(16), _sig(16))
+        g.connect("gemvT", "write_s", _sig(16), _sig(16))
+        rep = g.validate()
+        assert rep.valid and rep.is_multitree
+
+    def test_atax_is_invalid_non_multitree(self):
+        """Fig. 8: two vertex-disjoint paths read_A -> gemv2."""
+        rep = atax_mdag().validate()
+        assert not rep.valid
+        assert not rep.is_multitree
+        assert ("read_A", "gemv2") in rep.reconvergent_pairs
+        assert any(i.kind == "buffering" for i in rep.issues)
+
+    def test_cycle_detected(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", _sig(4), _sig(4))
+        g.connect("b", "a", _sig(4), _sig(4))
+        rep = g.validate()
+        assert not rep.valid
+        assert any(i.kind == "cycle" for i in rep.issues)
+
+
+class TestChannelSizing:
+    def test_required_depth_raises_edge_depth(self):
+        g = atax_mdag(n=64, m=64, tn=8)
+        g.required_depth("read_A", "gemv2", 64 * 8)
+        assert g.depth("read_A", "gemv2") == 512
+
+    def test_required_depth_never_shrinks(self):
+        g = atax_mdag()
+        g.required_depth("read_A", "gemv2", 2)
+        assert g.depth("read_A", "gemv2") >= 64
+
+    def test_bad_edge_rejected(self):
+        g = atax_mdag()
+        with pytest.raises(MDAGError):
+            g.required_depth("gemv2", "read_A", 10)
+        with pytest.raises(MDAGError):
+            g.required_depth("read_A", "gemv2", 0)
+
+
+class TestReporting:
+    def test_io_counts_interface_edges_only(self):
+        g = axpydot_mdag(n=100)
+        # 3 vector reads (w, v, u) + scalar write; axpy->dot is on-chip
+        assert g.io_operations() == 301
+
+    def test_describe_lists_everything(self):
+        text = axpydot_mdag().describe()
+        assert "axpy" in text and "dot" in text and "interface" in text

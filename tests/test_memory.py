@@ -1,0 +1,143 @@
+"""Unit tests for the DRAM model: bandwidth, banking, interface kernels."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import DramModel, Engine, sink_kernel, source_kernel
+from repro.fpga.memory import read_kernel, write_kernel
+
+
+class TestAllocation:
+    def test_round_robin_bank_placement_without_interleaving(self):
+        mem = DramModel(num_banks=2, interleaving=False)
+        b1 = mem.allocate("a", 8)
+        b2 = mem.allocate("b", 8)
+        b3 = mem.allocate("c", 8)
+        assert b1.bank == 0 and b2.bank == 1 and b3.bank == 0
+
+    def test_interleaved_buffers_have_no_bank(self):
+        mem = DramModel(num_banks=2, interleaving=True)
+        assert mem.allocate("a", 8).bank is None
+
+    def test_explicit_bank(self):
+        mem = DramModel(num_banks=4)
+        assert mem.allocate("a", 8, bank=3).bank == 3
+
+    def test_bad_bank_rejected(self):
+        mem = DramModel(num_banks=2)
+        with pytest.raises(ValueError):
+            mem.allocate("a", 8, bank=5)
+
+    def test_duplicate_name_rejected(self):
+        mem = DramModel()
+        mem.allocate("a", 8)
+        with pytest.raises(ValueError):
+            mem.allocate("a", 8)
+
+    def test_bind_copies_host_data(self):
+        mem = DramModel()
+        host = np.arange(4, dtype=np.float32)
+        buf = mem.bind("a", host)
+        host[0] = 99
+        assert buf.data[0] == 0
+
+
+class TestBandwidth:
+    def test_grant_capped_per_cycle(self):
+        mem = DramModel(num_banks=1, bytes_per_cycle=16)
+        buf = mem.allocate("a", 64)
+        assert mem.request_read(buf, 64) == 16
+        assert mem.request_read(buf, 64) == 0       # budget exhausted
+        mem.begin_cycle(1)
+        assert mem.request_read(buf, 8) == 8
+
+    def test_same_bank_buffers_contend(self):
+        mem = DramModel(num_banks=2, bytes_per_cycle=16)
+        a = mem.allocate("a", 64, bank=0)
+        b = mem.allocate("b", 64, bank=0)
+        got_a = mem.request_read(a, 16)
+        got_b = mem.request_write(b, 16)
+        assert got_a == 16 and got_b == 0           # same-bank contention
+
+    def test_different_banks_do_not_contend(self):
+        mem = DramModel(num_banks=2, bytes_per_cycle=16)
+        a = mem.allocate("a", 64, bank=0)
+        b = mem.allocate("b", 64, bank=1)
+        assert mem.request_read(a, 16) == 16
+        assert mem.request_read(b, 16) == 16
+
+    def test_interleaved_buffer_uses_pooled_bandwidth(self):
+        mem = DramModel(num_banks=4, bytes_per_cycle=16, interleaving=True)
+        buf = mem.allocate("a", 1024)
+        assert mem.request_read(buf, 64) == 64      # 4 banks pooled
+
+
+class TestInterfaceKernels:
+    def _roundtrip(self, n, width, banks=2, bpc=64):
+        mem = DramModel(num_banks=banks, bytes_per_cycle=bpc)
+        src = mem.bind("src", np.arange(n, dtype=np.float32))
+        dst = mem.allocate("dst", n)
+        eng = Engine(memory=mem)
+        ch = eng.channel("c", 64)
+        eng.add_kernel("rd", read_kernel(mem, src, ch, width))
+        eng.add_kernel("wr", write_kernel(mem, dst, ch, n, width))
+        rep = eng.run()
+        return mem, src, dst, rep
+
+    def test_read_write_roundtrip(self):
+        mem, src, dst, _ = self._roundtrip(128, 4)
+        np.testing.assert_array_equal(dst.data, src.data)
+
+    def test_io_operation_counters(self):
+        mem, src, dst, _ = self._roundtrip(100, 4)
+        assert src.elements_read == 100
+        assert dst.elements_written == 100
+        assert mem.total_elements_moved == 200
+
+    def test_bandwidth_bound_cycle_count(self):
+        # 4 bytes/cycle = 1 float/cycle regardless of requested width
+        mem, src, dst, rep = self._roundtrip(256, 8, banks=1, bpc=4)
+        assert rep.cycles >= 256
+
+    def test_custom_order_read(self):
+        mem = DramModel()
+        src = mem.bind("src", np.arange(6, dtype=np.float32))
+        eng = Engine(memory=mem)
+        ch = eng.channel("c", 16)
+        order = [5, 3, 1, 0, 2, 4]
+        out = []
+        eng.add_kernel("rd", read_kernel(mem, src, ch, 2, order=order))
+        eng.add_kernel("sink", sink_kernel(ch, 6, 2, out))
+        eng.run()
+        assert out == [5.0, 3.0, 1.0, 0.0, 2.0, 4.0]
+
+    def test_replayed_read(self):
+        mem = DramModel()
+        src = mem.bind("src", np.arange(3, dtype=np.float32))
+        eng = Engine(memory=mem)
+        ch = eng.channel("c", 16)
+        out = []
+        eng.add_kernel("rd", read_kernel(mem, src, ch, 1, repeat=3))
+        eng.add_kernel("sink", sink_kernel(ch, 9, 1, out))
+        eng.run()
+        assert out == [0.0, 1.0, 2.0] * 3
+        assert src.elements_read == 9              # replay costs real I/O
+
+    def test_custom_order_write(self):
+        mem = DramModel()
+        dst = mem.allocate("dst", 4)
+        eng = Engine(memory=mem)
+        ch = eng.channel("c", 16)
+        eng.add_kernel("src", source_kernel(ch, [10.0, 20.0, 30.0, 40.0], 2))
+        eng.add_kernel("wr", write_kernel(mem, dst, ch, 4, 2,
+                                          order=[3, 2, 1, 0]))
+        eng.run()
+        np.testing.assert_array_equal(dst.data, [40.0, 30.0, 20.0, 10.0])
+
+
+class TestValidation:
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            DramModel(num_banks=0)
+        with pytest.raises(ValueError):
+            DramModel(bytes_per_cycle=0)

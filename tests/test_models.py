@@ -1,0 +1,213 @@
+"""Tests for the work/depth, performance, and I/O models (Sec. IV, V)."""
+
+import math
+
+import pytest
+
+from repro.models import (
+    LA,
+    LM,
+    circuit,
+    circuit_for,
+    dot_app,
+    expected_performance,
+    gemm_systolic_cycles,
+    gemv_app,
+    iomodel,
+    level1_cycles,
+    optimal_width,
+    optimal_width_tiled_gemv,
+    pipeline_cycles,
+    routine_class,
+    routine_flops,
+    scal_app,
+)
+
+
+class TestWorkDepth:
+    def test_scal_application(self):
+        wd = scal_app(1000)
+        assert wd.work == 1000
+        assert wd.depth == LM
+
+    def test_dot_application(self):
+        wd = dot_app(1024)
+        assert wd.work == 2 * 1024 - 1
+        assert wd.depth == 10 * LA + LM
+
+    def test_gemv_work_dominated_by_2nm(self):
+        wd = gemv_app(100, 200)
+        assert wd.work >= 2 * 100 * 200
+
+    def test_circuit_map(self):
+        """SCAL: CW = W, CD = LM (Fig. 4)."""
+        wd = circuit("map", 4)
+        assert wd.work == 4
+        assert wd.depth == LM
+
+    def test_circuit_map_reduce(self):
+        """DOT: CW = 2W, CD = log2(W)*LA + LM (Fig. 5)."""
+        wd = circuit("map_reduce", 4)
+        assert wd.work == 8
+        assert wd.depth == 2 * LA + LM
+
+    def test_circuit_width_one(self):
+        assert circuit("map_reduce", 1).depth == LM
+
+    def test_circuit_for_known_routines(self):
+        assert circuit_for("scal", 8).work == 8
+        assert circuit_for("dot", 8).work == 16
+
+    def test_routine_classes(self):
+        assert routine_class("axpy") == "map"
+        assert routine_class("gemm") == "map_reduce"
+        with pytest.raises(ValueError):
+            routine_class("nosuch")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            circuit("map", 0)
+
+
+class TestPipelineModel:
+    def test_identity(self):
+        assert pipeline_cycles(10, 1, 100) == 110
+        assert pipeline_cycles(10, 2, 100) == 210
+
+    def test_level1_scal_formula(self):
+        """C = LM + N/W for SCAL (Sec. IV-A)."""
+        assert level1_cycles("scal", 1024, 8) == LM + 128
+
+    def test_level1_dot_formula(self):
+        """C = log2(W)*LA + LM + N/W for DOT."""
+        assert level1_cycles("dot", 1024, 8) == 3 * LA + LM + 128
+
+    def test_doubling_width_halves_iterations(self):
+        c8 = level1_cycles("dot", 1 << 20, 8)
+        c16 = level1_cycles("dot", 1 << 20, 16)
+        assert 1.9 < c8 / c16 < 2.1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pipeline_cycles(-1, 1, 10)
+        with pytest.raises(ValueError):
+            pipeline_cycles(1, 0, 10)
+
+
+class TestExpectedPerformance:
+    def test_dsp_times_frequency(self):
+        # Stratix SGEMM: 3270 DSPs at 216 MHz -> 1.41 Tflop/s peak;
+        # the paper measures 1.28 Tflop/s against this bar.
+        peak = expected_performance(3270, 216e6)
+        assert 1.3e12 < peak < 1.5e12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_performance(-1, 1e6)
+
+
+class TestOptimalWidth:
+    def test_dot_formula(self):
+        """W = ceil(B / (2*S*F)) for DOT (Sec. IV-B)."""
+        w = optimal_width(19.2e9, 300e6, 4, operands_per_cycle_per_lane=2)
+        assert w == math.ceil(19.2e9 / (2 * 4 * 300e6))
+
+    def test_scal_needs_double_the_width_of_dot(self):
+        w_dot = optimal_width(19.2e9, 300e6, 4, 2)
+        w_scal = optimal_width(19.2e9, 300e6, 4, 1)
+        assert w_scal == 2 * w_dot
+
+    def test_tiled_gemv_approaches_b_over_fs(self):
+        b, f, s = 19.2e9, 300e6, 4
+        w_big_tiles = optimal_width_tiled_gemv(b, f, s, 1024, 1024)
+        assert w_big_tiles == math.ceil(b / (f * s))
+
+    def test_tiny_tiles_halve_the_width(self):
+        b, f, s = 16e9, 250e6, 4
+        assert optimal_width_tiled_gemv(b, f, s, 1, 1) < \
+            optimal_width_tiled_gemv(b, f, s, 64, 64)
+
+
+class TestSystolicCycleModel:
+    def test_per_pe_revisit_period(self):
+        # 1 tile, K=1: cycles ~ TR*TC/(PR*PC)
+        c = gemm_systolic_cycles(16, 16, 1, 4, 4, 16, 16)
+        assert c >= (16 * 16) // (4 * 4)
+
+    def test_tile_count_scaling(self):
+        c1 = gemm_systolic_cycles(16, 16, 8, 4, 4, 16, 16)
+        c4 = gemm_systolic_cycles(32, 32, 8, 4, 4, 16, 16)
+        assert c4 == 4 * c1
+
+    def test_indivisible_tile_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_systolic_cycles(16, 16, 8, 4, 4, 15, 16)
+
+
+class TestRoutineFlops:
+    def test_known_values(self):
+        assert routine_flops("dot", 100) == 200
+        assert routine_flops("scal", 100) == 100
+        assert routine_flops("gemv", 10, 20) == 2 * 10 * 20 + 30
+
+    def test_unknown_routine(self):
+        with pytest.raises(ValueError):
+            routine_flops("nope", 1)
+
+
+class TestGemvIOModel:
+    def test_rows_formula(self):
+        """NM + M*ceil(N/T_N) + 2N (Sec. III-B)."""
+        assert iomodel.gemv_io_tiles_by_rows(8, 12, 4) == 8 * 12 + 12 * 2 + 16
+
+    def test_cols_formula(self):
+        """NM + M + 2N*ceil(M/T_M)."""
+        assert iomodel.gemv_io_tiles_by_cols(8, 12, 6) == 8 * 12 + 12 + 2 * 8 * 2
+
+    def test_bigger_tiles_reduce_io(self):
+        small = iomodel.gemv_io_tiles_by_rows(1024, 1024, 16)
+        big = iomodel.gemv_io_tiles_by_rows(1024, 1024, 256)
+        assert big < small
+
+    def test_replay_counts(self):
+        assert iomodel.gemv_replay_count_rows(1024, 256) == 4
+        assert iomodel.gemv_replay_count_cols(1024, 128) == 8
+
+
+class TestCompositionIOModels:
+    def test_axpydot_io_7n_to_3n(self):
+        r = iomodel.axpydot(1000)
+        assert r.sequential_io == 7000
+        assert r.streaming_io == 3001
+
+    def test_axpydot_cycle_speedup_approaches_3(self):
+        r = iomodel.axpydot(10_000_000, width=16)
+        assert 2.8 < r.cycle_speedup < 3.05
+
+    def test_bicg_halves_matrix_io(self):
+        r = iomodel.bicg(1024, 1024)
+        assert r.sequential_io / r.streaming_io == pytest.approx(2.0, abs=0.01)
+
+    def test_bicg_cycle_speedup_2(self):
+        r = iomodel.bicg(4096, 4096, width=16)
+        assert 1.9 < r.cycle_speedup < 2.05
+
+    def test_gemver_io_8n2_to_3n2(self):
+        r = iomodel.gemver(4096)
+        assert r.io_reduction == pytest.approx(8 / 3, rel=0.01)
+
+    def test_gemver_cycle_speedup_5_over_2(self):
+        r = iomodel.gemver(8192, width=16)
+        assert 2.3 < r.cycle_speedup < 2.6
+
+    def test_atax_channel_bound(self):
+        assert iomodel.atax_min_channel_depth(1024, 32) == 1024 * 32
+
+    def test_atax_io_streaming_vs_broken(self):
+        assert iomodel.atax_io(64, 64, True) < iomodel.atax_io(64, 64, False)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            iomodel.gemv_io_tiles_by_rows(0, 4, 2)
+        with pytest.raises(ValueError):
+            iomodel.atax_min_channel_depth(0, 2)

@@ -1,0 +1,131 @@
+"""Tests for the simulation profiler: utilization, bottleneck, occupancy."""
+
+import pytest
+
+from repro.fpga import Clock, Engine, Pop, Push, sink_kernel, source_kernel
+
+
+def slow_stage(n, ch_in, ch_out, period):
+    """Consume/produce one element every ``period`` cycles."""
+    for _ in range(n):
+        v = yield Pop(ch_in, 1)
+        yield Push(ch_out, (v,), 1)
+        yield Clock(period)
+
+
+class TestUtilization:
+    def _run(self, period):
+        n = 128
+        eng = Engine(trace=True)
+        c1 = eng.channel("feed", 8)
+        c2 = eng.channel("drain", 8)
+        eng.add_kernel("src", source_kernel(c1, list(range(n)), 1))
+        eng.add_kernel("stage", slow_stage(n, c1, c2, period))
+        eng.add_kernel("sink", sink_kernel(c2, n, 1))
+        return eng.run()
+
+    def test_fast_stage_everyone_busy(self):
+        rep = self._run(period=1)
+        assert rep.kernel_utilization("stage") > 0.9
+
+    def test_slow_stage_starves_neighbours(self):
+        rep = self._run(period=4)
+        # the source stalls on the full feed channel, the sink on the
+        # empty drain channel; the slow stage itself never stalls
+        assert rep.kernel_utilization("src") < 0.6
+        assert rep.kernel_utilization("sink") < 0.6
+        assert rep.kernel_utilization("stage") > 0.9
+
+    def test_bottleneck_is_not_the_slow_stage(self):
+        """The *stalled* kernels point at the slow stage: the bottleneck
+        report names a victim adjacent to the culprit."""
+        rep = self._run(period=4)
+        assert rep.bottleneck() in ("src", "sink")
+
+    def test_bottleneck_requires_kernels(self):
+        from repro.fpga.engine import SimReport
+        with pytest.raises(ValueError):
+            SimReport(0, {}, {}).bottleneck()
+
+
+class TestOccupancyTrace:
+    def test_feed_channel_runs_full_when_consumer_is_slow(self):
+        n = 64
+        eng = Engine(trace=True)
+        c1 = eng.channel("feed", 4)
+        c2 = eng.channel("drain", 4)
+        eng.add_kernel("src", source_kernel(c1, list(range(n)), 1))
+        eng.add_kernel("stage", slow_stage(n, c1, c2, 4))
+        eng.add_kernel("sink", sink_kernel(c2, n, 1))
+        rep = eng.run()
+        assert rep.mean_occupancy("feed") > 2.0       # backed up
+        assert rep.mean_occupancy("drain") < 2.0      # drained eagerly
+
+    def test_occupancy_requires_trace(self):
+        eng = Engine()                                # trace off
+        ch = eng.channel("c", 4)
+        eng.add_kernel("src", source_kernel(ch, [1], 1))
+        eng.add_kernel("sink", sink_kernel(ch, 1, 1))
+        rep = eng.run()
+        with pytest.raises(ValueError, match="trace"):
+            rep.mean_occupancy("c")
+
+
+class TestTimeline:
+    def _run(self):
+        n = 64
+        eng = Engine(trace=True)
+        c1 = eng.channel("feed", 4)
+        c2 = eng.channel("drain", 4)
+        eng.add_kernel("src", source_kernel(c1, list(range(n)), 1))
+        eng.add_kernel("stage", slow_stage(n, c1, c2, 3))
+        eng.add_kernel("sink", sink_kernel(c2, n, 1))
+        return eng.run()
+
+    def test_timeline_has_one_row_per_kernel(self):
+        rep = self._run()
+        text = rep.timeline()
+        assert text.count("|") == 2 * 3          # three framed rows
+        for name in ("src", "stage", "sink"):
+            assert name in text
+
+    def test_timeline_shows_early_finisher_as_done(self):
+        rep = self._run()
+        text = rep.timeline(max_width=40)
+        src_row = next(l for l in text.splitlines() if "src" in l)
+        assert "-" in src_row                     # src finished early
+
+    def test_full_resolution_states_recorded(self):
+        rep = self._run()
+        states = set(rep.timelines["src"])
+        assert "#" in states and ("s" in states or "-" in states)
+        # every kernel's timeline spans the whole run
+        assert len(rep.timelines["sink"]) == rep.cycles
+
+    def test_timeline_requires_trace(self):
+        eng = Engine()
+        ch = eng.channel("c", 4)
+        eng.add_kernel("src", source_kernel(ch, [1], 1))
+        eng.add_kernel("sink", sink_kernel(ch, 1, 1))
+        rep = eng.run()
+        with pytest.raises(ValueError, match="trace"):
+            rep.timeline()
+
+    def test_sleeping_state_visible_at_full_resolution(self):
+        rep = self._run()
+        assert "z" in rep.timelines["stage"]
+
+
+class TestProfileText:
+    def test_profile_mentions_every_kernel_and_channel(self):
+        eng = Engine(trace=True)
+        ch = eng.channel("wire", 8)
+        eng.add_kernel("producer", source_kernel(ch, [1.0] * 16, 2))
+        eng.add_kernel("consumer", sink_kernel(ch, 16, 2))
+        rep = eng.run()
+        text = rep.profile()
+        assert "producer" in text
+        assert "consumer" in text
+        assert "wire" in text
+        assert "bottleneck" in text
+        assert "mean_occ" in text

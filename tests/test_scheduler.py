@@ -1,0 +1,197 @@
+"""Tests for the general MDAG composition planner (paper's future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    atax_mdag,
+    axpydot_mdag,
+    bicg_mdag,
+    gemver_full_streaming_mdag,
+)
+from repro.models.iomodel import atax_min_channel_depth
+from repro.streaming import (
+    MDAG,
+    PlanningError,
+    plan_composition,
+    vector_stream,
+)
+
+
+class TestValidMultitrees:
+    def test_axpydot_plans_as_one_component(self):
+        plan = plan_composition(axpydot_mdag(1024))
+        assert plan.fully_streamed
+        assert plan.num_components == 1
+        assert not plan.materialized_edges
+
+    def test_bicg_plans_as_one_component(self):
+        plan = plan_composition(bicg_mdag(64, 64, 16, 16))
+        assert plan.fully_streamed
+
+    def test_plan_io_matches_mdag_io(self):
+        g = axpydot_mdag(100)
+        plan = plan_composition(g)
+        assert plan.io_operations() == g.io_operations() == 301
+
+    def test_streaming_io_reduction_reported(self):
+        plan = plan_composition(axpydot_mdag(1000))
+        # host layer: w, v through DRAM to axpy, z round trip, u, beta
+        assert plan.io_reduction() > 1.5
+
+
+class TestAtaxPlanning:
+    M = N = 64
+    TN = 8
+
+    def test_split_without_budget(self):
+        """No buffer budget: the reconvergent edge goes through DRAM."""
+        plan = plan_composition(atax_mdag(self.M, self.N, self.TN, self.TN))
+        assert not plan.fully_streamed
+        assert plan.num_components == 2
+        assert ("read_A", "gemvT") in plan.materialized_edges or \
+            any(v == "gemvT" for _u, v in plan.materialized_edges)
+
+    def test_sized_channel_with_budget(self):
+        """With the N*T_N window and budget, the plan stays streamed."""
+        window = atax_min_channel_depth(self.N, self.TN)
+        plan = plan_composition(
+            atax_mdag(self.M, self.N, self.TN, self.TN),
+            windows={("read_A", "gemvT"): window},
+            buffer_budget=2 * window)
+        assert plan.num_components == 1
+        assert ("read_A", "gemvT") in plan.sized_edges
+        assert plan.channel_depths[("read_A", "gemvT")] >= window
+
+    def test_insufficient_budget_falls_back_to_split(self):
+        window = atax_min_channel_depth(self.N, self.TN)
+        plan = plan_composition(
+            atax_mdag(self.M, self.N, self.TN, self.TN),
+            windows={("read_A", "gemvT"): window},
+            buffer_budget=window // 2)
+        assert plan.num_components == 2
+
+    def test_split_costs_more_io_than_sized(self):
+        window = atax_min_channel_depth(self.N, self.TN)
+        g1 = atax_mdag(self.M, self.N, self.TN, self.TN)
+        g2 = atax_mdag(self.M, self.N, self.TN, self.TN)
+        split = plan_composition(g1)
+        sized = plan_composition(g2,
+                                 windows={("read_A", "gemvT"): window},
+                                 buffer_budget=2 * window)
+        assert split.io_operations() > sized.io_operations()
+
+
+class TestGemverPlanning:
+    def test_splits_into_two_components_like_the_paper(self):
+        """Fig. 9: GER -> GER -> GEMV^T, then the final GEMV."""
+        plan = plan_composition(gemver_full_streaming_mdag(64, 8))
+        assert plan.num_components == 2
+        first, second = plan.components
+        assert {"ger1", "ger2", "gemvT"} <= first
+        assert "gemv_w" in second
+
+    def test_gemver_io_reduction_matches_sec5(self):
+        """The split plan still cuts I/O vs host layer (8N^2 -> ~3N^2)."""
+        plan = plan_composition(gemver_full_streaming_mdag(64, 8))
+        assert plan.io_reduction() > 1.8
+
+
+class TestSemanticErrors:
+    def test_non_multiple_count_mismatch_is_unplannable(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", vector_stream(10), vector_stream(15))
+        with pytest.raises(PlanningError):
+            plan_composition(g)
+
+    def test_whole_multiple_mismatch_is_materialized(self):
+        """A consumer needing the stream k times can be fed from DRAM:
+        the planner turns the replay edge into a mandatory round trip."""
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", vector_stream(10), vector_stream(10, replay=2))
+        plan = plan_composition(g)
+        assert ("a", "b") in plan.materialized_edges
+        assert plan.num_components == 2
+
+    def test_cycle_is_unplannable(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        g.connect("a", "b", vector_stream(4), vector_stream(4))
+        g.connect("b", "a", vector_stream(4), vector_stream(4))
+        with pytest.raises(PlanningError):
+            plan_composition(g)
+
+
+class TestRandomDags:
+    """Property: planning any structurally-wellformed MDAG succeeds and
+    every component is a valid multitree (checked internally)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 24 - 1), st.integers(4, 9))
+    def test_random_layered_dag(self, seed, n_nodes):
+        import random
+        rng = random.Random(seed)
+        g = MDAG()
+        names = []
+        for i in range(n_nodes):
+            name = f"n{i}"
+            if i < 2 or rng.random() < 0.3:
+                g.add_interface(name)
+            else:
+                g.add_module(name)
+            names.append(name)
+        sig = vector_stream(16)
+        edges = 0
+        for j in range(1, n_nodes):
+            for i in range(j):
+                if rng.random() < 0.4:
+                    g.connect(names[i], names[j], sig, sig)
+                    edges += 1
+        if edges == 0:
+            g.connect(names[0], names[-1], sig, sig)
+        plan = plan_composition(g)   # must not raise
+        # Every node lands in exactly one component.
+        seen = set()
+        for comp in plan.components:
+            assert not (comp & seen)
+            seen |= comp
+        assert seen == set(names)
+        # Components are ordered: materialized edges never point backward.
+        for u, v in plan.materialized_edges:
+            assert plan.component_of(u) < plan.component_of(v)
+        # A derived plan never moves more data than the host layer.
+        assert plan.io_operations() <= plan.sequential_io_operations()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 24 - 1))
+    def test_diamond_always_resolved(self, seed):
+        """Any diamond (classic reconvergence) ends up buffered or split."""
+        import random
+        rng = random.Random(seed)
+        g = MDAG()
+        g.add_interface("src")
+        g.add_module("left")
+        g.add_module("right")
+        g.add_module("join")
+        g.add_interface("out")
+        sig = vector_stream(32)
+        g.connect("src", "left", sig, sig)
+        g.connect("src", "right", sig, sig)
+        g.connect("left", "join", sig, sig)
+        g.connect("right", "join", sig, sig)
+        g.connect("join", "out", sig, sig)
+        budget = rng.choice([0, 16, 64, 128])
+        windows = {("left", "join"): 32} if rng.random() < 0.5 else None
+        plan = plan_composition(g, windows=windows, buffer_budget=budget)
+        if windows and budget >= 32:
+            assert plan.num_components == 1
+        else:
+            assert plan.num_components >= 1
+            assert plan.materialized_edges or plan.sized_edges or \
+                plan.num_components == 1

@@ -1,0 +1,148 @@
+"""Cycle-level systolic GEMM: correctness, timing, structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.systolic import (
+    PE_FANOUT,
+    SystolicConfig,
+    SystolicGemm,
+    pad_operands,
+)
+from repro.models import gemm_systolic_cycles
+
+RNG = np.random.default_rng(17)
+
+
+def _mat(n, m, dtype=np.float32):
+    return RNG.normal(size=(n, m)).astype(dtype)
+
+
+class TestConfig:
+    def test_elems_per_pe(self):
+        cfg = SystolicConfig(4, 4, 16, 8)
+        assert cfg.elems_per_pe == (16 // 4) * (8 // 4)
+        assert cfg.num_pes == 16
+        assert cfg.ratio == 4.0
+
+    def test_tile_must_be_multiple_of_grid(self):
+        with pytest.raises(ValueError):
+            SystolicConfig(4, 4, 10, 8)
+
+    def test_positive_grid(self):
+        with pytest.raises(ValueError):
+            SystolicConfig(0, 4, 4, 4)
+
+    def test_constant_fanout(self):
+        """Each PE has 6 links regardless of array size (Sec. III-C)."""
+        assert PE_FANOUT == 6
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pr,pc,tr,tc,n,m,k", [
+        (2, 2, 4, 4, 4, 4, 4),
+        (2, 2, 4, 4, 8, 8, 8),
+        (4, 2, 8, 4, 8, 8, 6),
+        (1, 1, 2, 2, 4, 4, 3),
+        (3, 2, 6, 4, 6, 8, 5),
+    ])
+    def test_matches_numpy(self, pr, pc, tr, tc, n, m, k):
+        a = _mat(n, k)
+        b = _mat(k, m)
+        sys = SystolicGemm(SystolicConfig(pr, pc, tr, tc))
+        got, _ = sys.multiply(a, b)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-4, atol=1e-4)
+
+    def test_alpha_beta(self):
+        a, b, c = _mat(4, 4), _mat(4, 4), _mat(4, 4)
+        sys = SystolicGemm(SystolicConfig(2, 2, 4, 4))
+        got, _ = sys.multiply(a, b, alpha=1.5, beta=0.25, c=c)
+        np.testing.assert_allclose(got, 1.5 * (a @ b) + 0.25 * c,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_double_precision(self):
+        a, b = _mat(4, 4, np.float64), _mat(4, 4, np.float64)
+        sys = SystolicGemm(SystolicConfig(2, 2, 4, 4), dtype=np.float64)
+        got, _ = sys.multiply(a, b)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-12)
+
+    def test_shape_validation(self):
+        sys = SystolicGemm(SystolicConfig(2, 2, 4, 4))
+        with pytest.raises(ValueError):
+            sys.multiply(_mat(4, 3), _mat(4, 4))
+        with pytest.raises(ValueError):
+            sys.multiply(_mat(6, 4), _mat(4, 6))   # 6 not divisible by 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 2),
+           st.integers(1, 2), st.integers(1, 6))
+    def test_random_geometry(self, pr, pc, rmul, cmul, k):
+        tr, tc = pr * rmul, pc * cmul
+        a = _mat(tr, k)
+        b = _mat(k, tc)
+        sys = SystolicGemm(SystolicConfig(pr, pc, tr, tc))
+        got, _ = sys.multiply(a, b)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-3, atol=1e-3)
+
+
+class TestTiming:
+    def test_pe_revisit_period(self):
+        """A PE accumulates on the same C element every TR*TC/(PR*PC)
+        cycles, so one tile costs ~K * elems_per_pe cycles (Sec. III-C)."""
+        cfg = SystolicConfig(2, 2, 8, 8)
+        sys = SystolicGemm(cfg)
+        k = 16
+        _, stats = sys.multiply(_mat(8, k), _mat(k, 8))
+        compute = k * cfg.elems_per_pe
+        assert stats.cycles >= compute
+        assert stats.cycles <= compute + cfg.pr + cfg.pc + \
+            cfg.elems_per_pe + cfg.pr + 5
+
+    def test_matches_analytic_model(self):
+        cfg = SystolicConfig(2, 2, 4, 4)
+        sys = SystolicGemm(cfg)
+        n = m = 8
+        k = 8
+        _, stats = sys.multiply(_mat(n, k), _mat(k, m))
+        model = gemm_systolic_cycles(n, m, k, cfg.pr, cfg.pc,
+                                     cfg.tile_r, cfg.tile_c,
+                                     drain_latency=cfg.elems_per_pe + cfg.pr)
+        assert abs(stats.cycles - model) / model < 0.25
+
+    def test_expected_cycles_helper(self):
+        cfg = SystolicConfig(2, 2, 4, 4)
+        sys = SystolicGemm(cfg)
+        _, stats = sys.multiply(_mat(8, 4), _mat(4, 8))
+        assert abs(stats.cycles - sys.expected_cycles(8, 8, 4)) <= 8
+
+    def test_mac_count_is_exact(self):
+        n = m = k = 8
+        sys = SystolicGemm(SystolicConfig(2, 2, 4, 4))
+        _, stats = sys.multiply(_mat(n, k), _mat(k, m))
+        assert stats.macs == n * m * k
+
+    def test_utilization_improves_with_tile_ratio(self):
+        """Fig. 10 (right): larger memory/compute tile ratio approaches
+        the expected performance of the instantiated PEs."""
+        k = 32
+        utils = []
+        for tr in (4, 8, 16):
+            cfg = SystolicConfig(4, 4, tr, tr)
+            sys = SystolicGemm(cfg)
+            _, stats = sys.multiply(_mat(16, k), _mat(k, 16))
+            utils.append(stats.pe_utilization(cfg))
+        assert utils[0] < utils[1] < utils[2]
+        assert utils[2] > 0.75
+
+
+class TestPadding:
+    def test_pad_and_strip(self):
+        cfg = SystolicConfig(2, 2, 4, 4)
+        a, b = _mat(6, 5), _mat(5, 7)
+        a2, b2, (n, m) = pad_operands(a, b, cfg)
+        assert a2.shape == (8, 5) and b2.shape == (5, 8)
+        sys = SystolicGemm(cfg)
+        got, _ = sys.multiply(a2, b2)
+        np.testing.assert_allclose(got[:n, :m], a @ b, rtol=1e-4, atol=1e-4)
