@@ -12,6 +12,7 @@ Layers (see DESIGN.md):
 * :mod:`repro.fpga`      -- channels, cycle engine, DRAM, devices, resources
 * :mod:`repro.models`    -- work/depth, performance, and I/O models (Sec. IV/V)
 * :mod:`repro.streaming` -- tiling schedules, stream signatures, MDAG analysis
+* :mod:`repro.analysis`  -- static design checker (FBxxx diagnostics, preflight)
 * :mod:`repro.blas`      -- routine kernels (streaming + numpy references)
 * :mod:`repro.codegen`   -- JSON spec -> OpenCL source + simulator bindings
 * :mod:`repro.host`      -- BLAS-style host API over simulated device memory
@@ -30,7 +31,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import apps, blas, codegen, fpga, host, models, streaming
+from . import analysis, apps, blas, codegen, fpga, host, models, streaming
 
-__all__ = ["apps", "blas", "codegen", "fpga", "host", "models", "streaming",
-           "__version__"]
+__all__ = ["analysis", "apps", "blas", "codegen", "fpga", "host", "models",
+           "streaming", "__version__"]

@@ -1,0 +1,74 @@
+"""Static design-checking for streaming compositions (Sec. V, fail-fast).
+
+The paper argues MDAG validity *statically*: an invalid composition does
+not crash, it stalls forever.  This package catches those mistakes before
+any cycle is simulated, as a pass-based analyzer with stable ``FBxxx``
+diagnostic codes over three kinds of subject:
+
+* :func:`analyze_mdag` — MDAGs (signatures, cycles, replay, and the
+  reconvergent-buffering prover of Sec. V-B);
+* :func:`analyze_engine` — a built :class:`~repro.fpga.engine.Engine`
+  whose kernels declared their ports (wiring, cycles, and the
+  channel-depth sufficiency prover), run automatically by
+  ``Engine.run(preflight=True)``;
+* :func:`analyze_specs` — codegen routine specifications (lint plus
+  resource fit against the Table II device catalogs).
+
+``python -m repro.analysis`` exposes the same checks on the command line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from .diagnostics import (
+    CODES,
+    AnalysisError,
+    AnalysisResult,
+    Diagnostic,
+    Severity,
+)
+from .graphs import disjoint_paths, multipath_pairs, reconvergent_pairs
+from .passes import REGISTRIES, register, run_passes
+
+# Importing the pass modules populates the registries.
+from . import engine_passes, mdag_passes, spec_passes  # noqa: F401
+from .spec_passes import estimate_spec_resources, estimate_total_resources
+
+__all__ = [
+    "CODES", "AnalysisError", "AnalysisResult", "Diagnostic", "Severity",
+    "REGISTRIES", "analyze_engine", "analyze_mdag", "analyze_specs",
+    "disjoint_paths", "estimate_spec_resources", "estimate_total_resources",
+    "multipath_pairs", "reconvergent_pairs", "register", "run_passes",
+]
+
+
+def analyze_mdag(mdag, windows: Optional[Dict[Tuple[str, str], int]] = None,
+                 ) -> AnalysisResult:
+    """Run every MDAG pass; see :mod:`repro.analysis.mdag_passes`.
+
+    ``windows`` optionally maps edges to reordering windows (elements), in
+    which case reconvergent pairs are *proved* safe (FB008) or deadlocking
+    (FB003) instead of merely flagged (FB002).
+    """
+    return run_passes("mdag", mdag, {"windows": windows or {}},
+                      subject_name="MDAG")
+
+
+def analyze_engine(engine) -> AnalysisResult:
+    """Run every engine pre-flight pass; see
+    :mod:`repro.analysis.engine_passes`."""
+    return run_passes("engine", engine, {},
+                      subject_name=f"engine({len(engine.kernels)} kernels)")
+
+
+def analyze_specs(specs: Iterable, device=None) -> AnalysisResult:
+    """Run every spec pass; see :mod:`repro.analysis.spec_passes`.
+
+    ``specs`` is a list of :class:`~repro.codegen.spec.RoutineSpec`;
+    ``device`` an optional :class:`~repro.fpga.device.FpgaDevice` enabling
+    the resource-fit lint.
+    """
+    specs = list(specs)
+    return run_passes("spec", specs, {"device": device},
+                      subject_name=f"{len(specs)} routine spec(s)")

@@ -1,0 +1,192 @@
+"""Diagnostic objects with stable codes, and reporters.
+
+Every problem the static analyzer can find carries a *stable* ``FBxxx``
+code, so tests, CI pipelines and users can match on codes instead of
+message text.  Codes are grouped by family:
+
+* ``FB0xx`` — graph validity (signatures, buffering, cycles, wiring);
+* ``FB1xx`` — resource fit against a device catalog (Table II);
+* ``FB2xx`` — routine-specification lint (non-functional parameters);
+* ``FB3xx`` — analysis coverage notes.
+
+The full table lives in :data:`CODES`; README.md documents it with worked
+examples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(IntEnum):
+    """How bad a diagnostic is.  Orderable: ``ERROR > WARNING > INFO``."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Stable diagnostic codes -> one-line description.
+CODES: Dict[str, str] = {
+    "FB001": "stream signature mismatch (element count or order) on an edge",
+    "FB002": "reconvergent vertex pair without proven-sufficient buffering",
+    "FB003": "channel depth insufficient for the reordering window "
+             "(proven deadlock)",
+    "FB004": "cycle in the module/kernel graph",
+    "FB005": "compute-module replay (only interface modules can re-emit "
+             "past data)",
+    "FB006": "dangling channel (missing producer or consumer)",
+    "FB007": "channel with multiple writers or readers (channels are "
+             "single-producer/single-consumer)",
+    "FB008": "reconvergent pair proven safe (depth certificate)",
+    "FB100": "per-module resource estimate",
+    "FB101": "device resource over-subscription",
+    "FB102": "high device utilization (above 85% of the busiest resource)",
+    "FB103": "double precision is emulated (no hardened DSP support)",
+    "FB201": "vectorization width is not a power of two",
+    "FB202": "tile size is not a multiple of the vectorization width",
+    "FB301": "kernel without port annotations (pre-flight coverage is "
+             "partial)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    Attributes
+    ----------
+    code:
+        Stable ``FBxxx`` identifier (a key of :data:`CODES`).
+    severity:
+        :class:`Severity` level; only errors fail a pre-flight check.
+    message:
+        Human-readable description of this specific instance.
+    obj:
+        Name of the module/kernel/channel/spec concerned, if any.
+    edge:
+        ``(src, dst)`` pair for edge-level findings, if any.
+    fix:
+        Actionable suggestion, when the analyzer can compute one (e.g. the
+        minimum safe channel depth for FB003).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    obj: Optional[str] = None
+    edge: Optional[Tuple[str, str]] = None
+    fix: Optional[str] = None
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def format(self) -> str:
+        where = ""
+        if self.edge is not None:
+            where = f" [{self.edge[0]} -> {self.edge[1]}]"
+        elif self.obj is not None:
+            where = f" [{self.obj}]"
+        fix = f"\n    fix: {self.fix}" if self.fix else ""
+        return (f"{self.code} {self.severity.label}{where}: "
+                f"{self.message}{fix}")
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "obj": self.obj,
+            "edge": list(self.edge) if self.edge else None,
+            "fix": self.fix,
+        }
+
+
+@dataclass
+class AnalysisResult:
+    """Every diagnostic one analyzer run produced, plus reporters."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    passes_run: List[str] = field(default_factory=list)
+    subject: str = ""
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was emitted."""
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    def raise_if_errors(self) -> "AnalysisResult":
+        """Raise :class:`AnalysisError` when any error was found."""
+        if self.errors:
+            raise AnalysisError(self)
+        return self
+
+    # -- reporters ---------------------------------------------------------
+    def render_text(self, min_severity: Severity = Severity.INFO) -> str:
+        shown = [d for d in self.diagnostics if d.severity >= min_severity]
+        subject = f" for {self.subject}" if self.subject else ""
+        lines = [f"static analysis{subject}: "
+                 f"{len(self.errors)} error(s), {len(self.warnings)} "
+                 f"warning(s), {len(self.infos)} info"]
+        for d in sorted(shown, key=lambda d: (-d.severity, d.code)):
+            lines.append("  " + d.format().replace("\n", "\n  "))
+        if not shown:
+            lines.append("  no diagnostics")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps({
+            "subject": self.subject,
+            "ok": self.ok,
+            "passes_run": self.passes_run,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }, indent=2)
+
+
+class AnalysisError(RuntimeError):
+    """A pre-flight check found error-severity diagnostics.
+
+    Raised *before* any cycle is simulated — the static counterpart of
+    :class:`repro.fpga.engine.DeadlockError`.  Carries the full
+    :class:`AnalysisResult` in ``result`` and the error list in
+    ``diagnostics``.
+    """
+
+    def __init__(self, result: AnalysisResult):
+        self.result = result
+        self.diagnostics = result.errors
+        codes = ", ".join(sorted({d.code for d in result.errors}))
+        detail = "; ".join(d.format().replace("\n    ", " ")
+                           for d in result.errors)
+        super().__init__(
+            f"pre-flight analysis failed with {len(result.errors)} "
+            f"error(s) [{codes}]: {detail}")

@@ -1,0 +1,219 @@
+"""Pre-flight passes over an :class:`~repro.fpga.engine.Engine`.
+
+Kernels opt in to static analysis by declaring their ports
+(``Engine.add_kernel(..., reads=..., writes=..., defer=...)``).  From the
+annotations these passes build the kernel graph (vertices: kernels;
+edges: channels) and prove properties about it before cycle 0:
+
+* wiring sanity — every channel has exactly one producer and one consumer
+  (FB006/FB007), the graph is acyclic (FB004);
+* **channel-depth sufficiency** for reconvergent paths (the ATAX stall of
+  Sec. V-B).  For a pair of vertex-disjoint paths P and P' between a
+  fan-out and a re-join kernel, let ``defer(P')`` be the number of
+  elements the kernels on P' must consume before their first output
+  (their summed reordering windows).  While P' absorbs those elements the
+  lockstep fan-out keeps feeding P, which must buffer everything it
+  receives.  The prover brackets P's true capacity:
+
+  - lower bound: the summed FIFO depths along P — if that already covers
+    ``defer(P')`` the composition provably streams (FB008 certificate);
+  - upper bound: depths plus pipeline-staging headroom (``lanes x push
+    latency`` per edge, the skid slots the engine grants in-flight
+    values) plus the fan-out's one-batch intra-cycle lead — if even that
+    cannot cover ``defer(P')`` the composition provably deadlocks
+    (FB003, with the minimum safe depth as the suggested fix).
+
+  Between the two bounds the verdict is "unproven" (FB002, warning): the
+  dynamic :class:`~repro.fpga.engine.DeadlockError` check remains the
+  authority for that narrow band.
+
+The wiring and depth passes only run when *every* kernel is annotated —
+an unannotated kernel could secretly drain a channel and void the proof;
+partial coverage is surfaced as FB301 instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from .diagnostics import Diagnostic, Severity
+from .graphs import disjoint_paths, reconvergent_pairs
+from .passes import register
+
+
+def _fully_annotated(engine) -> bool:
+    return all(k.annotated for k in engine.kernels.values())
+
+
+def _port_maps(engine):
+    """Channel name -> list of (kernel, WritePort) / list of kernel names."""
+    writers: Dict[str, List[Tuple[object, object]]] = {}
+    readers: Dict[str, List[str]] = {}
+    for k in engine.kernels.values():
+        for port in k.writes:
+            writers.setdefault(port.channel.name, []).append((k, port))
+        for ch in k.reads:
+            readers.setdefault(ch.name, []).append(k.name)
+    return writers, readers
+
+
+def _kernel_graph(engine) -> nx.DiGraph:
+    """Kernel graph; edge (u, v) aggregates every channel u feeds v with.
+
+    Edge attributes: ``depth_lo`` (min FIFO depth over parallel channels
+    — a conservative buffering lower bound for lockstep streams),
+    ``cap_hi`` (summed depth + staging headroom — an upper bound),
+    ``lanes`` (largest push batch) and ``channels`` (names).
+    """
+    writers, readers = _port_maps(engine)
+    g = nx.DiGraph()
+    g.add_nodes_from(k.name for k in engine.kernels.values() if k.annotated)
+    for ch_name, ws in writers.items():
+        for kernel, port in ws:
+            latency = (port.latency if port.latency is not None
+                       else kernel.latency)
+            headroom = port.lanes * latency
+            depth = port.channel.depth
+            for reader in readers.get(ch_name, ()):
+                if g.has_edge(kernel.name, reader):
+                    data = g.edges[kernel.name, reader]
+                    data["depth_lo"] = min(data["depth_lo"], depth)
+                    data["cap_hi"] += depth + headroom
+                    data["lanes"] = max(data["lanes"], port.lanes)
+                    data["channels"].append(ch_name)
+                else:
+                    g.add_edge(kernel.name, reader, depth_lo=depth,
+                               cap_hi=depth + headroom, lanes=port.lanes,
+                               channels=[ch_name])
+    return g
+
+
+@register("engine", "coverage")
+def check_coverage(engine, ctx) -> Iterable[Diagnostic]:
+    """FB301: kernels invisible to the static passes."""
+    for k in engine.kernels.values():
+        if not k.annotated:
+            yield Diagnostic(
+                "FB301", Severity.INFO,
+                f"kernel {k.name!r} declares no reads/writes; pre-flight "
+                "checks cover only the annotated part of the design",
+                obj=k.name,
+                fix="pass reads=/writes= (and defer=) to add_kernel()")
+
+
+@register("engine", "wiring")
+def check_wiring(engine, ctx) -> Iterable[Diagnostic]:
+    """FB006/FB007: every channel needs exactly one writer and reader."""
+    if not _fully_annotated(engine):
+        return
+    writers, readers = _port_maps(engine)
+    for name in engine.channels:
+        n_w = len(writers.get(name, ()))
+        n_r = len(readers.get(name, ()))
+        if n_w == 0 and n_r == 0:
+            continue                      # never referenced: harmless
+        if n_w == 0:
+            yield Diagnostic(
+                "FB006", Severity.ERROR,
+                f"channel {name!r} is read by "
+                f"{[r for r in readers[name]]} but has no producer; every "
+                "pop on it blocks forever", obj=name)
+        elif n_r == 0:
+            yield Diagnostic(
+                "FB006", Severity.WARNING,
+                f"channel {name!r} is written by "
+                f"{[k.name for k, _p in writers[name]]} but has no "
+                "consumer; it fills up and back-pressures its producer",
+                obj=name)
+        if n_w > 1 or n_r > 1:
+            yield Diagnostic(
+                "FB007", Severity.WARNING,
+                f"channel {name!r} has {n_w} writer(s) and {n_r} "
+                "reader(s); HLS channels are single-producer/"
+                "single-consumer", obj=name)
+
+
+@register("engine", "cycles")
+def check_cycles(engine, ctx) -> Iterable[Diagnostic]:
+    """FB004: a cycle of empty FIFOs can never prime itself."""
+    g = _kernel_graph(engine)
+    if not nx.is_directed_acyclic_graph(g):
+        cycle = nx.find_cycle(g)
+        path = " -> ".join(u for u, _v in cycle) + f" -> {cycle[-1][1]}"
+        yield Diagnostic("FB004", Severity.ERROR,
+                         f"kernel graph contains a cycle: {path}")
+
+
+@register("engine", "depths")
+def check_depths(engine, ctx) -> Iterable[Diagnostic]:
+    """FB002/FB003/FB008: the channel-depth sufficiency prover."""
+    if not _fully_annotated(engine):
+        return
+    g = _kernel_graph(engine)
+    if not nx.is_directed_acyclic_graph(g):
+        return                              # FB004 already reported
+    for a, b in reconvergent_pairs(g):
+        paths = disjoint_paths(g, a, b)
+        stats = []
+        for p in paths:
+            edges = list(zip(p[:-1], p[1:]))
+            stats.append({
+                "nodes": p,
+                "defer": sum(engine.kernels[k].defer for k in p[1:-1]),
+                "lo": sum(g.edges[e]["depth_lo"] for e in edges),
+                "hi": sum(g.edges[e]["cap_hi"] for e in edges),
+                "first_lanes": g.edges[edges[0]]["lanes"] if edges else 0,
+                "channels": [c for e in edges
+                             for c in g.edges[e]["channels"]],
+            })
+        if all(s["defer"] == 0 for s in stats):
+            continue                       # plain fan-out/re-join: no window
+        verdicts = []
+        for i, s in enumerate(stats):
+            others = [t for j, t in enumerate(stats) if j != i]
+            required = max(t["defer"] for t in others)
+            if required == 0:
+                verdicts.append("safe")
+            elif s["lo"] >= required:
+                verdicts.append("safe")
+            else:
+                # The fan-out may run one batch ahead on the deferring
+                # branch before it blocks on this one.
+                lead = max(t["first_lanes"] for t in others)
+                if s["hi"] + lead < required:
+                    shortfall = required - s["lo"]
+                    name = s["channels"][0] if s["channels"] else "?"
+                    yield Diagnostic(
+                        "FB003", Severity.ERROR,
+                        f"reconvergent kernels {a!r} -> {b!r}: branch "
+                        f"{' -> '.join(s['nodes'])} can buffer at most "
+                        f"{s['hi'] + lead} elements but the sibling "
+                        f"branch defers {required} before its first "
+                        "output; the composition deadlocks",
+                        edge=(a, b),
+                        fix=f"raise channel {name!r} depth by "
+                            f">= {shortfall} (to a total branch depth of "
+                            f">= {required})")
+                    verdicts.append("deadlock")
+                else:
+                    yield Diagnostic(
+                        "FB002", Severity.WARNING,
+                        f"reconvergent kernels {a!r} -> {b!r}: branch "
+                        f"{' -> '.join(s['nodes'])} holds {s['lo']} "
+                        f"elements against a {required}-element "
+                        "reordering window; within pipeline-staging "
+                        "margin, sufficiency is unproven",
+                        edge=(a, b),
+                        fix=f"raise the branch depth to >= {required} to "
+                            "obtain a static certificate")
+                    verdicts.append("unproven")
+        if verdicts and all(v == "safe" for v in verdicts):
+            windows = max(s["defer"] for s in stats)
+            yield Diagnostic(
+                "FB008", Severity.INFO,
+                f"reconvergent kernels {a!r} -> {b!r}: every branch "
+                f"buffers the {windows}-element reordering window; "
+                "deadlock-free for this problem size",
+                edge=(a, b))

@@ -1,0 +1,58 @@
+"""Graph algorithms shared by the MDAG and engine analyzer passes.
+
+These used to live inside :class:`repro.streaming.mdag.MDAG`; they are the
+single source of truth now — the MDAG methods delegate here, and the
+engine pre-flight reuses them on the kernel graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+
+def multipath_pairs(graph: nx.DiGraph) -> List[Tuple[str, str]]:
+    """Vertex pairs with more than one (not necessarily disjoint) path.
+
+    A DAG is a *multitree* iff this list is empty.  Returns ``[]`` for
+    cyclic graphs (path counting is undefined there; cycles are reported
+    separately as FB004).
+    """
+    if not nx.is_directed_acyclic_graph(graph):
+        return []
+    order = list(nx.topological_sort(graph))
+    pairs = []
+    for src in order:
+        counts = {src: 1}
+        for v in order:
+            if v == src:
+                continue
+            total = sum(counts.get(u, 0) for u in graph.predecessors(v))
+            if total:
+                counts[v] = total
+                if total > 1:
+                    pairs.append((src, v))
+    return pairs
+
+
+def reconvergent_pairs(graph: nx.DiGraph) -> List[Tuple[str, str]]:
+    """Pairs joined by >= 2 internally vertex-disjoint paths.
+
+    These are the pairs the paper singles out (Sec. V-B): data fans out at
+    the first vertex and rejoins at the second, so one branch can only
+    progress if the other branch's data is buffered in a channel.
+    """
+    out = []
+    for u, v in multipath_pairs(graph):
+        if len(disjoint_paths(graph, u, v)) >= 2:
+            out.append((u, v))
+    return out
+
+
+def disjoint_paths(graph: nx.DiGraph, u: str, v: str) -> List[List[str]]:
+    """A maximum set of internally vertex-disjoint u -> v paths."""
+    try:
+        return [list(p) for p in nx.node_disjoint_paths(graph, u, v)]
+    except (nx.NetworkXNoPath, nx.NetworkXError):  # pragma: no cover
+        return []

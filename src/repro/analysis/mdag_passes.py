@@ -1,0 +1,129 @@
+"""Analyzer passes over MDAGs (the Sec. V validity questions).
+
+These passes are the single source of truth for the checks that
+:meth:`repro.streaming.mdag.MDAG.validate` and
+:func:`repro.streaming.scheduler.plan_composition` used to implement
+privately; both now consume the diagnostics emitted here.
+
+``ctx`` keys consulted:
+
+``windows``
+    ``{(u, v): elements}`` — the producer's reordering window per edge,
+    for reconvergent pairs the caller can bound (e.g. the ATAX bound
+    ``N * T_N`` on the second GEMV's A channel).  With a window known the
+    reconvergence check becomes a *prover*: the stored edge depth either
+    certifies the composition (FB008) or proves the deadlock (FB003, with
+    the minimum safe depth as the suggested fix).  Without one, the pair
+    is reported as unproven (FB002), exactly the paper's "invalid for
+    dynamic problem sizes" verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from .diagnostics import Diagnostic, Severity
+from .graphs import disjoint_paths, reconvergent_pairs
+from .passes import register
+
+
+@register("mdag", "acyclic")
+def check_acyclic(mdag, ctx) -> Iterable[Diagnostic]:
+    """FB004: an MDAG must be a DAG — a cycle of FIFOs stalls forever."""
+    if not nx.is_directed_acyclic_graph(mdag.graph):
+        cycle = nx.find_cycle(mdag.graph)
+        path = " -> ".join(u for u, _v in cycle) + f" -> {cycle[-1][1]}"
+        yield Diagnostic("FB004", Severity.ERROR,
+                         f"MDAG contains a cycle: {path}")
+
+
+@register("mdag", "signatures")
+def check_signatures(mdag, ctx) -> Iterable[Diagnostic]:
+    """FB001/FB005: every edge must move the same elements in the same
+    order on both ends (Sec. V edge validity)."""
+    for u, v, data in mdag.graph.edges(data=True):
+        produces = data["produces"]
+        consumes = data["consumes"]
+        reason = produces.mismatch_reason(consumes)
+        if reason is None:
+            continue
+        # Replay between two *compute* modules is never allowed: a compute
+        # module cannot re-emit past data (Sec. V).  An interface module
+        # can, by re-reading DRAM.
+        if (mdag.kind(u) == "compute" and produces.total < consumes.total):
+            yield Diagnostic(
+                "FB005", Severity.ERROR,
+                f"{u!r} -> {v!r}: consumer requires replayed data "
+                f"({consumes.total} elements) that compute module {u!r} "
+                f"only produces once ({produces.total}); replay is only "
+                "possible from interface modules",
+                edge=(u, v),
+                fix=f"materialize the edge through DRAM (an interface can "
+                    f"replay) or restructure so {u!r} emits the stream "
+                    f"{consumes.total // max(produces.total, 1)} times")
+        else:
+            yield Diagnostic(
+                "FB001", Severity.ERROR,
+                f"{u!r} -> {v!r}: {reason}", edge=(u, v),
+                fix="make the producer and consumer schedules agree "
+                    "(same element count, same tiling order)")
+
+
+@register("mdag", "reconvergence")
+def check_reconvergence(mdag, ctx) -> Iterable[Diagnostic]:
+    """FB002/FB003/FB008: buffering analysis of reconvergent pairs.
+
+    For each pair joined by >= 2 vertex-disjoint paths, the composition
+    only streams if some channel entering the reconvergence vertex buffers
+    the producer's full reordering window (Sec. V-B, the ATAX case).
+    """
+    graph = mdag.graph
+    if not nx.is_directed_acyclic_graph(graph):
+        return
+    windows = ctx.get("windows") or {}
+    for a, b in reconvergent_pairs(graph):
+        paths = disjoint_paths(graph, a, b)
+        in_edges = sorted({(p[-2], b) for p in paths if len(p) >= 2})
+        proven = None
+        undersized = None
+        for u, _b in in_edges:
+            window = windows.get((u, b))
+            if window is None:
+                continue
+            depth = graph.edges[u, b]["depth"]
+            if depth >= window:
+                proven = (u, b, window, depth)
+                break
+            if undersized is None:
+                undersized = (u, b, window, depth)
+        if proven is not None:
+            u, _v, window, depth = proven
+            yield Diagnostic(
+                "FB008", Severity.INFO,
+                f"reconvergent pair ({a!r}, {b!r}) is safe: channel "
+                f"{u!r} -> {b!r} holds depth {depth} >= reordering "
+                f"window {window}",
+                edge=(a, b))
+        elif undersized is not None:
+            u, _v, window, depth = undersized
+            yield Diagnostic(
+                "FB003", Severity.ERROR,
+                f"channel {u!r} -> {b!r} has depth {depth} but the "
+                f"reconvergent pair ({a!r}, {b!r}) needs it to buffer the "
+                f"full reordering window of {window} elements; the "
+                "composition stalls forever",
+                edge=(u, b),
+                fix=f"required_depth({u!r}, {b!r}, {window}) — raise the "
+                    f"channel depth to >= {window}")
+        else:
+            yield Diagnostic(
+                "FB002", Severity.ERROR,
+                f"two vertex-disjoint paths from {a!r} to {b!r}: valid "
+                "only if a channel on one branch buffers the full "
+                "reordering window (invalid for dynamic problem sizes)",
+                edge=(a, b),
+                fix="supply the reordering window (analyze_mdag(..., "
+                    "windows=...)) and size the channel, or split the "
+                    "MDAG via plan_composition()")

@@ -1,0 +1,51 @@
+"""The pass framework: small named checks that emit diagnostics.
+
+A *pass* is a function ``(subject, ctx) -> iterable of Diagnostic`` that
+inspects one kind of subject — an MDAG, an :class:`~repro.fpga.engine.
+Engine`, or a list of codegen :class:`~repro.codegen.spec.RoutineSpec`s —
+without mutating it.  Passes register themselves into per-subject
+registries; :func:`run_passes` executes a registry in order and collects
+everything into an :class:`~repro.analysis.diagnostics.AnalysisResult`.
+
+``ctx`` is a plain namespace dict for optional inputs a pass may consult
+(reordering ``windows`` for the depth prover, the target ``device`` for
+the resource-fit lint).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from .diagnostics import AnalysisResult, Diagnostic
+
+PassFn = Callable[[object, dict], Iterable[Diagnostic]]
+
+#: Registries, in execution order.  Keyed by subject kind.
+REGISTRIES: Dict[str, List[Tuple[str, PassFn]]] = {
+    "mdag": [],
+    "engine": [],
+    "spec": [],
+}
+
+
+def register(kind: str, name: str):
+    """Decorator: add a pass to the ``kind`` registry under ``name``."""
+    if kind not in REGISTRIES:
+        raise ValueError(f"unknown pass kind {kind!r}")
+
+    def deco(fn: PassFn) -> PassFn:
+        REGISTRIES[kind].append((name, fn))
+        return fn
+
+    return deco
+
+
+def run_passes(kind: str, subject, ctx: dict | None = None,
+               subject_name: str = "") -> AnalysisResult:
+    """Run every registered ``kind`` pass over ``subject``."""
+    ctx = ctx or {}
+    result = AnalysisResult(subject=subject_name)
+    for name, fn in REGISTRIES[kind]:
+        result.passes_run.append(name)
+        result.extend(fn(subject, ctx))
+    return result

@@ -56,14 +56,19 @@ def atax_host(fb: Fblas, a, x) -> AppResult:
 
 
 def atax_streaming(ctx: FblasContext, a, x, tile: int = 4, width: int = 4,
-                   channel_depth="auto") -> AppResult:
+                   channel_depth="auto", preflight: bool = False) -> AppResult:
     """Fully streamed ATAX — valid only with an adequately sized channel.
 
     ``channel_depth`` is the depth of the second GEMV's A channel:
     ``"auto"`` applies the Sec. V-B bound (a full row of tiles); an
     integer forces a specific depth, and an undersized one makes the
     composition deadlock (the simulator raises
-    :class:`repro.fpga.engine.DeadlockError`).
+    :class:`repro.fpga.engine.DeadlockError`).  With ``preflight=True``
+    the static analyzer proves that outcome before cycle 0 instead
+    (:class:`repro.analysis.AnalysisError`, diagnostic FB003): every
+    kernel below declares its ports, and the first GEMV declares its
+    reordering window (it consumes a full row of tiles of A before its
+    first output block).
     """
     m, n = a.data.shape
     dtype = a.data.dtype.type
@@ -87,21 +92,28 @@ def atax_streaming(ctx: FblasContext, a, x, tile: int = 4, width: int = 4,
     z1 = ctx.mem.bind("atax_z1", np.zeros(m, dtype=a.data.dtype))
     z2 = ctx.mem.bind("atax_z2", np.zeros(n, dtype=a.data.dtype))
     eng.add_kernel("read_A", read_kernel(ctx.mem, a, ca, width,
-                                         order=sched.indices()))
-    eng.add_kernel("fanout", duplicate_kernel(ca, (ca1, ca2), m * n, width))
+                                         order=sched.indices()),
+                   writes=[(ca, width, 1)])
+    eng.add_kernel("fanout", duplicate_kernel(ca, (ca1, ca2), m * n, width),
+                   reads=(ca,), writes=[(ca1, width, 1), (ca2, width, 1)])
     eng.add_kernel("read_x", read_kernel(ctx.mem, x, cx, width,
-                                         repeat=m // tm_))
-    eng.add_kernel("read_z1", read_kernel(ctx.mem, z1, cy0a, width))
-    eng.add_kernel("read_z2", read_kernel(ctx.mem, z2, cy0b, width))
+                                         repeat=m // tm_),
+                   writes=[(cx, width, 1)])
+    eng.add_kernel("read_z1", read_kernel(ctx.mem, z1, cy0a, width),
+                   writes=[(cy0a, width, 1)])
+    eng.add_kernel("read_z2", read_kernel(ctx.mem, z2, cy0b, width),
+                   writes=[(cy0b, width, 1)])
     lat = level1_latency("map_reduce", width, precision)
     eng.add_kernel("gemv", level2.gemv_row_tiles(
         m, n, 1.0, 0.0, ca1, cx, cy0a, ctmp, tm_, tn_, width, dtype),
-        latency=lat)
+        latency=lat, reads=(ca1, cx, cy0a), writes=[(ctmp, width)],
+        defer=atax_min_channel_depth(n, tm_))
     eng.add_kernel("gemvT", level2.gemv_transposed_row_tiles(
         m, n, 1.0, 0.0, ca2, ctmp, cy0b, cy, tm_, tn_, width, dtype),
-        latency=lat)
-    eng.add_kernel("write_y", write_kernel(ctx.mem, y, cy, n, width))
-    report = eng.run()
+        latency=lat, reads=(ca2, ctmp, cy0b), writes=[(cy, width)])
+    eng.add_kernel("write_y", write_kernel(ctx.mem, y, cy, n, width),
+                   reads=(cy,))
+    report = eng.run(preflight=preflight)
     io = ctx.mem.total_elements_moved - io_before
     freq = ctx.frequency_for("level2", precision)
     return AppResult(np.array(y.data), report.cycles, io,
@@ -135,21 +147,28 @@ def atax_broken(ctx: FblasContext, a, x, tile: int = 4,
     z1 = ctx.mem.bind("atax_b_z1", np.zeros(m, dtype=a.data.dtype))
     z2 = ctx.mem.bind("atax_b_z2", np.zeros(n, dtype=a.data.dtype))
     eng.add_kernel("read_A1", read_kernel(ctx.mem, a, ca1, width,
-                                          order=sched.indices()))
+                                          order=sched.indices()),
+                   writes=[(ca1, width, 1)])
     eng.add_kernel("read_A2", read_kernel(ctx.mem, a, ca2, width,
-                                          order=sched.indices()))
+                                          order=sched.indices()),
+                   writes=[(ca2, width, 1)])
     eng.add_kernel("read_x", read_kernel(ctx.mem, x, cx, width,
-                                         repeat=m // tm_))
-    eng.add_kernel("read_z1", read_kernel(ctx.mem, z1, cy0a, width))
-    eng.add_kernel("read_z2", read_kernel(ctx.mem, z2, cy0b, width))
+                                         repeat=m // tm_),
+                   writes=[(cx, width, 1)])
+    eng.add_kernel("read_z1", read_kernel(ctx.mem, z1, cy0a, width),
+                   writes=[(cy0a, width, 1)])
+    eng.add_kernel("read_z2", read_kernel(ctx.mem, z2, cy0b, width),
+                   writes=[(cy0b, width, 1)])
     lat = level1_latency("map_reduce", width, precision)
     eng.add_kernel("gemv", level2.gemv_row_tiles(
         m, n, 1.0, 0.0, ca1, cx, cy0a, ctmp, tm_, tn_, width, dtype),
-        latency=lat)
+        latency=lat, reads=(ca1, cx, cy0a), writes=[(ctmp, width)],
+        defer=atax_min_channel_depth(n, tm_))
     eng.add_kernel("gemvT", level2.gemv_transposed_row_tiles(
         m, n, 1.0, 0.0, ca2, ctmp, cy0b, cy, tm_, tn_, width, dtype),
-        latency=lat)
-    eng.add_kernel("write_y", write_kernel(ctx.mem, y, cy, n, width))
+        latency=lat, reads=(ca2, ctmp, cy0b), writes=[(cy, width)])
+    eng.add_kernel("write_y", write_kernel(ctx.mem, y, cy, n, width),
+                   reads=(cy,))
     report = eng.run()
     io = ctx.mem.total_elements_moved - io_before
     freq = ctx.frequency_for("level2", precision)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..blas import level1, reference
-from ..fpga.engine import Engine, SimReport
+from ..fpga.engine import Engine
 from ..fpga.memory import read_kernel
 from ..fpga.resources import level1_latency
 from ..fpga.util import sink_kernel

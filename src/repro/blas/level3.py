@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..fpga.kernel import Clock, Pop, Push
-from .level1 import _chunk, _tree_reduce
 from .level2 import _pop_block, _push_block
 from . import reference
 

@@ -9,7 +9,7 @@ specification file draws (Sec. II-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro.codegen routines.json -o generated/
     python -m repro.codegen routines.json -o generated/ --target xilinx
     python -m repro.codegen routines.json --list
+    python -m repro.codegen routines.json --lint [--device stratix10]
 """
 
 from __future__ import annotations
@@ -31,6 +32,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="synthesis backend (default: intel)")
     parser.add_argument("--list", action="store_true",
                         help="only list the routines the spec defines")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the static analyzer (repro.analysis) on "
+                             "the spec instead of generating code")
+    parser.add_argument("--device", choices=("arria10", "stratix10"),
+                        help="with --lint: also check resource fit "
+                             "against this device")
     return parser
 
 
@@ -41,6 +48,15 @@ def main(argv=None) -> int:
     except (SpecError, FileNotFoundError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.lint:
+        from ..analysis import analyze_specs
+        from ..fpga.device import DEVICES
+
+        device = DEVICES[args.device] if args.device else None
+        result = analyze_specs(
+            [r.spec for r in gen.routines.values()], device=device)
+        print(result.render_text())
+        return 1 if result.errors else 0
     if args.list:
         for name, routine in gen.routines.items():
             s = routine.spec

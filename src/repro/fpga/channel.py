@@ -21,7 +21,13 @@ granularity:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+
+#: Default FIFO capacity used everywhere a depth is not given explicitly —
+#: the engine's :meth:`~repro.fpga.engine.Engine.channel`, MDAG edges, and
+#: the HLS-style helper kernels all share this single constant.
+DEFAULT_CHANNEL_DEPTH = 64
 
 
 class ChannelError(RuntimeError):
@@ -52,7 +58,7 @@ class Channel:
         space in a real design.
     """
 
-    def __init__(self, name: str, depth: int = 64):
+    def __init__(self, name: str, depth: int = DEFAULT_CHANNEL_DEPTH):
         if depth < 1:
             raise ValueError(f"channel {name!r}: depth must be >= 1, got {depth}")
         self.name = name

@@ -21,9 +21,9 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from .channel import Channel
+from .channel import DEFAULT_CHANNEL_DEPTH, Channel
 from .kernel import Clock, Kernel, KernelBody, Pop, Push
 
 #: Safety bound on ops a kernel may perform within one simulated cycle.
@@ -192,14 +192,21 @@ class Engine:
     memory:
         Optional :class:`repro.fpga.memory.DramModel`; its per-cycle
         bandwidth budgets are reset at every clock edge.
+    preflight:
+        When True, :meth:`run` performs the static pre-flight analysis
+        (:func:`repro.analysis.analyze_engine`) before the first cycle and
+        raises :class:`repro.analysis.AnalysisError` on any error-severity
+        diagnostic — failing fast instead of stalling mid-simulation.
     """
 
     #: Cap on per-kernel timeline samples kept in trace mode.
     MAX_TRACE_CYCLES = 100_000
 
-    def __init__(self, memory=None, trace: bool = False):
+    def __init__(self, memory=None, trace: bool = False,
+                 preflight: bool = False):
         self.memory = memory
         self.trace = trace
+        self.preflight = preflight
         self.channels: Dict[str, Channel] = {}
         self.kernels: Dict[str, Kernel] = {}
         self._occupancy_sums: Dict[str, int] = {}
@@ -207,7 +214,8 @@ class Engine:
         self.now = 0
 
     # -- construction -------------------------------------------------------
-    def channel(self, name: str, depth: int = 64) -> Channel:
+    def channel(self, name: str,
+                depth: int = DEFAULT_CHANNEL_DEPTH) -> Channel:
         """Create and register a channel."""
         if name in self.channels:
             raise ValueError(f"duplicate channel name {name!r}")
@@ -215,29 +223,41 @@ class Engine:
         self.channels[name] = ch
         return ch
 
-    def add_kernel(self, name: str, body: KernelBody, latency: int = 1) -> Kernel:
+    def add_kernel(self, name: str, body: KernelBody, latency: int = 1,
+                   reads=(), writes=(), defer: int = 0) -> Kernel:
         """Register a kernel generator under ``name``.
 
         ``body`` is normally a generator; any iterable of ops is accepted
         (useful for scripted pushes), but only generators can receive Pop
-        results.
+        results.  ``reads``/``writes``/``defer`` are optional static port
+        annotations consumed by the pre-flight analyzer (see
+        :class:`repro.fpga.kernel.Kernel`); they do not change simulation.
         """
         if name in self.kernels:
             raise ValueError(f"duplicate kernel name {name!r}")
         if not hasattr(body, "send"):
             body = _adapt_iterable(body)
-        k = Kernel(name, body, latency)
+        k = Kernel(name, body, latency, reads=reads, writes=writes,
+                   defer=defer)
         k._resume_value = None  # value delivered at next generator resume
         self.kernels[name] = k
         return k
 
     # -- execution ----------------------------------------------------------
-    def run(self, max_cycles: int = 50_000_000) -> SimReport:
+    def run(self, max_cycles: int = 50_000_000,
+            preflight: Optional[bool] = None) -> SimReport:
         """Run until every kernel completes; return the report.
 
         Raises :class:`DeadlockError` if the composition stalls forever and
-        :class:`SimulationError` if ``max_cycles`` elapses first.
+        :class:`SimulationError` if ``max_cycles`` elapses first.  With
+        ``preflight`` (argument or constructor flag) the static analyzer
+        runs first and raises :class:`repro.analysis.AnalysisError` before
+        cycle 0 if it proves the composition invalid.
         """
+        if self.preflight if preflight is None else preflight:
+            # Imported lazily: repro.analysis depends on this module.
+            from ..analysis import analyze_engine
+            analyze_engine(self).raise_if_errors()
         kernels = list(self.kernels.values())
         while True:
             if all(k.done for k in kernels):

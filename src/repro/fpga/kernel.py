@@ -29,10 +29,40 @@ simulator exposes backpressure and the deadlocks of invalid compositions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable, Optional
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence, Tuple
 
 from .channel import Channel
+
+
+@dataclass(frozen=True)
+class WritePort:
+    """Static description of one kernel output port (for pre-flight).
+
+    ``lanes`` is the number of elements one ``Push`` carries (the
+    vectorization width of that port); ``latency`` the pipeline latency of
+    those pushes (``None``: the kernel's default latency).  Both feed the
+    analyzer's channel-capacity model: a push of ``lanes`` values with
+    latency ``L`` is granted ``lanes * L`` slots of staging headroom beyond
+    the FIFO depth.
+    """
+
+    channel: Channel
+    lanes: int = 1
+    latency: Optional[int] = None
+
+
+def _normalize_writes(writes) -> Tuple[WritePort, ...]:
+    """Accept Channel, (Channel, lanes) or (Channel, lanes, latency)."""
+    out = []
+    for w in writes:
+        if isinstance(w, WritePort):
+            out.append(w)
+        elif isinstance(w, Channel):
+            out.append(WritePort(w))
+        else:
+            out.append(WritePort(*w))
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -103,20 +133,44 @@ class Kernel:
         not specify one.  This is the *circuit depth* of Sec. IV of the
         paper: results of the inner-loop circuit emerge this many cycles
         after their operands enter.
+    reads / writes:
+        Optional *static port annotations* for the pre-flight analyzer
+        (:mod:`repro.analysis`): the channels this kernel pops from, and the
+        channels it pushes to (each a :class:`WritePort`, a bare channel,
+        or a ``(channel, lanes[, latency])`` tuple).  A kernel with no
+        annotations is simulated exactly the same but is invisible to the
+        static kernel-graph passes.
+    defer:
+        Reordering window: the number of input elements this kernel must
+        consume before it performs its first push (0 for plain streaming
+        kernels; ``N * T_N`` for a row-tiled GEMV).  Drives the
+        channel-depth sufficiency prover (diagnostic FB003).
     """
 
-    def __init__(self, name: str, body: KernelBody, latency: int = 1):
+    def __init__(self, name: str, body: KernelBody, latency: int = 1,
+                 reads: Sequence[Channel] = (), writes: Sequence = (),
+                 defer: int = 0):
         if latency < 1:
             raise ValueError(f"kernel {name!r}: latency must be >= 1")
+        if defer < 0:
+            raise ValueError(f"kernel {name!r}: defer must be >= 0")
         self.name = name
         self.body = body
         self.latency = latency
+        self.reads: Tuple[Channel, ...] = tuple(reads)
+        self.writes: Tuple[WritePort, ...] = _normalize_writes(writes)
+        self.defer = defer
         self.stats = KernelStats()
         self.done = False
         # Op the kernel is currently blocked on, for diagnostics.
         self.blocked_on: Optional[object] = None
         # Cycles remaining on an explicit Clock(n>1) wait.
         self.sleep_until: int = -1
+
+    @property
+    def annotated(self) -> bool:
+        """True when the kernel declared its ports for static analysis."""
+        return bool(self.reads or self.writes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else (

@@ -20,8 +20,8 @@ and channels: they are the circles of the paper's MDAG figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
 
 import numpy as np
 

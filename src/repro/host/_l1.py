@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from ..blas import level1, reference
-from ..fpga.engine import Engine
 from ..fpga.memory import read_kernel, write_kernel
 from ..fpga.resources import level1_latency
 from ..fpga.util import sink_kernel
@@ -265,7 +263,7 @@ class Level1Mixin:
                     if target == "first_out" else None)
 
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         chans = []
         for i, buf in enumerate(in_bufs):
             ch = eng.channel(f"in{i}", self.channel_depth)
@@ -308,7 +306,7 @@ class Level1Mixin:
             return model()
 
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         chans = []
         for i, buf in enumerate(in_bufs):
             ch = eng.channel(f"in{i}", self.channel_depth)

@@ -2,13 +2,7 @@
 
 from __future__ import annotations
 
-import math
-from typing import List
-
-import numpy as np
-
 from ..blas import level2, reference
-from ..fpga.engine import Engine
 from ..fpga.memory import read_kernel, write_kernel
 from ..fpga.resources import level1_latency
 from ..models import iomodel
@@ -69,7 +63,7 @@ class Level2Mixin:
         io_before = self.context.mem.total_elements_moved
         sched = col_tiles(n, m, tn, tm)
         passes = m // tm
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cx = eng.channel("x", self.channel_depth)
         cy = eng.channel("y", max(self.channel_depth, 2 * n))
@@ -120,7 +114,7 @@ class Level2Mixin:
 
         io_before = self.context.mem.total_elements_moved
         sched = row_tiles(n, m, tn, tm)
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cx = eng.channel("x", self.channel_depth)
         cy = eng.channel("y", self.channel_depth)
@@ -180,7 +174,7 @@ class Level2Mixin:
 
         io_before = self.context.mem.total_elements_moved
         sched = row_tiles(n, m, tn, tm)
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cx = eng.channel("x", self.channel_depth)
         cy = eng.channel("y", self.channel_depth)
@@ -227,7 +221,7 @@ class Level2Mixin:
 
         io_before = self.context.mem.total_elements_moved
         sched = row_tiles(n, n, tn, tn)
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cxr = eng.channel("xr", self.channel_depth)
         cxc = eng.channel("xc", self.channel_depth)
@@ -275,7 +269,7 @@ class Level2Mixin:
 
         io_before = self.context.mem.total_elements_moved
         sched = row_tiles(n, n, tn, tn)
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cxr = eng.channel("xr", self.channel_depth)
         cyc = eng.channel("yc", self.channel_depth)
@@ -332,7 +326,7 @@ class Level2Mixin:
         row_order = list(orders.trsv_row_order(n, lower))
         solve_order = (list(range(n)) if lower
                        else list(range(n - 1, -1, -1)))
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cb = eng.channel("b", self.channel_depth)
         co = eng.channel("out", self.channel_depth)

@@ -2,14 +2,10 @@
 
 from __future__ import annotations
 
-import math
-from typing import List
-
 import numpy as np
 
 from ..blas import level3, reference
 from ..blas.systolic import SystolicConfig, SystolicGemm
-from ..fpga.engine import Engine
 from ..fpga.memory import read_kernel, write_kernel
 from ..fpga.resources import level1_latency
 from ..models.performance import gemm_systolic_cycles, routine_flops
@@ -81,7 +77,7 @@ class Level3Mixin:
         tn = self._fit_tile(n)
         tm = self._fit_tile(m)
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cb = eng.channel("B", self.channel_depth)
         cc = eng.channel("C", self.channel_depth)
@@ -137,7 +133,7 @@ class Level3Mixin:
 
         tn = self._fit_tile(n)
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cat = eng.channel("At", self.channel_depth)
         cc = eng.channel("C", self.channel_depth)
@@ -215,7 +211,7 @@ class Level3Mixin:
             return self.context.copy_from_device(b)
 
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ca = eng.channel("A", self.channel_depth)
         cb = eng.channel("B", self.channel_depth)
         co = eng.channel("out", self.channel_depth)
@@ -263,7 +259,7 @@ class Level3Mixin:
             return self.context.copy_from_device(c_batch)
 
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ci = eng.channel("in", 4 * s2)
         co = eng.channel("out", 2 * s2)
 
@@ -315,7 +311,7 @@ class Level3Mixin:
             return self.context.copy_from_device(b_batch)
 
         io_before = self.context.mem.total_elements_moved
-        eng = Engine(memory=self.context.mem)
+        eng = self._engine()
         ci = eng.channel("in", 3 * s2)
         co = eng.channel("out", 2 * s2)
 

@@ -30,6 +30,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..fpga.device import STRATIX10, FpgaDevice
+from ..fpga.engine import Engine
 from ._l1 import Level1Mixin
 from ._l2 import Level2Mixin
 from ._l3 import Level3Mixin
@@ -77,7 +78,8 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
                  device: FpgaDevice = STRATIX10, mode: str = "simulate",
                  width: Optional[int] = None, tile: Optional[int] = None,
                  systolic_rows: int = 4, systolic_cols: int = 4,
-                 channel_depth: int = 256, **context_kwargs):
+                 channel_depth: int = 256, preflight: bool = False,
+                 **context_kwargs):
         if mode not in ("simulate", "model"):
             raise ValueError(f"mode must be simulate/model, got {mode!r}")
         self.context = context or FblasContext(device=device,
@@ -90,7 +92,15 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         self.systolic_rows = systolic_rows
         self.systolic_cols = systolic_cols
         self.channel_depth = channel_depth
+        #: Run the static analyzer (:mod:`repro.analysis`) on every built
+        #: design before simulating it; errors raise
+        #: :class:`~repro.analysis.AnalysisError` instead of stalling.
+        self.preflight = preflight
         self._pending: List[Handle] = []
+
+    def _engine(self) -> Engine:
+        """A fresh simulation engine bound to this context's memory."""
+        return Engine(memory=self.context.mem, preflight=self.preflight)
 
     # -- convenience passthroughs ------------------------------------------------
     def copy_to_device(self, array, name=None, bank=None):

@@ -9,8 +9,8 @@ simulated cycles into wall-clock estimates for the Sec. VI tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

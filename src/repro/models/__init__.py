@@ -33,7 +33,7 @@ from .workdepth import (
 __all__ = [
     "FLOPS_PER_DSP_CYCLE", "LA", "LM", "MAP_REDUCE_ROUTINES", "MAP_ROUTINES",
     "ModulePerformance", "WorkDepth", "achieved_performance", "axpy_app",
-    "circuit", "circuit_for", "dot_app", "expected_performance", "gemm_app",
+    "circuit", "circuit_for", "cpu", "dse", "dot_app", "expected_performance", "gemm_app",
     "gemm_systolic_cycles", "gemv_app", "gemv_cycles", "iomodel",
     "level1_cycles", "optimal_width", "optimal_width_tiled_gemv",
     "pipeline_cycles", "routine_class", "routine_flops", "scal_app",

@@ -12,7 +12,7 @@ frontier of the space/time trade-off.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..fpga.device import FpgaDevice, FrequencyModel

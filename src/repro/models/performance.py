@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .workdepth import WorkDepth, circuit, routine_class
+from .workdepth import circuit, routine_class
 
 #: Flops one hardened DSP can start per cycle on the evaluated devices
 #: ("the DSPs of this FPGA are able to start one addition and one

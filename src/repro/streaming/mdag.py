@@ -3,8 +3,8 @@
 A computation is a DAG whose vertices are hardware modules — *interface*
 modules (off-chip memory access, drawn as circles in the paper) and
 *compute* modules (FBLAS routines, rectangles) — and whose edges are FIFO
-channels.  The analysis implemented here answers, statically, the paper's
-validity questions:
+channels.  The analysis answers, statically, the paper's validity
+questions:
 
 * every edge must move the same number of elements in the same order on
   both ends (checked against :class:`StreamSignature` pairs);
@@ -15,8 +15,11 @@ validity questions:
   producer's full reordering window (the ATAX case) — such pairs are
   reported along with the edges that need explicit sizing.
 
-The *dynamic* counterpart of this analysis is the simulator's
-:class:`~repro.fpga.engine.DeadlockError`.
+The checks themselves live in :mod:`repro.analysis` as analyzer passes
+with stable diagnostic codes; :meth:`MDAG.validate` is a thin adapter
+that re-expresses those diagnostics as the classic
+:class:`ValidationReport`.  The *dynamic* counterpart of this analysis is
+the simulator's :class:`~repro.fpga.engine.DeadlockError`.
 """
 
 from __future__ import annotations
@@ -26,9 +29,22 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from ..fpga.channel import DEFAULT_CHANNEL_DEPTH
 from .interface import StreamSignature
 
-DEFAULT_CHANNEL_DEPTH = 64
+__all__ = [
+    "DEFAULT_CHANNEL_DEPTH", "EdgeIssue", "MDAG", "MDAGError",
+    "ValidationReport",
+]
+
+#: Analyzer code -> the legacy EdgeIssue ``kind`` vocabulary.
+_CODE_TO_KIND = {
+    "FB001": "signature",
+    "FB002": "buffering",
+    "FB003": "buffering",
+    "FB004": "cycle",
+    "FB005": "replay",
+}
 
 
 class MDAGError(ValueError):
@@ -42,6 +58,8 @@ class EdgeIssue:
     kind: str            # "signature", "replay", "cycle", "buffering"
     detail: str
     edge: Optional[Tuple[str, str]] = None
+    #: Stable diagnostic code (see :data:`repro.analysis.CODES`).
+    code: str = ""
 
 
 @dataclass
@@ -102,22 +120,8 @@ class MDAG:
 
     def _multipath_pairs(self) -> List[Tuple[str, str]]:
         """Vertex pairs with more than one (not necessarily disjoint) path."""
-        if not nx.is_directed_acyclic_graph(self.graph):
-            return []
-        order = list(nx.topological_sort(self.graph))
-        pairs = []
-        for src in order:
-            counts: Dict[str, int] = {src: 1}
-            for v in order:
-                if v == src or v not in self.graph:
-                    continue
-                total = sum(counts.get(u, 0)
-                            for u in self.graph.predecessors(v))
-                if total:
-                    counts[v] = total
-                    if total > 1:
-                        pairs.append((src, v))
-        return pairs
+        from ..analysis.graphs import multipath_pairs
+        return multipath_pairs(self.graph)
 
     def reconvergent_pairs(self) -> List[Tuple[str, str]]:
         """Pairs joined by >= 2 internally vertex-disjoint paths.
@@ -126,62 +130,40 @@ class MDAG:
         at the first vertex and rejoins at the second, so one branch can
         only progress if the other's data is buffered in a channel.
         """
-        out = []
-        for u, v in self._multipath_pairs():
-            try:
-                k = len(list(nx.node_disjoint_paths(self.graph, u, v)))
-            except nx.NetworkXNoPath:  # pragma: no cover - defensive
-                continue
-            if k >= 2:
-                out.append((u, v))
-        return out
+        from ..analysis.graphs import reconvergent_pairs
+        return reconvergent_pairs(self.graph)
 
-    def validate(self) -> ValidationReport:
-        """Run the full static analysis."""
-        issues: List[EdgeIssue] = []
+    def analyze(self, windows: Optional[Dict[Tuple[str, str], int]] = None):
+        """Run the full pass-based analyzer; returns an
+        :class:`repro.analysis.AnalysisResult` with FBxxx diagnostics.
 
-        if not nx.is_directed_acyclic_graph(self.graph):
-            issues.append(EdgeIssue("cycle", "MDAG contains a cycle"))
-            return ValidationReport(valid=False, is_multitree=False,
-                                    issues=issues)
+        ``windows`` maps edges to reordering windows (elements); with them
+        the reconvergence check proves depth sufficiency (FB008) or the
+        deadlock (FB003) instead of merely flagging the pair (FB002).
+        """
+        from ..analysis import analyze_mdag
+        return analyze_mdag(self, windows=windows)
 
-        for u, v, data in self.graph.edges(data=True):
-            produces: StreamSignature = data["produces"]
-            consumes: StreamSignature = data["consumes"]
-            reason = produces.mismatch_reason(consumes)
-            if reason is None:
-                continue
-            # Replay between two *compute* modules is never allowed: a
-            # compute module cannot re-emit past data (Sec. V).  An
-            # interface module can, by re-reading DRAM.
-            if (self.kind(u) == "compute" and
-                    produces.total < consumes.total):
-                issues.append(EdgeIssue(
-                    "replay",
-                    f"{u!r} -> {v!r}: consumer requires replayed data "
-                    f"({consumes.total} elements) that compute module "
-                    f"{u!r} only produces once ({produces.total}); "
-                    "replay is only possible from interface modules",
-                    (u, v)))
-            else:
-                issues.append(EdgeIssue(
-                    "signature", f"{u!r} -> {v!r}: {reason}", (u, v)))
+    def validate(self,
+                 windows: Optional[Dict[Tuple[str, str], int]] = None,
+                 ) -> ValidationReport:
+        """Run the static analysis; adapter over :meth:`analyze`.
 
-        reconv = self.reconvergent_pairs()
+        Without ``windows`` every reconvergent pair renders the MDAG
+        invalid (the paper's dynamic-problem-size verdict); with them, a
+        pair whose channel holds the full window is accepted.
+        """
+        result = self.analyze(windows=windows)
+        issues = [
+            EdgeIssue(_CODE_TO_KIND[d.code], d.message, d.edge, code=d.code)
+            for d in result.diagnostics if d.code in _CODE_TO_KIND
+            and d.severity >= d.severity.WARNING
+        ]
+        reconv = (self.reconvergent_pairs()
+                  if nx.is_directed_acyclic_graph(self.graph) else [])
         multitree = not self._multipath_pairs()
-        for u, v in reconv:
-            # The composition can still be made valid by sizing a channel
-            # to the producer's reordering window; we flag the pair and let
-            # the caller bring the data-size-specific bound.
-            issues.append(EdgeIssue(
-                "buffering",
-                f"two vertex-disjoint paths from {u!r} to {v!r}: valid only "
-                "if a channel on one branch buffers the full reordering "
-                "window (invalid for dynamic problem sizes)",
-                (u, v)))
-
-        valid = not any(i.kind in ("signature", "replay", "cycle")
-                        for i in issues) and not reconv
+        valid = result.ok and not any(
+            i.kind == "buffering" for i in issues)
         return ValidationReport(valid=valid, is_multitree=multitree,
                                 issues=issues, reconvergent_pairs=reconv)
 

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from .mdag import MDAG, MDAGError, ValidationReport
+from .mdag import MDAG
 
 
 class PlanningError(ValueError):
@@ -166,15 +166,15 @@ def plan_composition(mdag: MDAG,
         splitting fixes those.
     """
     windows = dict(windows or {})
-    report = mdag.validate()
+    result = mdag.analyze()
     graph = mdag.graph
     cut: Set[Tuple[str, str]] = set()
     hard: List[str] = []
-    for issue in report.issues:
-        if issue.kind == "cycle":
-            hard.append(issue.detail)
-        elif issue.kind in ("signature", "replay") and issue.edge:
-            u, v = issue.edge
+    for diag in result.diagnostics:
+        if diag.code == "FB004":
+            hard.append(diag.message)
+        elif diag.code in ("FB001", "FB005") and diag.edge:
+            u, v = diag.edge
             produces = graph.edges[u, v]["produces"]
             consumes = graph.edges[u, v]["consumes"]
             # A DRAM round trip can re-order a stream and replay it any
@@ -183,7 +183,7 @@ def plan_composition(mdag: MDAG,
             if consumes.total % max(produces.total, 1) == 0:
                 cut.add((u, v))
             else:
-                hard.append(issue.detail)
+                hard.append(diag.message)
     if hard:
         raise PlanningError(
             "MDAG has semantic errors that planning cannot fix: "

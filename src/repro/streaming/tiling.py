@@ -10,7 +10,6 @@ are written against the same order.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator

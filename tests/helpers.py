@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fpga import Engine, scalar_sink, sink_kernel, source_kernel
+from repro.fpga import Engine, sink_kernel, source_kernel
 from repro.streaming import MatrixSchedule
 
 

@@ -1,0 +1,252 @@
+"""Unit tests for repro.analysis: diagnostics, passes, and the CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisError,
+    Diagnostic,
+    Severity,
+    analyze_mdag,
+    analyze_specs,
+    estimate_spec_resources,
+)
+from repro.codegen.spec import RoutineSpec
+from repro.fpga.device import ARRIA10, STRATIX10
+from repro.models.iomodel import atax_min_channel_depth
+from repro.streaming import MDAG, vector_stream
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+# ---------------------------------------------------------------- diagnostics
+class TestDiagnostics:
+    def test_every_code_documented(self):
+        for code, blurb in CODES.items():
+            assert code.startswith("FB") and len(code) == 5
+            assert blurb
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("FB999", Severity.ERROR, "nope")
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_format_and_to_dict(self):
+        d = Diagnostic("FB003", Severity.ERROR, "too shallow",
+                       edge=("a", "b"), fix="deepen it")
+        assert "FB003" in d.format() and "fix:" in d.format()
+        blob = d.to_dict()
+        assert blob["severity"] == "error" and blob["edge"] == ["a", "b"]
+
+    def test_result_render_json_roundtrips(self):
+        result = analyze_mdag(_atax_like())
+        blob = json.loads(result.render_json())
+        assert blob["ok"] is False
+        assert any(d["code"] == "FB002" for d in blob["diagnostics"])
+
+    def test_raise_if_errors(self):
+        result = analyze_mdag(_atax_like())
+        with pytest.raises(AnalysisError) as exc:
+            result.raise_if_errors()
+        assert exc.value.result is result
+        assert any(d.code == "FB002" for d in exc.value.diagnostics)
+
+
+# ---------------------------------------------------------------- MDAG passes
+def _atax_like(m=64, n=64, tile=8):
+    from repro.apps import atax_mdag
+    return atax_mdag(m, n, tile, tile)
+
+
+class TestMdagPasses:
+    def test_valid_multitree_is_clean(self):
+        g = MDAG()
+        g.add_interface("rx")
+        g.add_module("scal")
+        g.add_interface("wy")
+        sig = vector_stream(32)
+        g.connect("rx", "scal", sig, sig)
+        g.connect("scal", "wy", sig, sig)
+        result = analyze_mdag(g)
+        assert result.ok and not result.diagnostics
+
+    def test_signature_mismatch_is_fb001(self):
+        g = MDAG()
+        g.add_interface("rx")
+        g.add_module("m")
+        g.connect("rx", "m", vector_stream(32), vector_stream(16))
+        assert [d.code for d in analyze_mdag(g).errors] == ["FB001"]
+
+    def test_compute_replay_is_fb005(self):
+        g = MDAG()
+        g.add_interface("rx")
+        g.add_module("m1")
+        g.add_module("m2")
+        sig = vector_stream(8)
+        g.connect("rx", "m1", sig, sig)
+        g.connect("m1", "m2", vector_stream(8), vector_stream(8, replay=4))
+        assert [d.code for d in analyze_mdag(g).errors] == ["FB005"]
+
+    def test_cycle_is_fb004(self):
+        g = MDAG()
+        g.add_module("a")
+        g.add_module("b")
+        sig = vector_stream(8)
+        g.connect("a", "b", sig, sig)
+        g.connect("b", "a", sig, sig)
+        codes = [d.code for d in analyze_mdag(g).errors]
+        assert codes == ["FB004"]
+
+    def test_reconvergence_without_window_is_fb002(self):
+        result = analyze_mdag(_atax_like())
+        assert [d.code for d in result.errors] == ["FB002"]
+
+    def test_undersized_window_is_fb003_with_fix(self):
+        mdag = _atax_like()
+        window = atax_min_channel_depth(64, 8)
+        result = analyze_mdag(mdag,
+                              windows={("read_A", "gemvT"): window})
+        (err,) = result.errors
+        assert err.code == "FB003"
+        assert err.edge == ("read_A", "gemvT")
+        assert str(window) in err.fix
+
+    def test_sufficient_depth_is_fb008_certificate(self):
+        mdag = _atax_like()
+        window = atax_min_channel_depth(64, 8)
+        mdag.required_depth("read_A", "gemvT", window)
+        result = analyze_mdag(mdag,
+                              windows={("read_A", "gemvT"): window})
+        assert result.ok
+        assert [d.code for d in result.infos] == ["FB008"]
+
+    def test_validate_adapter_matches_analyzer(self):
+        mdag = _atax_like()
+        report = mdag.validate()
+        assert not report.valid
+        assert report.reconvergent_pairs == [("read_A", "gemvT")]
+        assert {i.kind for i in report.issues} == {"buffering"}
+        assert {i.code for i in report.issues} == {"FB002"}
+
+    def test_validate_with_windows_accepts_sized_channel(self):
+        mdag = _atax_like()
+        window = atax_min_channel_depth(64, 8)
+        mdag.required_depth("read_A", "gemvT", window)
+        report = mdag.validate(windows={("read_A", "gemvT"): window})
+        assert report.valid and not report.is_multitree
+
+
+# ---------------------------------------------------------------- spec passes
+class TestSpecPasses:
+    def test_clean_spec_no_diagnostics(self):
+        spec = RoutineSpec(blas_name="dot", user_name="d",
+                           precision="single", width=16)
+        assert analyze_specs([spec]).ok
+
+    def test_odd_width_is_fb201(self):
+        spec = RoutineSpec(blas_name="dot", user_name="d",
+                           precision="single", width=6)
+        result = analyze_specs([spec])
+        (warn,) = result.warnings
+        assert warn.code == "FB201"
+        assert "width 4 or 8" in warn.fix
+
+    def test_misaligned_tiles_are_fb202(self):
+        spec = RoutineSpec(blas_name="gemv", user_name="g",
+                           precision="single", width=6,
+                           tile_n_size=64, tile_m_size=64)
+        codes = [d.code for d in analyze_specs([spec]).errors]
+        assert codes == ["FB202"]
+
+    def test_resource_estimates_reported_as_fb100(self):
+        spec = RoutineSpec(blas_name="gemv", user_name="g",
+                           precision="single", width=16,
+                           tile_n_size=512, tile_m_size=512)
+        result = analyze_specs([spec], device=STRATIX10)
+        assert any(d.code == "FB100" for d in result.infos)
+        usage = estimate_spec_resources(spec, STRATIX10)
+        assert usage.dsps > 0 and usage.m20ks > 0
+
+    def test_oversubscription_is_fb101(self):
+        specs = [RoutineSpec(blas_name="gemm", user_name=f"g{i}",
+                             precision="single", width=16,
+                             tile_n_size=256, tile_m_size=256,
+                             systolic_rows=16, systolic_cols=16)
+                 for i in range(40)]
+        result = analyze_specs(specs, device=ARRIA10)
+        assert any(d.code == "FB101" for d in result.errors)
+
+    def test_double_on_arria_is_fb103(self):
+        spec = RoutineSpec(blas_name="dot", user_name="dd",
+                           precision="double", width=4)
+        result = analyze_specs([spec], device=ARRIA10)
+        assert any(d.code == "FB103" for d in result.infos)
+
+
+# ----------------------------------------------------------------------- CLI
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, env={"PYTHONPATH": str(SRC)})
+
+
+class TestCli:
+    def test_demo_prints_diagnostics_and_fails(self):
+        proc = _cli("--demo")
+        assert proc.returncode == 1
+        assert "FB002" in proc.stdout
+        assert "FB003" in proc.stdout
+        assert "FB008" in proc.stdout
+        assert "required_depth" in proc.stdout
+
+    def test_demo_json(self):
+        proc = _cli("--demo", "--json")
+        assert proc.returncode == 1
+        # three JSON documents, one per act
+        assert proc.stdout.count('"subject"') == 3
+        assert '"code": "FB003"' in proc.stdout
+
+    def test_list_codes(self):
+        proc = _cli("--list-codes")
+        assert proc.returncode == 0
+        for code in CODES:
+            assert code in proc.stdout
+
+    def test_spec_file(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"routine": [
+            {"blas_name": "gemv", "user_name": "g", "precision": "single",
+             "width": 6, "tile_n_size": 64, "tile_m_size": 64}]}))
+        proc = _cli(str(spec), "--device", "stratix10")
+        assert proc.returncode == 1
+        assert "FB202" in proc.stdout
+
+    def test_clean_spec_exits_zero_unless_strict(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"routine": [
+            {"blas_name": "dot", "user_name": "d", "precision": "single",
+             "width": 6}]}))
+        assert _cli(str(spec)).returncode == 0        # FB201 is a warning
+        assert _cli(str(spec), "--strict").returncode == 1
+
+    def test_missing_operand_is_usage_error(self):
+        assert _cli().returncode == 2
+        assert _cli("/nonexistent/spec.json").returncode == 2
+
+    def test_codegen_lint_flag(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"routine": [
+            {"blas_name": "gemv", "user_name": "g", "precision": "single",
+             "width": 6, "tile_n_size": 64, "tile_m_size": 64}]}))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.codegen", str(spec), "--lint"],
+            capture_output=True, text=True, env={"PYTHONPATH": str(SRC)})
+        assert proc.returncode == 1
+        assert "FB202" in proc.stdout

@@ -1,0 +1,112 @@
+"""Agreement between the static depth prover and the simulator.
+
+The analyzer's contract (DESIGN.md, "Static analysis & diagnostic
+codes"):
+
+* FB003 (proven deadlock) — the simulator MUST raise DeadlockError;
+* no FB002/FB003 (proven safe / no reconvergence) — the run MUST complete;
+* FB002 (unproven, within pipeline-staging margin) — no static claim; the
+  dynamic check is the authority.
+
+The hypothesis test drives a parametric diamond (fan-out, a deferring
+branch, a re-join) across the deadlock boundary and holds the engine
+prover to that contract exactly.  The ATAX test does the same for the
+MDAG analyzer, whose FB003 speaks about FIFO capacity alone: below the
+window minus the engine's staging grace (``lanes x push-latency`` plus
+the fan-out's one-batch lead, = 2 x width here) the flagged composition
+really deadlocks, and at or above the window it really completes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_engine, analyze_mdag
+from repro.apps import atax_mdag, atax_reference, atax_streaming
+from repro.fpga import DeadlockError
+from repro.host import FblasContext
+from repro.models.iomodel import atax_min_channel_depth
+
+from test_preflight import _diamond
+
+
+def _verdict(engine):
+    result = analyze_engine(engine)
+    if any(d.code == "FB003" for d in result.errors):
+        return "deadlock"
+    if any(d.code == "FB002" for d in result.warnings):
+        return "unproven"
+    assert result.ok
+    return "safe"
+
+
+@given(defer=st.integers(min_value=2, max_value=48),
+       slack=st.integers(min_value=-8, max_value=8),
+       extra=st.integers(min_value=0, max_value=24))
+@settings(max_examples=60, deadline=None)
+def test_engine_prover_agrees_with_simulator(defer, slack, extra):
+    depth_b = max(1, defer + slack)
+    n = defer + extra
+    verdict = _verdict(_diamond(depth_b=depth_b, defer=defer, n=n))
+
+    eng = _diamond(depth_b=depth_b, defer=defer, n=n)
+    if verdict == "deadlock":
+        with pytest.raises(DeadlockError):
+            eng.run(max_cycles=500_000)
+    elif verdict == "safe":
+        assert eng.run(max_cycles=500_000).cycles > 0
+    else:
+        # Gray band: either outcome is acceptable, but nothing may hang.
+        try:
+            eng.run(max_cycles=500_000)
+        except DeadlockError:
+            pass
+
+
+# --------------------------------------------------------- MDAG <-> ATAX
+M = N = 16
+TILE = 4
+WIDTH = 4
+WINDOW = atax_min_channel_depth(N, TILE)          # 64
+GRACE = 2 * WIDTH                                  # staging + fan-out lead
+
+
+def _mdag_flags_fb003(depth):
+    mdag = atax_mdag(M, N, TILE, TILE)
+    mdag.graph.edges["read_A", "gemvT"]["depth"] = depth
+    result = analyze_mdag(mdag, windows={("read_A", "gemvT"): WINDOW})
+    return any(d.code == "FB003" for d in result.errors)
+
+
+def _simulate(depth):
+    rng = np.random.default_rng(7)
+    a = rng.normal(size=(M, N)).astype(np.float32)
+    x = rng.normal(size=N).astype(np.float32)
+    ctx = FblasContext()
+    res = atax_streaming(ctx, ctx.copy_to_device(a), ctx.copy_to_device(x),
+                         tile=TILE, width=WIDTH, channel_depth=depth)
+    np.testing.assert_allclose(res.value, atax_reference(a, x), rtol=1e-4)
+
+
+@pytest.mark.parametrize("depth", [8, WINDOW // 2, WINDOW - GRACE - 1])
+def test_atax_mdag_fb003_below_grace_means_deadlock(depth):
+    assert _mdag_flags_fb003(depth)
+    with pytest.raises(DeadlockError):
+        _simulate(depth)
+
+
+@pytest.mark.parametrize("depth", [WINDOW, WINDOW + 1, 2 * WINDOW])
+def test_atax_mdag_pass_means_completion(depth):
+    assert not _mdag_flags_fb003(depth)
+    _simulate(depth)
+
+
+@pytest.mark.parametrize("depth", range(WINDOW - GRACE, WINDOW))
+def test_atax_gray_band_is_exactly_the_engine_grace(depth):
+    # FIFO capacity alone says deadlock; the engine's staging registers
+    # absorb up to GRACE elements, so these depths complete.  This pins
+    # the band the MDAG analyzer cannot decide (and the engine-level
+    # prover reports as FB002).
+    assert _mdag_flags_fb003(depth)
+    _simulate(depth)

@@ -6,7 +6,7 @@ import pytest
 from repro.blas import level1, reference
 from repro.codegen import RoutineSpec, generate_routine
 from repro.fpga import Engine, sink_kernel, source_kernel
-from repro.blas.level2 import gemv_col_tiles, y_replay_router
+from repro.blas.level2 import y_replay_router
 from repro.streaming import col_tiles
 
 from helpers import run_map_kernel, run_reduction_kernel, stream_of

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.fpga.device import ARRIA10, STRATIX10
-from repro.host import Fblas, FblasContext
+from repro.host import Fblas
 
 RNG = np.random.default_rng(131)
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.blas import level1, reference
-from repro.fpga import Engine, scalar_sink, sink_kernel, source_kernel
 from repro.models import level1_cycles
 
 from helpers import run_map_kernel, run_reduction_kernel

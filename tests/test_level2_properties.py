@@ -6,7 +6,6 @@ the tiling I/O identities must hold for every configuration.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
