@@ -52,9 +52,9 @@ def _port_maps(engine):
     writers: Dict[str, List[Tuple[object, object]]] = {}
     readers: Dict[str, List[str]] = {}
     for k in engine.kernels.values():
-        for port in k.writes:
+        for port in k.write_ports:
             writers.setdefault(port.channel.name, []).append((k, port))
-        for ch in k.reads:
+        for ch in k.read_channels:
             readers.setdefault(ch.name, []).append(k.name)
     return writers, readers
 

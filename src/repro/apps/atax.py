@@ -56,7 +56,8 @@ def atax_host(fb: Fblas, a, x) -> AppResult:
 
 
 def atax_streaming(ctx: FblasContext, a, x, tile: int = 4, width: int = 4,
-                   channel_depth="auto", preflight: bool = False) -> AppResult:
+                   channel_depth="auto", preflight: bool = False,
+                   mode: str = "event") -> AppResult:
     """Fully streamed ATAX — valid only with an adequately sized channel.
 
     ``channel_depth`` is the depth of the second GEMV's A channel:
@@ -79,7 +80,7 @@ def atax_streaming(ctx: FblasContext, a, x, tile: int = 4, width: int = 4,
     if channel_depth == "auto":
         channel_depth = atax_min_channel_depth(n, tm_) + 8 * width
     io_before = ctx.mem.total_elements_moved
-    eng = Engine(memory=ctx.mem)
+    eng = Engine(memory=ctx.mem, mode=mode)
     ca = eng.channel("A", 8 * width)
     ca1 = eng.channel("A1", max(8 * width, 4 * max(tm_, tn_)))
     ca2 = eng.channel("A2", channel_depth)
@@ -117,7 +118,8 @@ def atax_streaming(ctx: FblasContext, a, x, tile: int = 4, width: int = 4,
     io = ctx.mem.total_elements_moved - io_before
     freq = ctx.frequency_for("level2", precision)
     return AppResult(np.array(y.data), report.cycles, io,
-                     report.cycles / freq)
+                     report.cycles / freq,
+                     kernel_steps=report.kernel_steps)
 
 
 def atax_broken(ctx: FblasContext, a, x, tile: int = 4,

@@ -39,6 +39,8 @@ class AppResult:
     cycles: int
     io_elements: int
     seconds: float
+    #: Total live kernel-cycles simulated (streaming versions only).
+    kernel_steps: int = 0
 
 
 def axpydot_host(fb: Fblas, w, v, u, alpha) -> AppResult:
@@ -74,13 +76,13 @@ def axpydot_host(fb: Fblas, w, v, u, alpha) -> AppResult:
 
 
 def axpydot_streaming(ctx: FblasContext, w, v, u, alpha,
-                      width: int = 16) -> AppResult:
+                      width: int = 16, mode: str = "event") -> AppResult:
     """Execute AXPYDOT as one streaming composition (Fig. 6)."""
     n = w.num_elements
     dtype = w.data.dtype.type
     precision = "single" if w.data.dtype == np.float32 else "double"
     io_before = ctx.mem.total_elements_moved
-    eng = Engine(memory=ctx.mem)
+    eng = Engine(memory=ctx.mem, mode=mode)
     cw = eng.channel("w", 4 * width)
     cv = eng.channel("v", 4 * width)
     cu = eng.channel("u", 4 * width)
@@ -99,7 +101,8 @@ def axpydot_streaming(ctx: FblasContext, w, v, u, alpha,
     report = eng.run()
     io = ctx.mem.total_elements_moved - io_before + 1
     freq = ctx.frequency_for("level1", precision)
-    return AppResult(out[0], report.cycles, io, report.cycles / freq)
+    return AppResult(out[0], report.cycles, io, report.cycles / freq,
+                     kernel_steps=report.kernel_steps)
 
 
 def axpydot_mdag(n: int) -> MDAG:

@@ -46,7 +46,7 @@ def bicg_host(fb: Fblas, a, p, r) -> AppResult:
 
 
 def bicg_streaming(ctx: FblasContext, a, p, r, tile: int = 4,
-                   width: int = 4) -> AppResult:
+                   width: int = 4, mode: str = "event") -> AppResult:
     """One read of A feeds both GEMVs (Fig. 7)."""
     n, m = a.data.shape
     dtype = a.data.dtype.type
@@ -55,7 +55,7 @@ def bicg_streaming(ctx: FblasContext, a, p, r, tile: int = 4,
     tm = tile if m % tile == 0 else m
     sched = row_tiles(n, m, tn, tm)
     io_before = ctx.mem.total_elements_moved
-    eng = Engine(memory=ctx.mem)
+    eng = Engine(memory=ctx.mem, mode=mode)
     # The fan-out channels must absorb the cycles one GEMV spends popping
     # its vector blocks while the other keeps consuming A.
     fan_depth = max(8 * width, 4 * max(tn, tm))
@@ -91,7 +91,8 @@ def bicg_streaming(ctx: FblasContext, a, p, r, tile: int = 4,
     io = ctx.mem.total_elements_moved - io_before
     freq = ctx.frequency_for("level2", precision)
     return AppResult((np.array(q.data), np.array(s.data)),
-                     report.cycles, io, report.cycles / freq)
+                     report.cycles, io, report.cycles / freq,
+                     kernel_steps=report.kernel_steps)
 
 
 def bicg_mdag(n: int, m: int, tn: int, tm: int) -> MDAG:

@@ -60,7 +60,8 @@ def gemver_host(fb: Fblas, a, u1, v1, u2, v2, y, z, alpha, beta) -> AppResult:
 
 
 def gemver_streaming(ctx: FblasContext, a, u1, v1, u2, v2, y, z,
-                     alpha, beta, tile: int = 4, width: int = 4) -> AppResult:
+                     alpha, beta, tile: int = 4, width: int = 4,
+                     mode: str = "event") -> AppResult:
     """Two sequential streaming components (Fig. 9)."""
     n = a.data.shape[0]
     dtype = a.data.dtype.type
@@ -76,7 +77,7 @@ def gemver_streaming(ctx: FblasContext, a, u1, v1, u2, v2, y, z,
     lat_red = level1_latency("map_reduce", width, precision)
 
     # -- component 1: GER -> GER -> (write B, GEMV^T producing x) ---------
-    eng1 = Engine(memory=ctx.mem)
+    eng1 = Engine(memory=ctx.mem, mode=mode)
     ca = eng1.channel("A", 8 * width)
     cb1 = eng1.channel("B1", 8 * width)
     cb2 = eng1.channel("B2", 8 * width)
@@ -115,7 +116,7 @@ def gemver_streaming(ctx: FblasContext, a, u1, v1, u2, v2, y, z,
     rep1 = eng1.run()
 
     # -- component 2: w = alpha * B x -------------------------------------
-    eng2 = Engine(memory=ctx.mem)
+    eng2 = Engine(memory=ctx.mem, mode=mode)
     cb = eng2.channel("B", 8 * width)
     cx2 = eng2.channel("x", 8 * width)
     cy0 = eng2.channel("zeros", 8 * width)
@@ -136,7 +137,8 @@ def gemver_streaming(ctx: FblasContext, a, u1, v1, u2, v2, y, z,
     cycles = rep1.cycles + rep2.cycles
     freq = ctx.frequency_for("level2", precision)
     return AppResult((np.array(b.data), np.array(x.data), np.array(w.data)),
-                     cycles, io, cycles / freq)
+                     cycles, io, cycles / freq,
+                     kernel_steps=rep1.kernel_steps + rep2.kernel_steps)
 
 
 def gemver_full_streaming_mdag(n: int, tn: int) -> MDAG:

@@ -10,7 +10,14 @@ calibration of Tables I and III (:mod:`resources`).
 from .channel import Channel, ChannelError
 from .device import ARRIA10, DEVICES, STRATIX10, FpgaDevice, FrequencyModel, PowerModel
 from .engine import DeadlockError, Engine, SimReport, SimulationError
-from .kernel import Clock, Kernel, Pop, Push
+from .kernel import BlockedState, Clock, Kernel, Pop, Push
+from .observers import (
+    EngineObserver,
+    JsonlEventDump,
+    StallChainProfiler,
+    TraceObserver,
+)
+from .scheduler import WakeListScheduler
 from .memory import DramBuffer, DramModel, read_kernel, write_kernel
 from .resources import (
     ResourceUsage,
@@ -29,10 +36,12 @@ from .util import (
 )
 
 __all__ = [
-    "ARRIA10", "Channel", "ChannelError", "Clock", "DEVICES", "DeadlockError",
-    "DramBuffer", "DramModel", "Engine", "FpgaDevice", "FrequencyModel",
-    "Kernel", "Pop", "PowerModel", "Push", "ResourceUsage", "STRATIX10",
-    "SimReport", "SimulationError", "duplicate_kernel", "forward_kernel",
+    "ARRIA10", "BlockedState", "Channel", "ChannelError", "Clock", "DEVICES",
+    "DeadlockError", "DramBuffer", "DramModel", "Engine", "EngineObserver",
+    "FpgaDevice", "FrequencyModel", "JsonlEventDump", "Kernel", "Pop",
+    "PowerModel", "Push", "ResourceUsage", "STRATIX10", "SimReport",
+    "SimulationError", "StallChainProfiler", "TraceObserver",
+    "WakeListScheduler", "duplicate_kernel", "forward_kernel",
     "fully_unrolled_resources", "gemm_systolic_resources", "level1_latency",
     "level1_resources", "level2_resources", "read_kernel", "scalar_sink",
     "sink_kernel", "source_kernel", "write_kernel",

@@ -67,6 +67,28 @@ class Channel:
         # Staged values: list of (ready_cycle, value) kept sorted by arrival.
         self._staged: deque = deque()
         self.stats = ChannelStats()
+        # Event sink (the wake-list scheduler) bound for the duration of an
+        # event-mode run; None in dense mode, making every hook a no-op.
+        self.events = None
+        # Kernels blocked on this channel, registered by the scheduler:
+        # pop waiters wake when data matures into the FIFO (on_data), push
+        # waiters when a pop frees space (on_space).  Maturation moves
+        # values from staging into the FIFO without changing their sum, so
+        # it can never unblock a push.
+        self._pop_waiters: list = []
+        self._push_waiters: list = []
+        # Cycle of the currently scheduled maturation event, for dedup.
+        self._mature_at = None
+
+    def bind_events(self, sink) -> None:
+        """Attach an event sink receiving on_staged/on_space/on_data.
+
+        The sink must provide ``on_staged(channel, ready_cycle)`` (a push
+        staged new values), ``on_space(channel)`` (a pop freed FIFO space)
+        and ``on_data(channel)`` (maturation made values visible).  Pass
+        ``None`` to detach.
+        """
+        self.events = sink
 
     # -- capacity ---------------------------------------------------------
     @property
@@ -105,6 +127,8 @@ class Channel:
         for v in values:
             self._staged.append((ready_cycle, v))
         self.stats.pushes += len(values)
+        if self.events is not None:
+            self.events.on_staged(self, ready_cycle)
 
     def pop(self, count: int = 1) -> list:
         """Remove and return ``count`` visible elements."""
@@ -115,6 +139,8 @@ class Channel:
             )
         out = [self._fifo.popleft() for _ in range(count)]
         self.stats.pops += len(out)
+        if self.events is not None:
+            self.events.on_space(self)
         return out
 
     def peek(self):
@@ -139,6 +165,8 @@ class Channel:
             moved += 1
         if self.occupancy > self.stats.max_occupancy:
             self.stats.max_occupancy = self.occupancy
+        if moved and self.events is not None:
+            self.events.on_data(self)
         return moved
 
     def can_mature_later(self) -> bool:

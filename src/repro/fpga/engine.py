@@ -1,19 +1,37 @@
-"""Cycle-stepped simulation engine.
+"""Simulation engine: dense reference core and event-driven default.
 
-The engine advances simulated time one clock cycle at a time.  Each cycle:
+The engine advances simulated time in clock cycles.  Each executed cycle:
 
 1. staged channel values whose pipeline latency has elapsed become visible
    (:meth:`Channel.mature`);
 2. the DRAM model's per-cycle bandwidth budgets are reset;
-3. every kernel is resumed and runs until it ends its cycle (yields
-   ``Clock``) or blocks on a ``Pop``/``Push`` that cannot be satisfied.
+3. runnable kernels are resumed until they end their cycle (yield
+   ``Clock``) or block on a ``Pop``/``Push`` that cannot be satisfied.
 
-A kernel blocked this cycle is retried next cycle; its stall cycles are
-counted.  If a cycle passes in which *nothing* can make progress — no kernel
-stepped, no staged value will ever mature, no kernel is sleeping on a timer
-— the composition is deadlocked and a :class:`DeadlockError` describing
-every blocked kernel is raised.  This is precisely the "stalls forever"
-condition of invalid module compositions in Sec. V of the FBLAS paper.
+A kernel blocked this cycle is retried on a later cycle; its stall cycles
+are counted.  If a cycle passes in which *nothing* can make progress — no
+kernel stepped, no staged value will ever mature, no kernel is sleeping
+on a timer — the composition is deadlocked and a :class:`DeadlockError`
+describing every blocked kernel is raised.  This is precisely the "stalls
+forever" condition of invalid module compositions in Sec. V of the FBLAS
+paper.
+
+Two cores implement these semantics:
+
+``mode="event"`` (default)
+    The wake-list scheduler of :mod:`repro.fpga.scheduler`: kernels wait
+    on channel events instead of being re-polled, and simulated time
+    jumps over provably idle cycles.  Cycle counts, stall accounting and
+    deadlock semantics are identical to the dense core — only wall-clock
+    time changes.
+
+``mode="dense"``
+    The original reference loop that steps every kernel every cycle.
+    Kept as the oracle the differential tests compare against.
+
+Tracing and profiling attach through the observer protocol of
+:mod:`repro.fpga.observers`; ``trace=True`` is shorthand for attaching a
+:class:`~repro.fpga.observers.TraceObserver`.
 """
 
 from __future__ import annotations
@@ -24,16 +42,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .channel import DEFAULT_CHANNEL_DEPTH, Channel
-from .kernel import Clock, Kernel, KernelBody, Pop, Push
+from .errors import MAX_OPS_PER_CYCLE, DeadlockError, SimulationError
+from .kernel import BlockedState, Clock, Kernel, KernelBody, Pop, Push
+from .observers import MAX_TRACE_CYCLES, TraceObserver
 
-#: Safety bound on ops a kernel may perform within one simulated cycle.
-#: Real kernels perform O(W) pops/pushes per cycle; hitting this bound means
-#: a kernel body forgot to yield ``Clock()``.
-MAX_OPS_PER_CYCLE = 1_000_000
-
-
-class SimulationError(RuntimeError):
-    """Raised on kernel protocol violations."""
+__all__ = [
+    "DeadlockError", "Engine", "MAX_OPS_PER_CYCLE", "SimReport",
+    "SimulationError",
+]
 
 
 def _adapt_iterable(body):
@@ -47,25 +63,6 @@ def _adapt_iterable(body):
     return gen()
 
 
-class DeadlockError(RuntimeError):
-    """Raised when the composition can make no further progress.
-
-    Attributes
-    ----------
-    blocked:
-        Mapping of kernel name to a human-readable description of the op it
-        is blocked on.
-    cycle:
-        The simulated cycle at which the deadlock was detected.
-    """
-
-    def __init__(self, cycle: int, blocked: Dict[str, str]):
-        self.cycle = cycle
-        self.blocked = blocked
-        detail = "; ".join(f"{k}: {v}" for k, v in blocked.items())
-        super().__init__(f"deadlock at cycle {cycle}: {detail}")
-
-
 @dataclass
 class SimReport:
     """Result of a simulation run."""
@@ -73,8 +70,9 @@ class SimReport:
     cycles: int
     kernels: Dict[str, "Kernel"]
     channels: Dict[str, Channel]
-    #: Per-channel summed occupancy over all cycles (only filled when the
-    #: engine ran with ``trace=True``); divide by cycles for the mean.
+    #: Per-channel summed occupancy over traced cycles (only filled when a
+    #: TraceObserver was attached / ``trace=True``); see
+    #: :meth:`mean_occupancy`.
     occupancy_sums: Dict[str, int] = field(default_factory=dict)
     #: Per-kernel per-cycle state strings ('#': worked, 's': stalled,
     #: 'z': sleeping, '-': done), trace mode only.
@@ -89,6 +87,14 @@ class SimReport:
     @property
     def total_stall_cycles(self) -> int:
         return sum(k.stats.stall_cycles for k in self.kernels.values())
+
+    @property
+    def kernel_steps(self) -> int:
+        """Total live kernel-cycles (active + stalled) across the run — a
+        mode-independent measure of simulated work, used by the
+        throughput benchmarks to compare engine cores."""
+        return sum(k.stats.active_cycles + k.stats.stall_cycles
+                   for k in self.kernels.values())
 
     # -- profiling ---------------------------------------------------------
     def kernel_utilization(self, name: str) -> float:
@@ -111,12 +117,18 @@ class SimReport:
                    self.kernels[n].stats.stall_cycles)
 
     def mean_occupancy(self, channel: str) -> float:
-        """Average FIFO occupancy (requires a trace-enabled run)."""
+        """Average FIFO occupancy (requires a trace-enabled run).
+
+        Occupancy sampling stops at ``MAX_TRACE_CYCLES`` — the same cap
+        the timelines honour — so on longer runs this is the mean over
+        the first ``MAX_TRACE_CYCLES`` cycles, not the whole run.
+        """
         if channel not in self.occupancy_sums:
             raise ValueError(
                 f"no occupancy trace for {channel!r}; run the engine "
                 "with trace=True")
-        return self.occupancy_sums[channel] / max(self.cycles, 1)
+        sampled = min(self.cycles, MAX_TRACE_CYCLES)
+        return self.occupancy_sums[channel] / max(sampled, 1)
 
     def timeline(self, max_width: int = 72) -> str:
         """ASCII Gantt of kernel activity (requires a trace-enabled run).
@@ -192,25 +204,43 @@ class Engine:
     memory:
         Optional :class:`repro.fpga.memory.DramModel`; its per-cycle
         bandwidth budgets are reset at every clock edge.
+    trace:
+        Shorthand for attaching a
+        :class:`~repro.fpga.observers.TraceObserver`; the run's report
+        then carries timelines and occupancy sums.
     preflight:
         When True, :meth:`run` performs the static pre-flight analysis
         (:func:`repro.analysis.analyze_engine`) before the first cycle and
         raises :class:`repro.analysis.AnalysisError` on any error-severity
         diagnostic — failing fast instead of stalling mid-simulation.
+    mode:
+        ``"event"`` (default) runs on the wake-list scheduler of
+        :mod:`repro.fpga.scheduler`; ``"dense"`` runs the original
+        every-kernel-every-cycle reference loop.  Both produce identical
+        reports; event mode is faster the more a design stalls or sleeps.
+    observers:
+        Iterable of :class:`~repro.fpga.observers.EngineObserver`
+        instances notified of run/cycle/kernel/channel events.
     """
 
     #: Cap on per-kernel timeline samples kept in trace mode.
-    MAX_TRACE_CYCLES = 100_000
+    MAX_TRACE_CYCLES = MAX_TRACE_CYCLES
 
     def __init__(self, memory=None, trace: bool = False,
-                 preflight: bool = False):
+                 preflight: bool = False, mode: str = "event",
+                 observers=()):
+        if mode not in ("event", "dense"):
+            raise ValueError(
+                f"mode must be 'event' or 'dense', got {mode!r}")
         self.memory = memory
         self.trace = trace
         self.preflight = preflight
+        self.mode = mode
         self.channels: Dict[str, Channel] = {}
         self.kernels: Dict[str, Kernel] = {}
-        self._occupancy_sums: Dict[str, int] = {}
-        self._timelines: Dict[str, List[str]] = {}
+        self._observers: List = list(observers)
+        if trace:
+            self._observers.append(TraceObserver())
         self.now = 0
 
     # -- construction -------------------------------------------------------
@@ -239,9 +269,25 @@ class Engine:
             body = _adapt_iterable(body)
         k = Kernel(name, body, latency, reads=reads, writes=writes,
                    defer=defer)
-        k._resume_value = None  # value delivered at next generator resume
+        k.index = len(self.kernels)
         self.kernels[name] = k
         return k
+
+    def add_observer(self, observer) -> None:
+        """Attach an :class:`~repro.fpga.observers.EngineObserver`."""
+        self._observers.append(observer)
+
+    def _trace_observer(self) -> Optional[TraceObserver]:
+        for o in self._observers:
+            if isinstance(o, TraceObserver):
+                return o
+        return None
+
+    def _build_report(self) -> SimReport:
+        tr = self._trace_observer()
+        return SimReport(self.now, dict(self.kernels), dict(self.channels),
+                         dict(tr.occupancy_sums) if tr else {},
+                         dict(tr.timelines) if tr else {})
 
     # -- execution ----------------------------------------------------------
     def run(self, max_cycles: int = 50_000_000,
@@ -258,13 +304,24 @@ class Engine:
             # Imported lazily: repro.analysis depends on this module.
             from ..analysis import analyze_engine
             analyze_engine(self).raise_if_errors()
+        if self.mode == "event":
+            # Imported lazily: the scheduler imports this module's sibling
+            # errors/kernel modules and is only needed in event mode.
+            from .scheduler import WakeListScheduler
+            return WakeListScheduler(self, max_cycles).run()
+        return self._run_dense(max_cycles)
+
+    def _run_dense(self, max_cycles: int) -> SimReport:
+        observers = self._observers
+        for o in observers:
+            o.on_run_start(self)
         kernels = list(self.kernels.values())
         while True:
             if all(k.done for k in kernels):
-                return SimReport(self.now, dict(self.kernels),
-                                 dict(self.channels),
-                                 dict(self._occupancy_sums),
-                                 dict(self._timelines))
+                report = self._build_report()
+                for o in observers:
+                    o.on_run_end(report)
+                return report
             if self.now >= max_cycles:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles without finishing"
@@ -273,12 +330,13 @@ class Engine:
 
     def _step_cycle(self, kernels: List[Kernel]) -> None:
         t = self.now
+        observers = self._observers
         matured = 0
         for ch in self.channels.values():
             matured += ch.mature(t)
-            if self.trace:
-                self._occupancy_sums[ch.name] = (
-                    self._occupancy_sums.get(ch.name, 0) + ch.occupancy)
+        if observers:
+            for o in observers:
+                o.on_cycle(t)
         if self.memory is not None:
             self.memory.begin_cycle(t)
 
@@ -295,8 +353,10 @@ class Engine:
                 if stepped:
                     progressed = True
                 state = "#" if stepped else "s"
-            if self.trace and t < self.MAX_TRACE_CYCLES:
-                self._timelines.setdefault(k.name, []).append(state)
+            if observers:
+                for o in observers:
+                    if o.wants_kernel_states:
+                        o.on_kernel_state(t, k, state)
 
         if not progressed and sleepers == 0:
             # Staged values that can still enter a non-full FIFO will make
@@ -305,7 +365,7 @@ class Engine:
             staged = any(ch.can_mature_later() for ch in self.channels.values())
             if not staged and not all(k.done for k in kernels):
                 blocked = {
-                    k.name: self._describe_block(k)
+                    k.name: k.describe_block()
                     for k in kernels
                     if not k.done
                 }
@@ -313,35 +373,24 @@ class Engine:
         self.now = t + 1
 
     def _describe_block(self, k: Kernel) -> str:
-        op = k.blocked_on
-        if isinstance(op, Pop):
-            return (
-                f"pop({op.count}) from {op.channel.name!r} "
-                f"(occupancy={op.channel.occupancy})"
-            )
-        if isinstance(op, Push):
-            return (
-                f"push({len(op.values)}) to {op.channel.name!r} "
-                f"(space={op.channel.space()}/{op.channel.depth})"
-            )
-        return "not yet started"
+        return k.describe_block()
 
     def _step_kernel(self, k: Kernel, t: int) -> bool:
         """Resume kernel ``k`` for cycle ``t``; return True if it progressed."""
         if k.stats.start_cycle is None:
             k.stats.start_cycle = t
+        observers = self._observers
         progressed = False
         ops = 0
+        b = k.blocked
+        op = b.op if b is not None else None
         while True:
             if ops > MAX_OPS_PER_CYCLE:
                 raise SimulationError(
                     f"kernel {k.name!r} performed more than "
                     f"{MAX_OPS_PER_CYCLE} ops in one cycle; missing Clock()?"
                 )
-            if k.blocked_on is not None:
-                op = k.blocked_on
-                k.blocked_on = None
-            else:
+            if op is None:
                 try:
                     op = k.body.send(k._resume_value)
                 except StopIteration:
@@ -360,10 +409,15 @@ class Engine:
                 if op.channel.can_pop(op.count):
                     vals = op.channel.pop(op.count)
                     k._resume_value = vals[0] if op.count == 1 else vals
+                    k.blocked = None
+                    if observers:
+                        for o in observers:
+                            o.on_channel_op(t, k, op.channel, "pop", op.count)
                     progressed = True
                     ops += 1
+                    op = None
                     continue
-                k.blocked_on = op
+                k.blocked = BlockedState(op, op.channel, "pop", t)
                 k.stats.stall_cycles += 1
                 op.channel.stats.stalled_pop_cycles += 1
                 return progressed
@@ -375,10 +429,15 @@ class Engine:
                 headroom = lat * n
                 if op.channel.can_push(n, headroom):
                     op.channel.push(op.values, t + lat, headroom)
+                    k.blocked = None
+                    if observers:
+                        for o in observers:
+                            o.on_channel_op(t, k, op.channel, "push", n)
                     progressed = True
                     ops += 1
+                    op = None
                     continue
-                k.blocked_on = op
+                k.blocked = BlockedState(op, op.channel, "push", t)
                 k.stats.stall_cycles += 1
                 op.channel.stats.stalled_push_cycles += 1
                 return progressed

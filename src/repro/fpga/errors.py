@@ -1,0 +1,41 @@
+"""Simulation error types and protocol limits, shared by both engine cores.
+
+The dense stepper (:mod:`repro.fpga.engine`) and the event-driven
+wake-list scheduler (:mod:`repro.fpga.scheduler`) raise the same
+exceptions with the same semantics — that is the contract the
+differential tests pin down.  They live here so the two modules do not
+import each other; :mod:`repro.fpga.engine` re-exports them under their
+historical names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Safety bound on ops a kernel may perform within one simulated cycle.
+#: Real kernels perform O(W) pops/pushes per cycle; hitting this bound means
+#: a kernel body forgot to yield ``Clock()``.
+MAX_OPS_PER_CYCLE = 1_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel protocol violations."""
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the composition can make no further progress.
+
+    Attributes
+    ----------
+    blocked:
+        Mapping of kernel name to a human-readable description of the op it
+        is blocked on.
+    cycle:
+        The simulated cycle at which the deadlock was detected.
+    """
+
+    def __init__(self, cycle: int, blocked: Dict[str, str]):
+        self.cycle = cycle
+        self.blocked = blocked
+        detail = "; ".join(f"{k}: {v}" for k, v in blocked.items())
+        super().__init__(f"deadlock at cycle {cycle}: {detail}")

@@ -104,6 +104,30 @@ KernelBody = Generator  # yields Pop/Push/Clock, receives pop results
 
 
 @dataclass
+class BlockedState:
+    """Typed record of the op a kernel is currently blocked on.
+
+    Owned by the kernel (set and cleared by whichever engine core drives
+    it) and read by deadlock diagnostics, the analysis passes and the
+    stall-chain profiler — replacing the ad-hoc ``blocked_on`` attribute
+    the engine used to poke in from outside.
+
+    ``since`` is the last cycle for which a stall has already been
+    charged to the kernel and channel counters.  The dense stepper
+    charges every cycle, so ``since`` simply tracks the current cycle;
+    the event scheduler charges lazily (``wake_cycle - since - 1`` on
+    wake, ``deadlock_cycle - since`` at deadlock), which is what keeps
+    its stall accounting identical to the dense core without touching
+    blocked kernels every cycle.
+    """
+
+    op: object
+    channel: Channel
+    kind: str                 # "pop" | "push"
+    since: int
+
+
+@dataclass
 class KernelStats:
     """Per-kernel activity counters filled in by the engine."""
 
@@ -162,18 +186,61 @@ class Kernel:
         self.defer = defer
         self.stats = KernelStats()
         self.done = False
-        # Op the kernel is currently blocked on, for diagnostics.
-        self.blocked_on: Optional[object] = None
+        # Typed blocked-state (None while runnable); see BlockedState.
+        self.blocked: Optional[BlockedState] = None
         # Cycles remaining on an explicit Clock(n>1) wait.
         self.sleep_until: int = -1
+        # Value delivered at the next generator resume (a completed Pop).
+        self._resume_value = None
+        # Position in the engine's kernel list; fixes the deterministic
+        # step order both cores share.  Set by Engine.add_kernel.
+        self.index: int = -1
+        # Event-scheduler bookkeeping: the cycle this kernel is queued to
+        # run at (None while blocked/idle), the last cycle it was stepped,
+        # and whether that step made progress (for trace parity).
+        self._queued_for: Optional[int] = None
+        self._last_stepped: int = -1
+        self._last_progress: bool = False
 
     @property
     def annotated(self) -> bool:
         """True when the kernel declared its ports for static analysis."""
         return bool(self.reads or self.writes)
 
+    @property
+    def blocked_on(self) -> Optional[object]:
+        """The raw op this kernel is blocked on (compatibility accessor)."""
+        return self.blocked.op if self.blocked is not None else None
+
+    # -- typed port accessors (consumed by repro.analysis) -------------------
+    @property
+    def read_channels(self) -> Tuple[Channel, ...]:
+        """Channels this kernel declared it pops from."""
+        return self.reads
+
+    @property
+    def write_ports(self) -> Tuple[WritePort, ...]:
+        """Typed output ports this kernel declared it pushes to."""
+        return self.writes
+
+    def describe_block(self) -> str:
+        """Human-readable description of the blocking op (for deadlocks)."""
+        b = self.blocked
+        if b is None:
+            return "not yet started"
+        op = b.op
+        if b.kind == "pop":
+            return (
+                f"pop({op.count}) from {b.channel.name!r} "
+                f"(occupancy={b.channel.occupancy})"
+            )
+        return (
+            f"push({len(op.values)}) to {b.channel.name!r} "
+            f"(space={b.channel.space()}/{b.channel.depth})"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else (
-            f"blocked on {self.blocked_on}" if self.blocked_on else "runnable"
+            f"blocked on {self.blocked.op}" if self.blocked else "runnable"
         )
         return f"Kernel({self.name!r}, {state})"

@@ -1,0 +1,260 @@
+"""Pluggable engine observers: tracing and profiling as a protocol.
+
+Tracing used to live inline in the engine's cycle loop behind ``if
+self.trace`` branches.  Both engine cores (dense and event-driven) now
+publish a small event protocol instead, and anything that wants to watch
+a run — the classic timeline/occupancy trace, a stall-chain profiler, a
+JSONL event dump, ad-hoc debugging hooks — subscribes as an observer:
+
+``on_run_start(engine)`` / ``on_run_end(report)``
+    Bracket the run.  ``on_run_end`` fires only on successful completion
+    (a deadlocked or truncated run raises out of ``Engine.run``).
+
+``on_cycle(t)``
+    An executed cycle, fired after channel maturation and before kernels
+    step — channel occupancies are exactly what the dense core samples.
+
+``on_kernel_state(t, kernel, state)``
+    Per executed cycle, per kernel, the same one-character state the
+    dense trace recorded: ``#`` worked, ``s`` stalled, ``z`` sleeping,
+    ``-`` done.  Only emitted when the observer sets
+    ``wants_kernel_states`` (the event core otherwise skips the sweep).
+
+``on_channel_op(t, kernel, channel, kind, count)``
+    A successful ``pop``/``push`` of ``count`` elements.
+
+``on_quiet(start, cycles)``
+    Event core only: the scheduler proved cycles ``start ..
+    start+cycles-1`` cannot change any state (every live kernel blocked
+    or sleeping, no maturation due) and skipped them.  Kernel states and
+    channel occupancies are constant over the window, so observers can
+    synthesize the dense per-cycle record exactly — that is how
+    ``TraceObserver`` keeps byte-identical timelines across modes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Cap on per-kernel timeline samples and per-channel occupancy samples
+#: kept by :class:`TraceObserver` (timelines and occupancy sums truncate
+#: at the same cycle so the two views of a long run agree).
+MAX_TRACE_CYCLES = 100_000
+
+
+class EngineObserver:
+    """Base observer: every hook is a no-op; subclass what you need."""
+
+    #: Set True to receive per-cycle per-kernel ``on_kernel_state`` calls.
+    #: The event core only performs the full kernel sweep when some
+    #: attached observer asks for it.
+    wants_kernel_states = False
+
+    def on_run_start(self, engine) -> None:
+        pass
+
+    def on_cycle(self, t: int) -> None:
+        pass
+
+    def on_kernel_state(self, t: int, kernel, state: str) -> None:
+        pass
+
+    def on_channel_op(self, t: int, kernel, channel, kind: str,
+                      count: int) -> None:
+        pass
+
+    def on_quiet(self, start: int, cycles: int) -> None:
+        pass
+
+    def on_run_end(self, report) -> None:
+        pass
+
+
+class TraceObserver(EngineObserver):
+    """The classic ``trace=True`` recording: timelines + occupancy sums.
+
+    Produces exactly the per-kernel state strings and per-channel summed
+    occupancies the dense engine used to record inline, in either engine
+    mode.  Both are capped at :data:`MAX_TRACE_CYCLES` samples.
+    """
+
+    wants_kernel_states = True
+
+    def __init__(self):
+        self.occupancy_sums: Dict[str, int] = {}
+        self.timelines: Dict[str, List[str]] = {}
+        self._engine = None
+
+    def on_run_start(self, engine) -> None:
+        self._engine = engine
+
+    def on_cycle(self, t: int) -> None:
+        if t >= MAX_TRACE_CYCLES:
+            return
+        sums = self.occupancy_sums
+        for name, ch in self._engine.channels.items():
+            sums[name] = sums.get(name, 0) + ch.occupancy
+
+    def on_kernel_state(self, t: int, kernel, state: str) -> None:
+        if t < MAX_TRACE_CYCLES:
+            self.timelines.setdefault(kernel.name, []).append(state)
+
+    def on_quiet(self, start: int, cycles: int) -> None:
+        n = min(start + cycles, MAX_TRACE_CYCLES) - start
+        if n <= 0:
+            return
+        sums = self.occupancy_sums
+        for name, ch in self._engine.channels.items():
+            sums[name] = sums.get(name, 0) + n * ch.occupancy
+        for k in self._engine.kernels.values():
+            state = "-" if k.done else ("z" if k.sleep_until > start else "s")
+            self.timelines.setdefault(k.name, []).extend(state * n)
+
+
+class StallChainProfiler(EngineObserver):
+    """Aggregates who stalls on what and derives backpressure chains.
+
+    For every stalled cycle it records which channel (and direction) the
+    kernel was blocked on, using the typed
+    :class:`~repro.fpga.kernel.BlockedState`.  Channel endpoints are
+    learned from port annotations and from observed ops, so
+    :meth:`chain` can walk a stall to its root cause: a kernel blocked
+    popping channel ``c`` points at ``c``'s producer; blocked pushing, at
+    its consumer.  The walk stops at the first kernel that is not itself
+    dominated by stalls — the actual bottleneck.
+    """
+
+    wants_kernel_states = True
+
+    def __init__(self):
+        #: kernel name -> {(channel name, "pop"|"push"): stalled cycles}
+        self.stalls: Dict[str, Dict[Tuple[str, str], int]] = {}
+        self.producers: Dict[str, Set[str]] = {}
+        self.consumers: Dict[str, Set[str]] = {}
+        self._engine = None
+
+    def on_run_start(self, engine) -> None:
+        self._engine = engine
+        for k in engine.kernels.values():
+            for ch in k.read_channels:
+                self.consumers.setdefault(ch.name, set()).add(k.name)
+            for port in k.write_ports:
+                self.producers.setdefault(port.channel.name, set()).add(k.name)
+
+    def _charge(self, kernel, cycles: int) -> None:
+        b = kernel.blocked
+        key = (b.channel.name, b.kind)
+        d = self.stalls.setdefault(kernel.name, {})
+        d[key] = d.get(key, 0) + cycles
+
+    def on_kernel_state(self, t: int, kernel, state: str) -> None:
+        if state == "s" and kernel.blocked is not None:
+            self._charge(kernel, 1)
+
+    def on_quiet(self, start: int, cycles: int) -> None:
+        for k in self._engine.kernels.values():
+            if not k.done and k.blocked is not None and k.sleep_until <= start:
+                self._charge(k, cycles)
+
+    def on_channel_op(self, t: int, kernel, channel, kind: str,
+                      count: int) -> None:
+        side = self.producers if kind == "push" else self.consumers
+        side.setdefault(channel.name, set()).add(kernel.name)
+
+    # -- analysis ----------------------------------------------------------
+    def dominant_stall(self, kernel: str) -> Optional[Tuple[str, str, int]]:
+        """(channel, kind, cycles) the kernel stalled on most, or None."""
+        d = self.stalls.get(kernel)
+        if not d:
+            return None
+        (ch, kind), cycles = max(d.items(), key=lambda kv: kv[1])
+        return ch, kind, cycles
+
+    def chain(self, kernel: str) -> List[str]:
+        """Follow dominant stalls from ``kernel`` to the root bottleneck."""
+        path = [kernel]
+        seen = {kernel}
+        while True:
+            dom = self.dominant_stall(path[-1])
+            if dom is None:
+                return path
+            ch, kind, _cycles = dom
+            peers = (self.producers if kind == "pop"
+                     else self.consumers).get(ch, set()) - seen
+            if not peers:
+                return path
+            nxt = max(peers,
+                      key=lambda n: sum(self.stalls.get(n, {}).values()))
+            path.append(nxt)
+            seen.add(nxt)
+
+    def report(self) -> str:
+        """Human-readable stall summary with the derived chains."""
+        lines = ["stall chains:"]
+        for name in sorted(self.stalls,
+                           key=lambda n: -sum(self.stalls[n].values())):
+            total = sum(self.stalls[name].values())
+            dom = self.dominant_stall(name)
+            lines.append(
+                f"  {name}: {total} stalled cycles, mostly "
+                f"{dom[1]} on {dom[0]!r} ({dom[2]})")
+            chain = self.chain(name)
+            if len(chain) > 1:
+                lines.append("    chain: " + " <- ".join(chain))
+        if len(lines) == 1:
+            lines.append("  (no stalls recorded)")
+        return "\n".join(lines)
+
+
+class JsonlEventDump(EngineObserver):
+    """Streams run events as JSON lines for offline analysis.
+
+    ``target`` is a path (opened/closed per run) or a file-like object
+    (left open).  Kernel states are de-duplicated: a line is written only
+    when a kernel's state changes, so the dump stays compact even for
+    long runs.
+    """
+
+    wants_kernel_states = True
+
+    def __init__(self, target):
+        self._target = target
+        self._f = None
+        self._own = False
+        self._last: Dict[str, str] = {}
+
+    def _write(self, obj) -> None:
+        self._f.write(json.dumps(obj) + "\n")
+
+    def on_run_start(self, engine) -> None:
+        if hasattr(self._target, "write"):
+            self._f = self._target
+        else:
+            self._f = open(self._target, "w")
+            self._own = True
+        self._last = {}
+        self._write({"ev": "start",
+                     "kernels": list(engine.kernels),
+                     "channels": list(engine.channels)})
+
+    def on_kernel_state(self, t: int, kernel, state: str) -> None:
+        if self._last.get(kernel.name) != state:
+            self._last[kernel.name] = state
+            self._write({"ev": "kernel", "t": t,
+                         "kernel": kernel.name, "state": state})
+
+    def on_channel_op(self, t: int, kernel, channel, kind: str,
+                      count: int) -> None:
+        self._write({"ev": "op", "t": t, "kernel": kernel.name,
+                     "channel": channel.name, "kind": kind, "count": count})
+
+    def on_quiet(self, start: int, cycles: int) -> None:
+        self._write({"ev": "quiet", "t": start, "cycles": cycles})
+
+    def on_run_end(self, report) -> None:
+        self._write({"ev": "end", "cycles": report.cycles})
+        if self._own:
+            self._f.close()
+            self._f = None
+            self._own = False

@@ -79,7 +79,7 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
                  width: Optional[int] = None, tile: Optional[int] = None,
                  systolic_rows: int = 4, systolic_cols: int = 4,
                  channel_depth: int = 256, preflight: bool = False,
-                 **context_kwargs):
+                 engine_mode: str = "event", **context_kwargs):
         if mode not in ("simulate", "model"):
             raise ValueError(f"mode must be simulate/model, got {mode!r}")
         self.context = context or FblasContext(device=device,
@@ -96,11 +96,15 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: design before simulating it; errors raise
         #: :class:`~repro.analysis.AnalysisError` instead of stalling.
         self.preflight = preflight
+        #: Engine core used for ``simulate`` calls: ``"event"`` (wake-list
+        #: scheduler, the default) or ``"dense"`` (reference cycle loop).
+        self.engine_mode = engine_mode
         self._pending: List[Handle] = []
 
     def _engine(self) -> Engine:
         """A fresh simulation engine bound to this context's memory."""
-        return Engine(memory=self.context.mem, preflight=self.preflight)
+        return Engine(memory=self.context.mem, preflight=self.preflight,
+                      mode=self.engine_mode)
 
     # -- convenience passthroughs ------------------------------------------------
     def copy_to_device(self, array, name=None, bank=None):

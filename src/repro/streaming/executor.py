@@ -113,8 +113,13 @@ class ExecutionResult:
 
 def execute_plan(mdag: BoundMDAG, mem: DramModel,
                  plan: Optional[CompositionPlan] = None,
-                 windows=None, buffer_budget: int = 0) -> ExecutionResult:
-    """Plan (unless given) and run a bound MDAG on ``mem``."""
+                 windows=None, buffer_budget: int = 0,
+                 mode: str = "event") -> ExecutionResult:
+    """Plan (unless given) and run a bound MDAG on ``mem``.
+
+    ``mode`` selects the engine core (``"event"`` wake-list scheduler or
+    the ``"dense"`` reference loop) for every component run.
+    """
     if plan is None:
         plan = plan_composition(mdag, windows=windows,
                                 buffer_budget=buffer_budget)
@@ -134,7 +139,7 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
 
     reports: List[SimReport] = []
     for comp_idx, component in enumerate(plan.components):
-        eng = Engine(memory=mem)
+        eng = Engine(memory=mem, mode=mode)
         in_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
         out_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
         # interface fanout bookkeeping: read node -> list of its channels

@@ -1,0 +1,273 @@
+"""Differential tests: ``mode="dense"`` vs ``mode="event"``.
+
+The wake-list scheduler must be *indistinguishable* from the dense
+reference loop in everything but wall-clock time: cycle counts, kernel
+stats (active/stall/start/finish), channel stats (pushes, pops, max
+occupancy, stall counters), delivered data, trace timelines/occupancy,
+and deadlocks (same cycle, same blocked set, same descriptions).  These
+tests build the same random composition twice — one engine per mode —
+run both, and compare everything.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga import Clock, DeadlockError, Engine, Pop, Push
+
+
+# ---------------------------------------------------------------------------
+# Composition specs: pure data, so the same spec builds identical designs
+# on two engines.
+# ---------------------------------------------------------------------------
+
+def _producer(ch, n, width, lat):
+    i = 0
+    while i < n:
+        batch = tuple(float(j) for j in range(i, min(i + width, n)))
+        yield Push(ch, batch, lat)
+        i += len(batch)
+        yield Clock()
+
+
+def _mapper(cin, cout, n, width, lat, sleep):
+    done = 0
+    while done < n:
+        take = min(width, n - done)
+        vals = yield Pop(cin, take)
+        if take == 1:
+            vals = (vals,)
+        yield Push(cout, tuple(v + 1.0 for v in vals), lat)
+        done += take
+        yield Clock(sleep)
+
+
+def _deferrer(cin, cout, n, window, lat):
+    """Consumes ``window`` elements before emitting them (reorder buffer)."""
+    done = 0
+    while done < n:
+        buf = []
+        take = min(window, n - done)
+        for _ in range(take):
+            v = yield Pop(cin)
+            buf.append(v)
+            done += 1
+            yield Clock()
+        for v in buf:
+            yield Push(cout, (v,), lat)
+            yield Clock()
+
+
+def _duplicator(cin, c1, c2, n):
+    for _ in range(n):
+        v = yield Pop(cin)
+        yield Push(c1, (v,), 1)
+        yield Push(c2, (v,), 1)
+        yield Clock()
+
+
+def _zipper(c1, c2, cout, n, lat):
+    for _ in range(n):
+        a = yield Pop(c1)
+        b = yield Pop(c2)
+        yield Push(cout, (a + b,), lat)
+        yield Clock()
+
+
+def _collector(cin, n, out):
+    for _ in range(n):
+        v = yield Pop(cin)
+        out.append(v)
+        yield Clock()
+
+
+stage_spec = st.one_of(
+    st.tuples(st.just("map"), st.integers(1, 8),     # width
+              st.integers(1, 20), st.integers(1, 4)),  # latency, sleep
+    st.tuples(st.just("defer"), st.integers(1, 24),  # window
+              st.integers(1, 20)),                     # latency
+)
+
+chain_spec = st.fixed_dictionaries({
+    "n": st.integers(1, 40),
+    "src_width": st.integers(1, 6),
+    "src_lat": st.integers(1, 30),
+    "depth": st.integers(1, 12),
+    "stages": st.lists(stage_spec, min_size=0, max_size=3),
+})
+
+fanout_spec = st.fixed_dictionaries({
+    "n": st.integers(1, 30),
+    "src_lat": st.integers(1, 12),
+    "depth_a": st.integers(1, 10),
+    "depth_b": st.integers(1, 10),
+    "defer_b": st.integers(0, 24),
+    "lat": st.integers(1, 16),
+})
+
+
+def _build_chain(eng, spec, out):
+    n = spec["n"]
+    depth = max(spec["depth"], spec["src_width"],
+                *[s[1] for s in spec["stages"] if s[0] == "map"] or [1])
+    chans = [eng.channel(f"c{i}", depth)
+             for i in range(len(spec["stages"]) + 1)]
+    eng.add_kernel("src", _producer(chans[0], n, spec["src_width"],
+                                    spec["src_lat"]))
+    for i, s in enumerate(spec["stages"]):
+        if s[0] == "map":
+            eng.add_kernel(f"map{i}", _mapper(chans[i], chans[i + 1], n,
+                                              s[1], s[2], s[3]))
+        else:
+            eng.add_kernel(f"defer{i}", _deferrer(chans[i], chans[i + 1], n,
+                                                  s[1], s[2]))
+    eng.add_kernel("sink", _collector(chans[-1], n, out))
+
+
+def _build_fanout(eng, spec, out):
+    """Duplicate -> (plain branch | deferring branch) -> zip rejoin.
+
+    When ``defer_b`` exceeds what branch A can buffer, this is exactly
+    the reconvergent deadlock of Sec. V — it must be detected at the
+    same cycle with the same blocked set in both modes.
+    """
+    n = spec["n"]
+    cin = eng.channel("cin", 8)
+    ca = eng.channel("ca", spec["depth_a"])
+    cb = eng.channel("cb", spec["depth_b"])
+    cmid = eng.channel("cmid", spec["depth_b"])
+    cout = eng.channel("cout", 8)
+    eng.add_kernel("src", _producer(cin, n, 1, spec["src_lat"]))
+    eng.add_kernel("dup", _duplicator(cin, ca, cb, n))
+    if spec["defer_b"]:
+        eng.add_kernel("defer", _deferrer(cb, cmid, n, spec["defer_b"],
+                                          spec["lat"]))
+    else:
+        eng.add_kernel("fwd", _mapper(cb, cmid, n, 1, spec["lat"], 1))
+    eng.add_kernel("zip", _zipper(ca, cmid, cout, n, spec["lat"]))
+    eng.add_kernel("sink", _collector(cout, n, out))
+
+
+# ---------------------------------------------------------------------------
+# The differential harness
+# ---------------------------------------------------------------------------
+
+def _outcome(mode, build, spec, trace):
+    eng = Engine(mode=mode, trace=trace)
+    out = []
+    build(eng, spec, out)
+    try:
+        report = eng.run(max_cycles=200_000)
+    except DeadlockError as exc:
+        return ("deadlock", exc.cycle, dict(exc.blocked), _stats(eng), None)
+    return ("done", report.cycles, out, _stats(eng),
+            (report.occupancy_sums, report.timelines) if trace else None)
+
+
+def _stats(eng):
+    kstats = {
+        name: (k.stats.active_cycles, k.stats.stall_cycles,
+               k.stats.start_cycle, k.stats.finish_cycle)
+        for name, k in eng.kernels.items()
+    }
+    cstats = {
+        name: (c.stats.pushes, c.stats.pops, c.stats.max_occupancy,
+               c.stats.stalled_push_cycles, c.stats.stalled_pop_cycles)
+        for name, c in eng.channels.items()
+    }
+    return kstats, cstats
+
+
+def _assert_identical(build, spec, trace=False):
+    dense = _outcome("dense", build, spec, trace)
+    event = _outcome("event", build, spec, trace)
+    assert dense[0] == event[0], (
+        f"outcome diverged: dense={dense[0]} event={event[0]} for {spec}")
+    assert dense[1] == event[1], (
+        f"cycle count diverged: dense={dense[1]} event={event[1]} for {spec}")
+    assert dense[2] == event[2], f"payload diverged for {spec}"
+    assert dense[3] == event[3], f"stats diverged for {spec}"
+    assert dense[4] == event[4], f"trace diverged for {spec}"
+
+
+class TestDifferentialRandom:
+    @settings(max_examples=120, deadline=None)
+    @given(chain_spec)
+    def test_chains_identical(self, spec):
+        """Random pipelines: identical reports or identical deadlocks."""
+        _assert_identical(_build_chain, spec)
+
+    @settings(max_examples=120, deadline=None)
+    @given(fanout_spec)
+    def test_reconvergent_identical(self, spec):
+        """Random fan-out/re-join designs, including Sec. V deadlocks."""
+        _assert_identical(_build_fanout, spec)
+
+    @settings(max_examples=25, deadline=None)
+    @given(chain_spec)
+    def test_chains_identical_traced(self, spec):
+        """Timelines and occupancy sums are byte-identical too."""
+        _assert_identical(_build_chain, spec, trace=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fanout_spec)
+    def test_reconvergent_identical_traced(self, spec):
+        _assert_identical(_build_fanout, spec, trace=True)
+
+
+class TestDifferentialDirected:
+    def test_guaranteed_deadlock_parity(self):
+        """A reconvergent window no branch can buffer deadlocks in both
+        modes at the same cycle with the same blocked descriptions."""
+        spec = {"n": 20, "src_lat": 1, "depth_a": 2, "depth_b": 2,
+                "defer_b": 18, "lat": 1}
+        dense = _outcome("dense", _build_fanout, spec, False)
+        event = _outcome("event", _build_fanout, spec, False)
+        assert dense[0] == "deadlock" and event[0] == "deadlock"
+        assert dense == event
+
+    def test_orphan_pop_deadlock_parity(self):
+        """A consumer with no producer blocks forever, in both modes."""
+        outcomes = {}
+        for mode in ("dense", "event"):
+            eng = Engine(mode=mode)
+            ch = eng.channel("lonely", 4)
+            eng.add_kernel("sink", _collector(ch, 3, []))
+            with pytest.raises(DeadlockError) as exc:
+                eng.run()
+            outcomes[mode] = (exc.value.cycle, dict(exc.value.blocked),
+                              _stats(eng))
+        assert outcomes["dense"] == outcomes["event"]
+
+    def test_sleeping_kernels_wake_before_deadlock(self):
+        """A long Clock(n) sleep defers the deadlock verdict identically."""
+        def sleeper(ch):
+            yield Clock(500)
+            yield Pop(ch)      # never satisfied -> deadlock after waking
+
+        outcomes = {}
+        for mode in ("dense", "event"):
+            eng = Engine(mode=mode)
+            ch = eng.channel("c", 4)
+            eng.add_kernel("sleepy", sleeper(ch))
+            with pytest.raises(DeadlockError) as exc:
+                eng.run()
+            outcomes[mode] = (exc.value.cycle, dict(exc.value.blocked),
+                              _stats(eng))
+        assert outcomes["dense"] == outcomes["event"]
+
+    def test_max_cycles_raised_in_both_modes(self):
+        from repro.fpga import SimulationError
+
+        for mode in ("dense", "event"):
+            eng = Engine(mode=mode)
+            ch = eng.channel("c", 4)
+            eng.add_kernel("sink", _collector(ch, 3, []))
+            eng.add_kernel("drip", _producer(ch, 1, 1, 40))
+            with pytest.raises((SimulationError, DeadlockError)):
+                eng.run(max_cycles=10)
+            assert eng.now <= 10
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            Engine(mode="quantum")
