@@ -1,0 +1,121 @@
+"""Telemetry must be free when off — and bounded when on.
+
+The zero-cost-when-unused contract (see :mod:`repro.telemetry.runtime`)
+says an Engine.run with no active session pays exactly one module-global
+read.  This module holds that contract against the PR-2 baseline in
+``BENCH_engine.json``: the observer-off event core must keep at least
+90% of the recorded kernel-steps/sec, and the simulated cycle count must
+match the baseline bit-for-bit (instrumentation must never perturb the
+simulation).  The observer-on run is measured and printed for the
+record; it sweeps kernel states and samples occupancy histograms every
+executed cycle, so it is allowed to be an order of magnitude slower —
+just not unboundedly so.
+
+Deliberately self-contained: importing ``test_engine_throughput`` would
+trigger its module-level data collection.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.apps import axpydot_streaming
+from repro.host import FblasContext
+
+from bench_common import print_table
+
+SEED = 99
+N = 8192
+WIDTH = 16
+BENCH_PATH = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+#: Observer-off steps/sec may not drop below this fraction of baseline.
+MIN_BASELINE_FRACTION = 0.9
+#: Observer-on may cost this much at most (state sweep + histograms).
+MAX_INSTRUMENTED_SLOWDOWN = 60.0
+
+
+def _run(with_session: bool):
+    rng = np.random.default_rng(SEED)
+    mk = lambda: np.asarray(rng.normal(size=N), dtype=np.float32)  # noqa: E731
+    w, v, u = mk(), mk(), mk()
+    ctx = FblasContext()
+    dw, dv, du = (ctx.copy_to_device(x) for x in (w, v, u))
+    t0 = time.perf_counter()
+    if with_session:
+        with telemetry.session():
+            res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=WIDTH,
+                                    mode="event")
+    else:
+        res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=WIDTH,
+                                mode="event")
+    wall = time.perf_counter() - t0
+    return res.cycles, res.kernel_steps, wall
+
+
+def _best_of(k, with_session: bool):
+    """(cycles, steps, min wall) over k runs — min defeats CI jitter."""
+    runs = [_run(with_session) for _ in range(k)]
+    cycles = {r[0] for r in runs}
+    assert len(cycles) == 1, f"non-deterministic cycles: {cycles}"
+    return runs[0][0], runs[0][1], min(r[2] for r in runs)
+
+
+def _baseline_entry():
+    if not os.path.exists(BENCH_PATH):
+        return None
+    with open(BENCH_PATH) as f:
+        payload = json.load(f)
+    for e in payload["entries"]:
+        if e["bench"] == "axpydot" and e["size"] == N:
+            return e
+    return None
+
+
+CYCLES_OFF, STEPS, WALL_OFF = _best_of(5, with_session=False)
+CYCLES_ON, STEPS_ON, WALL_ON = _best_of(1, with_session=True)
+BASELINE = _baseline_entry()
+
+
+def test_report_and_table():
+    rows = [
+        ("observer-off", CYCLES_OFF, f"{WALL_OFF:.4f}",
+         round(STEPS / WALL_OFF)),
+        ("observer-on", CYCLES_ON, f"{WALL_ON:.4f}",
+         round(STEPS_ON / WALL_ON)),
+    ]
+    if BASELINE is not None:
+        rows.append(("baseline (BENCH_engine.json)", BASELINE["cycles"],
+                     BASELINE["event_seconds"],
+                     BASELINE["event_steps_per_sec"]))
+    print_table(f"Telemetry overhead (axpydot n={N}, event core)",
+                ["config", "cycles", "wall s", "steps/s"], rows)
+
+
+def test_simulation_unperturbed():
+    """Observing must never change what is simulated."""
+    assert CYCLES_ON == CYCLES_OFF
+    assert STEPS_ON == STEPS
+    if BASELINE is not None:
+        assert CYCLES_OFF == BASELINE["cycles"]
+        assert STEPS == BASELINE["kernel_steps"]
+
+
+def test_observer_off_within_baseline_noise():
+    """The >10% regression gate the CI bench-smoke job enforces."""
+    if BASELINE is None:
+        return                      # first run on a fresh checkout
+    measured = STEPS / WALL_OFF
+    floor = MIN_BASELINE_FRACTION * BASELINE["event_steps_per_sec"]
+    assert measured >= floor, (
+        f"observer-off throughput {measured:.0f} steps/s fell below "
+        f"{MIN_BASELINE_FRACTION:.0%} of the {BASELINE['event_steps_per_sec']}"
+        f" baseline — the zero-cost-when-unused contract regressed")
+
+
+def test_observer_on_cost_bounded():
+    slowdown = WALL_ON / max(WALL_OFF, 1e-9)
+    assert slowdown <= MAX_INSTRUMENTED_SLOWDOWN, (
+        f"instrumented run is {slowdown:.1f}x the plain run")

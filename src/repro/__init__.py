@@ -17,6 +17,7 @@ Layers (see DESIGN.md):
 * :mod:`repro.codegen`   -- JSON spec -> OpenCL source + simulator bindings
 * :mod:`repro.host`      -- BLAS-style host API over simulated device memory
 * :mod:`repro.apps`      -- AXPYDOT, BICG, ATAX, GEMVER compositions
+* :mod:`repro.telemetry` -- spans, metrics, Chrome traces, drift reports
 
 Quickstart::
 
@@ -31,7 +32,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, apps, blas, codegen, fpga, host, models, streaming
+from . import (analysis, apps, blas, codegen, fpga, host, models, streaming,
+               telemetry)
 
 __all__ = ["analysis", "apps", "blas", "codegen", "fpga", "host", "models",
-           "streaming", "__version__"]
+           "streaming", "telemetry", "__version__"]

@@ -30,6 +30,7 @@ from ..host.api import Fblas
 from ..host.context import FblasContext
 from ..models.iomodel import atax_min_channel_depth
 from ..streaming import MDAG, matrix_stream, row_tiles, vector_stream
+from ..telemetry.runtime import span as _telemetry_span
 from .axpydot import AppResult
 
 
@@ -71,6 +72,15 @@ def atax_streaming(ctx: FblasContext, a, x, tile: int = 4, width: int = 4,
     reordering window (it consumes a full row of tiles of A before its
     first output block).
     """
+    with _telemetry_span("app.atax", cat="app", m=a.data.shape[0],
+                         n=a.data.shape[1], tile=tile, width=width,
+                         mode=mode):
+        return _atax_streaming(ctx, a, x, tile, width, channel_depth,
+                               preflight, mode)
+
+
+def _atax_streaming(ctx, a, x, tile, width, channel_depth, preflight,
+                    mode) -> AppResult:
     m, n = a.data.shape
     dtype = a.data.dtype.type
     precision = "single" if a.data.dtype == np.float32 else "double"

@@ -23,12 +23,28 @@ from ..fpga.util import sink_kernel
 from ..host.api import Fblas
 from ..host.context import FblasContext
 from ..streaming import MDAG, scalar_stream, vector_stream
+from ..telemetry.runtime import span as _telemetry_span
 
 
 def axpydot_reference(w, v, u, alpha):
     """Ground truth: beta = (w - alpha*v)^T u."""
     z = reference.axpy(-alpha, v, w)
     return reference.dot(z, u)
+
+
+#: Schema tag of :meth:`AppResult.to_dict` documents.
+APP_RESULT_SCHEMA = "repro.appresult/1"
+
+
+def _jsonify(v):
+    """Convert an app result value to plain JSON-able Python."""
+    if isinstance(v, np.ndarray):
+        return v.tolist()
+    if isinstance(v, (np.floating, np.integer)):
+        return v.item()
+    if isinstance(v, (tuple, list)):
+        return [_jsonify(x) for x in v]
+    return v
 
 
 @dataclass
@@ -41,6 +57,32 @@ class AppResult:
     seconds: float
     #: Total live kernel-cycles simulated (streaming versions only).
     kernel_steps: int = 0
+
+    def to_dict(self, include_value: bool = True) -> dict:
+        """JSON-able form (schema ``repro.appresult/1``).
+
+        The accounting keys (``cycles``, ``kernel_steps``) use the same
+        names as :meth:`repro.fpga.engine.SimReport.to_dict` and the
+        benchmark baselines, so artifacts agree on vocabulary.  Numpy
+        values are converted to plain lists/floats.
+        """
+        d = {
+            "schema": APP_RESULT_SCHEMA,
+            "cycles": self.cycles,
+            "io_elements": self.io_elements,
+            "seconds": self.seconds,
+            "kernel_steps": self.kernel_steps,
+        }
+        if include_value:
+            d["value"] = _jsonify(self.value)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AppResult":
+        """Inverse of :meth:`to_dict` (values stay plain Python)."""
+        return cls(value=d.get("value"), cycles=d["cycles"],
+                   io_elements=d["io_elements"], seconds=d["seconds"],
+                   kernel_steps=d.get("kernel_steps", 0))
 
 
 def axpydot_host(fb: Fblas, w, v, u, alpha) -> AppResult:
@@ -78,6 +120,12 @@ def axpydot_host(fb: Fblas, w, v, u, alpha) -> AppResult:
 def axpydot_streaming(ctx: FblasContext, w, v, u, alpha,
                       width: int = 16, mode: str = "event") -> AppResult:
     """Execute AXPYDOT as one streaming composition (Fig. 6)."""
+    with _telemetry_span("app.axpydot", cat="app", n=w.num_elements,
+                         width=width, mode=mode):
+        return _axpydot_streaming(ctx, w, v, u, alpha, width, mode)
+
+
+def _axpydot_streaming(ctx, w, v, u, alpha, width, mode) -> AppResult:
     n = w.num_elements
     dtype = w.data.dtype.type
     precision = "single" if w.data.dtype == np.float32 else "double"

@@ -18,6 +18,7 @@ from ..fpga.util import duplicate_kernel
 from ..host.api import Fblas
 from ..host.context import FblasContext
 from ..streaming import MDAG, matrix_stream, row_tiles, vector_stream
+from ..telemetry.runtime import span as _telemetry_span
 from .axpydot import AppResult
 
 
@@ -48,6 +49,13 @@ def bicg_host(fb: Fblas, a, p, r) -> AppResult:
 def bicg_streaming(ctx: FblasContext, a, p, r, tile: int = 4,
                    width: int = 4, mode: str = "event") -> AppResult:
     """One read of A feeds both GEMVs (Fig. 7)."""
+    with _telemetry_span("app.bicg", cat="app", n=a.data.shape[0],
+                         m=a.data.shape[1], tile=tile, width=width,
+                         mode=mode):
+        return _bicg_streaming(ctx, a, p, r, tile, width, mode)
+
+
+def _bicg_streaming(ctx, a, p, r, tile, width, mode) -> AppResult:
     n, m = a.data.shape
     dtype = a.data.dtype.type
     precision = "single" if a.data.dtype == np.float32 else "double"

@@ -26,6 +26,7 @@ from ..fpga.util import duplicate_kernel
 from ..host.api import Fblas
 from ..host.context import FblasContext
 from ..streaming import MDAG, matrix_stream, row_tiles, vector_stream
+from ..telemetry.runtime import span as _telemetry_span
 from .axpydot import AppResult
 
 
@@ -63,6 +64,14 @@ def gemver_streaming(ctx: FblasContext, a, u1, v1, u2, v2, y, z,
                      alpha, beta, tile: int = 4, width: int = 4,
                      mode: str = "event") -> AppResult:
     """Two sequential streaming components (Fig. 9)."""
+    with _telemetry_span("app.gemver", cat="app", n=a.data.shape[0],
+                         tile=tile, width=width, mode=mode):
+        return _gemver_streaming(ctx, a, u1, v1, u2, v2, y, z, alpha,
+                                 beta, tile, width, mode)
+
+
+def _gemver_streaming(ctx, a, u1, v1, u2, v2, y, z, alpha, beta, tile,
+                      width, mode) -> AppResult:
     n = a.data.shape[0]
     dtype = a.data.dtype.type
     precision = "single" if a.data.dtype == np.float32 else "double"

@@ -44,12 +44,21 @@ from typing import Dict, List, Optional
 from .channel import DEFAULT_CHANNEL_DEPTH, Channel
 from .errors import MAX_OPS_PER_CYCLE, DeadlockError, SimulationError
 from .kernel import BlockedState, Clock, Kernel, KernelBody, Pop, Push
+from .memory import BankStats
 from .observers import MAX_TRACE_CYCLES, TraceObserver
 
+# Safe despite the apparent cycle: repro.telemetry's import closure
+# never touches repro.fpga at module scope (see telemetry/observers.py).
+from ..telemetry.runtime import active as _telemetry_active
+
 __all__ = [
-    "DeadlockError", "Engine", "MAX_OPS_PER_CYCLE", "SimReport",
-    "SimulationError",
+    "DeadlockError", "Engine", "MAX_OPS_PER_CYCLE", "SIM_REPORT_SCHEMA",
+    "SimReport", "SimulationError",
 ]
+
+#: Schema tag of :meth:`SimReport.to_dict` documents (shared by the
+#: benchmark baselines and the telemetry ``--metrics`` artifacts).
+SIM_REPORT_SCHEMA = "repro.simreport/1"
 
 
 def _adapt_iterable(body):
@@ -77,6 +86,9 @@ class SimReport:
     #: Per-kernel per-cycle state strings ('#': worked, 's': stalled,
     #: 'z': sleeping, '-': done), trace mode only.
     timelines: Dict[str, List[str]] = field(default_factory=dict)
+    #: Per-DRAM-bank traffic deltas for *this run* (empty when the engine
+    #: has no memory model attached).
+    bank_stats: List[BankStats] = field(default_factory=list)
 
     def kernel_stats(self, name: str):
         return self.kernels[name].stats
@@ -95,6 +107,49 @@ class SimReport:
         throughput benchmarks to compare engine cores."""
         return sum(k.stats.active_cycles + k.stats.stall_cycles
                    for k in self.kernels.values())
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able summary of the run (schema ``repro.simreport/1``).
+
+        Key names deliberately match the benchmark baselines
+        (``BENCH_engine.json``: ``cycles``, ``kernel_steps``) so every
+        artifact that quotes simulated work quotes it identically.
+        Trace-mode extras (timelines, occupancy sums) are not included —
+        they are unbounded and have their own observers.
+        """
+        return {
+            "schema": SIM_REPORT_SCHEMA,
+            "cycles": self.cycles,
+            "kernel_steps": self.kernel_steps,
+            "total_stall_cycles": self.total_stall_cycles,
+            "kernels": {
+                name: {
+                    "active_cycles": k.stats.active_cycles,
+                    "stall_cycles": k.stats.stall_cycles,
+                    "start_cycle": k.stats.start_cycle,
+                    "finish_cycle": k.stats.finish_cycle,
+                    "latency": k.latency,
+                    "ii": k.ii,
+                }
+                for name, k in self.kernels.items()
+            },
+            "channels": {
+                name: {
+                    "depth": ch.depth,
+                    "pushes": ch.stats.pushes,
+                    "pops": ch.stats.pops,
+                    "max_occupancy": ch.stats.max_occupancy,
+                    "stalled_push_cycles": ch.stats.stalled_push_cycles,
+                    "stalled_pop_cycles": ch.stats.stalled_pop_cycles,
+                }
+                for name, ch in self.channels.items()
+            },
+            "bank_stats": [
+                {"bank": i, **bs.to_dict()}
+                for i, bs in enumerate(self.bank_stats)
+            ],
+        }
 
     # -- profiling ---------------------------------------------------------
     def kernel_utilization(self, name: str) -> float:
@@ -242,6 +297,8 @@ class Engine:
         if trace:
             self._observers.append(TraceObserver())
         self.now = 0
+        # Bank-stat snapshot taken at run start (per-run traffic deltas).
+        self._bank_baseline = None
 
     # -- construction -------------------------------------------------------
     def channel(self, name: str,
@@ -254,21 +311,23 @@ class Engine:
         return ch
 
     def add_kernel(self, name: str, body: KernelBody, latency: int = 1,
-                   reads=(), writes=(), defer: int = 0) -> Kernel:
+                   reads=(), writes=(), defer: int = 0,
+                   ii: int = 1) -> Kernel:
         """Register a kernel generator under ``name``.
 
         ``body`` is normally a generator; any iterable of ops is accepted
         (useful for scripted pushes), but only generators can receive Pop
-        results.  ``reads``/``writes``/``defer`` are optional static port
-        annotations consumed by the pre-flight analyzer (see
-        :class:`repro.fpga.kernel.Kernel`); they do not change simulation.
+        results.  ``reads``/``writes``/``defer``/``ii`` are optional
+        static annotations consumed by the pre-flight analyzer and the
+        telemetry layer (see :class:`repro.fpga.kernel.Kernel`); they do
+        not change simulation.
         """
         if name in self.kernels:
             raise ValueError(f"duplicate kernel name {name!r}")
         if not hasattr(body, "send"):
             body = _adapt_iterable(body)
         k = Kernel(name, body, latency, reads=reads, writes=writes,
-                   defer=defer)
+                   defer=defer, ii=ii)
         k.index = len(self.kernels)
         self.kernels[name] = k
         return k
@@ -283,11 +342,25 @@ class Engine:
                 return o
         return None
 
+    def _bank_delta(self) -> List[BankStats]:
+        """Per-bank traffic since :meth:`run` captured its baseline."""
+        if self.memory is None:
+            return []
+        base = self._bank_baseline
+        if base is None:
+            return [BankStats(b.bytes_read, b.bytes_written,
+                              b.denied_cycles, b.busy_cycles)
+                    for b in self.memory.bank_stats]
+        return [BankStats(b.bytes_read - r0, b.bytes_written - w0,
+                          b.denied_cycles - d0, b.busy_cycles - u0)
+                for b, (r0, w0, d0, u0) in zip(self.memory.bank_stats, base)]
+
     def _build_report(self) -> SimReport:
         tr = self._trace_observer()
         return SimReport(self.now, dict(self.kernels), dict(self.channels),
                          dict(tr.occupancy_sums) if tr else {},
-                         dict(tr.timelines) if tr else {})
+                         dict(tr.timelines) if tr else {},
+                         bank_stats=self._bank_delta())
 
     # -- execution ----------------------------------------------------------
     def run(self, max_cycles: int = 50_000_000,
@@ -299,11 +372,28 @@ class Engine:
         ``preflight`` (argument or constructor flag) the static analyzer
         runs first and raises :class:`repro.analysis.AnalysisError` before
         cycle 0 if it proves the composition invalid.
+
+        When a :func:`repro.telemetry.session` is active, the run is
+        instrumented (metrics, spans, kernel slices) for its duration;
+        otherwise the single ``active()`` check here is the entire cost.
         """
+        tel = _telemetry_active()
+        if tel is None:
+            return self._run(max_cycles, preflight)
+        with tel.engine_run(self):
+            return self._run(max_cycles, preflight)
+
+    def _run(self, max_cycles: int,
+             preflight: Optional[bool]) -> SimReport:
         if self.preflight if preflight is None else preflight:
             # Imported lazily: repro.analysis depends on this module.
             from ..analysis import analyze_engine
             analyze_engine(self).raise_if_errors()
+        if self.memory is not None:
+            self._bank_baseline = [
+                (b.bytes_read, b.bytes_written, b.denied_cycles,
+                 b.busy_cycles)
+                for b in self.memory.bank_stats]
         if self.mode == "event":
             # Imported lazily: the scheduler imports this module's sibling
             # errors/kernel modules and is only needed in event mode.

@@ -169,18 +169,27 @@ class Kernel:
         consume before it performs its first push (0 for plain streaming
         kernels; ``N * T_N`` for a row-tiled GEMV).  Drives the
         channel-depth sufficiency prover (diagnostic FB003).
+    ii:
+        Declared initiation interval — the cycles between consecutive
+        inputs the module was *designed* for (1 for every
+        pipeline-transformed FBLAS module, Sec. IV).  Purely an
+        annotation: telemetry compares it against the achieved interval
+        (live cycles per work cycle) to expose under-pipelined kernels.
     """
 
     def __init__(self, name: str, body: KernelBody, latency: int = 1,
                  reads: Sequence[Channel] = (), writes: Sequence = (),
-                 defer: int = 0):
+                 defer: int = 0, ii: int = 1):
         if latency < 1:
             raise ValueError(f"kernel {name!r}: latency must be >= 1")
         if defer < 0:
             raise ValueError(f"kernel {name!r}: defer must be >= 0")
+        if ii < 1:
+            raise ValueError(f"kernel {name!r}: ii must be >= 1")
         self.name = name
         self.body = body
         self.latency = latency
+        self.ii = ii
         self.reads: Tuple[Channel, ...] = tuple(reads)
         self.writes: Tuple[WritePort, ...] = _normalize_writes(writes)
         self.defer = defer

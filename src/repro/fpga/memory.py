@@ -33,6 +33,16 @@ class BankStats:
     bytes_read: int = 0
     bytes_written: int = 0
     denied_cycles: int = 0
+    #: Cycles in which this bank granted at least one byte.
+    busy_cycles: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "denied_cycles": self.denied_cycles,
+            "busy_cycles": self.busy_cycles,
+        }
 
 
 class DramBuffer:
@@ -100,6 +110,10 @@ class DramModel:
         self._budget = [0] * num_banks
         self._pool_budget = 0
         self._next_bank = 0
+        self._cycle = 0
+        # Last cycle each bank was charged a busy cycle (so several
+        # grants in one cycle count once).
+        self._busy_mark = [-1] * num_banks
         self.begin_cycle(0)
 
     # -- allocation ---------------------------------------------------------
@@ -127,6 +141,12 @@ class DramModel:
     # -- per-cycle bandwidth ------------------------------------------------
     def begin_cycle(self, cycle: int) -> None:
         """Reset bandwidth budgets; called by the engine each clock edge."""
+        if cycle < self._cycle:
+            # A new engine run restarted the clock; the busy marks refer
+            # to the previous run's cycle numbers.
+            for b in range(self.num_banks):
+                self._busy_mark[b] = -1
+        self._cycle = cycle
         for b in range(self.num_banks):
             self._budget[b] = self.bytes_per_cycle
         self._pool_budget = self.num_banks * self.bytes_per_cycle
@@ -142,6 +162,9 @@ class DramModel:
             self._pool_budget = max(0, self._pool_budget - granted)
             if granted == 0:
                 self.bank_stats[buf.bank].denied_cycles += 1
+            elif self._busy_mark[buf.bank] != self._cycle:
+                self._busy_mark[buf.bank] = self._cycle
+                self.bank_stats[buf.bank].busy_cycles += 1
         return granted
 
     def request_read(self, buf: DramBuffer, nbytes: int,

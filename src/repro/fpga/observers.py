@@ -207,13 +207,28 @@ class StallChainProfiler(EngineObserver):
         return "\n".join(lines)
 
 
+#: Schema tag written in every :class:`JsonlEventDump` header record.
+JSONL_EVENTS_SCHEMA = "repro.engine-events/1"
+
+
 class JsonlEventDump(EngineObserver):
     """Streams run events as JSON lines for offline analysis.
 
-    ``target`` is a path (opened/closed per run) or a file-like object
-    (left open).  Kernel states are de-duplicated: a line is written only
-    when a kernel's state changes, so the dump stays compact even for
-    long runs.
+    ``target`` is a path (opened on the first run, closed by
+    :meth:`close`) or a file-like object (never closed — the caller owns
+    it; it is still flushed).  Kernel states are de-duplicated: a line is
+    written only when a kernel's state changes, so the dump stays compact
+    even for long runs.
+
+    The first record of every run is a header carrying ``schema`` (see
+    :data:`JSONL_EVENTS_SCHEMA`) so consumers can detect format drift.
+    Flush/close are deterministic: every run end flushes, and the dump is
+    a context manager, so even a run that raises mid-simulation leaves a
+    complete file behind::
+
+        with JsonlEventDump("events.jsonl") as dump:
+            eng.add_observer(dump)
+            eng.run()
     """
 
     wants_kernel_states = True
@@ -228,13 +243,14 @@ class JsonlEventDump(EngineObserver):
         self._f.write(json.dumps(obj) + "\n")
 
     def on_run_start(self, engine) -> None:
-        if hasattr(self._target, "write"):
-            self._f = self._target
-        else:
-            self._f = open(self._target, "w")
-            self._own = True
+        if self._f is None:
+            if hasattr(self._target, "write"):
+                self._f = self._target
+            else:
+                self._f = open(self._target, "w")
+                self._own = True
         self._last = {}
-        self._write({"ev": "start",
+        self._write({"ev": "start", "schema": JSONL_EVENTS_SCHEMA,
                      "kernels": list(engine.kernels),
                      "channels": list(engine.channels)})
 
@@ -254,7 +270,20 @@ class JsonlEventDump(EngineObserver):
 
     def on_run_end(self, report) -> None:
         self._write({"ev": "end", "cycles": report.cycles})
+        self._f.flush()
+
+    def close(self) -> None:
+        """Flush and (for path targets) close the file.  Idempotent."""
+        if self._f is None:
+            return
+        self._f.flush()
         if self._own:
             self._f.close()
-            self._f = None
-            self._own = False
+        self._f = None
+        self._own = False
+
+    def __enter__(self) -> "JsonlEventDump":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..fpga.device import STRATIX10, FpgaDevice
 from ..fpga.engine import Engine
+from ..telemetry.runtime import active as _telemetry_active
 from ._l1 import Level1Mixin
 from ._l2 import Level2Mixin
 from ._l3 import Level3Mixin
@@ -121,10 +122,32 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         return self.context.records
 
     # -- async plumbing ---------------------------------------------------------
+    def _run_recorded(self, thunk: Callable):
+        """Run one routine thunk under a telemetry root span (if active).
+
+        The routine name is only known *after* the thunk runs (it appends
+        a :class:`~repro.host.context.CallRecord`), so the span opens
+        generically and is renamed from the records it produced.
+        """
+        tel = _telemetry_active()
+        if tel is None:
+            return thunk()
+        recs = self.context.records
+        before = len(recs)
+        with tel.span("host.call", cat="host") as sp:
+            out = thunk()
+            new = recs[before:]
+            if new:
+                sp.name = f"host.{new[-1].routine}"
+                sp.args["routine"] = new[-1].routine
+                sp.args["precision"] = new[-1].precision
+                sp.args["cycles"] = sum(r.cycles for r in new)
+            return out
+
     def _execute(self, thunk: Callable, async_: bool):
         if not async_:
-            return thunk()
-        handle = Handle(thunk)
+            return self._run_recorded(thunk)
+        handle = Handle(lambda: self._run_recorded(thunk))
         self._pending.append(handle)
         return handle
 

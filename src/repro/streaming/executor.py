@@ -30,6 +30,7 @@ import numpy as np
 from ..fpga.engine import Engine, SimReport
 from ..fpga.memory import DramBuffer, DramModel, read_kernel, write_kernel
 from ..fpga.util import duplicate_kernel
+from ..telemetry.runtime import span as _telemetry_span
 from .mdag import MDAG, MDAGError
 from .scheduler import CompositionPlan, plan_composition
 
@@ -138,7 +139,25 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
                 f"_mat_{u}_{v}_{len(scratch)}", total, dtype=np.float64)
 
     reports: List[SimReport] = []
-    for comp_idx, component in enumerate(plan.components):
+    with _telemetry_span("streaming.composition", cat="streaming",
+                         components=len(plan.components),
+                         materialized=len(cut)):
+        for comp_idx, component in enumerate(plan.components):
+            _run_component(mdag, mem, plan, cut, scratch, component,
+                           comp_idx, mode, reports)
+
+    return ExecutionResult(plan=plan, reports=reports,
+                           io_elements=mem.total_elements_moved - io_before)
+
+
+def _run_component(mdag: BoundMDAG, mem: DramModel, plan: CompositionPlan,
+                   cut, scratch: Dict[Tuple[str, str], DramBuffer],
+                   component, comp_idx: int, mode: str,
+                   reports: List[SimReport]) -> None:
+    """Build and run the engine for one plan component."""
+    with _telemetry_span(f"streaming.component[{comp_idx}]",
+                         cat="streaming", component=comp_idx,
+                         nodes=sorted(component)):
         eng = Engine(memory=mem, mode=mode)
         in_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
         out_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
@@ -237,9 +256,6 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
                     binding.width,
                     order=binding.order() if binding.order else None))
         reports.append(eng.run())
-
-    return ExecutionResult(plan=plan, reports=reports,
-                           io_elements=mem.total_elements_moved - io_before)
 
 
 def _width_of(mdag: BoundMDAG, node: str) -> int:

@@ -1,0 +1,49 @@
+"""repro.telemetry — cross-layer observability for the simulator.
+
+Four pillars, layered on the PR-2 engine observer protocol:
+
+* :mod:`~repro.telemetry.metrics` — labelled counters / gauges /
+  histograms in a :class:`MetricsRegistry`;
+* :mod:`~repro.telemetry.spans` — hierarchical spans on a session-wide
+  cycle clock, with per-kernel work/stall slices;
+* :mod:`~repro.telemetry.chrome_trace` — Chrome/Perfetto
+  ``trace_event`` export of a whole session;
+* :mod:`~repro.telemetry.drift` — measured-vs-model comparison of the
+  Sec. V applications (imported lazily: it pulls in :mod:`repro.apps`).
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        axpydot_streaming(ctx, w, v, u, 0.75)
+    print(tel.report())
+    telemetry.write_chrome_trace(tel, "trace.json")
+
+or from the shell::
+
+    python -m repro.telemetry axpydot --trace t.json --metrics m.json --report
+
+Everything is zero-cost when no session is active: the only hook on the
+hot path is :func:`repro.telemetry.runtime.active`, one module-global
+read.  ``drift`` and ``cli`` are deliberately *not* imported here so
+that the engine's import of :mod:`~repro.telemetry.runtime` never drags
+the application layer in.
+"""
+
+from .chrome_trace import (CHROME_TRACE_SCHEMA, to_chrome_trace,
+                           trace_events, write_chrome_trace)
+from .metrics import (METRICS_SCHEMA, Counter, Gauge, Histogram,
+                      MetricsRegistry)
+from .observers import STALL_CAUSES, MetricsObserver, SliceRecorder
+from .runtime import TelemetrySession, active, session, span
+from .spans import Slice, Span, SpanRecorder
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA", "METRICS_SCHEMA", "STALL_CAUSES",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricsObserver", "SliceRecorder",
+    "Slice", "Span", "SpanRecorder", "TelemetrySession",
+    "active", "session", "span",
+    "to_chrome_trace", "trace_events", "write_chrome_trace",
+]

@@ -1,0 +1,115 @@
+"""Export a telemetry session as Chrome ``trace_event`` JSON.
+
+The output loads directly in ``ui.perfetto.dev`` (or ``chrome://tracing``)
+and uses the classic JSON trace format:
+
+* **pid 1 / tid 1 — the host program.**  Every non-engine span (host
+  routine calls, streaming compositions, plan components, app entry
+  points) becomes a complete ``"X"`` event; nesting follows from
+  containment, which the span stack guarantees.
+* **pid 2+run — one process per engine run.**  The ``engine.run`` span
+  itself becomes a ``"B"``/``"E"`` pair on tid 0, and every kernel of
+  that run gets its own tid carrying its coalesced work/stall/sleep
+  intervals as ``"X"`` slices.  ``"M"`` metadata events name the
+  processes and threads so Perfetto shows ``engine run 0`` with one row
+  per kernel.
+
+Timestamps are simulated cycles on the session clock (the exporter
+reports the timebase in ``otherData.timebase``); Perfetto will display
+them as microseconds, which is harmless — relative durations are what
+the timeline is for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+__all__ = ["CHROME_TRACE_SCHEMA", "STATE_NAMES", "trace_events",
+           "to_chrome_trace", "write_chrome_trace"]
+
+#: Schema tag stamped into ``otherData`` of every exported trace.
+CHROME_TRACE_SCHEMA = "repro.chrome-trace/1"
+
+#: Kernel state codes -> human slice names ("-" == done is not emitted).
+STATE_NAMES = {"#": "work", "s": "stall", "z": "sleep"}
+
+_HOST_PID = 1
+_ENGINE_PID_BASE = 2
+
+
+def _engine_pid(run: int) -> int:
+    return _ENGINE_PID_BASE + run
+
+
+def trace_events(session) -> List[dict]:
+    """Render a :class:`~repro.telemetry.runtime.TelemetrySession` to a
+    list of ``trace_event`` dicts (sorted by timestamp)."""
+    meta: List[dict] = [{
+        "ph": "M", "name": "process_name", "pid": _HOST_PID, "tid": 0,
+        "args": {"name": "host"},
+    }]
+    events: List[dict] = []
+    for span in session.spans.spans:
+        end = span.end if span.end is not None else session.clock
+        if span.cat == "engine":
+            run = span.args.get("run", 0)
+            pid = _engine_pid(run)
+            meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "tid": 0, "args": {"name": f"engine run {run}"}})
+            meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": 0, "args": {"name": "run"}})
+            events.append({"ph": "B", "name": span.name, "cat": span.cat,
+                           "pid": pid, "tid": 0, "ts": span.start,
+                           "args": dict(span.args)})
+            events.append({"ph": "E", "pid": pid, "tid": 0, "ts": end})
+        else:
+            events.append({"ph": "X", "name": span.name, "cat": span.cat,
+                           "pid": _HOST_PID, "tid": 1, "ts": span.start,
+                           "dur": end - span.start,
+                           "args": dict(span.args)})
+
+    # Kernel slices: one tid per (run, kernel), allocated in first-seen
+    # order so the Perfetto rows match the composition's kernel order.
+    tids = {}
+    for sl in session.slices:
+        name = STATE_NAMES.get(sl.state)
+        if name is None:                     # "-": kernel already done
+            continue
+        key = (sl.run, sl.kernel)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = sum(1 for k in tids if k[0] == sl.run) + 1
+            meta.append({"ph": "M", "name": "thread_name",
+                         "pid": _engine_pid(sl.run), "tid": tid,
+                         "args": {"name": sl.kernel}})
+        events.append({"ph": "X", "name": name, "cat": "kernel",
+                       "pid": _engine_pid(sl.run), "tid": tid,
+                       "ts": sl.start, "dur": sl.end - sl.start,
+                       "args": {"kernel": sl.kernel, "state": sl.state}})
+
+    events.sort(key=lambda e: e["ts"])
+    return meta + events
+
+
+def to_chrome_trace(session) -> dict:
+    """The full JSON-object form of the trace."""
+    return {
+        "traceEvents": trace_events(session),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_TRACE_SCHEMA,
+            "timebase": "simulated cycles",
+            "runs": len(session.runs),
+            "total_cycles": session.clock,
+        },
+    }
+
+
+def write_chrome_trace(session, path) -> dict:
+    """Serialize the session's trace to ``path``; returns the object."""
+    doc = to_chrome_trace(session)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc

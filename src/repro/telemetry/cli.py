@@ -1,0 +1,159 @@
+"""``python -m repro.telemetry`` — run an app with full observability.
+
+Runs one of the four Sec. V compositions (or the drift sweep) under a
+telemetry session and emits any combination of:
+
+* ``--trace out.json`` — Chrome/Perfetto ``trace_event`` timeline,
+* ``--metrics out.json`` — metrics registry + per-run SimReport
+  summaries + the app result, one JSON document,
+* ``--report`` — text bottleneck report plus the model-vs-measured
+  drift table for all four applications.
+
+Examples::
+
+    python -m repro.telemetry axpydot --trace /tmp/t.json \\
+        --metrics /tmp/m.json --report
+    python -m repro.telemetry atax --n 128 --tile 8 --trace atax.json
+    python -m repro.telemetry drift
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from ..host.context import FblasContext
+from . import runtime
+from .chrome_trace import write_chrome_trace
+from .drift import DEFAULT_THRESHOLD, drift_report
+
+__all__ = ["main", "TELEMETRY_SCHEMA"]
+
+#: Schema tag of the ``--metrics`` JSON document.
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+_APPS = ("axpydot", "bicg", "atax", "gemver")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Run a streaming composition with telemetry attached.")
+    p.add_argument("app", choices=_APPS + ("drift",),
+                   help="composition to run, or 'drift' for the "
+                        "model-vs-measured sweep only")
+    p.add_argument("--n", type=int, default=None,
+                   help="problem size (vector length / matrix side)")
+    p.add_argument("--width", type=int, default=None,
+                   help="vectorization width of the modules")
+    p.add_argument("--tile", type=int, default=8,
+                   help="tile size for the level-2 compositions")
+    p.add_argument("--mode", choices=("dense", "event"), default="event",
+                   help="engine core (default: event)")
+    p.add_argument("--seed", type=int, default=7, help="input data seed")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write Chrome trace_event JSON here")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write metrics + run summaries JSON here")
+    p.add_argument("--report", action="store_true",
+                   help="print the bottleneck report and the drift table")
+    p.add_argument("--drift-threshold", type=float,
+                   default=DEFAULT_THRESHOLD,
+                   help="relative error above which drift is flagged")
+    return p
+
+
+def _run_app(app: str, n: Optional[int], width: Optional[int], tile: int,
+             mode: str, seed: int):
+    """Build inputs and run one streaming composition; returns AppResult."""
+    rng = np.random.default_rng(seed)
+    ctx = FblasContext()
+    f32 = np.float32
+
+    def vec(k):
+        return ctx.copy_to_device(rng.standard_normal(k).astype(f32))
+
+    def mat(r, c):
+        return ctx.copy_to_device(rng.standard_normal((r, c)).astype(f32))
+
+    if app == "axpydot":
+        from ..apps.axpydot import axpydot_streaming
+        n = n or 4096
+        width = width or 16
+        return axpydot_streaming(ctx, vec(n), vec(n), vec(n), 0.75,
+                                 width=width, mode=mode)
+    if app == "bicg":
+        from ..apps.bicg import bicg_streaming
+        n = n or 64
+        width = width or 8
+        return bicg_streaming(ctx, mat(n, n), vec(n), vec(n),
+                              tile=tile, width=width, mode=mode)
+    if app == "atax":
+        from ..apps.atax import atax_streaming
+        n = n or 64
+        width = width or 8
+        return atax_streaming(ctx, mat(n, n), vec(n),
+                              tile=tile, width=width, mode=mode)
+    if app == "gemver":
+        from ..apps.gemver import gemver_streaming
+        n = n or 32
+        width = width or 8
+        return gemver_streaming(ctx, mat(n, n), vec(n), vec(n), vec(n),
+                                vec(n), vec(n), vec(n), 1.5, -0.5,
+                                tile=tile, width=width, mode=mode)
+    raise ValueError(f"unknown app {app!r}")       # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.app == "drift":
+        rep = drift_report(threshold=args.drift_threshold, mode=args.mode)
+        print(rep.table())
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(rep.to_dict(), fh, indent=1)
+                fh.write("\n")
+            print(f"drift JSON written to {args.metrics}")
+        return 1 if rep.flagged() else 0
+
+    with runtime.session() as tel:
+        result = _run_app(args.app, args.n, args.width, args.tile,
+                          args.mode, args.seed)
+    print(f"{args.app}: {result.cycles} cycles, "
+          f"{result.io_elements} I/O elements, "
+          f"{result.seconds * 1e6:.1f} us modeled "
+          f"({len(tel.runs)} engine run{'s' if len(tel.runs) != 1 else ''})")
+
+    if args.trace:
+        doc = write_chrome_trace(tel, args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(doc['traceEvents'])} events)")
+    if args.metrics:
+        payload = {
+            "schema": TELEMETRY_SCHEMA,
+            "app": args.app,
+            "mode": args.mode,
+            "result": result.to_dict(),
+            "runs": tel.runs,
+            "metrics": tel.registry.to_dict(),
+        }
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics}")
+    if args.report:
+        print()
+        print(tel.report())
+        print()
+        rep = drift_report(threshold=args.drift_threshold, mode=args.mode)
+        print(rep.table())
+    return 0
+
+
+if __name__ == "__main__":                         # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Model-vs-measured drift: keep the paper's closed forms honest.
+
+The analytical models in :mod:`repro.models.iomodel` and
+:mod:`repro.models.performance` predict each composed application's
+off-chip I/O volume and completion cycles.  The simulator *measures*
+both.  This module runs the four Sec. V applications at small sizes,
+evaluates the matching closed form with the latencies the composition
+actually instantiated, and reports the relative error — so the
+performance model is a continuously-checked observable rather than a
+one-shot table.  An entry whose relative error exceeds the threshold is
+*flagged*: either the model or the composition regressed.
+
+Modeling notes (the closed forms are deliberately first-order):
+
+* I/O models count the paper's idealized traffic; the simulated
+  compositions also replay tiled vectors and stream explicit zero
+  vectors, so a few-percent measured excess is expected and stays well
+  under the default 25% flag threshold.
+* ATAX has no published cycle form.  Its fan-out serializes the two
+  GEMVs strip-by-strip (the Sec. V-B reordering hazard: the second
+  GEMV's bounded A channel backpressures the shared reader until the
+  intermediate vector arrives), so we model the matrix as traversed
+  twice back-to-back through one pipeline of two chained GEMV depths.
+* GEMVER's published ``2N^2`` form ignores the two fused GER map
+  latencies in component 1; we add them via
+  :func:`repro.models.performance.pipeline_cycles` per component.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fpga.resources import level1_latency
+from ..host.context import FblasContext
+from ..models import iomodel
+from ..models.performance import pipeline_cycles
+
+__all__ = ["DriftEntry", "DriftReport", "entries_for", "drift_report",
+           "DRIFT_SCHEMA", "DEFAULT_THRESHOLD", "APPS"]
+
+#: Schema tag for serialized drift reports.
+DRIFT_SCHEMA = "repro.drift/1"
+
+#: Relative error above which an entry is flagged as mis-modeled.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class DriftEntry:
+    """One measured-vs-modeled quantity for one application run."""
+
+    app: str
+    quantity: str               # "cycles" | "io_elements"
+    measured: float
+    modeled: float
+
+    @property
+    def rel_error(self) -> float:
+        """|measured - modeled| / measured (0 when both are 0)."""
+        if self.measured == 0:
+            return 0.0 if self.modeled == 0 else math.inf
+        return abs(self.measured - self.modeled) / self.measured
+
+    def flagged(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        return self.rel_error > threshold
+
+    def to_dict(self) -> dict:
+        return {"app": self.app, "quantity": self.quantity,
+                "measured": self.measured, "modeled": self.modeled,
+                "rel_error": self.rel_error}
+
+
+@dataclass
+class DriftReport:
+    """All drift entries of one sweep plus the flagging threshold."""
+
+    entries: List[DriftEntry]
+    threshold: float = DEFAULT_THRESHOLD
+
+    def flagged(self) -> List[DriftEntry]:
+        return [e for e in self.entries if e.flagged(self.threshold)]
+
+    def table(self) -> str:
+        lines = [
+            "drift report (measured vs model, flag threshold "
+            f"{self.threshold:.0%}):",
+            f"  {'app':10s} {'quantity':12s} {'measured':>12s} "
+            f"{'modeled':>12s} {'rel.err':>8s}",
+        ]
+        for e in self.entries:
+            mark = "  <-- FLAGGED" if e.flagged(self.threshold) else ""
+            lines.append(
+                f"  {e.app:10s} {e.quantity:12s} {e.measured:12.0f} "
+                f"{e.modeled:12.0f} {e.rel_error:8.1%}{mark}")
+        n = len(self.flagged())
+        lines.append(f"  {n} flagged entr{'y' if n == 1 else 'ies'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": DRIFT_SCHEMA,
+            "threshold": self.threshold,
+            "entries": [e.to_dict() for e in self.entries],
+            "flagged": [e.to_dict() for e in self.flagged()],
+        }
+
+
+def entries_for(app: str, measured_cycles: float, measured_io: float,
+                modeled_cycles: float, modeled_io: float) -> List[DriftEntry]:
+    """Build the standard (cycles, io) entry pair for one app run."""
+    return [
+        DriftEntry(app, "cycles", measured_cycles, modeled_cycles),
+        DriftEntry(app, "io_elements", measured_io, modeled_io),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Per-application measured-vs-modeled probes (small, deterministic sizes)
+# ---------------------------------------------------------------------------
+
+def _rng():
+    return np.random.default_rng(7)
+
+
+def drift_axpydot(n: int = 2048, width: int = 16,
+                  mode: str = "event") -> List[DriftEntry]:
+    from ..apps.axpydot import axpydot_streaming
+    rng = _rng()
+    ctx = FblasContext()
+    w = ctx.copy_to_device(rng.standard_normal(n).astype(np.float32))
+    v = ctx.copy_to_device(rng.standard_normal(n).astype(np.float32))
+    u = ctx.copy_to_device(rng.standard_normal(n).astype(np.float32))
+    res = axpydot_streaming(ctx, w, v, u, 0.75, width=width, mode=mode)
+    model = iomodel.axpydot(
+        n, l_copy=0,                            # the copy module is fused away
+        l_axpy=level1_latency("map", width, "single"),
+        l_dot=level1_latency("map_reduce", width, "single"),
+        width=width)
+    return entries_for("axpydot", res.cycles, res.io_elements,
+                       model.streaming_cycles, model.streaming_io)
+
+
+def drift_bicg(n: int = 64, m: int = 64, tile: int = 8, width: int = 8,
+               mode: str = "event") -> List[DriftEntry]:
+    from ..apps.bicg import bicg_streaming
+    rng = _rng()
+    ctx = FblasContext()
+    a = ctx.copy_to_device(rng.standard_normal((n, m)).astype(np.float32))
+    p = ctx.copy_to_device(rng.standard_normal(m).astype(np.float32))
+    r = ctx.copy_to_device(rng.standard_normal(n).astype(np.float32))
+    res = bicg_streaming(ctx, a, p, r, tile=tile, width=width, mode=mode)
+    model = iomodel.bicg(
+        n, m, l_gemv=level1_latency("map_reduce", width, "single"),
+        width=width)
+    return entries_for("bicg", res.cycles, res.io_elements,
+                       model.streaming_cycles, model.streaming_io)
+
+
+def drift_atax(m: int = 64, n: int = 64, tile: int = 8, width: int = 8,
+               mode: str = "event") -> List[DriftEntry]:
+    from ..apps.atax import atax_streaming
+    rng = _rng()
+    ctx = FblasContext()
+    a = ctx.copy_to_device(rng.standard_normal((m, n)).astype(np.float32))
+    x = ctx.copy_to_device(rng.standard_normal(n).astype(np.float32))
+    res = atax_streaming(ctx, a, x, tile=tile, width=width, mode=mode)
+    lat = level1_latency("map_reduce", width, "single")
+    # The fan-out serializes the two GEMVs (see module docstring): the
+    # matrix effectively streams through the chained pipeline twice.
+    modeled_cycles = pipeline_cycles(2 * lat, 1, 2 * math.ceil(m * n / width))
+    modeled_io = iomodel.atax_io(n, m, streaming_valid=True)
+    return entries_for("atax", res.cycles, res.io_elements,
+                       modeled_cycles, modeled_io)
+
+
+def drift_gemver(n: int = 32, tile: int = 8, width: int = 8,
+                 mode: str = "event") -> List[DriftEntry]:
+    from ..apps.gemver import gemver_streaming
+    rng = _rng()
+    ctx = FblasContext()
+    f32 = np.float32
+    a = ctx.copy_to_device(rng.standard_normal((n, n)).astype(f32))
+    u1 = ctx.copy_to_device(rng.standard_normal(n).astype(f32))
+    v1 = ctx.copy_to_device(rng.standard_normal(n).astype(f32))
+    u2 = ctx.copy_to_device(rng.standard_normal(n).astype(f32))
+    v2 = ctx.copy_to_device(rng.standard_normal(n).astype(f32))
+    y = ctx.copy_to_device(rng.standard_normal(n).astype(f32))
+    z = ctx.copy_to_device(rng.standard_normal(n).astype(f32))
+    res = gemver_streaming(ctx, a, u1, v1, u2, v2, y, z, 1.5, -0.5,
+                           tile=tile, width=width, mode=mode)
+    l_map = level1_latency("map", width, "single")
+    l_red = level1_latency("map_reduce", width, "single")
+    model = iomodel.gemver(n, l_mod=l_red, width=width)
+    # Component 1 chains GER -> GER -> GEMV^T (two map depths plus one
+    # reduce depth); component 2 is the lone GEMV.  Each streams N^2/W
+    # blocks.
+    steps = math.ceil(n * n / width)
+    modeled_cycles = (pipeline_cycles(2 * l_map + l_red, 1, steps)
+                      + pipeline_cycles(l_red, 1, steps))
+    return entries_for("gemver", res.cycles, res.io_elements,
+                       modeled_cycles, model.streaming_io)
+
+
+_PROBES: Dict[str, Tuple] = {
+    "axpydot": drift_axpydot,
+    "bicg": drift_bicg,
+    "atax": drift_atax,
+    "gemver": drift_gemver,
+}
+
+#: The applications the full drift sweep covers.
+APPS: Tuple[str, ...] = tuple(_PROBES)
+
+
+def drift_report(apps: Optional[Sequence[str]] = None,
+                 threshold: float = DEFAULT_THRESHOLD,
+                 mode: str = "event") -> DriftReport:
+    """Run the drift sweep for ``apps`` (default: all four)."""
+    entries: List[DriftEntry] = []
+    for app in (apps or APPS):
+        probe = _PROBES.get(app)
+        if probe is None:
+            raise ValueError(
+                f"unknown app {app!r}; expected one of {', '.join(APPS)}")
+        entries.extend(probe(mode=mode))
+    return DriftReport(entries, threshold)

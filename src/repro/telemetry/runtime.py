@@ -1,0 +1,194 @@
+"""The telemetry session: activation, the cycle clock, engine hookup.
+
+One :class:`TelemetrySession` observes a whole host program.  It owns
+
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` all engine runs
+  aggregate into,
+* a :class:`~repro.telemetry.spans.SpanRecorder` on the session's
+  *global cycle clock* — each engine run maps its local cycles onto a
+  monotonically increasing cursor (run ``i+1`` starts where run ``i``
+  ended), so host spans, composition spans and kernel slices share one
+  coherent timeline,
+* the per-run :class:`~repro.fpga.engine.SimReport` summaries
+  (``session.runs``, in :meth:`SimReport.to_dict` schema) and the
+  kernel :class:`~repro.telemetry.spans.Slice` list.
+
+Activation is a context manager::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        axpydot_streaming(ctx, w, v, u, 0.7)
+    print(tel.report())
+    telemetry.write_chrome_trace(tel, "trace.json")
+
+While a session is active, :meth:`Engine.run` (via a single
+``active()`` check — the entire cost when telemetry is off) attaches a
+:class:`~repro.telemetry.observers.MetricsObserver` and
+:class:`~repro.telemetry.observers.SliceRecorder` for the duration of
+the run and opens an ``engine.run`` span; the instrumented layers
+(:mod:`repro.host.api`, :mod:`repro.streaming.executor`, the
+:mod:`repro.apps` entry points) open their spans through the
+module-level :func:`span` helper, which degrades to a shared no-op
+context manager when no session is active.  The simulator is
+single-threaded; so is the session.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .observers import MetricsObserver, SliceRecorder
+from .spans import Slice, SpanRecorder
+
+__all__ = ["TelemetrySession", "active", "session", "span"]
+
+_NULL = nullcontext()
+_ACTIVE: Optional["TelemetrySession"] = None
+
+
+def active() -> Optional["TelemetrySession"]:
+    """The currently active session, or None.
+
+    This is the only telemetry call on the no-telemetry hot path: the
+    engine, host API and executor gate all instrumentation behind it.
+    """
+    return _ACTIVE
+
+
+def span(name: str, cat: str = "host", **args):
+    """Open a span on the active session; no-op context when inactive."""
+    s = _ACTIVE
+    if s is None:
+        return _NULL
+    return s.spans.span(name, cat, **args)
+
+
+@contextmanager
+def session(**kwargs):
+    """Activate a fresh :class:`TelemetrySession` for the with-block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    s = TelemetrySession(**kwargs)
+    _ACTIVE = s
+    try:
+        yield s
+    finally:
+        _ACTIVE = prev
+
+
+class TelemetrySession:
+    """Aggregates metrics, spans, slices and run summaries.
+
+    Parameters
+    ----------
+    kernel_slices:
+        Record per-kernel work/stall timeline slices (the Perfetto leaf
+        rows).  Costs the per-cycle kernel-state sweep; disable for
+        metrics-only observation of very long runs.
+    occupancy:
+        Sample per-channel occupancy histograms every executed cycle.
+    """
+
+    def __init__(self, kernel_slices: bool = True, occupancy: bool = True):
+        self.registry = MetricsRegistry()
+        self.clock = 0
+        self.spans = SpanRecorder(lambda: self.clock)
+        self.slices: List[Slice] = []
+        self.runs: List[dict] = []
+        self.kernel_slices = kernel_slices
+        self.occupancy = occupancy
+        self._run_seq = 0
+        self._profilers: List[Tuple[int, object]] = []
+
+    def span(self, name: str, cat: str = "host", **args):
+        return self.spans.span(name, cat, **args)
+
+    # -- engine hookup -------------------------------------------------------
+    @contextmanager
+    def engine_run(self, engine):
+        """Instrument one :meth:`Engine.run` (called by the engine).
+
+        Attaches the run observers, opens the ``engine.run`` span, and —
+        crucially — advances the session clock by the cycles the run
+        executed, even when the run raises (a deadlocked run still shows
+        its partial timeline, ending at the deadlock cycle).
+        """
+        idx = self._run_seq
+        self._run_seq += 1
+        t0 = engine.now
+        offset = self.clock - t0
+        mo = MetricsObserver(self.registry, run=idx,
+                             occupancy=self.occupancy)
+        attach = [mo]
+        if self.kernel_slices:
+            sl = SliceRecorder(self.slices, offset=offset, run=idx)
+            attach.append(sl)
+        else:
+            sl = None
+        sp = self.spans.open(f"engine.run[{idx}]", cat="engine", run=idx,
+                             mode=engine.mode, kernels=len(engine.kernels),
+                             channels=len(engine.channels))
+        for o in attach:
+            engine.add_observer(o)
+        try:
+            yield self
+        except BaseException as exc:
+            sp.args.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            for o in attach:
+                try:
+                    engine._observers.remove(o)
+                except ValueError:      # pragma: no cover - defensive
+                    pass
+            end_t = engine.now
+            if sl is not None:
+                sl.finalize(end_t)
+            self.clock = offset + end_t
+            self.spans.close(sp, cycles=end_t - t0)
+            self._profilers.append((idx, mo.profiler))
+            if mo.last_report is not None:
+                d = mo.last_report.to_dict()
+                d["run"] = idx
+                d["offset"] = offset + t0
+                self.runs.append(d)
+
+    # -- reporting -----------------------------------------------------------
+    def report(self, top: int = 8) -> str:
+        """Human-readable bottleneck report across all observed runs."""
+        lines = ["telemetry report:"]
+        if not self.runs:
+            lines.append("  (no engine runs observed)")
+        for d in self.runs:
+            lines.append(
+                f"  engine run {d['run']}: {d['cycles']} cycles, "
+                f"kernel_steps={d['kernel_steps']}, "
+                f"stall_cycles={d['total_stall_cycles']}")
+            ranked = sorted(d["kernels"].items(),
+                            key=lambda kv: -kv[1]["stall_cycles"])
+            for name, ks in ranked[:top]:
+                live = ks["active_cycles"] + ks["stall_cycles"]
+                util = ks["active_cycles"] / live if live else 0.0
+                lines.append(
+                    f"    kernel {name:20s} util={util:6.1%} "
+                    f"active={ks['active_cycles']} "
+                    f"stalled={ks['stall_cycles']}")
+            banks = [b for b in d.get("bank_stats", ())
+                     if b["bytes_read"] or b["bytes_written"]
+                     or b["denied_cycles"]]
+            for b in banks:
+                lines.append(
+                    f"    dram bank {b['bank']}: "
+                    f"read={b['bytes_read']}B write={b['bytes_written']}B "
+                    f"busy={b['busy_cycles']}cy denied={b['denied_cycles']}")
+        for idx, prof in self._profilers:
+            if prof.stalls:
+                lines.append(f"  run {idx} " + prof.report().replace(
+                    "\n", "\n  "))
+        return "\n".join(lines)
+
+    def total_cycles(self) -> int:
+        return sum(d["cycles"] for d in self.runs)
