@@ -11,6 +11,12 @@ record; it sweeps kernel states and samples occupancy histograms every
 executed cycle, so it is allowed to be an order of magnitude slower —
 just not unboundedly so.
 
+The bulk tier (PR 4) extends the contract: with no observers the fast
+path engages and must actually be fast (the width-8 run, where DRAM
+bursts fit the bank budget, must beat the event core outright), and
+with observers attached the tier must disable itself rather than risk
+perturbing the timeline — cycles stay bit-identical either way.
+
 Deliberately self-contained: importing ``test_engine_throughput`` would
 trigger its module-level data collection.
 """
@@ -37,7 +43,7 @@ MIN_BASELINE_FRACTION = 0.9
 MAX_INSTRUMENTED_SLOWDOWN = 60.0
 
 
-def _run(with_session: bool):
+def _run(with_session: bool, mode: str = "event", width: int = WIDTH):
     rng = np.random.default_rng(SEED)
     mk = lambda: np.asarray(rng.normal(size=N), dtype=np.float32)  # noqa: E731
     w, v, u = mk(), mk(), mk()
@@ -46,18 +52,19 @@ def _run(with_session: bool):
     t0 = time.perf_counter()
     if with_session:
         with telemetry.session():
-            res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=WIDTH,
-                                    mode="event")
+            res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=width,
+                                    mode=mode)
     else:
-        res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=WIDTH,
-                                mode="event")
+        res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=width,
+                                mode=mode)
     wall = time.perf_counter() - t0
     return res.cycles, res.kernel_steps, wall
 
 
-def _best_of(k, with_session: bool):
+def _best_of(k, with_session: bool, mode: str = "event",
+             width: int = WIDTH):
     """(cycles, steps, min wall) over k runs — min defeats CI jitter."""
-    runs = [_run(with_session) for _ in range(k)]
+    runs = [_run(with_session, mode, width) for _ in range(k)]
     cycles = {r[0] for r in runs}
     assert len(cycles) == 1, f"non-deterministic cycles: {cycles}"
     return runs[0][0], runs[0][1], min(r[2] for r in runs)
@@ -76,6 +83,16 @@ def _baseline_entry():
 
 CYCLES_OFF, STEPS, WALL_OFF = _best_of(5, with_session=False)
 CYCLES_ON, STEPS_ON, WALL_ON = _best_of(1, with_session=True)
+# Bulk tier, observer-off: width 16 falls back (DRAM-bound), width 8
+# engages the fast path; width-8 event is the engaged run's yardstick.
+CYCLES_BULK, STEPS_BULK, WALL_BULK = _best_of(5, with_session=False,
+                                              mode="bulk")
+CYCLES_EV8, STEPS_EV8, WALL_EV8 = _best_of(3, with_session=False,
+                                           mode="event", width=8)
+CYCLES_BULK8, STEPS_BULK8, WALL_BULK8 = _best_of(3, with_session=False,
+                                                 mode="bulk", width=8)
+CYCLES_BULK_ON, STEPS_BULK_ON, WALL_BULK_ON = _best_of(
+    1, with_session=True, mode="bulk", width=8)
 BASELINE = _baseline_entry()
 
 
@@ -85,6 +102,16 @@ def test_report_and_table():
          round(STEPS / WALL_OFF)),
         ("observer-on", CYCLES_ON, f"{WALL_ON:.4f}",
          round(STEPS_ON / WALL_ON)),
+    ]
+    rows += [
+        ("bulk observer-off (w16, fallback)", CYCLES_BULK,
+         f"{WALL_BULK:.4f}", round(STEPS_BULK / WALL_BULK)),
+        ("event observer-off (w8)", CYCLES_EV8,
+         f"{WALL_EV8:.4f}", round(STEPS_EV8 / WALL_EV8)),
+        ("bulk observer-off (w8, engaged)", CYCLES_BULK8,
+         f"{WALL_BULK8:.4f}", round(STEPS_BULK8 / WALL_BULK8)),
+        ("bulk observer-on (w8, disabled)", CYCLES_BULK_ON,
+         f"{WALL_BULK_ON:.4f}", round(STEPS_BULK_ON / WALL_BULK_ON)),
     ]
     if BASELINE is not None:
         rows.append(("baseline (BENCH_engine.json)", BASELINE["cycles"],
@@ -119,3 +146,30 @@ def test_observer_on_cost_bounded():
     slowdown = WALL_ON / max(WALL_OFF, 1e-9)
     assert slowdown <= MAX_INSTRUMENTED_SLOWDOWN, (
         f"instrumented run is {slowdown:.1f}x the plain run")
+
+
+def test_bulk_simulation_unperturbed():
+    """The bulk tier never changes what is simulated — neither when it
+    falls back (width 16) nor when it engages (width 8), with or
+    without a telemetry session attached."""
+    assert CYCLES_BULK == CYCLES_OFF
+    assert STEPS_BULK == STEPS
+    assert CYCLES_BULK8 == CYCLES_EV8
+    assert STEPS_BULK8 == STEPS_EV8
+    assert CYCLES_BULK_ON == CYCLES_BULK8
+    assert STEPS_BULK_ON == STEPS_BULK8
+
+
+def test_bulk_observer_off_throughput():
+    """Observer-off bulk mode must hold the event core's throughput when
+    it falls back (probe overhead within noise) and clearly beat it
+    when the fast path engages (locally ~10x at width 8; CI-safe 2x
+    floor)."""
+    fallback = (STEPS_BULK / WALL_BULK) / (STEPS / WALL_OFF)
+    assert fallback >= 0.75, (
+        f"bulk fallback throughput {fallback:.2f}x of event — the probe "
+        f"must be nearly free when the pattern cannot engage")
+    engaged = (STEPS_BULK8 / WALL_BULK8) / (STEPS_EV8 / WALL_EV8)
+    assert engaged >= 2.0, (
+        f"bulk engaged throughput only {engaged:.2f}x of event — the "
+        f"fast path regressed")

@@ -1,11 +1,19 @@
 """Streaming Level-1 kernels.
 
-Each function is a generator implementing one BLAS Level-1 routine against
-the simulator's channel protocol (:mod:`repro.fpga.kernel`), mirroring the
-structure of the paper's HLS listings: an outer loop strip-mined by the
-vectorization width W, whose body pops W operands per stream, computes the
-unrolled inner loop, and pushes the results — one loop iteration per clock
-cycle (II = 1).
+Each function builds a generator implementing one BLAS Level-1 routine
+against the simulator's channel protocol (:mod:`repro.fpga.kernel`),
+mirroring the structure of the paper's HLS listings: an outer loop
+strip-mined by the vectorization width W, whose body pops W operands per
+stream, computes the unrolled inner loop, and pushes the results — one
+loop iteration per clock cycle (II = 1).
+
+Every loop kernel carries a :class:`~repro.fpga.pattern.StaticPattern`:
+the generator and the pattern's vectorized ``block()`` share one cursor
+(and, for reductions, one accumulator), so the bulk engine can replay K
+full-width iterations arithmetically with bit-identical rounding — the
+block executors use only elementwise array ops, the same pairwise adder
+tree (:func:`_tree_reduce_rows`), and strictly sequential accumulation
+(``np.add.accumulate``) to reproduce the scalar loop's summation order.
 
 Conventions: ``n`` is the vector length; widths need not divide ``n`` (the
 tail iteration is narrower); ``dtype`` selects single (np.float32) or
@@ -18,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..fpga.kernel import Clock, Pop, Push
+from ..fpga.pattern import PatternedGenerator, StaticPattern
 from . import reference
 
 
@@ -26,54 +35,147 @@ def _chunk(vals, count):
     return [vals] if count == 1 else vals
 
 
+class _Cursor:
+    """Shared loop cursor: the generator advances it *before* its
+    end-of-iteration ``Clock`` (no op is emitted in between, so the op
+    sequence is unchanged) and the pattern's ``block()`` advances it by
+    ``k`` iterations — both always agree at cycle boundaries."""
+
+    __slots__ = ("done",)
+
+    def __init__(self):
+        self.done = 0
+
+
+def _steady_map(n, width, ins, outs, emit, block, dtype):
+    """Patterned elementwise kernel: pop W per input, emit W per output.
+
+    ``emit(rows)`` computes one iteration's output tuples from lists of
+    scalars (the original listing's body, verbatim); ``block(k, arrs)``
+    is its vectorized equivalent over ``(k*width,)`` arrays.
+    """
+    st = _Cursor()
+
+    def gen():
+        while st.done < n:
+            c = min(width, n - st.done)
+            rows = []
+            for ch in ins:
+                rows.append(_chunk((yield Pop(ch, c)), c))
+            for ch, vals in zip(outs, emit(rows)):
+                yield Push(ch, vals, None)
+            st.done += c
+            yield Clock()
+
+    def ready():
+        return (n - st.done) // width
+
+    def blk(k, arrs):
+        st.done += k * width
+        return block(k, arrs)
+
+    pat = StaticPattern(
+        reads=tuple((ch, width) for ch in ins),
+        writes=tuple((ch, width, None) for ch in outs),
+        ii=1, dtype=dtype, ready=ready, block=blk)
+    return PatternedGenerator(gen(), pat)
+
+
+def _steady_reduce(n, width, ins, ch_res, fold, block, finalize,
+                   ii, dtype):
+    """Patterned reduction kernel: accumulate over the stream, push the
+    result in an (event-stepped) epilogue.
+
+    ``fold(rows, base)`` folds one iteration starting at element index
+    ``base``; ``block(k, arrs, base)`` folds ``k`` full-width iterations.
+    """
+    st = _Cursor()
+
+    def gen():
+        if ii < 1:
+            raise ValueError("initiation interval must be >= 1")
+        while st.done < n:
+            c = min(width, n - st.done)
+            rows = []
+            for ch in ins:
+                rows.append(_chunk((yield Pop(ch, c)), c))
+            fold(rows, st.done)
+            st.done += c
+            yield Clock(ii)
+        yield Push(ch_res, finalize(), None)
+        yield Clock()
+
+    def ready():
+        return (n - st.done) // width
+
+    def blk(k, arrs):
+        block(k, arrs, st.done)
+        st.done += k * width
+        return []
+
+    pat = StaticPattern(
+        reads=tuple((ch, width) for ch in ins),
+        ii=ii, dtype=dtype, ready=ready, block=blk)
+    return PatternedGenerator(gen(), pat)
+
+
 def scal_kernel(n, alpha, ch_x, ch_out, width=1, dtype=np.float32):
     """SCAL: stream x, push alpha*x (Fig. 4 of the paper)."""
     alpha = dtype(alpha)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        yield Push(ch_out, tuple(alpha * dtype(x) for x in xs), None)
-        yield Clock()
-        done += c
+
+    def emit(rows):
+        xs, = rows
+        return (tuple(alpha * dtype(x) for x in xs),)
+
+    def block(k, arrs):
+        return [alpha * arrs[0]]
+
+    return _steady_map(n, width, (ch_x,), (ch_out,), emit, block, dtype)
 
 
 def copy_kernel(n, ch_x, ch_out, width=1, dtype=np.float32):
     """COPY: forward the stream unchanged."""
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        yield Push(ch_out, tuple(dtype(x) for x in xs), None)
-        yield Clock()
-        done += c
+
+    def emit(rows):
+        xs, = rows
+        return (tuple(dtype(x) for x in xs),)
+
+    def block(k, arrs):
+        return [arrs[0]]
+
+    return _steady_map(n, width, (ch_x,), (ch_out,), emit, block, dtype)
 
 
 def axpy_kernel(n, alpha, ch_x, ch_y, ch_out, width=1, dtype=np.float32):
     """AXPY: push alpha*x + y."""
     alpha = dtype(alpha)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        ys = _chunk((yield Pop(ch_y, c)), c)
-        yield Push(ch_out, tuple(alpha * dtype(x) + dtype(y)
-                                 for x, y in zip(xs, ys)), None)
-        yield Clock()
-        done += c
+
+    def emit(rows):
+        xs, ys = rows
+        return (tuple(alpha * dtype(x) + dtype(y)
+                      for x, y in zip(xs, ys)),)
+
+    def block(k, arrs):
+        xa, ya = arrs
+        return [alpha * xa + ya]
+
+    return _steady_map(n, width, (ch_x, ch_y), (ch_out,), emit, block, dtype)
 
 
 def swap_kernel(n, ch_x, ch_y, ch_out_x, ch_out_y, width=1, dtype=np.float32):
     """SWAP: route x to the y output and vice versa."""
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        ys = _chunk((yield Pop(ch_y, c)), c)
-        yield Push(ch_out_x, tuple(dtype(y) for y in ys), None)
-        yield Push(ch_out_y, tuple(dtype(x) for x in xs), None)
-        yield Clock()
-        done += c
+
+    def emit(rows):
+        xs, ys = rows
+        return (tuple(dtype(y) for y in ys),
+                tuple(dtype(x) for x in xs))
+
+    def block(k, arrs):
+        xa, ya = arrs
+        return [ya, xa]
+
+    return _steady_map(n, width, (ch_x, ch_y), (ch_out_x, ch_out_y),
+                       emit, block, dtype)
 
 
 def rot_kernel(n, c_rot, s_rot, ch_x, ch_y, ch_out_x, ch_out_y,
@@ -81,17 +183,20 @@ def rot_kernel(n, c_rot, s_rot, ch_x, ch_y, ch_out_x, ch_out_y,
     """ROT: apply the plane rotation (c, s) elementwise."""
     c_rot = dtype(c_rot)
     s_rot = dtype(s_rot)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        ys = _chunk((yield Pop(ch_y, c)), c)
-        yield Push(ch_out_x, tuple(c_rot * dtype(x) + s_rot * dtype(y)
-                                   for x, y in zip(xs, ys)), None)
-        yield Push(ch_out_y, tuple(c_rot * dtype(y) - s_rot * dtype(x)
-                                   for x, y in zip(xs, ys)), None)
-        yield Clock()
-        done += c
+
+    def emit(rows):
+        xs, ys = rows
+        return (tuple(c_rot * dtype(x) + s_rot * dtype(y)
+                      for x, y in zip(xs, ys)),
+                tuple(c_rot * dtype(y) - s_rot * dtype(x)
+                      for x, y in zip(xs, ys)))
+
+    def block(k, arrs):
+        xa, ya = arrs
+        return [c_rot * xa + s_rot * ya, c_rot * ya - s_rot * xa]
+
+    return _steady_map(n, width, (ch_x, ch_y), (ch_out_x, ch_out_y),
+                       emit, block, dtype)
 
 
 def rotm_kernel(n, param, ch_x, ch_y, ch_out_x, ch_out_y,
@@ -108,17 +213,20 @@ def rotm_kernel(n, param, ch_x, ch_y, ch_out_x, ch_out_y,
         h12, h21 = one, mone
     elif flag != -1.0:
         raise ValueError(f"invalid rotm flag {flag}")
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        ys = _chunk((yield Pop(ch_y, c)), c)
-        yield Push(ch_out_x, tuple(h11 * dtype(x) + h12 * dtype(y)
-                                   for x, y in zip(xs, ys)), None)
-        yield Push(ch_out_y, tuple(h21 * dtype(x) + h22 * dtype(y)
-                                   for x, y in zip(xs, ys)), None)
-        yield Clock()
-        done += c
+
+    def emit(rows):
+        xs, ys = rows
+        return (tuple(h11 * dtype(x) + h12 * dtype(y)
+                      for x, y in zip(xs, ys)),
+                tuple(h21 * dtype(x) + h22 * dtype(y)
+                      for x, y in zip(xs, ys)))
+
+    def block(k, arrs):
+        xa, ya = arrs
+        return [h11 * xa + h12 * ya, h21 * xa + h22 * ya]
+
+    return _steady_map(n, width, (ch_x, ch_y), (ch_out_x, ch_out_y),
+                       emit, block, dtype)
 
 
 def dot_kernel(n, ch_x, ch_y, ch_res, width=1, dtype=np.float32, ii=1):
@@ -135,84 +243,116 @@ def dot_kernel(n, ch_x, ch_y, ch_res, width=1, dtype=np.float32, ii=1):
     would otherwise force the scheduler to ii > 1; passing ii > 1 models
     the *untransformed* loop for the ablation benchmark.
     """
-    if ii < 1:
-        raise ValueError("initiation interval must be >= 1")
-    res = dtype(0)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        ys = _chunk((yield Pop(ch_y, c)), c)
-        res = res + _tree_reduce(
+    acc = [dtype(0)]
+
+    def fold(rows, _base):
+        xs, ys = rows
+        acc[0] = acc[0] + _tree_reduce(
             [dtype(x) * dtype(y) for x, y in zip(xs, ys)], dtype)
-        yield Clock(ii)
-        done += c
-    yield Push(ch_res, (res,), None)
-    yield Clock()
+
+    def block(k, arrs, _base):
+        xa, ya = arrs
+        rows = _tree_reduce_rows((xa * ya).reshape(k, width))
+        acc[0] = _fold_rows(acc[0], rows)
+
+    def finalize():
+        return (acc[0],)
+
+    return _steady_reduce(n, width, (ch_x, ch_y), ch_res, fold, block,
+                          finalize, ii, dtype)
 
 
 def sdsdot_kernel(n, sb, ch_x, ch_y, ch_res, width=1):
     """SDSDOT: single-precision inputs, double-precision accumulation."""
-    res = np.float64(sb)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        ys = _chunk((yield Pop(ch_y, c)), c)
-        res = res + _tree_reduce(
+    acc = [np.float64(sb)]
+
+    def fold(rows, _base):
+        xs, ys = rows
+        acc[0] = acc[0] + _tree_reduce(
             [np.float64(x) * np.float64(y) for x, y in zip(xs, ys)],
             np.float64)
-        yield Clock()
-        done += c
-    yield Push(ch_res, (np.float32(res),), None)
-    yield Clock()
+
+    def block(k, arrs, _base):
+        xa, ya = arrs
+        rows = _tree_reduce_rows((xa * ya).reshape(k, width))
+        acc[0] = _fold_rows(acc[0], rows)
+
+    def finalize():
+        return (np.float32(acc[0]),)
+
+    return _steady_reduce(n, width, (ch_x, ch_y), ch_res, fold, block,
+                          finalize, 1, np.float64)
 
 
 def nrm2_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
     """NRM2: sqrt of the sum of squares."""
-    acc = dtype(0)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        acc = acc + _tree_reduce([dtype(x) * dtype(x) for x in xs], dtype)
-        yield Clock()
-        done += c
-    yield Push(ch_res, (dtype(np.sqrt(acc)),), None)
-    yield Clock()
+    acc = [dtype(0)]
+
+    def fold(rows, _base):
+        xs, = rows
+        acc[0] = acc[0] + _tree_reduce(
+            [dtype(x) * dtype(x) for x in xs], dtype)
+
+    def block(k, arrs, _base):
+        xa = arrs[0]
+        rows = _tree_reduce_rows((xa * xa).reshape(k, width))
+        acc[0] = _fold_rows(acc[0], rows)
+
+    def finalize():
+        return (dtype(np.sqrt(acc[0])),)
+
+    return _steady_reduce(n, width, (ch_x,), ch_res, fold, block,
+                          finalize, 1, dtype)
 
 
 def asum_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
     """ASUM: sum of absolute values."""
-    acc = dtype(0)
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
-        acc = acc + _tree_reduce([dtype(abs(dtype(x))) for x in xs], dtype)
-        yield Clock()
-        done += c
-    yield Push(ch_res, (acc,), None)
-    yield Clock()
+    acc = [dtype(0)]
+
+    def fold(rows, _base):
+        xs, = rows
+        acc[0] = acc[0] + _tree_reduce(
+            [dtype(abs(dtype(x))) for x in xs], dtype)
+
+    def block(k, arrs, _base):
+        rows = _tree_reduce_rows(np.abs(arrs[0]).reshape(k, width))
+        acc[0] = _fold_rows(acc[0], rows)
+
+    def finalize():
+        return (acc[0],)
+
+    return _steady_reduce(n, width, (ch_x,), ch_res, fold, block,
+                          finalize, 1, dtype)
 
 
 def iamax_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
     """IAMAX: index of the first element of maximal magnitude."""
-    best = dtype(-1)
-    best_idx = 0
-    done = 0
-    while done < n:
-        c = min(width, n - done)
-        xs = _chunk((yield Pop(ch_x, c)), c)
+    best = [dtype(-1), 0]             # [magnitude, flat index]
+
+    def fold(rows, base):
+        xs, = rows
         for lane, x in enumerate(xs):
             mag = abs(dtype(x))
-            if mag > best:
-                best = mag
-                best_idx = done + lane
-        yield Clock()
-        done += c
-    yield Push(ch_res, (best_idx,), None)
-    yield Clock()
+            if mag > best[0]:
+                best[0] = mag
+                best[1] = base + lane
+
+    def block(k, arrs, base):
+        # The scalar scan keeps the *first* strictly-greater magnitude;
+        # over a block that is the first occurrence of the block maximum,
+        # provided it beats the running best — exactly argmax semantics.
+        mags = np.abs(arrs[0])
+        m = mags.max()
+        if m > best[0]:
+            idx = int(np.argmax(mags))
+            best[0] = mags[idx]
+            best[1] = base + idx
+
+    def finalize():
+        return (best[1],)
+
+    return _steady_reduce(n, width, (ch_x,), ch_res, fold, block,
+                          finalize, 1, dtype)
 
 
 def rotg_kernel(ch_ab, ch_out, dtype=np.float32):
@@ -245,3 +385,33 @@ def _tree_reduce(values, dtype):
             nxt.append(level[-1])
         level = nxt
     return level[0]
+
+
+def _tree_reduce_rows(mat):
+    """Row-wise :func:`_tree_reduce` over a ``(k, w)`` matrix.
+
+    Operates on whole columns so the ``k`` per-iteration reductions share
+    each adder-tree level as one vectorized add, with the same pairing —
+    hence the same rounding — as the scalar tree.
+    """
+    cols = [mat[:, j] for j in range(mat.shape[1])]
+    while len(cols) > 1:
+        nxt = []
+        for i in range(0, len(cols) - 1, 2):
+            nxt.append(cols[i] + cols[i + 1])
+        if len(cols) % 2:
+            nxt.append(cols[-1])
+        cols = nxt
+    return cols[0]
+
+
+def _fold_rows(acc, rows):
+    """Left-fold ``rows`` into ``acc`` exactly as sequential scalar adds.
+
+    ``np.add.accumulate`` is defined elementwise-sequentially (each
+    output is the previous output plus the next input), unlike
+    ``np.sum``/``np.add.reduce`` which use pairwise summation — so this
+    matches ``k`` per-iteration ``acc = acc + row`` updates bit-exactly.
+    """
+    seq = np.add.accumulate(np.concatenate((np.asarray([acc]), rows)))
+    return seq[-1]

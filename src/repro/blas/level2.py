@@ -14,14 +14,49 @@ streaming implementations with different I/O complexities:
 
 All kernels expect the matrix stream in the order produced by the matching
 :class:`repro.streaming.tiling.MatrixSchedule` with row-major elements.
+
+The tiled loop nests are not statically regular cycle by cycle (block
+loads, per-tile epilogues, loop-carried solves), so every module here
+carries a *declare-only* :class:`~repro.fpga.pattern.StaticPattern` via
+:func:`_declared`: the steady ports and rates are documented for
+analysis and the bulk engine, but ``ready()`` is pinned to 0 and the
+fast path always falls back to exact event stepping for these kernels.
 """
 
 from __future__ import annotations
 
+import functools
+import inspect
+
 import numpy as np
 
 from ..fpga.kernel import Clock, Pop, Push
+from ..fpga.pattern import PatternedGenerator, StaticPattern
 from .level1 import _chunk, _tree_reduce
+
+
+def _declared(reads=(), writes=()):
+    """Attach a declare-only port pattern to a level-2 module generator.
+
+    ``reads``/``writes`` name the decorated function's channel
+    parameters; lane counts come from its bound ``width`` argument, so
+    the derivation is automatic for every call signature.
+    """
+    def deco(fn):
+        sig = inspect.signature(fn)
+
+        @functools.wraps(fn)
+        def build(*args, **kwargs):
+            bound = sig.bind(*args, **kwargs)
+            bound.apply_defaults()
+            arg = bound.arguments
+            w = arg.get("width", 1)
+            pat = StaticPattern.declare(
+                reads=tuple((arg[name], w) for name in reads),
+                writes=tuple((arg[name], w, None) for name in writes))
+            return PatternedGenerator(fn(*args, **kwargs), pat)
+        return build
+    return deco
 
 
 def _pop_block(ch, count, width):
@@ -52,6 +87,7 @@ def _push_block(ch, values, width):
         done += c
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def gemv_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                    tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV y = alpha*A*x + beta*y, A (N x M) in tiles by rows.
@@ -86,6 +122,7 @@ def gemv_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield from _push_block(ch_out, result, width)
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def gemv_row_tiles_colmajor(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                             tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV, tiles by rows, with *column-major* elements inside each tile.
@@ -120,6 +157,7 @@ def gemv_row_tiles_colmajor(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield from _push_block(ch_out, result, width)
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def gemv_col_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                    tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV with A (N x M) in tiles by columns (Fig. 2, right).
@@ -160,6 +198,7 @@ def gemv_col_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
             yield from _push_block(ch_out, out, width)
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def gemv_row_tiles_db(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                       tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV, tiles by rows, with double-buffered x blocks.
@@ -218,6 +257,7 @@ def gemv_row_tiles_db(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield from _push_block(ch_out, result, width)
 
 
+@_declared(reads=("ch_from_gemv",), writes=("ch_feedback", "ch_final"))
 def y_replay_router(n, passes, ch_from_gemv, ch_feedback, ch_final, width=1):
     """Route the col-tiles GEMV's per-pass partials.
 
@@ -237,6 +277,7 @@ def y_replay_router(n, passes, ch_from_gemv, ch_feedback, ch_final, width=1):
             done += c
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def gemv_nontiled(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                   width=1, dtype=np.float32):
     """Non-tiled GEMV (Listing 1): x replayed for every row of A.
@@ -265,6 +306,7 @@ def gemv_nontiled(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield Clock()
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def gemv_transposed_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                               tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV^T s = alpha*A^T*x + beta*s, with A (N x M) in tiles by ROWS.
@@ -299,6 +341,7 @@ def gemv_transposed_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
     yield from _push_block(ch_out, result, width)
 
 
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
 def ger_kernel(n, m, alpha, ch_a, ch_x, ch_y, ch_out,
                tile_n, tile_m, width=1, dtype=np.float32):
     """GER A' = A + alpha*x*y^T, A in tiles by rows (map-class routine).
@@ -327,6 +370,7 @@ def ger_kernel(n, m, alpha, ch_a, ch_x, ch_y, ch_out,
                     done += c
 
 
+@_declared(reads=("ch_a", "ch_x_row", "ch_x_col"), writes=("ch_out",))
 def syr_kernel(n, alpha, ch_a, ch_x_row, ch_x_col, ch_out,
                tile_n, tile_m, width=1, dtype=np.float32):
     """SYR A' = A + alpha*x*x^T on generic dense storage.
@@ -340,6 +384,7 @@ def syr_kernel(n, alpha, ch_a, ch_x_row, ch_x_col, ch_out,
                           tile_n, tile_m, width, dtype)
 
 
+@_declared(reads=("ch_a", "ch_x_row", "ch_y_col", "ch_y_row", "ch_x_col"), writes=("ch_out",))
 def syr2_kernel(n, alpha, ch_a, ch_x_row, ch_y_col, ch_y_row, ch_x_col,
                 ch_out, tile_n, tile_m, width=1, dtype=np.float32):
     """SYR2 A' = A + alpha*(x*y^T + y*x^T) on generic dense storage.
@@ -370,6 +415,7 @@ def syr2_kernel(n, alpha, ch_a, ch_x_row, ch_y_col, ch_y_row, ch_x_col,
                     done += c
 
 
+@_declared(reads=("ch_a", "ch_b"), writes=("ch_out",))
 def trsv_kernel(n, ch_a, ch_b, ch_out, width=1, dtype=np.float32,
                 lower=True, unit_diag=False):
     """TRSV: solve A x = b for triangular A streamed row by row.

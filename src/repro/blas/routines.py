@@ -35,6 +35,30 @@ class RoutineInfo:
         """
         return max(1, len(self.inputs))
 
+    def static_pattern(self, channels: Dict[str, object], width: int = 1,
+                       ii: int = 1):
+        """Derive a declare-only :class:`~repro.fpga.pattern.StaticPattern`.
+
+        ``channels`` maps this routine's streaming port names to channel
+        objects; every port must be bound.  The result documents the
+        steady port rates (``width`` lanes per port at initiation
+        interval ``ii``) for analysis and the bulk engine, without an
+        executable fast path — module builders that *can* prove a
+        vectorizable steady loop attach their own executable pattern
+        instead (see :mod:`repro.blas.level1`).
+        """
+        from ..fpga.pattern import StaticPattern
+        missing = [p for p in self.inputs + self.outputs
+                   if p not in channels]
+        if missing:
+            raise KeyError(
+                f"routine {self.name!r}: unbound streaming ports "
+                f"{missing} (expected {self.inputs + self.outputs})")
+        return StaticPattern.declare(
+            reads=tuple((channels[p], width) for p in self.inputs),
+            writes=tuple((channels[p], width, None) for p in self.outputs),
+            ii=ii)
+
 
 REGISTRY: Dict[str, RoutineInfo] = {}
 

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
+
+import numpy as np
 
 
 #: Default FIFO capacity used everywhere a depth is not given explicitly —
@@ -79,6 +82,10 @@ class Channel:
         self._push_waiters: list = []
         # Cycle of the currently scheduled maturation event, for dedup.
         self._mature_at = None
+        # Block runs staged by push_block during a bulk window: entries
+        # [first_ready, lanes, array, consumed_offset].  Always empty
+        # outside a BulkScheduler replay window.
+        self._runs: list = []
 
     def bind_events(self, sink) -> None:
         """Attach an event sink receiving on_staged/on_space/on_data.
@@ -124,8 +131,7 @@ class Channel:
                 f"(occupancy={self.occupancy}, in_flight={self.in_flight}, "
                 f"depth={self.depth})"
             )
-        for v in values:
-            self._staged.append((ready_cycle, v))
+        self._staged.extend((ready_cycle, v) for v in values)
         self.stats.pushes += len(values)
         if self.events is not None:
             self.events.on_staged(self, ready_cycle)
@@ -137,8 +143,15 @@ class Channel:
                 f"pop of {count} from channel {self.name!r} with only "
                 f"{self.occupancy} visible elements"
             )
-        out = [self._fifo.popleft() for _ in range(count)]
-        self.stats.pops += len(out)
+        fifo = self._fifo
+        # Bulk drain: one islice copy instead of count popleft round trips.
+        out = list(islice(fifo, count))
+        if count == len(fifo):
+            fifo.clear()
+        else:
+            for _ in range(count):
+                fifo.popleft()
+        self.stats.pops += count
         if self.events is not None:
             self.events.on_space(self)
         return out
@@ -148,6 +161,108 @@ class Channel:
         if not self._fifo:
             raise ChannelError(f"peek on empty channel {self.name!r}")
         return self._fifo[0]
+
+    # -- block transfers (bulk steady-state windows) ------------------------
+    #
+    # During a replay window the BulkScheduler owns the channel: values
+    # move as ndarrays in ring-buffer *runs* instead of per-element
+    # (ready, value) tuples, and no capacity checks or events fire —
+    # the scheduler has already proven the window is steady (every cycle
+    # repeats the probe cycle exactly), so space and availability hold
+    # by construction.  ``occupancy``/``space`` do not count run values;
+    # nothing but the scheduler reads them mid-window, and
+    # :meth:`end_window` restores exact cycle-level storage before any
+    # other code runs.
+
+    def push_block(self, values, lanes: int, first_ready: int) -> None:
+        """Stage ``K * lanes`` values pushed over K consecutive cycles.
+
+        Group ``j`` of ``lanes`` values becomes visible at
+        ``first_ready + j`` — the same ready ramp K individual pushes at
+        cycles ``t .. t+K-1`` with a fixed latency would have produced.
+        """
+        arr = values if isinstance(values, np.ndarray) else np.asarray(values)
+        self._runs.append([first_ready, lanes, arr, 0])
+        self.stats.pushes += len(arr)
+
+    def pop_block(self, count: int, dtype=None) -> np.ndarray:
+        """Drain ``count`` elements, in arrival order, as one ndarray.
+
+        Sources are consumed in stream order: visible FIFO first, then
+        staged values, then block runs.  Legality (the steady window
+        delivers exactly these elements to the consumer, in this order)
+        is the scheduler's proof obligation, not checked here.
+        """
+        need = count
+        boxed = []
+        fifo = self._fifo
+        if fifo and need:
+            take = min(need, len(fifo))
+            boxed.extend(islice(fifo, take))
+            if take == len(fifo):
+                fifo.clear()
+            else:
+                for _ in range(take):
+                    fifo.popleft()
+            need -= take
+        staged = self._staged
+        if staged and need:
+            take = min(need, len(staged))
+            boxed.extend(v for _r, v in islice(staged, take))
+            for _ in range(take):
+                staged.popleft()
+            need -= take
+        parts = []
+        if boxed:
+            parts.append(np.asarray(boxed, dtype=dtype))
+        runs = self._runs
+        while need:
+            if not runs:
+                raise ChannelError(
+                    f"pop_block of {count} from channel {self.name!r} "
+                    f"exceeds the window's supply by {need}")
+            run = runs[0]
+            arr, off = run[2], run[3]
+            take = min(need, len(arr) - off)
+            part = arr[off:off + take]
+            if dtype is not None:
+                part = part.astype(dtype, copy=False)
+            parts.append(part)
+            run[3] = off + take
+            need -= take
+            if run[3] == len(arr):
+                runs.pop(0)
+        self.stats.pops += count
+        if len(parts) == 1:
+            out = parts[0]
+            return out.astype(dtype, copy=False) if dtype is not None else out
+        out = np.concatenate(parts)
+        return out.astype(dtype, copy=False) if dtype is not None else out
+
+    def end_window(self, cycle: int) -> None:
+        """Fold leftover run values back into cycle-exact storage.
+
+        Values due by ``cycle`` (the window's last executed cycle) enter
+        the FIFO as maturation would have — in ready order, capped at
+        ``depth`` — and the rest become ordinary staged tuples, so the
+        channel leaves the window indistinguishable from one stepped
+        cycle by cycle.
+        """
+        fifo, staged = self._fifo, self._staged
+        while (staged and staged[0][0] <= cycle
+               and len(fifo) < self.depth):
+            fifo.append(staged.popleft()[1])
+        for first_ready, lanes, arr, off in self._runs:
+            m = len(arr)
+            j = off
+            while (j < m and first_ready + j // lanes <= cycle
+                   and len(fifo) < self.depth and not staged):
+                fifo.append(arr[j])
+                j += 1
+            if j < m:
+                staged.extend((first_ready + jj // lanes, arr[jj])
+                              for jj in range(j, m))
+        self._runs.clear()
 
     # -- simulation hooks ---------------------------------------------------
     def mature(self, cycle: int) -> int:

@@ -16,7 +16,7 @@ describing every blocked kernel is raised.  This is precisely the "stalls
 forever" condition of invalid module compositions in Sec. V of the FBLAS
 paper.
 
-Two cores implement these semantics:
+Three cores implement these semantics:
 
 ``mode="event"`` (default)
     The wake-list scheduler of :mod:`repro.fpga.scheduler`: kernels wait
@@ -28,6 +28,16 @@ Two cores implement these semantics:
 ``mode="dense"``
     The original reference loop that steps every kernel every cycle.
     Kept as the oracle the differential tests compare against.
+
+``mode="bulk"``
+    The event core plus the steady-state fast path of
+    :mod:`repro.fpga.bulk`: when every runnable kernel carries a
+    :class:`~repro.fpga.pattern.StaticPattern` and the design has
+    settled into a cycle-periodic steady state, K cycles are replayed
+    arithmetically in one superstep (vectorized block transfers, counter
+    arithmetic).  Unpatterned kernels — and any kernel near a blocking
+    boundary — fall back to exact event stepping, so all reports stay
+    byte-identical to the other cores.
 
 Tracing and profiling attach through the observer protocol of
 :mod:`repro.fpga.observers`; ``trace=True`` is shorthand for attaching a
@@ -271,8 +281,11 @@ class Engine:
     mode:
         ``"event"`` (default) runs on the wake-list scheduler of
         :mod:`repro.fpga.scheduler`; ``"dense"`` runs the original
-        every-kernel-every-cycle reference loop.  Both produce identical
-        reports; event mode is faster the more a design stalls or sleeps.
+        every-kernel-every-cycle reference loop; ``"bulk"`` adds the
+        steady-state superstep fast path of :mod:`repro.fpga.bulk` on
+        top of the event core.  All produce identical reports; event
+        mode is faster the more a design stalls or sleeps, bulk mode the
+        longer its pattern-annotated pipelines run at steady state.
     observers:
         Iterable of :class:`~repro.fpga.observers.EngineObserver`
         instances notified of run/cycle/kernel/channel events.
@@ -284,9 +297,9 @@ class Engine:
     def __init__(self, memory=None, trace: bool = False,
                  preflight: bool = False, mode: str = "event",
                  observers=()):
-        if mode not in ("event", "dense"):
+        if mode not in ("event", "dense", "bulk"):
             raise ValueError(
-                f"mode must be 'event' or 'dense', got {mode!r}")
+                f"mode must be 'event', 'dense' or 'bulk', got {mode!r}")
         self.memory = memory
         self.trace = trace
         self.preflight = preflight
@@ -327,7 +340,8 @@ class Engine:
         if not hasattr(body, "send"):
             body = _adapt_iterable(body)
         k = Kernel(name, body, latency, reads=reads, writes=writes,
-                   defer=defer, ii=ii)
+                   defer=defer, ii=ii,
+                   pattern=getattr(body, "pattern", None))
         k.index = len(self.kernels)
         self.kernels[name] = k
         return k
@@ -399,6 +413,9 @@ class Engine:
             # errors/kernel modules and is only needed in event mode.
             from .scheduler import WakeListScheduler
             return WakeListScheduler(self, max_cycles).run()
+        if self.mode == "bulk":
+            from .bulk import BulkScheduler
+            return BulkScheduler(self, max_cycles).run()
         return self._run_dense(max_cycles)
 
     def _run_dense(self, max_cycles: int) -> SimReport:

@@ -179,7 +179,7 @@ class Kernel:
 
     def __init__(self, name: str, body: KernelBody, latency: int = 1,
                  reads: Sequence[Channel] = (), writes: Sequence = (),
-                 defer: int = 0, ii: int = 1):
+                 defer: int = 0, ii: int = 1, pattern=None):
         if latency < 1:
             raise ValueError(f"kernel {name!r}: latency must be >= 1")
         if defer < 0:
@@ -193,6 +193,11 @@ class Kernel:
         self.reads: Tuple[Channel, ...] = tuple(reads)
         self.writes: Tuple[WritePort, ...] = _normalize_writes(writes)
         self.defer = defer
+        # Optional StaticPattern (repro.fpga.pattern): the steady-state
+        # op signature the bulk scheduler replays arithmetically.  Set by
+        # Engine.add_kernel from the body's ``pattern`` attribute; None
+        # means the kernel is always event-stepped.
+        self.pattern = pattern
         self.stats = KernelStats()
         self.done = False
         # Typed blocked-state (None while runnable); see BlockedState.

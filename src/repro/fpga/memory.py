@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, Optional
 import numpy as np
 
 from .kernel import Clock, Pop, Push
+from .pattern import DramTraffic, PatternedGenerator, StaticPattern
 
 
 @dataclass
@@ -209,12 +210,24 @@ def read_kernel(mem: DramModel, buf: DramBuffer, ch, width: int = 1,
     (e.g. a tiled schedule from :mod:`repro.streaming.tiling`); by default
     the buffer is streamed linearly.  ``repeat`` replays the whole order
     that many times (the "vector must be replayed" case of Sec. III-B).
+
+    The linear path carries a :class:`~repro.fpga.pattern.StaticPattern`
+    (one full-width contiguous burst per cycle while the bank keeps
+    granting it), so bulk mode can fast-forward it; an explicit ``order``
+    keeps the general index-at-a-time generator and is always
+    event-stepped.
     """
+    if order is not None:
+        return _read_kernel_ordered(mem, buf, ch, width, order, repeat)
+    return _read_kernel_linear(mem, buf, ch, width, repeat)
+
+
+def _read_kernel_ordered(mem: DramModel, buf: DramBuffer, ch, width,
+                         order, repeat):
     itemsize = buf.itemsize
     flat = buf.data.reshape(-1)
     for _ in range(repeat):
-        it: Iterator[int] = iter(order) if order is not None else iter(
-            range(buf.num_elements))
+        it: Iterator[int] = iter(order)
         pending: list = []
         exhausted = False
         while pending or not exhausted:
@@ -236,6 +249,63 @@ def read_kernel(mem: DramModel, buf: DramBuffer, ch, width: int = 1,
             yield Clock()
 
 
+class _LinearReadState:
+    """Shared cursor of the linear read kernel: the generator and the
+    pattern's ``block`` advance the same fields."""
+
+    __slots__ = ("pass_no", "base", "plen")
+
+    def __init__(self):
+        self.pass_no = 0
+        self.base = 0            # flat index of the oldest pending element
+        self.plen = 0            # granted-but-unsent elements (pending)
+
+
+def _read_kernel_linear(mem: DramModel, buf: DramBuffer, ch, width, repeat):
+    itemsize = buf.itemsize
+    flat = buf.data.reshape(-1)
+    n_el = buf.num_elements
+    st = _LinearReadState()
+
+    def gen():
+        while st.pass_no < repeat:
+            while st.plen or st.base + st.plen < n_el:
+                take = min(width - st.plen, n_el - st.base - st.plen)
+                if take > 0:
+                    st.plen += take
+                granted = mem.request_read(
+                    buf, st.plen * itemsize, contiguous=True) // itemsize
+                if granted > 0:
+                    vals = tuple(flat[st.base:st.base + granted])
+                    buf.elements_read += granted
+                    yield Push(ch, vals, 1)
+                    st.base += granted
+                    st.plen -= granted
+                yield Clock()
+            st.pass_no += 1
+            st.base = 0
+            st.plen = 0
+
+    def ready():
+        # A partial grant leaves residue in the burst register; the next
+        # cycles are then not statically full-width — fall back.
+        if st.plen:
+            return 0
+        return (n_el - st.base) // width
+
+    def block(k, _ins):
+        base = st.base
+        moved = k * width
+        st.base = base + moved
+        buf.elements_read += moved
+        return [flat[base:base + moved]]
+
+    pat = StaticPattern(
+        writes=((ch, width, 1),), ii=1, ready=ready, block=block,
+        dram=(DramTraffic(mem, buf, width, "read"),))
+    return PatternedGenerator(gen(), pat)
+
+
 def write_kernel(mem: DramModel, buf: DramBuffer, ch, count: int,
                  width: int = 1, order: Optional[Iterable[int]] = None):
     """Drain ``count`` elements from ``ch`` into ``buf``.
@@ -245,10 +315,20 @@ def write_kernel(mem: DramModel, buf: DramBuffer, ch, count: int,
     has delivered (up to ``width`` elements) within the bank's bandwidth
     grant, so partial grants and a slower producer do not halve the write
     rate.
+
+    Like :func:`read_kernel`, the linear path is pattern-annotated for
+    bulk mode; an explicit ``order`` is always event-stepped.
     """
+    if order is not None:
+        return _write_kernel_ordered(mem, buf, ch, count, width, order)
+    return _write_kernel_linear(mem, buf, ch, count, width)
+
+
+def _write_kernel_ordered(mem: DramModel, buf: DramBuffer, ch, count,
+                          width, order):
     itemsize = buf.itemsize
     flat = buf.data.reshape(-1)
-    it: Iterator[int] = iter(order) if order is not None else iter(range(count))
+    it: Iterator[int] = iter(order)
     received = 0
     pending: list = []
     while received < count or pending:
@@ -272,3 +352,61 @@ def write_kernel(mem: DramModel, buf: DramBuffer, ch, count: int,
             buf.elements_written += granted
             del pending[:granted]
         yield Clock()
+
+
+class _LinearWriteState:
+    __slots__ = ("received", "pos")
+
+    def __init__(self):
+        self.received = 0
+        self.pos = 0             # next linear store index
+
+
+def _write_kernel_linear(mem: DramModel, buf: DramBuffer, ch, count, width):
+    itemsize = buf.itemsize
+    flat = buf.data.reshape(-1)
+    st = _LinearWriteState()
+    pending: list = []
+
+    def gen():
+        while st.received < count or pending:
+            if st.received < count and len(pending) < width:
+                avail = min(ch.occupancy, width - len(pending),
+                            count - st.received)
+                if avail == 0 and not pending:
+                    avail = 1
+                if avail > 0:
+                    vals = yield Pop(ch, avail)
+                    if avail == 1:
+                        vals = [vals]
+                    pending.extend(vals)
+                    st.received += avail
+            granted = mem.request_write(
+                buf, len(pending) * itemsize) // itemsize
+            if granted > 0:
+                for j, v in enumerate(pending[:granted]):
+                    flat[st.pos + j] = v
+                buf.elements_written += granted
+                st.pos += granted
+                del pending[:granted]
+            yield Clock()
+
+    def ready():
+        if pending:
+            return 0
+        return (count - st.received) // width
+
+    def block(k, ins):
+        moved = k * width
+        arr = ins[0]
+        for j in range(moved):
+            flat[st.pos + j] = arr[j]
+        buf.elements_written += moved
+        st.received += moved
+        st.pos += moved
+        return []
+
+    pat = StaticPattern(
+        reads=((ch, width),), ii=1, ready=ready, block=block,
+        dram=(DramTraffic(mem, buf, width, "write"),))
+    return PatternedGenerator(gen(), pat)

@@ -1,0 +1,169 @@
+"""Static per-cycle op patterns — the contract behind ``mode="bulk"``.
+
+A kernel generator describes *behaviour*; a :class:`StaticPattern`
+describes the **shape** of that behaviour in steady state: which
+channels the kernel pops and pushes every initiation, how many lanes
+per port, at what initiation interval and write latency.  The bulk
+scheduler (:mod:`repro.fpga.bulk`) uses the pattern to replay many
+steady-state cycles arithmetically instead of resuming the generator
+once per cycle.
+
+The contract a pattern-carrying generator must honour:
+
+* while ``ready() > 0`` the generator is suspended at an iteration
+  boundary (its steady-loop ``Clock``) and its *next* ``ready()``
+  iterations each perform exactly one ``Pop`` per read port (``lanes``
+  values), one ``Push`` per write port (``lanes`` values, the declared
+  latency) — in declaration order — followed by ``Clock(ii)``;
+* ``block(k, ins)`` advances the kernel's shared state by ``k`` full
+  iterations, consuming ``k * lanes`` input values per read port (the
+  ``ins`` arrays) and returning one ndarray of ``k * lanes`` output
+  values per write port, **bit-identical** to what ``k`` scalar
+  iterations would have produced;
+* after ``block(k, ...)``, resuming the generator continues from
+  iteration boundary ``+k`` — i.e. the generator reads its loop state
+  from the same shared cursor ``block`` mutates.
+
+Kernels whose steady loop is not statically regular (tiled level-2
+module generators, the reordering routers) use
+:meth:`StaticPattern.declare`: the ports are still documented for
+analysis/telemetry, but ``ready()`` is constantly 0 so the bulk
+scheduler always falls back to exact event stepping for them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["DramTraffic", "PatternedGenerator", "StaticPattern"]
+
+
+class DramTraffic:
+    """Per-iteration DRAM traffic of a patterned memory kernel.
+
+    ``kind`` is ``"read"`` or ``"write"``; ``elements`` is the number of
+    buffer elements moved per iteration (always a full burst in steady
+    state — a partially granted burst leaves residue in the kernel's
+    pending list, which drives ``ready()`` to 0 and forces fallback).
+    """
+
+    __slots__ = ("mem", "buf", "elements", "kind")
+
+    def __init__(self, mem, buf, elements: int, kind: str):
+        if kind not in ("read", "write"):
+            raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+        self.mem = mem
+        self.buf = buf
+        self.elements = elements
+        self.kind = kind
+
+
+class StaticPattern:
+    """Steady-state port/rate signature of a kernel generator.
+
+    Parameters
+    ----------
+    reads:
+        ``(channel, lanes)`` pairs popped once per iteration, in op order.
+    writes:
+        ``(channel, lanes, latency)`` triples pushed once per iteration,
+        in op order; ``latency=None`` means the kernel's default latency
+        (resolved by the engine when the kernel is registered).
+    ii:
+        Initiation interval of the steady loop (the ``Clock(ii)`` that
+        ends each iteration).  The bulk fast path only engages at
+        ``ii == 1``.
+    dtype:
+        Element dtype the kernel casts popped values to (``None`` keeps
+        the channel values' native dtype).
+    ready:
+        Zero-argument callable returning how many full steady iterations
+        the kernel can still execute from its current shared state.
+        ``None`` (or :meth:`declare`) pins it to 0: ports are declared
+        but the fast path never engages.
+    block:
+        ``block(k, ins) -> [out_arrays]`` — the vectorized interpreter
+        for ``k`` iterations (see the module docstring contract).
+    dram:
+        Optional sequence of :class:`DramTraffic` descriptors for memory
+        kernels, so bank counters can be advanced arithmetically.
+    """
+
+    __slots__ = ("reads", "writes", "ii", "dtype", "dram",
+                 "_ready", "_block")
+
+    def __init__(self, reads: Sequence[Tuple] = (),
+                 writes: Sequence[Tuple] = (), ii: int = 1,
+                 dtype=None, ready: Optional[Callable[[], int]] = None,
+                 block: Optional[Callable] = None,
+                 dram: Sequence[DramTraffic] = ()):
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.ii = ii
+        self.dtype = dtype
+        self.dram = tuple(dram)
+        self._ready = ready
+        self._block = block
+
+    @classmethod
+    def declare(cls, reads: Sequence[Tuple] = (),
+                writes: Sequence[Tuple] = (),
+                ii: int = 1) -> "StaticPattern":
+        """Ports-only pattern: documents the steady rates, never engages
+        the fast path (``ready()`` is constantly 0)."""
+        return cls(reads=reads, writes=writes, ii=ii)
+
+    def ready(self) -> int:
+        """Full steady iterations executable from the current state."""
+        if self._ready is None:
+            return 0
+        return self._ready()
+
+    def block(self, k: int, ins: List) -> List:
+        """Advance ``k`` iterations; return one output array per write."""
+        if self._block is None:       # pragma: no cover - guarded by ready()
+            raise RuntimeError("declare-only pattern has no block executor")
+        return self._block(k, ins)
+
+    def describe(self) -> str:
+        rd = ", ".join(f"{ch.name}x{w}" for ch, w in self.reads)
+        wr = ", ".join(f"{ch.name}x{w}" for ch, w, _lat in self.writes)
+        kind = "static" if self._ready is not None else "declared"
+        return (f"<StaticPattern {kind} ii={self.ii} "
+                f"reads=[{rd}] writes=[{wr}]>")
+
+
+class PatternedGenerator:
+    """A generator plus its :class:`StaticPattern`.
+
+    Generators cannot carry attributes, so module builders wrap the
+    generator object in this proxy; the engine looks for a ``pattern``
+    attribute on the kernel body (``getattr(body, "pattern", None)``).
+    The full generator protocol is implemented so ``yield from`` over a
+    patterned generator delegates transparently (PEP 380) — e.g.
+    ``syr_kernel`` delegating to ``ger_kernel``.
+    """
+
+    __slots__ = ("_gen", "pattern")
+
+    def __init__(self, gen, pattern: StaticPattern):
+        self._gen = gen
+        self.pattern = pattern
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return next(self._gen)
+
+    def send(self, value):
+        return self._gen.send(value)
+
+    def throw(self, *exc_info):
+        return self._gen.throw(*exc_info)
+
+    def close(self):
+        return self._gen.close()
+
+    def __repr__(self):              # pragma: no cover - debugging aid
+        return f"PatternedGenerator({self._gen!r}, {self.pattern.describe()})"

@@ -39,6 +39,13 @@ step in registration order, and a kernel woken mid-cycle by a
 lower-index kernel's pop joins *this* cycle only if its own index is
 still ahead of the stepping cursor — otherwise it waits for the next
 cycle, exactly when the dense core would have retried it.
+
+:class:`~repro.fpga.bulk.BulkScheduler` subclasses this scheduler and
+adds a third tier on top of the event machinery: entire steady-state
+windows executed as one arithmetic superstep (``Engine(mode="bulk")``).
+Everything here — waiter lists, heap events, lazy stall charges — is
+the fallback path that keeps the bulk tier byte-identical outside its
+proven windows.
 """
 
 from __future__ import annotations

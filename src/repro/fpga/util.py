@@ -6,6 +6,13 @@ applications ... considering vectorization width that can exploit memory
 interfaces faster than the one offered by the testbed".  These kernels play
 that role: they feed/drain channels at ``width`` elements per cycle without
 consuming DRAM bandwidth.
+
+Each streaming helper carries a :class:`~repro.fpga.pattern.StaticPattern`
+so the bulk engine can fast-forward its steady phase: the generator and the
+pattern's ``block()`` share one cursor object, and the generator updates
+that cursor *before* yielding ``Clock`` (which emits no ops, so the
+observable op sequence is unchanged) — at every cycle boundary the cursor
+therefore describes exactly the iterations still to run.
 """
 
 from __future__ import annotations
@@ -13,6 +20,17 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .kernel import Clock, Pop, Push
+from .pattern import PatternedGenerator, StaticPattern
+
+
+class _Cursor:
+    """Shared mutable loop state for a patterned helper kernel."""
+
+    __slots__ = ("done", "pass_no")
+
+    def __init__(self):
+        self.done = 0             # elements fully processed (current pass)
+        self.pass_no = 0
 
 
 def source_kernel(ch, data: Sequence, width: int = 1, repeat: int = 1):
@@ -21,27 +39,60 @@ def source_kernel(ch, data: Sequence, width: int = 1, repeat: int = 1):
     ``repeat`` replays the whole sequence (vector replay, Sec. III-B).
     """
     n = len(data)
-    for _ in range(repeat):
-        i = 0
-        while i < n:
-            chunk = min(width, n - i)
-            yield Push(ch, tuple(data[i:i + chunk]), 1)
-            yield Clock()
-            i += chunk
+    st = _Cursor()
+
+    def gen():
+        while st.pass_no < repeat:
+            while st.done < n:
+                chunk = min(width, n - st.done)
+                yield Push(ch, tuple(data[st.done:st.done + chunk]), 1)
+                st.done += chunk
+                yield Clock()
+            st.pass_no += 1
+            st.done = 0
+
+    def ready():
+        return (n - st.done) // width
+
+    def block(k, _ins):
+        base = st.done
+        moved = k * width
+        st.done = base + moved
+        return [data[base:base + moved]]
+
+    pat = StaticPattern(writes=((ch, width, 1),), ii=1,
+                        ready=ready, block=block)
+    return PatternedGenerator(gen(), pat)
 
 
 def sink_kernel(ch, count: int, width: int = 1, out: Optional[List] = None):
     """Pop ``count`` elements from ``ch``; append them to ``out`` if given."""
-    remaining = count
-    while remaining > 0:
-        chunk = min(width, remaining)
-        vals = yield Pop(ch, chunk)
-        if chunk == 1:
-            vals = [vals]
+    st = _Cursor()
+
+    def gen():
+        while st.done < count:
+            chunk = min(width, count - st.done)
+            vals = yield Pop(ch, chunk)
+            if chunk == 1:
+                vals = [vals]
+            if out is not None:
+                out.extend(vals)
+            st.done += chunk
+            yield Clock()
+
+    def ready():
+        return (count - st.done) // width
+
+    def block(k, ins):
+        moved = k * width
         if out is not None:
-            out.extend(vals)
-        yield Clock()
-        remaining -= chunk
+            out.extend(list(ins[0]))
+        st.done += moved
+        return []
+
+    pat = StaticPattern(reads=((ch, width),), ii=1,
+                        ready=ready, block=block)
+    return PatternedGenerator(gen(), pat)
 
 
 def scalar_sink(ch, out: List):
@@ -53,15 +104,29 @@ def scalar_sink(ch, out: List):
 
 def forward_kernel(ch_in, ch_out, count: int, width: int = 1):
     """Copy ``count`` elements from ``ch_in`` to ``ch_out`` (a wire)."""
-    remaining = count
-    while remaining > 0:
-        chunk = min(width, remaining)
-        vals = yield Pop(ch_in, chunk)
-        if chunk == 1:
-            vals = (vals,)
-        yield Push(ch_out, tuple(vals), 1)
-        yield Clock()
-        remaining -= chunk
+    st = _Cursor()
+
+    def gen():
+        while st.done < count:
+            chunk = min(width, count - st.done)
+            vals = yield Pop(ch_in, chunk)
+            if chunk == 1:
+                vals = (vals,)
+            yield Push(ch_out, tuple(vals), 1)
+            st.done += chunk
+            yield Clock()
+
+    def ready():
+        return (count - st.done) // width
+
+    def block(k, ins):
+        st.done += k * width
+        return [ins[0]]
+
+    pat = StaticPattern(reads=((ch_in, width),),
+                        writes=((ch_out, width, 1),), ii=1,
+                        ready=ready, block=block)
+    return PatternedGenerator(gen(), pat)
 
 
 def duplicate_kernel(ch_in, outs: Sequence, count: int, width: int = 1):
@@ -70,15 +135,32 @@ def duplicate_kernel(ch_in, outs: Sequence, count: int, width: int = 1):
     Models sharing one interface module between modules that read the same
     data, as in the BICG composition where both GEMVs read matrix A.
     """
-    remaining = count
-    while remaining > 0:
-        chunk = min(width, remaining)
-        vals = yield Pop(ch_in, chunk)
-        if chunk == 1:
-            vals = (vals,)
-        else:
-            vals = tuple(vals)
-        for ch_out in outs:
-            yield Push(ch_out, vals, 1)
-        yield Clock()
-        remaining -= chunk
+    outs = tuple(outs)
+    st = _Cursor()
+
+    def gen():
+        while st.done < count:
+            chunk = min(width, count - st.done)
+            vals = yield Pop(ch_in, chunk)
+            if chunk == 1:
+                vals = (vals,)
+            else:
+                vals = tuple(vals)
+            for ch_out in outs:
+                yield Push(ch_out, vals, 1)
+            st.done += chunk
+            yield Clock()
+
+    def ready():
+        return (count - st.done) // width
+
+    def block(k, ins):
+        st.done += k * width
+        # One physical stream copied to every consumer: the same array can
+        # back every channel's run — readers never mutate popped blocks.
+        return [ins[0]] * len(outs)
+
+    pat = StaticPattern(reads=((ch_in, width),),
+                        writes=tuple((o, width, 1) for o in outs), ii=1,
+                        ready=ready, block=block)
+    return PatternedGenerator(gen(), pat)

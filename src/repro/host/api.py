@@ -98,7 +98,10 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: :class:`~repro.analysis.AnalysisError` instead of stalling.
         self.preflight = preflight
         #: Engine core used for ``simulate`` calls: ``"event"`` (wake-list
-        #: scheduler, the default) or ``"dense"`` (reference cycle loop).
+        #: scheduler, the default), ``"dense"`` (reference cycle loop) or
+        #: ``"bulk"`` (event core plus the steady-state superstep fast
+        #: path of :mod:`repro.fpga.bulk` — byte-identical results,
+        #: fast-forwarded steady pipeline phases).
         self.engine_mode = engine_mode
         self._pending: List[Handle] = []
 

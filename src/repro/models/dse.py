@@ -7,15 +7,26 @@ candidate configurations (vectorization widths, tile sizes, systolic
 grids), estimate each point's resources / frequency / completion time on a
 chosen device, discard points that do not fit, and return the Pareto
 frontier of the space/time trade-off.
+
+Every sweep evaluates its points independently, so the ``explore_*``
+functions accept a ``workers`` argument and fan large sweeps out over a
+:class:`concurrent.futures.ProcessPoolExecutor`: ``workers=None`` (the
+default) parallelizes automatically once a sweep has at least
+:data:`PARALLEL_THRESHOLD` candidate points, an explicit ``workers > 1``
+forces a pool, and ``workers=1`` forces the serial loop.  Results are
+identical and identically ordered either way (``Executor.map`` preserves
+input order; each point's evaluation is a pure function of its inputs).
 """
 
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..fpga.device import FpgaDevice, FrequencyModel
+from ..fpga.device import DEVICES, FpgaDevice, FrequencyModel
 from ..fpga.resources import (
     ResourceUsage,
     gemm_systolic_resources,
@@ -25,6 +36,10 @@ from ..fpga.resources import (
 )
 from .performance import gemm_systolic_cycles, level1_cycles, pipeline_cycles
 from .workdepth import routine_class
+
+#: Sweep size at which ``workers=None`` starts using a process pool.
+#: Below it, pool startup costs more than the sweep itself.
+PARALLEL_THRESHOLD = 64
 
 
 @dataclass(frozen=True)
@@ -58,81 +73,129 @@ class DesignPoint:
                 f"us, {self.usage.dsps} DSPs")
 
 
+def _sweep(fn, items, workers: Optional[int]) -> List[DesignPoint]:
+    """Map a point evaluator over candidates, serially or in a pool.
+
+    The evaluator must be a module-level function taking one argument
+    tuple and returning a :class:`DesignPoint` or ``None`` (infeasible);
+    order is preserved, ``None`` entries are dropped.
+    """
+    items = list(items)
+    if workers is None:
+        workers = (os.cpu_count() or 1) \
+            if len(items) >= PARALLEL_THRESHOLD else 1
+    if workers > 1 and len(items) > 1:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(items))) as pool:
+            chunk = max(1, len(items) // (workers * 4))
+            results = list(pool.map(fn, items, chunksize=chunk))
+    else:
+        results = [fn(it) for it in items]
+    return [p for p in results if p is not None]
+
+
+def _canonical_device(device: FpgaDevice) -> FpgaDevice:
+    """Map a pickled device copy back to its registry singleton.
+
+    :class:`FrequencyModel` resolves its calibration key by identity
+    against :data:`repro.fpga.device.DEVICES`; a worker process receives
+    an equal-but-distinct copy, so match by value here.
+    """
+    for d in DEVICES.values():
+        if d is device or d == device:
+            return d
+    return device
+
+
+def _eval_level1(args) -> Optional[DesignPoint]:
+    routine, n, device, precision, w = args
+    device = _canonical_device(device)
+    klass = routine_class(routine)
+    usage = level1_resources(klass, w, precision,
+                             include_overhead=True, device=device)
+    if not usage.fits(device):
+        return None
+    f = FrequencyModel(device).estimate(
+        "level1", precision, utilization=usage.utilization(device))
+    return DesignPoint(
+        routine=routine, precision=precision, params=(("width", w),),
+        usage=usage, cycles=level1_cycles(routine, n, w), frequency=f)
+
+
 def explore_level1(routine: str, n: int, device: FpgaDevice,
                    precision: str = "single",
-                   widths: Optional[Sequence[int]] = None
-                   ) -> List[DesignPoint]:
+                   widths: Optional[Sequence[int]] = None,
+                   workers: Optional[int] = None) -> List[DesignPoint]:
     """Evaluate a Level-1 routine across vectorization widths."""
     if n < 1:
         raise ValueError("n must be positive")
     widths = widths or (2, 4, 8, 16, 32, 64, 128, 256)
-    klass = routine_class(routine)
-    fm = FrequencyModel(device)
-    points = []
-    for w in widths:
-        usage = level1_resources(klass, w, precision,
-                                 include_overhead=True, device=device)
-        if not usage.fits(device):
-            continue
-        f = fm.estimate("level1", precision,
-                        utilization=usage.utilization(device))
-        points.append(DesignPoint(
-            routine=routine, precision=precision, params=(("width", w),),
-            usage=usage, cycles=level1_cycles(routine, n, w), frequency=f))
-    return points
+    routine_class(routine)          # validate before fanning out
+    return _sweep(_eval_level1,
+                  ((routine, n, device, precision, w) for w in widths),
+                  workers)
+
+
+def _eval_gemv(args) -> Optional[DesignPoint]:
+    n, m, device, precision, w, t = args
+    device = _canonical_device(device)
+    usage = level2_resources(w, t, precision, device=device)
+    if not usage.fits(device):
+        return None
+    f = FrequencyModel(device).estimate(
+        "level2", precision, utilization=usage.utilization(device))
+    cd = level1_latency("map_reduce", w, precision)
+    cycles = pipeline_cycles(cd, 1, math.ceil(n * m / w))
+    return DesignPoint(
+        routine="gemv", precision=precision,
+        params=(("tile", t), ("width", w)),
+        usage=usage, cycles=cycles, frequency=f)
 
 
 def explore_gemv(n: int, m: int, device: FpgaDevice,
                  precision: str = "single",
                  widths: Optional[Sequence[int]] = None,
-                 tiles: Optional[Sequence[int]] = None) -> List[DesignPoint]:
+                 tiles: Optional[Sequence[int]] = None,
+                 workers: Optional[int] = None) -> List[DesignPoint]:
     """Evaluate tiled GEMV across (width, tile) combinations."""
     widths = widths or (8, 16, 32, 64, 128)
     tiles = tiles or (128, 256, 512, 1024, 2048)
-    fm = FrequencyModel(device)
-    points = []
-    for w in widths:
-        for t in tiles:
-            usage = level2_resources(w, t, precision, device=device)
-            if not usage.fits(device):
-                continue
-            f = fm.estimate("level2", precision,
-                            utilization=usage.utilization(device))
-            cd = level1_latency("map_reduce", w, precision)
-            cycles = pipeline_cycles(cd, 1, math.ceil(n * m / w))
-            points.append(DesignPoint(
-                routine="gemv", precision=precision,
-                params=(("tile", t), ("width", w)),
-                usage=usage, cycles=cycles, frequency=f))
-    return points
+    return _sweep(_eval_gemv,
+                  ((n, m, device, precision, w, t)
+                   for w in widths for t in tiles),
+                  workers)
+
+
+def _eval_systolic(args) -> Optional[DesignPoint]:
+    n, m, k, device, precision, pr, pc, ratio = args
+    device = _canonical_device(device)
+    tr, tc = pr * ratio, pc * ratio
+    usage = gemm_systolic_resources(pr, pc, tr, tc, precision,
+                                    device=device)
+    if not usage.fits(device):
+        return None
+    f = FrequencyModel(device).estimate(
+        "systolic", precision, utilization=usage.utilization(device))
+    n_pad = math.ceil(n / tr) * tr
+    m_pad = math.ceil(m / tc) * tc
+    cycles = gemm_systolic_cycles(n_pad, m_pad, k, pr, pc, tr, tc)
+    return DesignPoint(
+        routine="gemm", precision=precision,
+        params=(("pc", pc), ("pr", pr), ("ratio", ratio)),
+        usage=usage, cycles=cycles, frequency=f)
 
 
 def explore_systolic_gemm(n: int, m: int, k: int, device: FpgaDevice,
                           precision: str = "single",
                           grids: Optional[Sequence[Tuple[int, int]]] = None,
-                          ratios: Sequence[int] = (3, 6, 9, 12)
-                          ) -> List[DesignPoint]:
+                          ratios: Sequence[int] = (3, 6, 9, 12),
+                          workers: Optional[int] = None) -> List[DesignPoint]:
     """Evaluate systolic GEMM across PE grids and memory/compute ratios."""
     grids = grids or ((8, 8), (16, 16), (32, 32), (16, 8), (40, 80))
-    fm = FrequencyModel(device)
-    points = []
-    for pr, pc in grids:
-        for ratio in ratios:
-            tr, tc = pr * ratio, pc * ratio
-            usage = gemm_systolic_resources(pr, pc, tr, tc, precision,
-                                            device=device)
-            if not usage.fits(device):
-                continue
-            f = fm.estimate("systolic", precision,
-                            utilization=usage.utilization(device))
-            n_pad = math.ceil(n / tr) * tr
-            m_pad = math.ceil(m / tc) * tc
-            cycles = gemm_systolic_cycles(n_pad, m_pad, k, pr, pc, tr, tc)
-            points.append(DesignPoint(
-                routine="gemm", precision=precision,
-                params=(("pc", pc), ("pr", pr), ("ratio", ratio)),
-                usage=usage, cycles=cycles, frequency=f))
-    return points
+    return _sweep(_eval_systolic,
+                  ((n, m, k, device, precision, pr, pc, ratio)
+                   for pr, pc in grids for ratio in ratios),
+                  workers)
 
 
 def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:

@@ -118,8 +118,9 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
                  mode: str = "event") -> ExecutionResult:
     """Plan (unless given) and run a bound MDAG on ``mem``.
 
-    ``mode`` selects the engine core (``"event"`` wake-list scheduler or
-    the ``"dense"`` reference loop) for every component run.
+    ``mode`` selects the engine core (``"event"`` wake-list scheduler,
+    the ``"dense"`` reference loop, or ``"bulk"`` — event stepping with
+    the steady-state superstep fast path) for every component run.
     """
     if plan is None:
         plan = plan_composition(mdag, windows=windows,

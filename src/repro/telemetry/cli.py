@@ -52,8 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="vectorization width of the modules")
     p.add_argument("--tile", type=int, default=8,
                    help="tile size for the level-2 compositions")
-    p.add_argument("--mode", choices=("dense", "event"), default="event",
-                   help="engine core (default: event)")
+    p.add_argument("--mode", choices=("dense", "event"), default=None,
+                   help="engine core (legacy spelling of --engine-mode)")
+    p.add_argument("--engine-mode", choices=("dense", "event", "bulk"),
+                   default=None, dest="engine_mode",
+                   help="engine core: dense reference loop, event "
+                        "wake-list scheduler, or bulk steady-state "
+                        "fast path (default: event)")
     p.add_argument("--seed", type=int, default=7, help="input data seed")
     p.add_argument("--trace", metavar="PATH",
                    help="write Chrome trace_event JSON here")
@@ -110,6 +115,11 @@ def _run_app(app: str, n: Optional[int], width: Optional[int], tile: int,
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.mode and args.engine_mode and args.mode != args.engine_mode:
+        print("--mode and --engine-mode disagree; pass only one",
+              file=sys.stderr)
+        return 2
+    args.mode = args.engine_mode or args.mode or "event"
 
     if args.app == "drift":
         rep = drift_report(threshold=args.drift_threshold, mode=args.mode)

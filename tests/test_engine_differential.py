@@ -1,19 +1,36 @@
-"""Differential tests: ``mode="dense"`` vs ``mode="event"``.
+"""Differential tests: ``mode="dense"`` vs ``mode="event"`` vs ``mode="bulk"``.
 
-The wake-list scheduler must be *indistinguishable* from the dense
-reference loop in everything but wall-clock time: cycle counts, kernel
-stats (active/stall/start/finish), channel stats (pushes, pops, max
-occupancy, stall counters), delivered data, trace timelines/occupancy,
-and deadlocks (same cycle, same blocked set, same descriptions).  These
-tests build the same random composition twice — one engine per mode —
-run both, and compare everything.
+The wake-list scheduler and the bulk steady-state tier must be
+*indistinguishable* from the dense reference loop in everything but
+wall-clock time: cycle counts, kernel stats (active/stall/start/finish),
+channel stats (pushes, pops, max occupancy, stall counters), delivered
+data, trace timelines/occupancy, and deadlocks (same cycle, same blocked
+set, same descriptions).  These tests build the same composition once per
+mode, run all three, and compare everything.
+
+Two families of random designs:
+
+* the original *dynamic* chains/fan-outs (unpatterned generators) — for
+  these the bulk tier must behave exactly like the event scheduler, its
+  fast path never engaging;
+* *patterned* chains built from the real module generators
+  (``repro.fpga.util`` sources/sinks, ``repro.blas.level1``), where the
+  fast path does engage and every counter must still match — including
+  specs that deadlock (Sec. V parity) and mixed static/dynamic designs
+  that force mid-run fallback.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.blas import level1
 from repro.fpga import Clock, DeadlockError, Engine, Pop, Push
+from repro.fpga.util import duplicate_kernel, scalar_sink, sink_kernel, \
+    source_kernel
+
+_MODES = ("dense", "event", "bulk")
 
 
 # ---------------------------------------------------------------------------
@@ -180,14 +197,17 @@ def _stats(eng):
 
 def _assert_identical(build, spec, trace=False):
     dense = _outcome("dense", build, spec, trace)
-    event = _outcome("event", build, spec, trace)
-    assert dense[0] == event[0], (
-        f"outcome diverged: dense={dense[0]} event={event[0]} for {spec}")
-    assert dense[1] == event[1], (
-        f"cycle count diverged: dense={dense[1]} event={event[1]} for {spec}")
-    assert dense[2] == event[2], f"payload diverged for {spec}"
-    assert dense[3] == event[3], f"stats diverged for {spec}"
-    assert dense[4] == event[4], f"trace diverged for {spec}"
+    for mode in ("event", "bulk"):
+        other = _outcome(mode, build, spec, trace)
+        assert dense[0] == other[0], (
+            f"outcome diverged: dense={dense[0]} {mode}={other[0]} "
+            f"for {spec}")
+        assert dense[1] == other[1], (
+            f"cycle count diverged: dense={dense[1]} {mode}={other[1]} "
+            f"for {spec}")
+        assert dense[2] == other[2], f"payload diverged ({mode}) for {spec}"
+        assert dense[3] == other[3], f"stats diverged ({mode}) for {spec}"
+        assert dense[4] == other[4], f"trace diverged ({mode}) for {spec}"
 
 
 class TestDifferentialRandom:
@@ -215,21 +235,200 @@ class TestDifferentialRandom:
         _assert_identical(_build_fanout, spec, trace=True)
 
 
+# ---------------------------------------------------------------------------
+# Patterned designs: real module generators, where the bulk fast path
+# actually engages (the dynamic designs above never trigger it).
+# ---------------------------------------------------------------------------
+
+patterned_chain_spec = st.fixed_dictionaries({
+    "n": st.integers(1, 120),
+    "width": st.integers(1, 8),
+    "depth": st.integers(1, 24),
+    "lat": st.integers(1, 30),
+    "stages": st.lists(
+        st.sampled_from(("scal", "copy")), min_size=0, max_size=3),
+    "reduce": st.sampled_from((None, "asum", "nrm2", "iamax")),
+    "dynamic_stage": st.booleans(),
+})
+
+patterned_fanout_spec = st.fixed_dictionaries({
+    "n": st.integers(1, 60),
+    "width": st.integers(1, 4),
+    "depth_a": st.integers(1, 12),
+    "depth_b": st.integers(1, 12),
+    "lat": st.integers(1, 16),
+})
+
+
+def _build_patterned_chain(eng, spec, out):
+    """source x2 -> axpy -> map stages [-> dynamic mapper] [-> reduction]."""
+    n, w = spec["n"], spec["width"]
+    depth = max(spec["depth"], w)       # engine rejects depth < consumer width
+    data_x = [np.float32((i % 23) - 11) for i in range(n)]
+    data_y = [np.float32((i % 7) - 3) for i in range(n)]
+    cx = eng.channel("cx", depth)
+    cy = eng.channel("cy", depth)
+    eng.add_kernel("src_x", source_kernel(cx, data_x, w))
+    eng.add_kernel("src_y", source_kernel(cy, data_y, w))
+    cur = eng.channel("c0", depth)
+    eng.add_kernel("axpy", level1.axpy_kernel(n, 0.5, cx, cy, cur, w),
+                   latency=spec["lat"])
+    for i, stg in enumerate(spec["stages"]):
+        nxt = eng.channel(f"c{i + 1}", depth)
+        if stg == "scal":
+            eng.add_kernel(f"scal{i}",
+                           level1.scal_kernel(n, 2.0, cur, nxt, w),
+                           latency=3)
+        else:
+            eng.add_kernel(f"copy{i}",
+                           level1.copy_kernel(n, cur, nxt, w),
+                           latency=2)
+        cur = nxt
+    if spec["dynamic_stage"]:
+        # An unpatterned kernel in the middle of the pipeline: the bulk
+        # tier must fall back around it mid-run.
+        nxt = eng.channel("cdyn", depth)
+        eng.add_kernel("dyn", _mapper(cur, nxt, n, max(1, w - 1), 2, 1))
+        cur = nxt
+    if spec["reduce"]:
+        cres = eng.channel("cres", 4)
+        maker = {"asum": level1.asum_kernel, "nrm2": level1.nrm2_kernel,
+                 "iamax": level1.iamax_kernel}[spec["reduce"]]
+        eng.add_kernel("red", maker(n, cur, cres, w), latency=5)
+        eng.add_kernel("sink", sink_kernel(cres, 1, 1, out))
+    else:
+        eng.add_kernel("sink", sink_kernel(cur, n, w, out))
+
+
+def _build_patterned_fanout(eng, spec, out):
+    """source -> duplicate -> (direct | scal) -> dot rejoin.
+
+    Shallow branch depths against the scal latency reproduce the Sec. V
+    reconvergent deadlock with patterned kernels; deeper ones run to
+    completion — both must agree across all three cores.
+    """
+    n, w = spec["n"], spec["width"]
+    data = [np.float32((i % 13) - 6) for i in range(n)]
+    cin = eng.channel("cin", 8)
+    ca = eng.channel("ca", max(spec["depth_a"], w))
+    cb = eng.channel("cb", max(spec["depth_b"], w))
+    cmid = eng.channel("cmid", 8)
+    cres = eng.channel("cres", 4)
+    eng.add_kernel("src", source_kernel(cin, data, w))
+    eng.add_kernel("dup", duplicate_kernel(cin, (ca, cb), n, w))
+    eng.add_kernel("scal", level1.scal_kernel(n, 3.0, cb, cmid, w),
+                   latency=spec["lat"])
+    eng.add_kernel("dot", level1.dot_kernel(n, ca, cmid, cres, w),
+                   latency=spec["lat"])
+    eng.add_kernel("sink", scalar_sink(cres, out))
+
+
+class TestDifferentialPatterned:
+    @settings(max_examples=100, deadline=None)
+    @given(patterned_chain_spec)
+    def test_patterned_chains_identical(self, spec):
+        """Patterned pipelines: all three cores agree on everything."""
+        _assert_identical(_build_patterned_chain, spec)
+
+    @settings(max_examples=100, deadline=None)
+    @given(patterned_fanout_spec)
+    def test_patterned_fanout_identical(self, spec):
+        """Patterned fan-out/re-join, including Sec. V deadlock parity."""
+        _assert_identical(_build_patterned_fanout, spec)
+
+    @settings(max_examples=20, deadline=None)
+    @given(patterned_chain_spec)
+    def test_patterned_chains_identical_traced(self, spec):
+        """With trace observers attached the fast path must disable
+        itself; timelines stay byte-identical."""
+        _assert_identical(_build_patterned_chain, spec, trace=True)
+
+    def test_fast_path_engages_on_steady_chain(self):
+        """Sanity: on a long patterned chain the bulk tier really does
+        fast-forward most of the run (it is not silently falling back)."""
+        spec = {"n": 2048, "width": 4, "depth": 16, "lat": 8,
+                "stages": ["scal", "copy"], "reduce": "asum",
+                "dynamic_stage": False}
+        eng = Engine(mode="bulk")
+        out = []
+        _build_patterned_chain(eng, spec, out)
+        report = eng.run()
+        assert eng._bulk_windows >= 1
+        assert eng._bulk_cycles >= report.cycles // 2
+
+    def test_patterned_deadlock_parity(self):
+        """An axpy missing its second operand stream deadlocks at the
+        same cycle with the same blocked set in all three cores."""
+        outcomes = {}
+        for mode in _MODES:
+            eng = Engine(mode=mode)
+            n, w = 40, 4
+            cx = eng.channel("cx", 8)
+            cy = eng.channel("cy", 8)
+            cz = eng.channel("cz", 8)
+            data = [np.float32(i) for i in range(n)]
+            eng.add_kernel("src_x", source_kernel(cx, data, w))
+            eng.add_kernel("axpy",
+                           level1.axpy_kernel(n, 1.5, cx, cy, cz, w),
+                           latency=4)
+            eng.add_kernel("sink", sink_kernel(cz, n, w, []))
+            with pytest.raises(DeadlockError) as exc:
+                eng.run()
+            outcomes[mode] = (exc.value.cycle, dict(exc.value.blocked),
+                              _stats(eng))
+        assert outcomes["dense"] == outcomes["event"] == outcomes["bulk"]
+
+    def test_mixed_static_dynamic_fallback(self):
+        """A sleeping unpatterned monitor kernel bounds every window: the
+        bulk tier fast-forwards between its wakes and falls back around
+        them, with identical results and counters."""
+        def monitor(ticks):
+            for _ in range(ticks):
+                yield Clock(37)
+
+        results = {}
+        for mode in _MODES:
+            eng = Engine(mode=mode)
+            n, w = 4000, 4
+            data_x = [np.float32(i % 17) for i in range(n)]
+            data_y = [np.float32(i % 5) for i in range(n)]
+            cx = eng.channel("cx", 4 * w)
+            cy = eng.channel("cy", 4 * w)
+            cz = eng.channel("cz", 4 * w)
+            cres = eng.channel("cres", 4)
+            out = []
+            eng.add_kernel("src_x", source_kernel(cx, data_x, w))
+            eng.add_kernel("src_y", source_kernel(cy, data_y, w))
+            eng.add_kernel("axpy",
+                           level1.axpy_kernel(n, 0.25, cx, cy, cz, w),
+                           latency=12)
+            eng.add_kernel("asum", level1.asum_kernel(n, cz, cres, w),
+                           latency=9)
+            eng.add_kernel("sink", scalar_sink(cres, out))
+            eng.add_kernel("monitor", monitor(60))
+            report = eng.run()
+            results[mode] = (report.to_dict(), out, _stats(eng))
+            if mode == "bulk":
+                assert eng._bulk_windows > 0
+                assert eng._bulk_cycles > 0
+        assert results["dense"] == results["event"] == results["bulk"]
+
+
 class TestDifferentialDirected:
     def test_guaranteed_deadlock_parity(self):
         """A reconvergent window no branch can buffer deadlocks in both
         modes at the same cycle with the same blocked descriptions."""
         spec = {"n": 20, "src_lat": 1, "depth_a": 2, "depth_b": 2,
                 "defer_b": 18, "lat": 1}
-        dense = _outcome("dense", _build_fanout, spec, False)
-        event = _outcome("event", _build_fanout, spec, False)
-        assert dense[0] == "deadlock" and event[0] == "deadlock"
-        assert dense == event
+        outcomes = {m: _outcome(m, _build_fanout, spec, False)
+                    for m in _MODES}
+        assert all(o[0] == "deadlock" for o in outcomes.values())
+        assert outcomes["dense"] == outcomes["event"] == outcomes["bulk"]
 
     def test_orphan_pop_deadlock_parity(self):
         """A consumer with no producer blocks forever, in both modes."""
         outcomes = {}
-        for mode in ("dense", "event"):
+        for mode in _MODES:
             eng = Engine(mode=mode)
             ch = eng.channel("lonely", 4)
             eng.add_kernel("sink", _collector(ch, 3, []))
@@ -237,7 +436,7 @@ class TestDifferentialDirected:
                 eng.run()
             outcomes[mode] = (exc.value.cycle, dict(exc.value.blocked),
                               _stats(eng))
-        assert outcomes["dense"] == outcomes["event"]
+        assert outcomes["dense"] == outcomes["event"] == outcomes["bulk"]
 
     def test_sleeping_kernels_wake_before_deadlock(self):
         """A long Clock(n) sleep defers the deadlock verdict identically."""
@@ -246,7 +445,7 @@ class TestDifferentialDirected:
             yield Pop(ch)      # never satisfied -> deadlock after waking
 
         outcomes = {}
-        for mode in ("dense", "event"):
+        for mode in _MODES:
             eng = Engine(mode=mode)
             ch = eng.channel("c", 4)
             eng.add_kernel("sleepy", sleeper(ch))
@@ -254,12 +453,12 @@ class TestDifferentialDirected:
                 eng.run()
             outcomes[mode] = (exc.value.cycle, dict(exc.value.blocked),
                               _stats(eng))
-        assert outcomes["dense"] == outcomes["event"]
+        assert outcomes["dense"] == outcomes["event"] == outcomes["bulk"]
 
     def test_max_cycles_raised_in_both_modes(self):
         from repro.fpga import SimulationError
 
-        for mode in ("dense", "event"):
+        for mode in _MODES:
             eng = Engine(mode=mode)
             ch = eng.channel("c", 4)
             eng.add_kernel("sink", _collector(ch, 3, []))
