@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Dict, List, Optional, Tuple
 
+from ..fpga.errors import ReproError
+
 
 class Severity(IntEnum):
     """How bad a diagnostic is.  Orderable: ``ERROR > WARNING > INFO``."""
@@ -172,7 +174,7 @@ class AnalysisResult:
         }, indent=2)
 
 
-class AnalysisError(RuntimeError):
+class AnalysisError(ReproError):
     """A pre-flight check found error-severity diagnostics.
 
     Raised *before* any cycle is simulated — the static counterpart of

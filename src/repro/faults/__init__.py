@@ -1,0 +1,40 @@
+"""repro.faults: deterministic fault injection and resilience.
+
+The subsystem has three faces (tentpole of the robustness PR):
+
+* **Injection** — :class:`FaultPlan` (a pure, seedable value) describes
+  channel disturbances, kernel freezes/crashes and DRAM events;
+  :func:`inject` arms it ambiently so every engine run inside the
+  with-block is disturbed identically regardless of engine tier.
+* **Forensics** — :func:`build_hang_report` turns a stuck engine into a
+  structured :class:`~repro.fpga.errors.HangReport` (wait-for graph,
+  channel pressure, analyzer verdict) attached to
+  :class:`~repro.fpga.errors.DeadlockError` /
+  :class:`~repro.fpga.errors.LivelockError`.
+* **Recovery** — :func:`run_with_recovery` drives bounded retry with
+  backoff, checkpoint/restart (:class:`MemoryCheckpoint`) and graceful
+  tier demotion (:data:`DEMOTION`); ``python -m repro.faults campaign``
+  sweeps seeded campaigns over the Sec. V applications.
+
+The campaign driver lives in :mod:`repro.faults.campaign` and is *not*
+imported here (it pulls in the application layer).
+"""
+
+from .forensics import build_hang_report
+from .inject import FaultInjector
+from .plan import (CHANNEL_FAULT_KINDS, COMPLETION_SAFE_KINDS,
+                   FAULT_PLAN_SCHEMA, KERNEL_FAULT_KINDS,
+                   MEMORY_FAULT_KINDS, ChannelFault, FaultPlan, KernelFault,
+                   MemoryFault, flip_bits)
+from .recovery import (DEMOTION, MemoryCheckpoint, RecoveryOutcome,
+                       RetryPolicy, run_with_recovery)
+from .runtime import InjectionContext, active, inject
+
+__all__ = [
+    "CHANNEL_FAULT_KINDS", "COMPLETION_SAFE_KINDS", "ChannelFault",
+    "DEMOTION", "FAULT_PLAN_SCHEMA", "FaultInjector", "FaultPlan",
+    "InjectionContext", "KERNEL_FAULT_KINDS", "KernelFault",
+    "MEMORY_FAULT_KINDS", "MemoryCheckpoint", "MemoryFault",
+    "RecoveryOutcome", "RetryPolicy", "active", "build_hang_report",
+    "flip_bits", "inject", "run_with_recovery",
+]

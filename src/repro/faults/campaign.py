@@ -1,0 +1,311 @@
+"""Seeded fault campaigns over the Sec. V applications.
+
+A campaign sweeps deterministically generated :class:`FaultPlan`\\ s over
+the four paper applications (AXPYDOT, BICG, ATAX, GEMVER) and classifies
+every trial:
+
+========================  ==================================================
+outcome                   meaning
+========================  ==================================================
+``clean``                 no fault of the plan actually fired
+``masked``                faults fired, result still bit-correct, no
+                          recovery action was needed
+``recovered``             the recovery ladder (retry / demotion) ran and
+                          the final result is correct
+``hang``                  the watchdog or deadlock detector tripped; the
+                          error carries a structured
+                          :class:`~repro.fpga.errors.HangReport`
+``crash_unrecovered``     a transient fault escaped the retry budget (or
+                          recovery was disabled)
+``silent_corruption``     the run completed but the result is wrong — the
+                          outcome resilience work exists to make *loud*
+========================  ==================================================
+
+Every trial rebuilds its application from scratch (fresh
+:class:`~repro.host.context.FblasContext`, fresh buffers) per attempt, so
+retries and demotions replay the computation exactly; the shared
+:class:`~repro.faults.runtime.InjectionContext` ledger guarantees a
+one-shot fault never fires twice within a trial.
+
+The acceptance bar for the whole subsystem: **zero unexplained hangs** —
+every non-clean trial must end either in a structured hang report or a
+recorded recovery, never a bare timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..fpga.errors import HangError, TransientFaultError
+from ..host.context import FblasContext
+from .plan import FaultPlan
+from .recovery import RetryPolicy, run_with_recovery
+from .runtime import inject
+
+__all__ = ["APPS", "CAMPAIGN_SCHEMA", "OUTCOMES", "run_campaign",
+           "run_trial"]
+
+#: Schema tag of :func:`run_campaign` documents.
+CAMPAIGN_SCHEMA = "repro.faultcampaign/1"
+
+OUTCOMES = ("clean", "masked", "recovered", "hang", "crash_unrecovered",
+            "silent_corruption")
+
+
+def _run_axpydot(mode: str, size: int, seed: int):
+    from ..apps.axpydot import axpydot_reference, axpydot_streaming
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal(size).astype(np.float32)
+    v = rng.standard_normal(size).astype(np.float32)
+    u = rng.standard_normal(size).astype(np.float32)
+    alpha = 1.5
+    ref = axpydot_reference(w, v, u, alpha)
+    ctx = FblasContext()
+    res = axpydot_streaming(ctx, ctx.copy_to_device(w, name="w"),
+                            ctx.copy_to_device(v, name="v"),
+                            ctx.copy_to_device(u, name="u"),
+                            alpha, width=4, mode=mode)
+    return res.value, ref
+
+
+def _run_atax(mode: str, size: int, seed: int):
+    from ..apps.atax import atax_reference, atax_streaming
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    x = rng.standard_normal(size).astype(np.float32)
+    ref = atax_reference(a, x)
+    ctx = FblasContext()
+    res = atax_streaming(ctx, ctx.copy_to_device(a, name="A"),
+                         ctx.copy_to_device(x, name="x"),
+                         tile=4, width=4, mode=mode)
+    return res.value, ref
+
+
+def _run_bicg(mode: str, size: int, seed: int):
+    from ..apps.bicg import bicg_reference, bicg_streaming
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    p = rng.standard_normal(size).astype(np.float32)
+    r = rng.standard_normal(size).astype(np.float32)
+    ref = bicg_reference(a, p, r)
+    ctx = FblasContext()
+    res = bicg_streaming(ctx, ctx.copy_to_device(a, name="A"),
+                         ctx.copy_to_device(p, name="p"),
+                         ctx.copy_to_device(r, name="r"),
+                         tile=4, width=4, mode=mode)
+    return res.value, ref
+
+
+def _run_gemver(mode: str, size: int, seed: int):
+    from ..apps.gemver import gemver_reference, gemver_streaming
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    vecs = {name: rng.standard_normal(size).astype(np.float32)
+            for name in ("u1", "v1", "u2", "v2", "y", "z")}
+    alpha, beta = 1.25, 0.75
+    ref = gemver_reference(a, vecs["u1"], vecs["v1"], vecs["u2"],
+                           vecs["v2"], vecs["y"], vecs["z"], alpha, beta)
+    ctx = FblasContext()
+    devs = {name: ctx.copy_to_device(arr, name=name)
+            for name, arr in vecs.items()}
+    res = gemver_streaming(ctx, ctx.copy_to_device(a, name="A"),
+                           devs["u1"], devs["v1"], devs["u2"], devs["v2"],
+                           devs["y"], devs["z"], alpha, beta,
+                           tile=4, width=4, mode=mode)
+    return res.value, ref
+
+
+class AppSpec:
+    """One campaign target: how to run it, and what the plan may hit."""
+
+    def __init__(self, name: str, run: Callable,
+                 channels: Sequence[str], kernels: Sequence[str],
+                 buffers: Sequence[str]):
+        self.name = name
+        self.run = run
+        self.channels = tuple(channels)
+        self.kernels = tuple(kernels)
+        self.buffers = tuple(buffers)
+
+
+#: The four Sec. V applications and their fault-target vocabularies
+#: (channel / kernel / buffer names as the streaming builders declare
+#: them; GEMVER's lists span both of its sequential components).
+APPS: Dict[str, AppSpec] = {
+    "axpydot": AppSpec(
+        "axpydot", _run_axpydot,
+        channels=("w", "v", "u", "z", "beta"),
+        kernels=("read_w", "read_v", "read_u", "axpy", "dot", "sink"),
+        buffers=("w", "v", "u")),
+    "atax": AppSpec(
+        "atax", _run_atax,
+        channels=("A", "A1", "A2", "x", "zeros1", "zeros2", "tmp", "y"),
+        kernels=("read_A", "fanout", "read_x", "read_z1", "read_z2",
+                 "gemv", "gemvT", "write_y"),
+        buffers=("A", "x", "atax_y", "atax_z1", "atax_z2")),
+    "bicg": AppSpec(
+        "bicg", _run_bicg,
+        channels=("A", "A1", "A2", "p", "r", "y_q", "y_s", "q", "s"),
+        kernels=("read_A", "fanout", "read_p", "read_r", "read_zn",
+                 "read_zm", "gemv", "gemvT", "write_q", "write_s"),
+        buffers=("A", "p", "r", "bicg_q", "bicg_s")),
+    "gemver": AppSpec(
+        "gemver", _run_gemver,
+        channels=("A", "B1", "B2", "B_to_mem", "B_to_gemv", "u1", "v1",
+                  "u2", "v2", "y", "z", "x", "B", "zeros", "w"),
+        kernels=("read_A", "read_u1", "read_v1", "read_u2", "read_v2",
+                 "read_y", "read_z", "ger1", "ger2", "fanout", "gemvT",
+                 "write_B", "write_x", "read_B", "read_x", "read_zeros",
+                 "gemv", "write_w"),
+        buffers=("A", "u1", "v1", "u2", "v2", "y", "z",
+                 "gemver_B", "gemver_x", "gemver_w")),
+}
+
+
+def _matches(value, ref, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
+    if isinstance(ref, tuple):
+        return all(_matches(v, r, rtol, atol) for v, r in zip(value, ref))
+    return bool(np.allclose(np.asarray(value), np.asarray(ref),
+                            rtol=rtol, atol=atol))
+
+
+def run_trial(spec: AppSpec, seed: int, size: int = 8,
+              recover: bool = True, mode: str = "event",
+              n_faults: int = 0) -> dict:
+    """Run one seeded fault trial of ``spec`` and classify the outcome."""
+    plan = FaultPlan.generate(
+        seed, channels=spec.channels, kernels=spec.kernels,
+        buffers=spec.buffers, banks=4,
+        n_faults=n_faults or (1 + seed % 3),
+        element_horizon=max(16, size * size), cycle_horizon=64 * size)
+    record: dict = {
+        "app": spec.name,
+        "seed": seed,
+        "mode": mode,
+        "planned_faults": len(plan),
+        "plan": plan.to_dict(),
+    }
+    with inject(plan) as ctx:
+        outcome = None
+        try:
+            if recover:
+                out = run_with_recovery(
+                    lambda m: spec.run(m, size, seed),
+                    policy=RetryPolicy(), mode=mode)
+                value, ref = out.result
+                record["recovery"] = out.to_dict()
+                recovered = out.recovered
+            else:
+                value, ref = spec.run(mode, size, seed)
+                recovered = False
+        except HangError as exc:
+            outcome = "hang"
+            record["error"] = type(exc).__name__
+            record["explained"] = exc.report is not None
+            record["hang"] = {
+                "cycle": exc.cycle,
+                "blocked": sorted(exc.blocked),
+                "report": (exc.report.to_dict()
+                           if exc.report is not None else None),
+            }
+        except TransientFaultError as exc:
+            outcome = "crash_unrecovered"
+            record["error"] = type(exc).__name__
+            record["explained"] = True
+        else:
+            if not _matches(value, ref):
+                outcome = "silent_corruption"
+            elif recovered:
+                outcome = "recovered"
+            elif ctx.faults_injected:
+                outcome = "masked"
+            else:
+                outcome = "clean"
+            record["explained"] = True
+        record["outcome"] = outcome
+        record["counters"] = ctx.counters()
+        record["fired"] = list(ctx.fired)
+    return record
+
+
+def run_campaign(seed: int = 7,
+                 apps: Sequence[str] = ("atax", "axpydot", "bicg", "gemver"),
+                 budget: int = 20, size: int = 8, recover: bool = True,
+                 mode: str = "event") -> dict:
+    """Sweep ``budget`` seeded trials round-robin over ``apps``.
+
+    Trial ``i`` uses seed ``seed * 1000 + i``, so campaigns are exactly
+    reproducible and disjoint seeds explore disjoint plans.  Returns the
+    full JSON-able campaign document (schema ``repro.faultcampaign/1``).
+    """
+    unknown = [a for a in apps if a not in APPS]
+    if unknown:
+        raise ValueError(
+            f"unknown app(s) {unknown}; choose from {sorted(APPS)}")
+    specs = [APPS[a] for a in apps]
+    trials = []
+    for i in range(budget):
+        spec = specs[i % len(specs)]
+        trials.append(run_trial(spec, seed * 1000 + i, size=size,
+                                recover=recover, mode=mode))
+    summary: Dict[str, int] = {o: 0 for o in OUTCOMES}
+    per_app: Dict[str, Dict[str, int]] = {
+        s.name: {o: 0 for o in OUTCOMES} for s in specs}
+    counters = {"faults_injected": 0, "retries": 0, "demotions": 0}
+    unexplained = 0
+    for t in trials:
+        summary[t["outcome"]] += 1
+        per_app[t["app"]][t["outcome"]] += 1
+        for k in counters:
+            counters[k] += t["counters"][k]
+        if not t.get("explained", False):
+            unexplained += 1
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "seed": seed,
+        "apps": list(apps),
+        "budget": budget,
+        "size": size,
+        "recover": recover,
+        "mode": mode,
+        "summary": summary,
+        "per_app": per_app,
+        "counters": counters,
+        "unexplained_hangs": unexplained,
+        "trials": trials,
+    }
+
+
+def _to_plain(obj):
+    """Recursively convert numpy scalars so json.dumps accepts the doc."""
+    if isinstance(obj, dict):
+        return {k: _to_plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_plain(v) for v in obj]
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    return obj
+
+
+def render_summary(doc: dict) -> str:
+    """Human-readable campaign summary (the CLI's stdout)."""
+    lines = [
+        f"fault campaign: seed {doc['seed']}, {doc['budget']} trials over "
+        f"{', '.join(doc['apps'])} "
+        f"(recovery {'on' if doc['recover'] else 'off'})",
+        "",
+        f"{'app':<10}" + "".join(f"{o:>18}" for o in OUTCOMES),
+    ]
+    for app, row in doc["per_app"].items():
+        lines.append(f"{app:<10}"
+                     + "".join(f"{row[o]:>18}" for o in OUTCOMES))
+    lines.append(f"{'total':<10}"
+                 + "".join(f"{doc['summary'][o]:>18}" for o in OUTCOMES))
+    c = doc["counters"]
+    lines.append("")
+    lines.append(f"faults injected: {c['faults_injected']}   "
+                 f"retries: {c['retries']}   demotions: {c['demotions']}")
+    lines.append(f"unexplained hangs: {doc['unexplained_hangs']}")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Hang forensics: turn a stuck engine into a structured explanation.
+
+:func:`build_hang_report` is called (lazily, best-effort) by all three
+engine cores at the moment a :class:`~repro.fpga.errors.DeadlockError`
+or :class:`~repro.fpga.errors.LivelockError` is raised.  It assembles
+
+* one :class:`~repro.fpga.errors.KernelState` per kernel (blocked op,
+  elements wanted vs available, blocked-since cycle, activity counters),
+* the *wait-for graph*: blocked kernel → the kernel whose action could
+  unblock it (the producer of the channel it pops from; the consumer of
+  the channel it pushes to).  Edges come from the kernels' static port
+  annotations where available, and from the other kernels' live blocked
+  states otherwise — an unannotated design still gets the edges its
+  blocked endpoints reveal;
+* the cycles of that graph (each one a circular-wait certificate — the
+  classic deadlock witness for the paper's invalid reconvergent
+  compositions);
+* per-channel pressure (fullest/emptiest FIFOs), and
+* the static analyzer's verdict (FBxxx diagnostics) when any kernel is
+  annotated — so an undersized-depth deadlock arrives with the FB003
+  proof attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..fpga.errors import ChannelPressure, HangReport, KernelState
+
+__all__ = ["build_hang_report"]
+
+
+def _kernel_state(k, cycle: int) -> KernelState:
+    b = k.blocked
+    if k.done:
+        state, channel, wants, avail, since = "done", None, 0, 0, None
+    elif b is not None:
+        if b.kind == "pop":
+            state = "blocked-pop"
+            wants = b.op.count
+            avail = b.channel.occupancy
+        else:
+            state = "blocked-push"
+            wants = len(b.op.values)
+            avail = b.channel.space()
+        channel, since = b.channel.name, b.since
+    elif k.sleep_until > cycle:
+        state, channel, wants, avail, since = "sleeping", None, 0, 0, None
+    elif k.stats.start_cycle is None:
+        state, channel, wants, avail, since = "not-started", None, 0, 0, None
+    else:
+        state, channel, wants, avail, since = "runnable", None, 0, 0, None
+    return KernelState(
+        kernel=k.name, state=state, channel=channel, wants=wants,
+        available=avail, since=since,
+        stall_cycles=k.stats.stall_cycles,
+        active_cycles=k.stats.active_cycles)
+
+
+def _port_maps(kernels) -> Tuple[Dict, Dict]:
+    """Channel -> producer/consumer kernel-name sets, from annotations
+    plus live blocked states."""
+    producers: Dict[object, Set[str]] = {}
+    consumers: Dict[object, Set[str]] = {}
+    for k in kernels:
+        for ch in k.reads:
+            consumers.setdefault(ch, set()).add(k.name)
+        for wp in k.writes:
+            producers.setdefault(wp.channel, set()).add(k.name)
+        b = k.blocked
+        if b is not None:
+            side = consumers if b.kind == "pop" else producers
+            side.setdefault(b.channel, set()).add(k.name)
+    return producers, consumers
+
+
+def _wait_edges(kernels) -> List[Tuple[str, str, str]]:
+    producers, consumers = _port_maps(kernels)
+    edges = []
+    seen = set()
+    for k in kernels:
+        b = k.blocked
+        if k.done or b is None:
+            continue
+        # A pop waits on the channel's producers; a push on its consumers.
+        others = (producers if b.kind == "pop" else consumers).get(
+            b.channel, ())
+        for name in sorted(others):
+            if name == k.name:
+                continue
+            e = (k.name, name, b.channel.name)
+            if e not in seen:
+                seen.add(e)
+                edges.append(e)
+    return edges
+
+
+def _find_cycles(edges: List[Tuple[str, str, str]]) -> List[List[str]]:
+    """Distinct simple cycles in the wait-for graph (DFS back-edges,
+    deduplicated by rotation-normalised node set)."""
+    adj: Dict[str, List[str]] = {}
+    for a, b, _ch in edges:
+        adj.setdefault(a, []).append(b)
+    cycles: List[List[str]] = []
+    found: Set[Tuple[str, ...]] = set()
+
+    def dfs(node: str, path: List[str], on_path: Set[str]):
+        for nxt in adj.get(node, ()):
+            if nxt in on_path:
+                cyc = path[path.index(nxt):]
+                # Normalise rotation so each cycle is reported once.
+                pivot = cyc.index(min(cyc))
+                norm = tuple(cyc[pivot:] + cyc[:pivot])
+                if norm not in found:
+                    found.add(norm)
+                    cycles.append(list(norm))
+            elif nxt not in visited:
+                visited.add(nxt)
+                path.append(nxt)
+                on_path.add(nxt)
+                dfs(nxt, path, on_path)
+                on_path.discard(nxt)
+                path.pop()
+
+    visited: Set[str] = set()
+    for start in sorted(adj):
+        if start not in visited:
+            visited.add(start)
+            dfs(start, [start], {start})
+    return cycles
+
+
+def _reason(kind: str, kernels) -> str:
+    blocked = sum(1 for k in kernels if not k.done and k.blocked is not None)
+    live = sum(1 for k in kernels if not k.done)
+    if kind == "deadlock":
+        return (f"no kernel can make progress "
+                f"({blocked}/{live} live kernels blocked on channels)")
+    if kind == "livelock":
+        return (f"kernels keep executing but no channel element moved for "
+                f"the whole progress window ({live} live kernels)")
+    return f"cycle budget exhausted with {live} kernels still live"
+
+
+def build_hang_report(engine, cycle: int, kind: str,
+                      reason: str = "") -> HangReport:
+    """Assemble the :class:`HangReport` for a hung ``engine``."""
+    kernels = list(engine.kernels.values())
+    states = [_kernel_state(k, cycle) for k in kernels]
+    edges = _wait_edges(kernels)
+    report = HangReport(
+        kind=kind,
+        cycle=cycle,
+        reason=reason or _reason(kind, kernels),
+        kernels=states,
+        wait_for=edges,
+        wait_cycles=_find_cycles(edges),
+        channels=[ChannelPressure(ch.name, ch.occupancy, ch.in_flight,
+                                  ch.depth)
+                  for ch in engine.channels.values()],
+    )
+    if any(k.annotated for k in kernels):
+        try:
+            from ..analysis import analyze_engine
+            result = analyze_engine(engine)
+            report.analysis = [d.to_dict() for d in result.diagnostics]
+        except Exception:       # pragma: no cover - verdict is best-effort
+            pass
+    return report

@@ -1,0 +1,31 @@
+"""Resilience counter names/help strings, shared by injector and policies.
+
+The counters live in whatever :class:`~repro.telemetry.metrics.MetricsRegistry`
+is observing — the ambient telemetry session's when one is active — so a
+campaign run under ``telemetry.session()`` exports ``faults_injected``,
+``retries`` and ``demotions`` alongside the engine metrics.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.runtime import active as telemetry_active
+
+__all__ = ["DEMOTIONS", "FAULTS_INJECTED", "RETRIES", "count"]
+
+FAULTS_INJECTED = ("faults_injected",
+                   "fault-plan records that fired, by kind")
+RETRIES = ("retries", "recovery retries after transient faults")
+DEMOTIONS = ("demotions", "engine-tier demotions (bulk->event->dense)")
+
+
+def count(metric, value: float = 1, **labels) -> None:
+    """Increment a resilience counter on the active telemetry session.
+
+    No-op without a session — the injector and recovery policies keep
+    their own tallies in the :class:`~repro.faults.runtime.InjectionContext`
+    and :class:`~repro.faults.recovery.RecoveryOutcome` regardless.
+    """
+    tel = telemetry_active()
+    if tel is not None:
+        name, help_ = metric
+        tel.registry.counter(name, help_).inc(value, **labels)

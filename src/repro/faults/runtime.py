@@ -1,0 +1,79 @@
+"""Ambient fault-injection context — the leaf the engine may import.
+
+This module deliberately imports nothing from the rest of the package
+(or from :mod:`repro.fpga`): the engine consults :func:`active` on every
+run, so this must stay import-cycle-free and dirt cheap when no faults
+are armed.
+
+Usage::
+
+    from repro import faults
+
+    with faults.inject(plan):
+        engine_a.run()      # faults of ``plan`` armed
+        engine_b.run()      # same plan, shared one-shot ledger
+
+The :class:`InjectionContext` carries the *one-shot ledger*: a fault
+record that has fired is consumed for the whole context, so a retry of
+the same computation inside the context does **not** replay it — the
+transient-SEU semantics the recovery policies rely on.  (Bandwidth
+throttles are windows in simulated time, not one-shot events, and are
+never ledgered.)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+__all__ = ["InjectionContext", "active", "inject"]
+
+_ACTIVE: Optional["InjectionContext"] = None
+
+
+def active() -> Optional["InjectionContext"]:
+    """The ambient injection context, or None (the common case)."""
+    return _ACTIVE
+
+
+class InjectionContext:
+    """One armed :class:`~repro.faults.FaultPlan` plus its fire ledger."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        #: Fault records (frozen dataclasses) that have already fired.
+        self.consumed = set()
+        #: Chronological log of fired faults (dicts: kind/target/cycle).
+        self.fired: List[dict] = []
+        self.faults_injected = 0
+        self.retries = 0
+        self.demotions = 0
+
+    def record(self, fault, cycle: Optional[int], **extra) -> None:
+        """Mark ``fault`` consumed and log the firing."""
+        self.consumed.add(fault)
+        self.faults_injected += 1
+        entry = {"kind": fault.kind, "cycle": cycle}
+        entry.update({k: v for k, v in vars(fault).items() if k != "kind"})
+        entry.update(extra)
+        self.fired.append(entry)
+
+    def counters(self) -> dict:
+        return {
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "demotions": self.demotions,
+        }
+
+
+@contextmanager
+def inject(plan):
+    """Arm ``plan`` for every engine run inside the with-block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    ctx = InjectionContext(plan)
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = prev

@@ -10,6 +10,16 @@ calibration of Tables I and III (:mod:`resources`).
 from .channel import Channel, ChannelError
 from .device import ARRIA10, DEVICES, STRATIX10, FpgaDevice, FrequencyModel, PowerModel
 from .engine import DeadlockError, Engine, SimReport, SimulationError
+from .errors import (
+    EccError,
+    FaultError,
+    HangError,
+    HangReport,
+    KernelCrashError,
+    LivelockError,
+    ReproError,
+    TransientFaultError,
+)
 from .kernel import BlockedState, Clock, Kernel, Pop, Push
 from .observers import (
     EngineObserver,
@@ -37,10 +47,13 @@ from .util import (
 
 __all__ = [
     "ARRIA10", "BlockedState", "Channel", "ChannelError", "Clock", "DEVICES",
-    "DeadlockError", "DramBuffer", "DramModel", "Engine", "EngineObserver",
-    "FpgaDevice", "FrequencyModel", "JsonlEventDump", "Kernel", "Pop",
-    "PowerModel", "Push", "ResourceUsage", "STRATIX10", "SimReport",
+    "DeadlockError", "DramBuffer", "DramModel", "EccError", "Engine",
+    "EngineObserver", "FaultError", "FpgaDevice", "FrequencyModel",
+    "HangError", "HangReport", "JsonlEventDump", "Kernel",
+    "KernelCrashError", "LivelockError", "Pop", "PowerModel", "Push",
+    "ReproError", "ResourceUsage", "STRATIX10", "SimReport",
     "SimulationError", "StallChainProfiler", "TraceObserver",
+    "TransientFaultError",
     "WakeListScheduler", "duplicate_kernel", "forward_kernel",
     "fully_unrolled_resources", "gemm_systolic_resources", "level1_latency",
     "level1_resources", "level2_resources", "read_kernel", "scalar_sink",

@@ -105,6 +105,7 @@ class BulkScheduler(WakeListScheduler):
                     or k.blocked is not None
                     or p.ready() < self.MIN_WINDOW):
                 return False
+        inj = self.engine._injector
         for k in cur:
             p = k.pattern
             for ch, _w in p.reads:
@@ -113,6 +114,14 @@ class BulkScheduler(WakeListScheduler):
             for ch, _w, _lat in p.writes:
                 if ch._pop_waiters or ch._push_waiters:
                     return False
+                # A pending channel fault would be bypassed by the
+                # window's block transfers; event-step until it fires.
+                if inj is not None and inj.pending(ch):
+                    return False
+        # Replay assumes full DRAM grants; an active throttle window
+        # invalidates that, so its cycles are always event-stepped.
+        if inj is not None and inj.throttle_active(self.now):
+            return False
         return True
 
     def _fingerprint(self):
@@ -189,6 +198,14 @@ class BulkScheduler(WakeListScheduler):
                     K = min(K, tev - t1)
             elif obj._queued_for == tev and not obj.done:
                 K = min(K, tev - t1)
+        # Clamp away from injected memory faults: the fault cycle itself
+        # must be an *executed* cycle (begin_cycle applies due faults),
+        # exactly as the other cores see it.
+        inj = self.engine._injector
+        if inj is not None:
+            nxt = inj.next_memory_event(t1)
+            if nxt is not None and nxt < t1 + K:
+                K = nxt - t1
         if K < self.MIN_WINDOW:
             return False
         # --- execute the superstep (no bail-outs past this point) ----
@@ -232,6 +249,9 @@ class BulkScheduler(WakeListScheduler):
                 nm = ch._staged[0][0]
                 self._schedule_mature(ch, nm if nm > t1 + K else t1 + K)
         self.now = self.engine.now = t1 + K
+        # Every steady cycle moved data; the watchdog deadline advances
+        # exactly as K event-stepped cycles would have advanced it.
+        self.engine._last_op_cycle = t1 + K - 1
         self.engine._bulk_windows += 1
         self.engine._bulk_cycles += K
         return True

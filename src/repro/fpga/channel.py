@@ -26,15 +26,14 @@ from itertools import islice
 
 import numpy as np
 
+from .errors import ChannelError
+
+__all__ = ["Channel", "ChannelError", "ChannelStats", "DEFAULT_CHANNEL_DEPTH"]
 
 #: Default FIFO capacity used everywhere a depth is not given explicitly —
 #: the engine's :meth:`~repro.fpga.engine.Engine.channel`, MDAG edges, and
 #: the HLS-style helper kernels all share this single constant.
 DEFAULT_CHANNEL_DEPTH = 64
-
-
-class ChannelError(RuntimeError):
-    """Raised on protocol violations (pop from empty, push to full...)."""
 
 
 @dataclass
@@ -86,6 +85,9 @@ class Channel:
         # [first_ready, lanes, array, consumed_offset].  Always empty
         # outside a BulkScheduler replay window.
         self._runs: list = []
+        # Fault-injection hook (repro.faults.FaultInjector) intercepting
+        # pushes; None outside an injected run, making push() fault-free.
+        self.fault_hook = None
 
     def bind_events(self, sink) -> None:
         """Attach an event sink receiving on_staged/on_space/on_data.
@@ -125,6 +127,13 @@ class Channel:
     # -- data movement ----------------------------------------------------
     def push(self, values, ready_cycle: int, headroom: int = 0) -> None:
         """Stage ``values`` to become visible at ``ready_cycle``."""
+        if self.fault_hook is not None:
+            n0 = len(values)
+            values = self.fault_hook.on_push(self, values)
+            # A duplicated element may not fit the space the producer
+            # proved before pushing; grant it skid-buffer headroom so the
+            # fault perturbs the data stream, not the flow control.
+            headroom += max(0, len(values) - n0)
         if not self.can_push(len(values), headroom):
             raise ChannelError(
                 f"push of {len(values)} to full channel {self.name!r} "
@@ -133,7 +142,7 @@ class Channel:
             )
         self._staged.extend((ready_cycle, v) for v in values)
         self.stats.pushes += len(values)
-        if self.events is not None:
+        if values and self.events is not None:
             self.events.on_staged(self, ready_cycle)
 
     def pop(self, count: int = 1) -> list:

@@ -52,7 +52,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .channel import DEFAULT_CHANNEL_DEPTH, Channel
-from .errors import MAX_OPS_PER_CYCLE, DeadlockError, SimulationError
+from .errors import (MAX_OPS_PER_CYCLE, DeadlockError, HangError,
+                     LivelockError, SimulationError)
 from .kernel import BlockedState, Clock, Kernel, KernelBody, Pop, Push
 from .memory import BankStats
 from .observers import MAX_TRACE_CYCLES, TraceObserver
@@ -62,8 +63,9 @@ from .observers import MAX_TRACE_CYCLES, TraceObserver
 from ..telemetry.runtime import active as _telemetry_active
 
 __all__ = [
-    "DeadlockError", "Engine", "MAX_OPS_PER_CYCLE", "SIM_REPORT_SCHEMA",
-    "SimReport", "SimulationError",
+    "DeadlockError", "Engine", "HangError", "LivelockError",
+    "MAX_OPS_PER_CYCLE", "SIM_REPORT_SCHEMA", "SimReport",
+    "SimulationError",
 ]
 
 #: Schema tag of :meth:`SimReport.to_dict` documents (shared by the
@@ -296,7 +298,7 @@ class Engine:
 
     def __init__(self, memory=None, trace: bool = False,
                  preflight: bool = False, mode: str = "event",
-                 observers=()):
+                 observers=(), fault_plan=None):
         if mode not in ("event", "dense", "bulk"):
             raise ValueError(
                 f"mode must be 'event', 'dense' or 'bulk', got {mode!r}")
@@ -304,6 +306,10 @@ class Engine:
         self.trace = trace
         self.preflight = preflight
         self.mode = mode
+        #: Optional :class:`repro.faults.FaultPlan` applied to every run of
+        #: this engine (takes precedence over an ambient
+        #: :func:`repro.faults.inject` context).
+        self.fault_plan = fault_plan
         self.channels: Dict[str, Channel] = {}
         self.kernels: Dict[str, Kernel] = {}
         self._observers: List = list(observers)
@@ -312,6 +318,15 @@ class Engine:
         self.now = 0
         # Bank-stat snapshot taken at run start (per-run traffic deltas).
         self._bank_baseline = None
+        # Watchdog state, resolved by _run: livelock window in cycles
+        # (0 = disabled) and the last cycle any channel element moved or
+        # kernel finished.  All three cores update _last_op_cycle.
+        self._watch_window = 0
+        self._last_op_cycle = 0
+        # The FaultInjector attached for the duration of a run (None
+        # outside injected runs); the bulk tier consults it to clamp
+        # superstep windows away from fault cycles.
+        self._injector = None
 
     # -- construction -------------------------------------------------------
     def channel(self, name: str,
@@ -363,11 +378,13 @@ class Engine:
         base = self._bank_baseline
         if base is None:
             return [BankStats(b.bytes_read, b.bytes_written,
-                              b.denied_cycles, b.busy_cycles)
+                              b.denied_cycles, b.busy_cycles, b.ecc_events)
                     for b in self.memory.bank_stats]
         return [BankStats(b.bytes_read - r0, b.bytes_written - w0,
-                          b.denied_cycles - d0, b.busy_cycles - u0)
-                for b, (r0, w0, d0, u0) in zip(self.memory.bank_stats, base)]
+                          b.denied_cycles - d0, b.busy_cycles - u0,
+                          b.ecc_events - e0)
+                for b, (r0, w0, d0, u0, e0)
+                in zip(self.memory.bank_stats, base)]
 
     def _build_report(self) -> SimReport:
         tr = self._trace_observer()
@@ -377,46 +394,134 @@ class Engine:
                          bank_stats=self._bank_delta())
 
     # -- execution ----------------------------------------------------------
-    def run(self, max_cycles: int = 50_000_000,
-            preflight: Optional[bool] = None) -> SimReport:
+    def cycle_budget(self) -> int:
+        """Default ``max_cycles``: finite, derived from the declared work.
+
+        Channel depths, kernel latencies, reorder windows (``defer``) and
+        initiation intervals bound how long a *progressing* design can
+        plausibly run; the budget scales with their sum, floored high
+        enough that every known workload finishes with orders of
+        magnitude to spare.  Runs that exhaust it raise
+        :class:`LivelockError` (``trigger="timeout"``) instead of hanging
+        the process — the unbounded-run hazard fix.
+        """
+        work = sum(ch.depth for ch in self.channels.values())
+        work += sum(k.latency + k.defer + k.ii
+                    for k in self.kernels.values())
+        return max(2_000_000, 2_000 * max(1, work))
+
+    def livelock_budget(self) -> int:
+        """Default progress window for the livelock watchdog.
+
+        If no channel element moves and no kernel finishes for this many
+        consecutive cycles (while kernels keep burning cycles), the run
+        is declared livelocked.  Scaled by the same work terms as
+        :meth:`cycle_budget` so deep pipelines and long reorder windows
+        never trip it spuriously; sleeping kernels (``Clock(n)``) are
+        exempt for as long as they sleep.
+        """
+        work = sum(ch.depth for ch in self.channels.values())
+        work += sum(k.latency + k.defer + k.ii
+                    for k in self.kernels.values())
+        return 10_000 + 4 * work
+
+    def run(self, max_cycles: Optional[int] = None,
+            preflight: Optional[bool] = None,
+            livelock_window: Optional[int] = None) -> SimReport:
         """Run until every kernel completes; return the report.
 
-        Raises :class:`DeadlockError` if the composition stalls forever and
-        :class:`SimulationError` if ``max_cycles`` elapses first.  With
-        ``preflight`` (argument or constructor flag) the static analyzer
-        runs first and raises :class:`repro.analysis.AnalysisError` before
-        cycle 0 if it proves the composition invalid.
+        Raises :class:`DeadlockError` if the composition stalls forever
+        and :class:`LivelockError` if the watchdog gives up first —
+        either ``max_cycles`` (default: :meth:`cycle_budget`) elapsing,
+        or no progress for ``livelock_window`` (default:
+        :meth:`livelock_budget`; 0 disables) consecutive cycles.  Both
+        hang errors carry a structured
+        :class:`~repro.fpga.errors.HangReport`.  With ``preflight``
+        (argument or constructor flag) the static analyzer runs first and
+        raises :class:`repro.analysis.AnalysisError` before cycle 0 if it
+        proves the composition invalid.
 
         When a :func:`repro.telemetry.session` is active, the run is
         instrumented (metrics, spans, kernel slices) for its duration;
         otherwise the single ``active()`` check here is the entire cost.
+        When a fault plan is bound (constructor ``fault_plan`` or ambient
+        :func:`repro.faults.inject` context), its faults are armed for
+        the duration of the run.
         """
         tel = _telemetry_active()
         if tel is None:
-            return self._run(max_cycles, preflight)
+            return self._run(max_cycles, preflight, livelock_window)
         with tel.engine_run(self):
-            return self._run(max_cycles, preflight)
+            return self._run(max_cycles, preflight, livelock_window)
 
-    def _run(self, max_cycles: int,
-             preflight: Optional[bool]) -> SimReport:
+    def _resolve_injector(self):
+        """Arm the fault plan for this run, if any; return the injector."""
+        plan = self.fault_plan
+        ctx = None
+        if plan is None:
+            from ..faults.runtime import active as _faults_active
+            ctx = _faults_active()
+            if ctx is not None:
+                plan = ctx.plan
+        if plan is None or not len(plan):
+            return None
+        from ..faults.inject import FaultInjector
+        return FaultInjector(plan, self, ctx)
+
+    def _run(self, max_cycles: Optional[int],
+             preflight: Optional[bool],
+             livelock_window: Optional[int] = None) -> SimReport:
         if self.preflight if preflight is None else preflight:
             # Imported lazily: repro.analysis depends on this module.
             from ..analysis import analyze_engine
             analyze_engine(self).raise_if_errors()
+        if max_cycles is None:
+            max_cycles = self.cycle_budget()
+        self._watch_window = (self.livelock_budget()
+                              if livelock_window is None
+                              else livelock_window)
+        self._last_op_cycle = self.now
         if self.memory is not None:
             self._bank_baseline = [
                 (b.bytes_read, b.bytes_written, b.denied_cycles,
-                 b.busy_cycles)
+                 b.busy_cycles, b.ecc_events)
                 for b in self.memory.bank_stats]
-        if self.mode == "event":
-            # Imported lazily: the scheduler imports this module's sibling
-            # errors/kernel modules and is only needed in event mode.
-            from .scheduler import WakeListScheduler
-            return WakeListScheduler(self, max_cycles).run()
-        if self.mode == "bulk":
-            from .bulk import BulkScheduler
-            return BulkScheduler(self, max_cycles).run()
-        return self._run_dense(max_cycles)
+        injector = self._resolve_injector()
+        self._injector = injector
+        if injector is not None:
+            injector.attach()
+        try:
+            if self.mode == "event":
+                # Imported lazily: the scheduler imports this module's
+                # sibling errors/kernel modules, only needed in event mode.
+                from .scheduler import WakeListScheduler
+                return WakeListScheduler(self, max_cycles).run()
+            if self.mode == "bulk":
+                from .bulk import BulkScheduler
+                return BulkScheduler(self, max_cycles).run()
+            return self._run_dense(max_cycles)
+        finally:
+            if injector is not None:
+                injector.detach()
+            self._injector = None
+
+    def _make_hang(self, kind: str, cycle: int, budget: int = 0):
+        """Build the hang exception for ``kind`` with forensics attached.
+
+        Forensics failures must never mask the hang itself, so report
+        construction is best-effort.
+        """
+        blocked = {k.name: k.describe_block()
+                   for k in self.kernels.values() if not k.done}
+        try:
+            from ..faults.forensics import build_hang_report
+            report = build_hang_report(self, cycle, kind)
+        except Exception:       # pragma: no cover - forensics best-effort
+            report = None
+        if kind == "deadlock":
+            return DeadlockError(cycle, blocked, report)
+        return LivelockError(cycle, blocked, report, trigger=kind,
+                             budget=budget)
 
     def _run_dense(self, max_cycles: int) -> SimReport:
         observers = self._observers
@@ -430,17 +535,26 @@ class Engine:
                     o.on_run_end(report)
                 return report
             if self.now >= max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles without finishing"
-                )
+                raise self._make_hang("timeout", self.now, budget=max_cycles)
             self._step_cycle(kernels)
 
     def _step_cycle(self, kernels: List[Kernel]) -> None:
         t = self.now
+        w = self._watch_window
+        if w and t >= self._last_op_cycle + w and not any(
+                not k.done and k.sleep_until >= t for k in kernels):
+            # No channel element moved and no kernel finished for a whole
+            # progress window (and nobody is legitimately sleeping
+            # through it or waking this very cycle): the design spins
+            # without converging.  (A busy spinner never sets
+            # ``sleep_until``, so it is never exempt.)
+            raise self._make_hang("livelock", t, budget=w)
         observers = self._observers
         matured = 0
         for ch in self.channels.values():
             matured += ch.mature(t)
+        if matured:
+            self._last_op_cycle = t
         if observers:
             for o in observers:
                 o.on_cycle(t)
@@ -471,12 +585,7 @@ class Engine:
             # cannot move unless some kernel pops, and no kernel stepped.
             staged = any(ch.can_mature_later() for ch in self.channels.values())
             if not staged and not all(k.done for k in kernels):
-                blocked = {
-                    k.name: k.describe_block()
-                    for k in kernels
-                    if not k.done
-                }
-                raise DeadlockError(t, blocked)
+                raise self._make_hang("deadlock", t)
         self.now = t + 1
 
     def _describe_block(self, k: Kernel) -> str:
@@ -503,6 +612,7 @@ class Engine:
                 except StopIteration:
                     k.done = True
                     k.stats.finish_cycle = t
+                    self._last_op_cycle = t
                     return True
                 k._resume_value = None
 
@@ -517,6 +627,7 @@ class Engine:
                     vals = op.channel.pop(op.count)
                     k._resume_value = vals[0] if op.count == 1 else vals
                     k.blocked = None
+                    self._last_op_cycle = t
                     if observers:
                         for o in observers:
                             o.on_channel_op(t, k, op.channel, "pop", op.count)
@@ -537,6 +648,7 @@ class Engine:
                 if op.channel.can_push(n, headroom):
                     op.channel.push(op.values, t + lat, headroom)
                     k.blocked = None
+                    self._last_op_cycle = t
                     if observers:
                         for o in observers:
                             o.on_channel_op(t, k, op.channel, "push", n)

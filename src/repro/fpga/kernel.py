@@ -216,6 +216,18 @@ class Kernel:
         self._last_stepped: int = -1
         self._last_progress: bool = False
 
+    def wrap_body(self, wrapper) -> None:
+        """Replace the body with ``wrapper(body)`` (fault injection).
+
+        Must be called before the kernel is first stepped.  The wrapped
+        generator no longer matches the kernel's declared steady-state
+        pattern — an injected freeze or crash breaks the ii=1 cadence the
+        bulk scheduler would replay — so the pattern is cleared, forcing
+        exact event stepping for this kernel.
+        """
+        self.body = wrapper(self.body)
+        self.pattern = None
+
     @property
     def annotated(self) -> bool:
         """True when the kernel declared its ports for static analysis."""

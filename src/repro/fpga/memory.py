@@ -36,6 +36,8 @@ class BankStats:
     denied_cycles: int = 0
     #: Cycles in which this bank granted at least one byte.
     busy_cycles: int = 0
+    #: ECC events recorded against this bank (injected by repro.faults).
+    ecc_events: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -43,6 +45,7 @@ class BankStats:
             "bytes_written": self.bytes_written,
             "denied_cycles": self.denied_cycles,
             "busy_cycles": self.busy_cycles,
+            "ecc_events": self.ecc_events,
         }
 
 
@@ -115,6 +118,10 @@ class DramModel:
         # Last cycle each bank was charged a busy cycle (so several
         # grants in one cycle count once).
         self._busy_mark = [-1] * num_banks
+        # Fault-injection hook (repro.faults.FaultInjector); when set,
+        # begin_cycle lets it flip DRAM bits, raise ECC events and cap
+        # bank budgets for the cycle.  None outside an injected run.
+        self.fault_hook = None
         self.begin_cycle(0)
 
     # -- allocation ---------------------------------------------------------
@@ -151,6 +158,8 @@ class DramModel:
         for b in range(self.num_banks):
             self._budget[b] = self.bytes_per_cycle
         self._pool_budget = self.num_banks * self.bytes_per_cycle
+        if self.fault_hook is not None:
+            self.fault_hook.on_memory_cycle(self, cycle)
 
     def _grant(self, buf: DramBuffer, nbytes: int) -> int:
         if buf.bank is None:

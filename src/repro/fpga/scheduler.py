@@ -56,7 +56,7 @@ from operator import attrgetter
 from typing import List, Optional
 
 from .channel import Channel
-from .errors import MAX_OPS_PER_CYCLE, DeadlockError, SimulationError
+from .errors import MAX_OPS_PER_CYCLE, SimulationError
 from .kernel import BlockedState, Clock, Kernel, Pop, Push
 
 _KIDX = attrgetter("index")
@@ -148,17 +148,27 @@ class WakeListScheduler:
                         o.on_run_end(report)
                     return report
                 if self.now >= self.max_cycles:
-                    eng.now = self.now
-                    raise SimulationError(
-                        f"simulation exceeded {self.max_cycles} cycles "
-                        "without finishing")
+                    self._raise_hang("timeout", self.now,
+                                     budget=self.max_cycles)
                 if not self._current:
                     t_next = self._next_event_time()
                     if t_next is None:
                         self._deadlock_idle()
                     elif t_next > self.now:
                         # Dense would grind through these cycles finding
-                        # nothing runnable; skip straight to the event.
+                        # nothing runnable; skip straight to the event —
+                        # unless the livelock deadline falls inside the
+                        # jump, in which case dense would have tripped
+                        # there (sleeping kernels push their wake event,
+                        # and hence t_next, past the deadline, so they
+                        # exempt the jump exactly as they exempt dense).
+                        w = eng._watch_window
+                        trip = max(eng._last_op_cycle + w, self.now)
+                        if w and t_next > trip and not any(
+                                not k.done and k.sleep_until >= trip
+                                for k in self.kernels):
+                            self.now = trip
+                            self._raise_hang("livelock", trip, budget=w)
                         target = min(t_next, self.max_cycles)
                         if observers:
                             for o in observers:
@@ -206,6 +216,13 @@ class WakeListScheduler:
 
     def _run_cycle(self) -> None:
         t = self.now
+        eng = self.engine
+        w = eng._watch_window
+        if w and t >= eng._last_op_cycle + w and not any(
+                not k.done and k.sleep_until >= t for k in self.kernels):
+            # Same condition, same cycle as the dense core's check at the
+            # top of its _step_cycle.
+            self._raise_hang("livelock", t, budget=w)
         heap = self._heap
         self._progressed = False
         self._step_idx = -1
@@ -219,6 +236,7 @@ class WakeListScheduler:
                 obj._mature_at = None
                 if obj.mature(t):        # fires on_data -> _wake
                     self._progressed = True
+                    eng._last_op_cycle = t
                 if obj._staged and len(obj._fifo) < obj.depth:
                     nm = obj._staged[0][0]
                     self._schedule_mature(obj, nm if nm > t else t + 1)
@@ -304,8 +322,11 @@ class WakeListScheduler:
                             o.on_kernel_state(t, k, state)
         self._raise_deadlock(t)
 
-    def _raise_deadlock(self, t: int) -> None:
-        blocked = {}
+    def _charge_stalls(self, t: int) -> None:
+        """Bring lazy stall charges up to date through cycle ``t``
+        (inclusive) — dense re-steps every blocked kernel every cycle,
+        so its counters are always current; this settles the difference
+        before a report is built."""
         for k in self.kernels:
             if k.done:
                 continue
@@ -319,9 +340,24 @@ class WakeListScheduler:
                     else:
                         b.channel.stats.stalled_push_cycles += lag
                     b.since = t
-            blocked[k.name] = k.describe_block()
+
+    def _raise_deadlock(self, t: int) -> None:
+        # The deadlock cycle itself is charged: dense executed every
+        # kernel's failing retry at cycle t.
+        self._charge_stalls(t)
         self.engine.now = t
-        raise DeadlockError(t, blocked)
+        raise self.engine._make_hang("deadlock", t)
+
+    def _raise_hang(self, kind: str, t: int, budget: int = 0) -> None:
+        """Raise a livelock/timeout hang at cycle ``t``.
+
+        Unlike a deadlock, cycle ``t`` itself was *not* executed (both
+        cores check their watchdog before stepping anything), so stalls
+        are settled only through ``t - 1`` — exactly what dense charged.
+        """
+        self._charge_stalls(t - 1)
+        self.engine.now = t
+        raise self.engine._make_hang(kind, t, budget=budget)
 
     def _unblock(self, k: Kernel) -> None:
         b = k.blocked
@@ -356,6 +392,7 @@ class WakeListScheduler:
                     k.done = True
                     stats.finish_cycle = t
                     self._live -= 1
+                    self.engine._last_op_cycle = t
                     return True
                 k._resume_value = None
 
@@ -370,6 +407,7 @@ class WakeListScheduler:
                 if ch.can_pop(op.count):
                     vals = ch.pop(op.count)   # fires on_space
                     k._resume_value = vals[0] if op.count == 1 else vals
+                    self.engine._last_op_cycle = t
                     if k.blocked is not None:
                         self._unblock(k)
                     if observers:
@@ -394,6 +432,7 @@ class WakeListScheduler:
                 headroom = lat * n
                 if ch.can_push(n, headroom):
                     ch.push(op.values, t + lat, headroom)  # fires on_staged
+                    self.engine._last_op_cycle = t
                     if k.blocked is not None:
                         self._unblock(k)
                     if observers:

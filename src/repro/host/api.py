@@ -80,7 +80,8 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
                  width: Optional[int] = None, tile: Optional[int] = None,
                  systolic_rows: int = 4, systolic_cols: int = 4,
                  channel_depth: int = 256, preflight: bool = False,
-                 engine_mode: str = "event", **context_kwargs):
+                 engine_mode: str = "event", resilience=None,
+                 **context_kwargs):
         if mode not in ("simulate", "model"):
             raise ValueError(f"mode must be simulate/model, got {mode!r}")
         self.context = context or FblasContext(device=device,
@@ -103,6 +104,20 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: path of :mod:`repro.fpga.bulk` — byte-identical results,
         #: fast-forwarded steady pipeline phases).
         self.engine_mode = engine_mode
+        #: Recovery ladder for ``simulate`` calls: ``None`` disables it,
+        #: ``True`` uses the default :class:`repro.faults.RetryPolicy`,
+        #: or pass a policy instance.  When set, every call runs under
+        #: :func:`repro.faults.run_with_recovery`: device memory is
+        #: checkpointed before the attempt, transient faults retry from
+        #: the checkpoint, and watchdog trips demote the engine tier
+        #: (bulk -> event -> dense) for the re-attempt.
+        if resilience is True:
+            from ..faults.recovery import RetryPolicy
+            resilience = RetryPolicy()
+        self.resilience = resilience
+        #: :class:`repro.faults.RecoveryOutcome` of the most recent call
+        #: that ran under the recovery ladder (None before any).
+        self.last_recovery = None
         self._pending: List[Handle] = []
 
     def _engine(self) -> Engine:
@@ -132,13 +147,16 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         a :class:`~repro.host.context.CallRecord`), so the span opens
         generically and is renamed from the records it produced.
         """
+        runner = thunk
+        if self.resilience is not None and self.mode == "simulate":
+            runner = lambda: self._run_resilient(thunk)  # noqa: E731
         tel = _telemetry_active()
         if tel is None:
-            return thunk()
+            return runner()
         recs = self.context.records
         before = len(recs)
         with tel.span("host.call", cat="host") as sp:
-            out = thunk()
+            out = runner()
             new = recs[before:]
             if new:
                 sp.name = f"host.{new[-1].routine}"
@@ -146,6 +164,32 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
                 sp.args["precision"] = new[-1].precision
                 sp.args["cycles"] = sum(r.cycles for r in new)
             return out
+
+    def _run_resilient(self, thunk: Callable):
+        """Run one routine thunk under the recovery ladder.
+
+        The thunk rebuilds its streaming design on every invocation (the
+        mixins construct kernels inside the closure), so re-attempts are
+        safe; device memory is restored from a pre-call checkpoint before
+        each re-attempt so partial writes of a failed run cannot leak.
+        Demotion temporarily lowers :attr:`engine_mode` for the re-run.
+        """
+        from ..faults.recovery import MemoryCheckpoint, run_with_recovery
+        ckpt = MemoryCheckpoint.capture(self.context.mem)
+        saved_mode = self.engine_mode
+
+        def attempt(mode):
+            self.engine_mode = mode
+            try:
+                return thunk()
+            finally:
+                self.engine_mode = saved_mode
+
+        out = run_with_recovery(
+            attempt, policy=self.resilience, mode=saved_mode,
+            restore=ckpt.restore if ckpt is not None else None)
+        self.last_recovery = out
+        return out.result
 
     def _execute(self, thunk: Callable, async_: bool):
         if not async_:

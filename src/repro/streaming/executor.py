@@ -28,6 +28,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..fpga.engine import Engine, SimReport
+from ..fpga.errors import ReproError
 from ..fpga.memory import DramBuffer, DramModel, read_kernel, write_kernel
 from ..fpga.util import duplicate_kernel
 from ..telemetry.runtime import span as _telemetry_span
@@ -35,7 +36,7 @@ from .mdag import MDAG, MDAGError
 from .scheduler import CompositionPlan, plan_composition
 
 
-class ExecutionError(RuntimeError):
+class ExecutionError(ReproError):
     """Raised when an MDAG is not fully bound or bindings are malformed."""
 
 
@@ -106,21 +107,37 @@ class ExecutionResult:
     plan: CompositionPlan
     reports: List[SimReport]
     io_elements: int
+    #: Per-component recovery outcomes (dicts) when ``execute_plan`` ran
+    #: with a recovery policy; None otherwise.
+    recovery: Optional[List[dict]] = None
 
     @property
     def cycles(self) -> int:
         return sum(r.cycles for r in self.reports)
 
+    @property
+    def recovered(self) -> bool:
+        return bool(self.recovery) and any(r["recovered"]
+                                           for r in self.recovery)
+
 
 def execute_plan(mdag: BoundMDAG, mem: DramModel,
                  plan: Optional[CompositionPlan] = None,
                  windows=None, buffer_budget: int = 0,
-                 mode: str = "event") -> ExecutionResult:
+                 mode: str = "event", recovery=None) -> ExecutionResult:
     """Plan (unless given) and run a bound MDAG on ``mem``.
 
     ``mode`` selects the engine core (``"event"`` wake-list scheduler,
     the ``"dense"`` reference loop, or ``"bulk"`` — event stepping with
     the steady-state superstep fast path) for every component run.
+
+    ``recovery`` (None, True, or a :class:`repro.faults.RetryPolicy`)
+    runs every component under the recovery ladder: device memory is
+    checkpointed at the component boundary (a quiescent point — no
+    channels are live between components), transient faults retry the
+    component from that checkpoint, and a watchdog trip demotes the
+    engine tier for the re-attempt.  Outcomes are recorded per component
+    in :attr:`ExecutionResult.recovery`.
     """
     if plan is None:
         plan = plan_composition(mdag, windows=windows,
@@ -139,16 +156,32 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
             scratch[(u, v)] = mem.allocate(
                 f"_mat_{u}_{v}_{len(scratch)}", total, dtype=np.float64)
 
+    if recovery is True:
+        from ..faults.recovery import RetryPolicy
+        recovery = RetryPolicy()
+
     reports: List[SimReport] = []
+    recovery_log: Optional[List[dict]] = [] if recovery is not None else None
     with _telemetry_span("streaming.composition", cat="streaming",
                          components=len(plan.components),
                          materialized=len(cut)):
         for comp_idx, component in enumerate(plan.components):
-            _run_component(mdag, mem, plan, cut, scratch, component,
-                           comp_idx, mode, reports)
+            if recovery is None:
+                _run_component(mdag, mem, plan, cut, scratch, component,
+                               comp_idx, mode, reports)
+                continue
+            from ..faults.recovery import (MemoryCheckpoint,
+                                           run_with_recovery)
+            ckpt = MemoryCheckpoint.capture(mem)
+            out = run_with_recovery(
+                lambda m, _c=component, _i=comp_idx: _run_component(
+                    mdag, mem, plan, cut, scratch, _c, _i, m, reports),
+                policy=recovery, mode=mode, restore=ckpt.restore)
+            recovery_log.append(out.to_dict())
 
     return ExecutionResult(plan=plan, reports=reports,
-                           io_elements=mem.total_elements_moved - io_before)
+                           io_elements=mem.total_elements_moved - io_before,
+                           recovery=recovery_log)
 
 
 def _run_component(mdag: BoundMDAG, mem: DramModel, plan: CompositionPlan,

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..fpga.channel import DEFAULT_CHANNEL_DEPTH
+from ..fpga.errors import ReproError
 from .interface import StreamSignature
 
 __all__ = [
@@ -47,8 +48,13 @@ _CODE_TO_KIND = {
 }
 
 
-class MDAGError(ValueError):
-    """Raised on malformed MDAG construction."""
+class MDAGError(ReproError, ValueError):
+    """Raised on malformed MDAG construction.
+
+    Part of the :class:`~repro.fpga.errors.ReproError` hierarchy; keeps
+    ``ValueError`` as a base for backwards compatibility with callers
+    that predate the consolidation.
+    """
 
 
 @dataclass

@@ -88,6 +88,16 @@ def trace_events(session) -> List[dict]:
                        "ts": sl.start, "dur": sl.end - sl.start,
                        "args": {"kernel": sl.kernel, "state": sl.state}})
 
+    # Instant events (injected faults, recovery actions): scoped "g"
+    # (global) so Perfetto draws a full-height marker line.
+    for ins in session.instants:
+        run = ins.get("run")
+        events.append({"ph": "i", "s": "g" if run is None else "p",
+                       "name": ins["name"], "cat": ins.get("cat", "fault"),
+                       "pid": _HOST_PID if run is None else _engine_pid(run),
+                       "tid": 0 if run is not None else 1,
+                       "ts": ins["ts"], "args": dict(ins.get("args", {}))})
+
     events.sort(key=lambda e: e["ts"])
     return meta + events
 

@@ -98,13 +98,35 @@ class TelemetrySession:
         self.spans = SpanRecorder(lambda: self.clock)
         self.slices: List[Slice] = []
         self.runs: List[dict] = []
+        #: Point events (Chrome-trace ``"i"`` phase): injected faults,
+        #: retries, demotions.  Each entry: name/cat/ts/run/args.
+        self.instants: List[dict] = []
         self.kernel_slices = kernel_slices
         self.occupancy = occupancy
         self._run_seq = 0
+        self._run_offset = 0
         self._profilers: List[Tuple[int, object]] = []
 
     def span(self, name: str, cat: str = "host", **args):
         return self.spans.span(name, cat, **args)
+
+    def instant(self, name: str, cycle: Optional[int] = None,
+                cat: str = "fault", **args) -> None:
+        """Record a point event on the session timeline.
+
+        With ``cycle`` (engine-local), the event lands inside the current
+        engine run at that cycle (tagged with the run index, so the
+        Chrome exporter places it on that run's process row); without, it
+        lands on the host row at the current session clock.
+        """
+        if cycle is not None and self._run_seq:
+            run = self._run_seq - 1
+            ts = self._run_offset + cycle
+        else:
+            run = None
+            ts = self.clock
+        self.instants.append({"name": name, "cat": cat, "ts": ts,
+                              "run": run, "args": dict(args)})
 
     # -- engine hookup -------------------------------------------------------
     @contextmanager
@@ -120,6 +142,7 @@ class TelemetrySession:
         self._run_seq += 1
         t0 = engine.now
         offset = self.clock - t0
+        self._run_offset = offset
         mo = MetricsObserver(self.registry, run=idx,
                              occupancy=self.occupancy)
         attach = [mo]

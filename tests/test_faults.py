@@ -1,0 +1,409 @@
+"""repro.faults: plans, injection hooks, watchdog, error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.faults import (ChannelFault, FaultPlan, KernelFault, MemoryFault,
+                          flip_bits, inject)
+from repro.fpga import (Clock, DeadlockError, EccError, Engine, FaultError,
+                        HangError, KernelCrashError, LivelockError, Pop,
+                        Push, ReproError, SimulationError,
+                        TransientFaultError)
+from repro.fpga.channel import ChannelError
+from repro.fpga.memory import DramModel, read_kernel
+from repro.fpga.util import sink_kernel
+
+_MODES = ("dense", "event", "bulk")
+
+
+def _src(ch, vals, width=1, lat=1):
+    i = 0
+    while i < len(vals):
+        yield Push(ch, tuple(vals[i:i + width]), lat)
+        i += width
+        yield Clock()
+
+
+def _collect(ch, n, out):
+    for _ in range(n):
+        v = yield Pop(ch)
+        out.append(v)
+        yield Clock()
+
+
+def _spinner(ch=None):
+    while True:
+        yield Clock()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: pure, seeded, serializable
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_generate_is_a_pure_function_of_seed(self):
+        kw = dict(channels=("a", "b"), kernels=("k1", "k2"),
+                  buffers=("m",), banks=4, n_faults=6)
+        p1 = FaultPlan.generate(42, **kw)
+        p2 = FaultPlan.generate(42, **kw)
+        assert p1 == p2
+        assert p1.to_dict() == p2.to_dict()
+        assert FaultPlan.generate(43, **kw) != p1
+
+    def test_generate_does_not_touch_global_rng(self):
+        import random
+        random.seed(7)
+        before = random.getstate()
+        FaultPlan.generate(1, channels=("a",), n_faults=5)
+        assert random.getstate() == before
+
+    def test_roundtrip(self):
+        p = FaultPlan.generate(9, channels=("c",), kernels=("k",),
+                               buffers=("b",), banks=2, n_faults=8)
+        assert FaultPlan.from_dict(p.to_dict()) == p
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.empty()
+        assert len(FaultPlan.empty()) == 0
+
+    def test_describe_names_targets(self):
+        p = FaultPlan(seed=1, channel_faults=(
+            ChannelFault("data", 5, "corrupt", bit=3),))
+        assert "data" in p.describe()
+        assert "corrupt" in p.describe()
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            ChannelFault("c", 0, "explode")
+        with pytest.raises(ValueError):
+            ChannelFault("c", -1, "drop")
+        with pytest.raises(ValueError):
+            KernelFault("k", 0, "freeze", cycles=0)
+        with pytest.raises(ValueError):
+            MemoryFault(kind="throttle", cycle=0, cycles=10, factor=1.5)
+
+    def test_flip_bits_is_involutive(self):
+        for v, bit in ((np.float32(1.5), 31), (3.25, 63), (7, 2),
+                       (np.float64(-2.0), 12), (True, 0)):
+            flipped = flip_bits(v, bit)
+            assert flipped != v
+            assert flip_bits(flipped, bit) == v
+            assert type(flip_bits(v, bit)) is type(v)
+
+    def test_flip_sign_bit(self):
+        assert flip_bits(np.float32(2.0), 31) == np.float32(-2.0)
+        assert flip_bits(4.0, 63) == -4.0
+
+
+# ---------------------------------------------------------------------------
+# Channel faults
+# ---------------------------------------------------------------------------
+
+class TestChannelFaults:
+    def _run(self, plan, n=10, expect=None, mode="event"):
+        eng = Engine(mode=mode, fault_plan=plan)
+        ch = eng.channel("c", 4)
+        out = []
+        vals = [float(i) for i in range(n)]
+        eng.add_kernel("src", _src(ch, vals))
+        eng.add_kernel("sink", _collect(ch, expect if expect is not None
+                                        else n, out))
+        eng.run()
+        return vals, out
+
+    def test_corrupt_flips_one_element(self):
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 3, "corrupt", bit=63),))
+        vals, out = self._run(plan)
+        assert out[3] == -vals[3]
+        assert out[:3] == vals[:3] and out[4:] == vals[4:]
+
+    def test_drop_removes_one_element(self):
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 4, "drop"),))
+        vals, out = self._run(plan, expect=9)
+        assert out == vals[:4] + vals[5:]
+
+    def test_dup_repeats_one_element(self):
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 4, "dup"),))
+        vals, out = self._run(plan, expect=11)
+        assert out == vals[:5] + vals[4:]
+
+    def test_faults_fire_once_per_context(self):
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 3, "corrupt", bit=63),))
+        with inject(plan) as ctx:
+            eng = Engine()
+            ch = eng.channel("c", 4)
+            out1 = []
+            eng.add_kernel("src", _src(ch, [float(i) for i in range(6)]))
+            eng.add_kernel("sink", _collect(ch, 6, out1))
+            eng.run()
+            assert ctx.faults_injected == 1
+            assert ctx.fired[0]["kind"] == "corrupt"
+            # Same context, second run: the one-shot ledger holds.
+            eng2 = Engine()
+            ch2 = eng2.channel("c", 4)
+            out2 = []
+            eng2.add_kernel("src", _src(ch2, [float(i) for i in range(6)]))
+            eng2.add_kernel("sink", _collect(ch2, 6, out2))
+            eng2.run()
+        assert out1[3] == -3.0
+        assert out2 == [float(i) for i in range(6)]
+        assert ctx.faults_injected == 1
+
+    def test_faults_on_other_channels_are_ignored(self):
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("elsewhere", 0, "corrupt", bit=63),))
+        vals, out = self._run(plan)
+        assert out == vals
+
+    def test_dup_into_full_channel_does_not_overflow(self):
+        """A dup that would exceed the FIFO depth must not trip the
+        channel's own capacity assertion."""
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 0, "dup"),))
+        eng = Engine(fault_plan=plan)
+        ch = eng.channel("c", 1)         # width-1 pushes, depth 1
+        out = []
+        eng.add_kernel("src", _src(ch, [1.0, 2.0]))
+        eng.add_kernel("sink", _collect(ch, 3, out))
+        eng.run()
+        assert out == [1.0, 1.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# Kernel faults
+# ---------------------------------------------------------------------------
+
+class TestKernelFaults:
+    def _cycles(self, plan, mode="event"):
+        eng = Engine(mode=mode, fault_plan=plan)
+        ch = eng.channel("c", 4)
+        out = []
+        eng.add_kernel("src", _src(ch, [float(i) for i in range(8)]))
+        eng.add_kernel("sink", _collect(ch, 8, out))
+        report = eng.run()
+        return report.cycles, out
+
+    def test_freeze_stretches_the_run(self):
+        base, out0 = self._cycles(None)
+        frozen, out1 = self._cycles(FaultPlan(seed=0, kernel_faults=(
+            KernelFault("src", 2, "freeze", cycles=13),)))
+        assert out1 == out0
+        assert frozen == base + 13
+
+    def test_crash_raises_transient_fault(self):
+        plan = FaultPlan(seed=0, kernel_faults=(
+            KernelFault("sink", 3, "crash"),))
+        with pytest.raises(KernelCrashError) as exc:
+            self._cycles(plan)
+        assert exc.value.kernel == "sink"
+        assert isinstance(exc.value, TransientFaultError)
+
+    def test_fault_on_unknown_kernel_is_ignored(self):
+        base, _ = self._cycles(None)
+        cycles, _ = self._cycles(FaultPlan(seed=0, kernel_faults=(
+            KernelFault("ghost", 0, "crash"),)))
+        assert cycles == base
+
+
+# ---------------------------------------------------------------------------
+# Memory faults
+# ---------------------------------------------------------------------------
+
+def _mem_engine(plan, mode="event", n=16, width=4):
+    mem = DramModel(num_banks=2, bytes_per_cycle=64)
+    data = np.arange(1, n + 1, dtype=np.float32)
+    buf = mem.bind("vec", data)
+    eng = Engine(memory=mem, mode=mode, fault_plan=plan)
+    ch = eng.channel("c", 4 * width)
+    out = []
+    eng.add_kernel("read", read_kernel(mem, buf, ch, width))
+    eng.add_kernel("sink", sink_kernel(ch, n, width, out))
+    return eng, mem, out
+
+
+class TestMemoryFaults:
+    def test_bitflip_corrupts_one_word(self):
+        plan = FaultPlan(seed=0, memory_faults=(
+            MemoryFault(kind="bitflip", cycle=0, buffer="vec", index=5,
+                        bit=31),))
+        eng, mem, out = _mem_engine(plan)
+        eng.run()
+        expect = list(np.arange(1, 17, dtype=np.float32))
+        expect[5] = -expect[5]
+        assert out == expect
+
+    def test_ecc_counts_against_the_bank(self):
+        plan = FaultPlan(seed=0, memory_faults=(
+            MemoryFault(kind="ecc", cycle=0, buffer="vec"),))
+        eng, mem, out = _mem_engine(plan)
+        eng.run()
+        assert sum(b.ecc_events for b in mem.bank_stats) == 1
+        assert out == list(np.arange(1, 17, dtype=np.float32))
+
+    def test_ecc_fatal_raises(self):
+        plan = FaultPlan(seed=0, memory_faults=(
+            MemoryFault(kind="ecc_fatal", cycle=0, buffer="vec"),))
+        eng, mem, out = _mem_engine(plan)
+        with pytest.raises(EccError):
+            eng.run()
+
+    def test_throttle_slows_the_run(self):
+        eng0, _, _ = _mem_engine(None)
+        base = eng0.run().cycles
+        plan = FaultPlan(seed=0, memory_faults=(
+            MemoryFault(kind="throttle", cycle=0, bank=0, cycles=500,
+                        factor=0.0),))
+        eng1, _, _ = _mem_engine(plan)
+        throttled = eng1.run().cycles
+        assert throttled > base
+
+    def test_fault_on_unknown_buffer_is_ignored(self):
+        plan = FaultPlan(seed=0, memory_faults=(
+            MemoryFault(kind="bitflip", cycle=0, buffer="ghost", index=0,
+                        bit=31),))
+        eng, mem, out = _mem_engine(plan)
+        eng.run()
+        assert out == list(np.arange(1, 17, dtype=np.float32))
+
+
+# ---------------------------------------------------------------------------
+# Watchdog: livelock and timeout, identically across engine tiers
+# ---------------------------------------------------------------------------
+
+class TestWatchdog:
+    def test_livelock_tripped_identically(self):
+        cycles = {}
+        for mode in _MODES:
+            eng = Engine(mode=mode)
+            eng.add_kernel("spin", _spinner())
+            with pytest.raises(LivelockError) as exc:
+                eng.run(livelock_window=64)
+            assert exc.value.trigger == "livelock"
+            cycles[mode] = exc.value.cycle
+        assert cycles["dense"] == cycles["event"] == cycles["bulk"]
+
+    def test_timeout_is_a_simulation_error(self):
+        eng = Engine()
+        eng.add_kernel("spin", _spinner())
+        with pytest.raises(SimulationError) as exc:
+            eng.run(max_cycles=100, livelock_window=0)
+        assert isinstance(exc.value, LivelockError)
+        assert exc.value.trigger == "timeout"
+        assert "exceeded" in str(exc.value)
+        assert eng.now <= 100
+
+    def test_default_budgets_are_finite(self):
+        eng = Engine()
+        eng.channel("c", 8)
+        eng.add_kernel("spin", _spinner())
+        assert 0 < eng.livelock_budget() < eng.cycle_budget() < 10**9
+        # A spinner with default budgets terminates via the livelock
+        # watchdog long before the cycle budget.
+        with pytest.raises(LivelockError) as exc:
+            eng.run()
+        assert exc.value.trigger == "livelock"
+
+    def test_livelock_window_zero_disables_watchdog(self):
+        eng = Engine()
+        eng.add_kernel("spin", _spinner())
+        with pytest.raises(LivelockError) as exc:
+            eng.run(max_cycles=500, livelock_window=0)
+        assert exc.value.trigger == "timeout"
+        assert eng.now <= 500
+
+    def test_sleeping_kernels_do_not_trip_the_watchdog(self):
+        def sleeper():
+            for _ in range(5):
+                yield Clock(100)
+
+        cycles = {}
+        for mode in _MODES:
+            eng = Engine(mode=mode)
+            eng.add_kernel("sleepy", sleeper())
+            report = eng.run(livelock_window=20)
+            cycles[mode] = report.cycles
+        assert cycles["dense"] == cycles["event"] == cycles["bulk"] > 400
+
+    def test_hang_report_attached(self):
+        eng = Engine()
+        eng.add_kernel("spin", _spinner())
+        with pytest.raises(LivelockError) as exc:
+            eng.run(livelock_window=32)
+        report = exc.value.report
+        assert report is not None
+        assert report.kind == "livelock"
+        assert report.to_dict()["schema"] == "repro.hangreport/1"
+        assert "spin" in report.render_text()
+
+
+# ---------------------------------------------------------------------------
+# Error hierarchy (consolidated in repro.fpga.errors)
+# ---------------------------------------------------------------------------
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        from repro.analysis.diagnostics import AnalysisError
+        from repro.streaming.executor import ExecutionError
+        from repro.streaming.mdag import MDAGError
+        for exc in (SimulationError, ChannelError, FaultError,
+                    TransientFaultError, KernelCrashError, EccError,
+                    HangError, DeadlockError, LivelockError,
+                    AnalysisError, MDAGError, ExecutionError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ReproError, RuntimeError)
+
+    def test_hang_family(self):
+        assert issubclass(DeadlockError, HangError)
+        assert issubclass(LivelockError, HangError)
+        assert issubclass(LivelockError, SimulationError)
+        assert not issubclass(DeadlockError, SimulationError)
+
+    def test_mdag_error_keeps_value_error_base(self):
+        from repro.streaming.mdag import MDAGError
+        assert issubclass(MDAGError, ValueError)
+
+    def test_deadlock_message_shape(self):
+        err = DeadlockError(7, {"k": "pop(1) from 'c' (occupancy=0)"})
+        assert str(err).startswith("deadlock at cycle 7")
+        assert err.report is None
+
+
+# ---------------------------------------------------------------------------
+# Telemetry integration: counters and instant events
+# ---------------------------------------------------------------------------
+
+class TestFaultTelemetry:
+    def test_counters_and_instants_exported(self):
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 2, "corrupt", bit=63),))
+        with telemetry.session() as tel, inject(plan):
+            eng = Engine()
+            ch = eng.channel("c", 4)
+            out = []
+            eng.add_kernel("src", _src(ch, [float(i) for i in range(5)]))
+            eng.add_kernel("sink", _collect(ch, 5, out))
+            eng.run()
+        counter = tel.registry.counter(
+            "faults_injected", "fault-plan records that fired, by kind")
+        assert counter.total() == 1
+        names = [i["name"] for i in tel.instants]
+        assert "fault:corrupt" in names
+
+    def test_fault_instants_reach_the_chrome_trace(self):
+        from repro.telemetry.chrome_trace import to_chrome_trace
+        plan = FaultPlan(seed=0, kernel_faults=(
+            KernelFault("src", 1, "freeze", cycles=5),))
+        with telemetry.session() as tel, inject(plan):
+            eng = Engine()
+            ch = eng.channel("c", 4)
+            eng.add_kernel("src", _src(ch, [1.0, 2.0, 3.0]))
+            eng.add_kernel("sink", _collect(ch, 3, []))
+            eng.run()
+        events = to_chrome_trace(tel)["traceEvents"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert any(e["name"] == "fault:freeze" for e in instants)

@@ -1,0 +1,280 @@
+"""Recovery ladder: retry, checkpoint/restart, tier demotion.
+
+Directed unit tests for :mod:`repro.faults.recovery` (the fault campaign
+exercises recovery only when a generated crash lands inside a kernel's
+work window, so these pin the machinery with hand-placed faults).
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import level1, reference
+from repro.faults import (FaultPlan, KernelFault, MemoryCheckpoint,
+                          RecoveryOutcome, RetryPolicy, inject,
+                          run_with_recovery)
+from repro.faults.campaign import OUTCOMES, render_summary, run_campaign
+from repro.fpga.errors import (DeadlockError, KernelCrashError,
+                               SimulationError)
+from repro.fpga.memory import DramModel
+from repro.fpga.resources import level1_latency
+from repro.host.api import Fblas
+from repro.streaming import (BoundMDAG, ComputeBinding, ReadBinding,
+                             WriteBinding, execute_plan, scalar_stream,
+                             vector_stream)
+
+
+class _Flaky:
+    """Attempt that fails ``fail`` times, then returns the mode it ran in."""
+
+    def __init__(self, fail, exc_factory):
+        self.fail = fail
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def __call__(self, mode):
+        self.calls += 1
+        if self.calls <= self.fail:
+            raise self.exc_factory()
+        return mode
+
+
+def _crash():
+    return KernelCrashError("k", 3)
+
+
+class TestRunWithRecovery:
+    def test_transient_fault_retries_then_succeeds(self):
+        attempt = _Flaky(1, _crash)
+        out = run_with_recovery(attempt)
+        assert out.result == "event"
+        assert out.retries == 1 and out.demotions == 0
+        assert out.recovered
+        assert out.actions == [{
+            "action": "retry", "mode": "event",
+            "error": "KernelCrashError", "backoff_s": 0.01,
+        }]
+
+    def test_backoff_grows_geometrically(self):
+        attempt = _Flaky(3, _crash)
+        policy = RetryPolicy(max_retries=3, backoff_base=0.5,
+                             backoff_factor=2.0)
+        out = run_with_recovery(attempt, policy=policy)
+        assert [a["backoff_s"] for a in out.actions] == [0.5, 1.0, 2.0]
+
+    def test_exhausted_budget_reraises(self):
+        attempt = _Flaky(5, _crash)
+        with pytest.raises(KernelCrashError):
+            run_with_recovery(attempt, policy=RetryPolicy(max_retries=2))
+        assert attempt.calls == 3        # initial try + 2 retries
+
+    def test_deadlock_is_never_retried(self):
+        attempt = _Flaky(1, lambda: DeadlockError(7, {"k": "pop"}))
+        with pytest.raises(DeadlockError):
+            run_with_recovery(attempt)
+        assert attempt.calls == 1
+
+    def test_watchdog_trip_demotes_down_the_ladder(self):
+        calls = []
+
+        def attempt(mode):
+            calls.append(mode)
+            if mode != "dense":
+                raise SimulationError(f"{mode} tier wedged")
+            return "ok"
+
+        out = run_with_recovery(attempt, mode="bulk")
+        assert calls == ["bulk", "event", "dense"]
+        assert out.result == "ok" and out.mode == "dense"
+        assert out.demotions == 2 and out.retries == 0
+        assert [(a["from"], a["to"]) for a in out.actions] == [
+            ("bulk", "event"), ("event", "dense")]
+
+    def test_dense_tier_failure_reraises(self):
+        with pytest.raises(SimulationError):
+            run_with_recovery(_Flaky(9, lambda: SimulationError("x")),
+                              mode="dense")
+
+    def test_demotion_disabled_reraises(self):
+        with pytest.raises(SimulationError):
+            run_with_recovery(_Flaky(9, lambda: SimulationError("x")),
+                              policy=RetryPolicy(demote=False),
+                              mode="bulk")
+
+    def test_restore_runs_before_every_reattempt(self):
+        restored = []
+        attempt = _Flaky(2, _crash)
+        run_with_recovery(attempt, policy=RetryPolicy(max_retries=2),
+                          restore=lambda: restored.append(attempt.calls))
+        # restore fired after attempt 1 and 2 failed, before 2 and 3 ran
+        assert restored == [1, 2]
+
+    def test_demotion_does_not_consume_retry_budget(self):
+        seen = []
+
+        def attempt(mode):
+            seen.append(mode)
+            if mode == "bulk":
+                raise SimulationError("wedge")
+            if len(seen) < 4:
+                raise KernelCrashError("k", 1)
+            return "ok"
+
+        out = run_with_recovery(attempt, mode="bulk",
+                                policy=RetryPolicy(max_retries=2))
+        assert out.result == "ok"
+        assert out.demotions == 1 and out.retries == 2
+
+    def test_ambient_context_counters_updated(self):
+        with inject(FaultPlan(seed=0)) as ctx:
+            run_with_recovery(_Flaky(1, _crash))
+        assert ctx.retries == 1
+
+    def test_outcome_to_dict_shape(self):
+        out = RecoveryOutcome(result=1, mode="dense", retries=2,
+                              demotions=1,
+                              actions=[{"action": "retry"}])
+        doc = out.to_dict()
+        assert doc == {"mode": "dense", "retries": 2, "demotions": 1,
+                       "recovered": True,
+                       "actions": [{"action": "retry"}]}
+
+
+class TestMemoryCheckpoint:
+    def test_restore_is_in_place_and_complete(self):
+        mem = DramModel(num_banks=2)
+        buf = mem.bind("v", np.arange(8, dtype=np.float32))
+        array_before = buf.data
+        ckpt = MemoryCheckpoint.capture(mem)
+
+        buf.data[...] = -1.0
+        buf.elements_read += 40
+        buf.elements_written += 4
+        mem.bank_stats[0].bytes_read += 128
+        mem.bank_stats[1].ecc_events += 2
+
+        ckpt.restore()
+        assert buf.data is array_before          # aliasing views survive
+        np.testing.assert_array_equal(buf.data,
+                                      np.arange(8, dtype=np.float32))
+        assert buf.elements_read == 0 and buf.elements_written == 0
+        assert mem.bank_stats[0].bytes_read == 0
+        assert mem.bank_stats[1].ecc_events == 0
+
+    def test_capture_of_no_memory_is_none(self):
+        assert MemoryCheckpoint.capture(None) is None
+
+
+class TestHostResilience:
+    def _vectors(self, n=64):
+        rng = np.random.default_rng(11)
+        return (rng.standard_normal(n).astype(np.float32),
+                rng.standard_normal(n).astype(np.float32))
+
+    def test_crash_without_resilience_propagates(self):
+        x, y = self._vectors()
+        fb = Fblas(width=4)
+        plan = FaultPlan(seed=0, kernel_faults=(
+            KernelFault("dot", 2, "crash"),))
+        with inject(plan):
+            with pytest.raises(KernelCrashError):
+                fb.dot(fb.copy_to_device(x), fb.copy_to_device(y))
+
+    def test_crash_with_resilience_retries_to_success(self):
+        x, y = self._vectors()
+        fb = Fblas(width=4, resilience=True)
+        plan = FaultPlan(seed=0, kernel_faults=(
+            KernelFault("dot", 2, "crash"),))
+        with inject(plan) as ctx:
+            res = fb.dot(fb.copy_to_device(x), fb.copy_to_device(y))
+        assert res == pytest.approx(float(reference.dot(x, y)), rel=1e-4)
+        assert fb.last_recovery is not None
+        assert fb.last_recovery.retries == 1
+        assert fb.last_recovery.recovered
+        assert ctx.faults_injected == 1 and ctx.retries == 1
+
+
+class TestExecutorRecovery:
+    def _build(self, mem, n, width, w, v, u, alpha):
+        g = BoundMDAG()
+        g.add_interface("read_w")
+        g.add_interface("read_v")
+        g.add_interface("read_u")
+        g.add_module("axpy")
+        g.add_module("dot")
+        g.add_interface("write_beta")
+        sig = vector_stream(n)
+        g.connect("read_w", "axpy", sig, sig, dst_port="w")
+        g.connect("read_v", "axpy", sig, sig, dst_port="v")
+        g.connect("axpy", "dot", sig, sig, src_port="z", dst_port="z")
+        g.connect("read_u", "dot", sig, sig, dst_port="u")
+        g.connect("dot", "write_beta", scalar_stream(), scalar_stream(),
+                  src_port="res", dst_port="res")
+        beta = mem.allocate("beta_out", 1)
+        g.bind("read_w", ReadBinding(mem.bind("w_buf", w), width))
+        g.bind("read_v", ReadBinding(mem.bind("v_buf", v), width))
+        g.bind("read_u", ReadBinding(mem.bind("u_buf", u), width))
+        g.bind("axpy", ComputeBinding(
+            lambda ins, outs: level1.axpy_kernel(
+                n, -alpha, ins["v"], ins["w"], outs["z"], width),
+            latency=level1_latency("map", width)))
+        g.bind("dot", ComputeBinding(
+            lambda ins, outs: level1.dot_kernel(
+                n, ins["z"], ins["u"], outs["res"], width),
+            latency=level1_latency("map_reduce", width)))
+        g.bind("write_beta", WriteBinding(beta, 1))
+        return g, beta
+
+    def test_component_retry_recovers_result(self):
+        n, width, alpha = 64, 4, 0.7
+        rng = np.random.default_rng(5)
+        w, v, u = (rng.standard_normal(n).astype(np.float32)
+                   for _ in range(3))
+        mem = DramModel(num_banks=2)
+        g, beta = self._build(mem, n, width, w, v, u, alpha)
+        plan = FaultPlan(seed=0, kernel_faults=(
+            KernelFault("axpy", 3, "crash"),))
+        with inject(plan):
+            result = execute_plan(g, mem, recovery=True)
+        assert result.recovered
+        assert result.recovery[0]["retries"] == 1
+        want = float(reference.dot(reference.axpy(-alpha, v, w), u))
+        assert beta.data[0] == pytest.approx(want, rel=1e-3)
+
+    def test_no_fault_recovery_log_is_clean(self):
+        n, width = 32, 4
+        rng = np.random.default_rng(6)
+        w, v, u = (rng.standard_normal(n).astype(np.float32)
+                   for _ in range(3))
+        mem = DramModel(num_banks=2)
+        g, _ = self._build(mem, n, width, w, v, u, 0.5)
+        result = execute_plan(g, mem, recovery=True)
+        assert result.recovery is not None
+        assert not result.recovered
+        assert all(r["retries"] == 0 for r in result.recovery)
+
+    def test_recovery_off_by_default(self):
+        n, width = 32, 4
+        rng = np.random.default_rng(7)
+        w, v, u = (rng.standard_normal(n).astype(np.float32)
+                   for _ in range(3))
+        mem = DramModel(num_banks=2)
+        g, _ = self._build(mem, n, width, w, v, u, 0.5)
+        result = execute_plan(g, mem)
+        assert result.recovery is None and not result.recovered
+
+
+class TestCampaignSmoke:
+    def test_small_campaign_completes_explained(self):
+        doc = run_campaign(seed=3, apps=("axpydot",), budget=6)
+        assert doc["schema"] == "repro.faultcampaign/1"
+        assert len(doc["trials"]) == 6
+        assert sum(doc["summary"].values()) == 6
+        assert set(doc["summary"]) <= set(OUTCOMES)
+        assert doc["unexplained_hangs"] == 0
+
+    def test_render_summary_mentions_apps_and_outcomes(self):
+        doc = run_campaign(seed=3, apps=("axpydot",), budget=4)
+        text = render_summary(doc)
+        assert "axpydot" in text
+        assert "faults injected:" in text
+        assert "unexplained hangs: 0" in text
