@@ -12,9 +12,18 @@ diagnostic codes over three kinds of subject:
   channel-depth sufficiency prover), run automatically by
   ``Engine.run(preflight=True)``;
 * :func:`analyze_specs` — codegen routine specifications (lint plus
-  resource fit against the Table II device catalogs).
+  resource fit against the Table II device catalogs);
+* :func:`analyze_rates` — SDF rate analysis over an engine's
+  :class:`~repro.fpga.pattern.StaticPattern` ports (balance equations,
+  token conservation, bank-bandwidth feasibility, minimal deadlock-free
+  depths — the FB4xx family), and :func:`certify` /
+  :func:`ensure_certified` to compile the passing design into a
+  :class:`~repro.analysis.schedule.StaticSchedule` that
+  ``Engine(mode="certified")`` replays without runtime probing.
 
-``python -m repro.analysis`` exposes the same checks on the command line.
+``python -m repro.analysis`` exposes the same checks on the command line
+(``--json`` for the versioned ``repro.analysis/1`` report, ``--sarif``
+for SARIF 2.1.0).
 """
 
 from __future__ import annotations
@@ -22,7 +31,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Tuple
 
 from .diagnostics import (
+    ANALYSIS_SCHEMA,
     CODES,
+    SCHEDULE_SCHEMA,
     AnalysisError,
     AnalysisResult,
     Diagnostic,
@@ -32,14 +43,27 @@ from .graphs import disjoint_paths, multipath_pairs, reconvergent_pairs
 from .passes import REGISTRIES, register, run_passes
 
 # Importing the pass modules populates the registries.
-from . import engine_passes, mdag_passes, spec_passes  # noqa: F401
+from . import engine_passes, mdag_passes, rate_passes, spec_passes  # noqa: F401
+from .schedule import (
+    ChannelPlan,
+    KernelSchedule,
+    PhaseSegment,
+    StaticSchedule,
+    certify,
+    ensure_certified,
+    schedule_key,
+)
 from .spec_passes import estimate_spec_resources, estimate_total_resources
 
 __all__ = [
-    "CODES", "AnalysisError", "AnalysisResult", "Diagnostic", "Severity",
-    "REGISTRIES", "analyze_engine", "analyze_mdag", "analyze_specs",
-    "disjoint_paths", "estimate_spec_resources", "estimate_total_resources",
+    "ANALYSIS_SCHEMA", "CODES", "SCHEDULE_SCHEMA",
+    "AnalysisError", "AnalysisResult", "ChannelPlan", "Diagnostic",
+    "KernelSchedule", "PhaseSegment", "Severity", "StaticSchedule",
+    "REGISTRIES", "analyze_engine", "analyze_mdag", "analyze_rates",
+    "analyze_specs", "certify", "disjoint_paths", "ensure_certified",
+    "estimate_spec_resources", "estimate_total_resources",
     "multipath_pairs", "reconvergent_pairs", "register", "run_passes",
+    "schedule_key",
 ]
 
 
@@ -72,3 +96,13 @@ def analyze_specs(specs: Iterable, device=None) -> AnalysisResult:
     specs = list(specs)
     return run_passes("spec", specs, {"device": device},
                       subject_name=f"{len(specs)} routine spec(s)")
+
+
+def analyze_rates(engine) -> AnalysisResult:
+    """Run every SDF rate pass; see :mod:`repro.analysis.rate_passes`.
+
+    Identical to :func:`certify` minus the schedule compilation: a clean
+    result carries the FB405 certificate diagnostic.
+    """
+    result, _schedule = certify(engine)
+    return result

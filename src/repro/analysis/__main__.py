@@ -8,11 +8,14 @@ unsized, window-known-but-undersized, and fixed.
 Usage::
 
     python -m repro.analysis routines.json [--device stratix10] [--json]
+    python -m repro.analysis --app atax [--sarif]
     python -m repro.analysis --demo
     python -m repro.analysis --list-codes
 
-Exit status: 0 when no error-severity diagnostic was found, 1 when at
-least one was (or, with ``--strict``, any warning), 2 on usage errors.
+Exit status: **0** when no error-severity diagnostic was found, **1**
+when at least one was (or, with ``--strict``, any warning), **2** on
+usage errors (unknown arguments, unreadable spec files, or combining
+``--json`` with ``--sarif``).
 """
 
 from __future__ import annotations
@@ -22,21 +25,31 @@ import sys
 
 from . import CODES, AnalysisResult, analyze_mdag, analyze_specs
 
+#: Sec. V applications the ``--app`` flag can analyze pre-flight.
+APPS = ("axpydot", "atax", "bicg", "gemver")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Statically check FBLAS designs: routine specs, "
-                    "resource fit, and MDAG validity.")
+                    "resource fit, MDAG validity, and SDF rates.")
     parser.add_argument("spec", nargs="?",
                         help="routine specification JSON file")
     parser.add_argument("--demo", action="store_true",
                         help="analyze the ATAX reconvergence demo instead "
                              "of a spec file")
+    parser.add_argument("--app", choices=APPS,
+                        help="analyze a built-in Sec. V application MDAG "
+                             "(axpydot additionally runs the FB4xx rate "
+                             "passes over its streaming engine)")
     parser.add_argument("--device", choices=("arria10", "stratix10"),
                         help="check resource fit against this device")
-    parser.add_argument("--json", action="store_true",
-                        help="emit machine-readable JSON")
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON (repro.analysis/1)")
+    fmt.add_argument("--sarif", action="store_true",
+                     help="emit SARIF 2.1.0 for CI code scanning")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
     parser.add_argument("--list-codes", action="store_true",
@@ -44,8 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _emit(result: AnalysisResult, as_json: bool) -> None:
-    print(result.render_json() if as_json else result.render_text())
+def _emit(result: AnalysisResult, as_json: bool,
+          as_sarif: bool = False) -> None:
+    if as_sarif:
+        print(result.render_sarif())
+    else:
+        print(result.render_json() if as_json else result.render_text())
 
 
 def _failed(result: AnalysisResult, strict: bool) -> bool:
@@ -92,6 +109,51 @@ def run_demo(as_json: bool) -> int:
     return 1
 
 
+def analyze_app(name: str) -> AnalysisResult:
+    """Analyze one of the Sec. V applications pre-flight.
+
+    Every app contributes its MDAG analysis; AXPYDOT — the one whose
+    streaming engine is fully patterned — additionally runs the FB4xx
+    SDF rate passes (so a clean run shows the FB405 certificate).  The
+    results merge into a single report so ``--json``/``--sarif`` emit
+    one valid document.
+    """
+    import numpy as np
+
+    from . import analyze_rates
+
+    if name == "axpydot":
+        from ..apps.axpydot import axpydot_mdag, build_axpydot_engine
+        from ..host.context import FblasContext
+        n = 1024
+        result = analyze_mdag(axpydot_mdag(n))
+        ctx = FblasContext()
+        rng = np.random.default_rng(7)
+        bufs = [ctx.copy_to_device(
+            rng.standard_normal(n).astype(np.float32)) for _ in range(3)]
+        eng, _out = build_axpydot_engine(ctx, *bufs, np.float32(0.5),
+                                         width=8)
+        rates = analyze_rates(eng)
+        result.diagnostics.extend(rates.diagnostics)
+        result.passes_run.extend(rates.passes_run)
+        result.subject = f"axpydot (MDAG + {rates.subject})"
+        return result
+    if name == "atax":
+        from ..apps.atax import atax_mdag
+        result = analyze_mdag(atax_mdag(64, 64, 8, 8))
+        result.subject = "atax MDAG"
+        return result
+    if name == "bicg":
+        from ..apps.bicg import bicg_mdag
+        result = analyze_mdag(bicg_mdag(64, 64, 8, 8))
+        result.subject = "bicg MDAG"
+        return result
+    from ..apps.gemver import gemver_component1_mdag
+    result = analyze_mdag(gemver_component1_mdag(64, 8))
+    result.subject = "gemver component-1 MDAG"
+    return result
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_codes:
@@ -100,8 +162,12 @@ def main(argv=None) -> int:
         return 0
     if args.demo:
         return run_demo(args.json)
+    if args.app:
+        result = analyze_app(args.app)
+        _emit(result, args.json, args.sarif)
+        return 1 if _failed(result, args.strict) else 0
     if not args.spec:
-        print("error: provide a spec file, --demo, or --list-codes",
+        print("error: provide a spec file, --app, --demo, or --list-codes",
               file=sys.stderr)
         return 2
 
@@ -115,7 +181,7 @@ def main(argv=None) -> int:
         return 2
     device = DEVICES[args.device] if args.device else None
     result = analyze_specs(specs, device=device)
-    _emit(result, args.json)
+    _emit(result, args.json, args.sarif)
     return 1 if _failed(result, args.strict) else 0
 
 

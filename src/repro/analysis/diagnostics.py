@@ -7,10 +7,16 @@ message text.  Codes are grouped by family:
 * ``FB0xx`` — graph validity (signatures, buffering, cycles, wiring);
 * ``FB1xx`` — resource fit against a device catalog (Table II);
 * ``FB2xx`` — routine-specification lint (non-functional parameters);
-* ``FB3xx`` — analysis coverage notes.
+* ``FB3xx`` — analysis coverage notes;
+* ``FB4xx`` — SDF rate analysis and static-schedule certification.
 
 The full table lives in :data:`CODES`; README.md documents it with worked
 examples.
+
+Machine-readable reports are versioned: :meth:`AnalysisResult.render_json`
+emits a ``repro.analysis/1`` document (mirroring ``repro.metrics/1`` and
+``repro.hangreport/1``) and :meth:`AnalysisResult.render_sarif` emits
+SARIF 2.1.0 for CI code-scanning annotation.
 """
 
 from __future__ import annotations
@@ -56,7 +62,26 @@ CODES: Dict[str, str] = {
     "FB202": "tile size is not a multiple of the vectorization width",
     "FB301": "kernel without port annotations (pre-flight coverage is "
              "partial)",
+    "FB104": "per-bank DRAM bandwidth over-subscription (steady-state "
+             "demand exceeds one bank's share of the Table II budget)",
+    "FB400": "SDF rate mismatch on a channel (balance equations have no "
+             "consistent repetition vector)",
+    "FB401": "unbounded accumulation or structural starvation (declared "
+             "token totals disagree across a channel)",
+    "FB402": "steady-state DRAM bandwidth demand is infeasible for the "
+             "memory model's per-cycle budget",
+    "FB403": "channel depth below the inferred minimal deadlock-free "
+             "depth of a reconvergent pattern pair",
+    "FB404": "kernel not certifiable for static scheduling (no "
+             "executable StaticPattern, or ii != 1)",
+    "FB405": "design certified: a whole-program StaticSchedule exists",
 }
+
+#: Version header for machine-readable analyzer reports.
+ANALYSIS_SCHEMA = "repro.analysis/1"
+
+#: Version header for certified static-schedule artifacts.
+SCHEDULE_SCHEMA = "repro.schedule/1"
 
 
 @dataclass(frozen=True)
@@ -167,10 +192,60 @@ class AnalysisResult:
 
     def render_json(self) -> str:
         return json.dumps({
+            "schema": ANALYSIS_SCHEMA,
             "subject": self.subject,
             "ok": self.ok,
             "passes_run": self.passes_run,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }, indent=2)
+
+    def render_sarif(self) -> str:
+        """Render as a SARIF 2.1.0 log (one run, one result per finding).
+
+        The stable FBxxx codes become SARIF rule ids so code-scanning
+        UIs can group and suppress by code; ``obj``/``edge`` locations
+        are carried as logical locations (the designs have no source
+        files to point at).
+        """
+        levels = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                  Severity.INFO: "note"}
+        rules = []
+        for code in sorted({d.code for d in self.diagnostics}):
+            rules.append({
+                "id": code,
+                "shortDescription": {"text": CODES[code]},
+            })
+        results = []
+        for d in self.diagnostics:
+            res: dict = {
+                "ruleId": d.code,
+                "level": levels[d.severity],
+                "message": {"text": d.message + (f" (fix: {d.fix})"
+                                                 if d.fix else "")},
+            }
+            where = (f"{d.edge[0]} -> {d.edge[1]}" if d.edge
+                     else d.obj)
+            if where:
+                res["locations"] = [{
+                    "logicalLocations": [{"fullyQualifiedName": where}],
+                }]
+            results.append(res)
+        return json.dumps({
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0"
+                        ".json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro.analysis",
+                    "informationUri":
+                        "https://github.com/spcl/FBLAS",
+                    "rules": rules,
+                }},
+                "properties": {"subject": self.subject,
+                               "passes_run": self.passes_run},
+                "results": results,
+            }],
         }, indent=2)
 
 

@@ -41,6 +41,7 @@ import networkx as nx
 from .diagnostics import Diagnostic, Severity
 from .graphs import disjoint_paths, reconvergent_pairs
 from .passes import register
+from .rate_passes import bank_demand
 
 
 def _fully_annotated(engine) -> bool:
@@ -144,6 +145,32 @@ def check_cycles(engine, ctx) -> Iterable[Diagnostic]:
         path = " -> ".join(u for u, _v in cycle) + f" -> {cycle[-1][1]}"
         yield Diagnostic("FB004", Severity.ERROR,
                          f"kernel graph contains a cycle: {path}")
+
+
+@register("engine", "bank-bandwidth")
+def check_bank_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
+    """FB104: per-bank DRAM over-subscription (performance lint).
+
+    Sums the steady-state bytes/cycle each kernel's pattern-declared
+    :class:`~repro.fpga.pattern.DramTraffic` places on each bank and
+    compares against the bank's share of the Table II budget.  Unlike
+    the FB402 certification error this is a warning: the simulation
+    still runs, the memory model just rations grants and the pipeline
+    stalls below its paper throughput.
+    """
+    for (mem, bank), nbytes in sorted(
+            bank_demand(engine).items(),
+            key=lambda kv: -1 if kv[0][1] is None else kv[0][1]):
+        if bank is None or nbytes <= mem.bytes_per_cycle:
+            continue
+        yield Diagnostic(
+            "FB104", Severity.WARNING,
+            f"DRAM bank {bank} is over-subscribed: pattern-declared "
+            f"demand is {nbytes} B/cycle against a {mem.bytes_per_cycle} "
+            "B/cycle bank budget; expect grant rationing and stalls",
+            obj=f"bank{bank}",
+            fix="spread the buffers over more banks or reduce the "
+                "vectorization width")
 
 
 @register("engine", "depths")

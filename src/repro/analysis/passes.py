@@ -25,6 +25,7 @@ REGISTRIES: Dict[str, List[Tuple[str, PassFn]]] = {
     "mdag": [],
     "engine": [],
     "spec": [],
+    "rates": [],
 }
 
 

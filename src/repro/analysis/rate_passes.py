@@ -1,0 +1,381 @@
+"""SDF rate analysis over an engine's ``StaticPattern`` ports (FB4xx).
+
+A design whose kernels all carry executable
+:class:`~repro.fpga.pattern.StaticPattern`\\ s is a synchronous-dataflow
+graph with access patterns (SDF-AP): each kernel fires at initiation
+interval ``ii`` moving ``lanes`` elements per port per firing.  These
+passes treat it as such and prove, before cycle 0, everything the bulk
+tier currently discovers by probing at runtime:
+
+* **FB404** — certifiability: a kernel without an executable pattern (or
+  with ``ii != 1``) has no static firing rule, so no whole-program
+  schedule exists;
+* **FB400** — rate consistency: the balance equations
+  ``q_p * lanes_p = q_c * lanes_c`` must admit a repetition vector, and
+  on a single-clock ``ii=1`` fabric that vector must be *uniform*
+  (every kernel fires every cycle) — mismatched lanes on a channel make
+  the pipeline structurally non-periodic;
+* **FB401** — token conservation: declared per-port element totals must
+  agree across each channel, otherwise one side starves (or is left
+  holding undeliverable elements) after the common prefix drains;
+* **FB402** — bandwidth feasibility: the steady-state DRAM demand
+  implied by the patterns' :class:`~repro.fpga.pattern.DramTraffic`
+  descriptors must fit each bank's per-cycle budget (and the pooled
+  budget), since a certified superstep assumes every burst is granted in
+  full — exactly the Table II arithmetic of the resource lint, applied
+  per bank;
+* **FB403** — minimal deadlock-free depths: for reconvergent pattern
+  paths, the non-deferring branch must buffer the sibling branch's
+  reordering window (the sum of its kernels' pattern ``defer``).  This
+  tightens the two-sided FB002/FB003 prover to an exact bound: the
+  inferred minimum *is* the paper's reconvergence depth (``N * T_N`` for
+  ATAX), with no unproven staging-margin band.
+
+Only channels whose producer *and* consumer both name them in pattern
+ports participate in FB400/FB401 — a single-sided edge (e.g. a
+reduction's event-stepped epilogue push) is dynamic by construction and
+is left to the runtime checks.
+
+The passes live in their own ``"rates"`` registry;
+:func:`repro.analysis.analyze_rates` runs them, and
+:func:`repro.analysis.schedule.certify` compiles a
+:class:`~repro.analysis.schedule.StaticSchedule` when they all pass.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .diagnostics import Diagnostic, Severity
+from .graphs import disjoint_paths, reconvergent_pairs
+from .passes import register
+
+
+# ---------------------------------------------------------------------------
+# Shared structure extraction
+# ---------------------------------------------------------------------------
+
+def pattern_ports(engine):
+    """Port maps from pattern declarations (not ``add_kernel`` lint
+    annotations — patterns are the executable contract).
+
+    Returns ``(producers, consumers)``; each maps a channel object to a
+    list of ``(kernel, lanes, total_elements_or_None)`` tuples (write
+    latency is resolved separately where needed).
+    """
+    producers: Dict[object, List[Tuple]] = {}
+    consumers: Dict[object, List[Tuple]] = {}
+    for k in engine.kernels.values():
+        p = k.pattern
+        if p is None:
+            continue
+        for (ch, w), total in zip(p.reads, p.read_totals):
+            consumers.setdefault(ch, []).append((k, w, total))
+        for (ch, w, _lat), total in zip(p.writes, p.write_totals):
+            producers.setdefault(ch, []).append((k, w, total))
+    return producers, consumers
+
+
+def both_sided_edges(engine):
+    """Channels with exactly one pattern producer and one pattern
+    consumer — the SDF edges the balance equations range over."""
+    producers, consumers = pattern_ports(engine)
+    edges = {}
+    for ch, ps in producers.items():
+        cs = consumers.get(ch)
+        if cs is None or len(ps) != 1 or len(cs) != 1:
+            continue
+        (pk, pw, ptot), (ck, cw, ctot) = ps[0], cs[0]
+        edges[ch] = (pk, pw, ptot, ck, cw, ctot)
+    return edges
+
+
+def solve_balance(engine):
+    """Solve the SDF balance equations over the both-sided edges.
+
+    Returns ``(q, conflicts)``: the repetition vector as
+    ``{kernel_name: Fraction}`` (normalized so the smallest rate is 1)
+    and the list of conflicting channels ``(ch, pk, ck, expected,
+    got)``.  Kernels not touched by any both-sided edge get rate 1.
+    """
+    edges = both_sided_edges(engine)
+    q: Dict[str, Fraction] = {}
+    conflicts = []
+    for ch, (pk, pw, _pt, ck, cw, _ct) in edges.items():
+        qp = q.get(pk.name)
+        qc = q.get(ck.name)
+        if qp is None and qc is None:
+            q[pk.name] = Fraction(1)
+            q[ck.name] = Fraction(pw, cw)
+        elif qc is None:
+            q[ck.name] = qp * Fraction(pw, cw)
+        elif qp is None:
+            q[pk.name] = qc * Fraction(cw, pw)
+        else:
+            if qp * pw != qc * cw:
+                conflicts.append((ch, pk, ck, qp * Fraction(pw, cw), qc))
+    for k in engine.kernels.values():
+        q.setdefault(k.name, Fraction(1))
+    lo = min(q.values(), default=Fraction(1))
+    if lo > 0:
+        q = {name: v / lo for name, v in q.items()}
+    return q, conflicts
+
+
+def bank_demand(engine):
+    """Steady-state DRAM demand in bytes/cycle from pattern traffic.
+
+    Returns ``{(mem, bank): bytes_per_cycle}``; ``bank`` is ``None`` for
+    interleaved buffers (drawing from the pooled budget).  Only
+    pattern-declared traffic is visible — dynamic (ordered) memory
+    kernels contribute nothing here, which FB404 surfaces separately.
+    """
+    demand: Dict[Tuple, int] = {}
+    for k in engine.kernels.values():
+        p = k.pattern
+        if p is None:
+            continue
+        for d in p.dram:
+            key = (d.mem, d.buf.bank)
+            demand[key] = demand.get(key, 0) + d.elements * d.buf.itemsize
+    return demand
+
+
+def _pattern_kernel_graph(engine) -> nx.DiGraph:
+    """Kernel graph over pattern ports, supplemented by ``add_kernel``
+    annotations.
+
+    An *executable* pattern declares only its steady-window ports (e.g.
+    the row-tiles GEMV patterns just the matrix stream), so the full
+    wiring needed by the FB403 reconvergence analysis comes from the
+    union of pattern ports and per-call read/write annotations.
+    Parallel channels aggregate as in the FB00x prover (``depth_lo`` =
+    min depth, ``channels`` = names).
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(k.name for k in engine.kernels.values()
+                     if k.pattern is not None or k.annotated)
+
+    def add(pk_name, ck_name, ch, lanes):
+        if g.has_edge(pk_name, ck_name):
+            data = g.edges[pk_name, ck_name]
+            if ch.name in data["channels"]:
+                return
+            data["depth_lo"] = min(data["depth_lo"], ch.depth)
+            data["lanes"] = max(data["lanes"], lanes)
+            data["channels"].append(ch.name)
+        else:
+            g.add_edge(pk_name, ck_name, depth_lo=ch.depth, lanes=lanes,
+                       channels=[ch.name])
+
+    for ch, (pk, pw, _pt, ck, _cw, _ct) in both_sided_edges(engine).items():
+        add(pk.name, ck.name, ch, pw)
+    writers: Dict[str, List[Tuple]] = {}
+    readers: Dict[str, List[str]] = {}
+    for k in engine.kernels.values():
+        for port in k.write_ports:
+            writers.setdefault(port.channel.name, []).append(
+                (k.name, port.channel, port.lanes))
+        for ch in k.read_channels:
+            readers.setdefault(ch.name, []).append(k.name)
+    for name, ws in writers.items():
+        rs = readers.get(name, ())
+        if len(ws) != 1 or len(rs) != 1:
+            continue
+        (pk_name, ch, lanes), = ws
+        add(pk_name, rs[0], ch, lanes)
+    return g
+
+
+def min_depth_requirements(engine):
+    """Inferred minimal deadlock-free depth per reconvergent branch.
+
+    Returns a list of ``(pair, branch_nodes, channels, capacity,
+    required)`` tuples, one per branch of every reconvergent pattern
+    pair whose sibling branch defers output (``required > 0``).
+    """
+    g = _pattern_kernel_graph(engine)
+    if not nx.is_directed_acyclic_graph(g):
+        return []                        # FB004 territory
+    kernels = engine.kernels
+    out = []
+    for a, b in reconvergent_pairs(g):
+        paths = disjoint_paths(g, a, b)
+        stats = []
+        for p in paths:
+            pedges = list(zip(p[:-1], p[1:]))
+            defer = 0
+            for name in p[1:-1]:
+                k = kernels[name]
+                pat = k.pattern
+                pdefer = getattr(pat, "defer", 0) if pat is not None else 0
+                # A pattern declares only its steady-window ports, so the
+                # add_kernel annotation may know the larger window.
+                defer += max(pdefer, k.defer)
+            stats.append({
+                "nodes": p,
+                "defer": defer,
+                "capacity": sum(g.edges[e]["depth_lo"] for e in pedges),
+                "channels": [c for e in pedges
+                             for c in g.edges[e]["channels"]],
+            })
+        if all(s["defer"] == 0 for s in stats):
+            continue
+        for i, s in enumerate(stats):
+            required = max(t["defer"] for j, t in enumerate(stats)
+                           if j != i)
+            if required > 0:
+                out.append(((a, b), s["nodes"], s["channels"],
+                            s["capacity"], required))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+@register("rates", "certifiable")
+def check_certifiable(engine, ctx) -> Iterable[Diagnostic]:
+    """FB404: every kernel needs an executable ii=1 StaticPattern."""
+    for k in engine.kernels.values():
+        p = k.pattern
+        if p is None:
+            yield Diagnostic(
+                "FB404", Severity.ERROR,
+                f"kernel {k.name!r} carries no StaticPattern; its firing "
+                "behaviour is dynamic and cannot be scheduled statically",
+                obj=k.name,
+                fix="wrap the generator in PatternedGenerator with an "
+                    "executable StaticPattern")
+        elif p._ready is None:
+            yield Diagnostic(
+                "FB404", Severity.ERROR,
+                f"kernel {k.name!r} has a declare-only pattern (ports "
+                "documented, no block executor); the fast path can never "
+                "engage for it", obj=k.name,
+                fix="supply ready=/block= so the pattern is executable")
+        elif p.ii != 1:
+            yield Diagnostic(
+                "FB404", Severity.ERROR,
+                f"kernel {k.name!r} initiates every {p.ii} cycles; "
+                "whole-program windows require ii == 1", obj=k.name)
+
+
+@register("rates", "rates")
+def check_rates(engine, ctx) -> Iterable[Diagnostic]:
+    """FB400: balance equations must yield a uniform repetition vector."""
+    edges = both_sided_edges(engine)
+    producers, consumers = pattern_ports(engine)
+    for ch, ps in producers.items():
+        if len(ps) > 1:
+            yield Diagnostic(
+                "FB400", Severity.ERROR,
+                f"channel {ch.name!r} has {len(ps)} pattern producers; "
+                "SDF edges are single-producer", obj=ch.name)
+    for ch, cs in consumers.items():
+        if len(cs) > 1:
+            yield Diagnostic(
+                "FB400", Severity.ERROR,
+                f"channel {ch.name!r} has {len(cs)} pattern consumers; "
+                "SDF edges are single-consumer", obj=ch.name)
+    q, conflicts = solve_balance(engine)
+    for ch, pk, ck, expected, got in conflicts:
+        yield Diagnostic(
+            "FB400", Severity.ERROR,
+            f"channel {ch.name!r}: balance equations are inconsistent — "
+            f"propagation forces rate {expected} on {ck.name!r} but its "
+            f"other edges force {got}; no repetition vector exists",
+            edge=(pk.name, ck.name), obj=ch.name)
+    if not conflicts:
+        for ch, (pk, pw, _pt, ck, cw, _ct) in edges.items():
+            if pw != cw:
+                yield Diagnostic(
+                    "FB400", Severity.ERROR,
+                    f"channel {ch.name!r}: producer {pk.name!r} pushes "
+                    f"{pw} lanes/cycle but consumer {ck.name!r} pops "
+                    f"{cw}; the repetition vector "
+                    f"({ck.name}: {q[ck.name]} firings per {pk.name} "
+                    "firing) is not uniform, so no single-clock ii=1 "
+                    "steady state exists",
+                    edge=(pk.name, ck.name), obj=ch.name,
+                    fix=f"match the lanes (width) on {ch.name!r}")
+
+
+@register("rates", "tokens")
+def check_tokens(engine, ctx) -> Iterable[Diagnostic]:
+    """FB401: per-channel element totals must conserve."""
+    for ch, (pk, _pw, ptot, ck, _cw, ctot) in both_sided_edges(
+            engine).items():
+        if ptot is None or ctot is None or ptot == ctot:
+            continue
+        if ptot < ctot:
+            yield Diagnostic(
+                "FB401", Severity.ERROR,
+                f"channel {ch.name!r}: consumer {ck.name!r} expects "
+                f"{ctot} elements but producer {pk.name!r} emits only "
+                f"{ptot}; the consumer starves after the common prefix",
+                edge=(pk.name, ck.name), obj=ch.name)
+        else:
+            yield Diagnostic(
+                "FB401", Severity.ERROR,
+                f"channel {ch.name!r}: producer {pk.name!r} emits {ptot} "
+                f"elements but consumer {ck.name!r} accepts only {ctot}; "
+                f"the surplus {ptot - ctot} accumulate until the channel "
+                "back-pressures the producer forever",
+                edge=(pk.name, ck.name), obj=ch.name)
+
+
+@register("rates", "bandwidth")
+def check_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
+    """FB402: steady DRAM demand must fit every bank budget in full."""
+    demand = bank_demand(engine)
+    pooled: Dict[int, Tuple[object, int]] = {}
+    for (mem, bank), nbytes in sorted(
+            demand.items(), key=lambda kv: (id(kv[0][0]), -1 if kv[0][1]
+                                            is None else kv[0][1])):
+        mid = id(mem)
+        prev = pooled.get(mid, (mem, 0))[1]
+        pooled[mid] = (mem, prev + nbytes)
+        if bank is None:
+            continue
+        if nbytes > mem.bytes_per_cycle:
+            yield Diagnostic(
+                "FB402", Severity.ERROR,
+                f"DRAM bank {bank} must move {nbytes} B/cycle at steady "
+                f"state but grants at most {mem.bytes_per_cycle}; "
+                "certified windows assume full grants, so this design "
+                "cannot be statically scheduled",
+                obj=f"bank{bank}",
+                fix="spread the buffers over more banks or reduce the "
+                    "vectorization width")
+    for mid, (mem, total) in pooled.items():
+        budget = mem.num_banks * mem.bytes_per_cycle
+        if total > budget:
+            yield Diagnostic(
+                "FB402", Severity.ERROR,
+                f"aggregate DRAM demand {total} B/cycle exceeds the "
+                f"pooled budget {budget} ({mem.num_banks} banks x "
+                f"{mem.bytes_per_cycle} B)", obj="dram")
+
+
+@register("rates", "min-depths")
+def check_min_depths(engine, ctx) -> Iterable[Diagnostic]:
+    """FB403: exact minimal deadlock-free depths on reconvergent pairs."""
+    for (a, b), nodes, chans, capacity, required in \
+            min_depth_requirements(engine):
+        if capacity >= required:
+            continue
+        name = chans[0] if chans else "?"
+        yield Diagnostic(
+            "FB403", Severity.ERROR,
+            f"reconvergent kernels {a!r} -> {b!r}: branch "
+            f"{' -> '.join(nodes)} buffers {capacity} elements but the "
+            f"sibling branch defers {required} before its first output; "
+            f"the minimal deadlock-free branch depth is {required}",
+            edge=(a, b),
+            fix=f"raise channel {name!r} depth by >= "
+                f"{required - capacity} (minimal deadlock-free depth "
+                f"{required})")

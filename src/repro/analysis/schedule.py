@@ -1,0 +1,239 @@
+"""Certified whole-program static schedules.
+
+When every FB4xx rate pass in :mod:`repro.analysis.rate_passes` comes
+back clean, the design's steady state is fully determined before cycle
+0: every kernel fires every cycle at its declared lanes, every DRAM
+burst is granted in full, and every reconvergent branch has the buffer
+capacity its sibling's reordering window needs.  :func:`certify`
+compiles that proof into a typed :class:`StaticSchedule` artifact — the
+fill / steady-window / drain phase plan per kernel, the per-channel
+minimal depths, the per-bank byte budget, and a two-sided predicted
+cycle band from the ``C = L + II * M`` pipeline model.
+
+``Engine(mode="certified")`` calls :func:`ensure_certified` before
+running and then executes through
+:class:`~repro.fpga.bulk.CertifiedScheduler`, which replays steady
+windows against the certificate with **no** runtime probing,
+fingerprinting, or cooldown fallback — the O(channels) phase-alignment
+check replaces the bulk tier's speculative probe entirely.  Schedules
+are structural, so :func:`ensure_certified` caches them by a key over
+(kernel, pattern, channel-depth) shape: rebuilding the same composition
+for a new problem instance reuses the certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..models.performance import certified_cycle_band
+from .diagnostics import (
+    SCHEDULE_SCHEMA,
+    AnalysisResult,
+    Diagnostic,
+    Severity,
+)
+from .passes import run_passes
+from .rate_passes import (
+    bank_demand,
+    both_sided_edges,
+    min_depth_requirements,
+    solve_balance,
+)
+
+__all__ = [
+    "ChannelPlan", "KernelSchedule", "PhaseSegment", "StaticSchedule",
+    "certify", "ensure_certified", "schedule_key",
+]
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One phase of a kernel's static execution plan."""
+
+    kind: str                    # "fill" | "steady" | "drain"
+    cycles: int                  # length of one repetition, in cycles
+    repetitions: int = 1
+
+
+@dataclass(frozen=True)
+class KernelSchedule:
+    """Per-kernel phase plan plus the steady-state deltas the replay
+    engine applies per cycle without simulating."""
+
+    kernel: str
+    lanes: int                   # elements moved per port per firing
+    iterations: Optional[int]    # steady firings M (None = data-dependent)
+    latency: int
+    ii: int
+    segments: Tuple[PhaseSegment, ...]
+    dram_bytes_per_cycle: int = 0
+    stall_free: bool = True      # certified steady windows never stall
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Per-channel capacity plan: configured vs. inferred-minimal depth
+    and the steady occupancy delta (zero — F(S) == S)."""
+
+    channel: str
+    depth: int
+    min_depth: int
+    lanes: int
+    producer: str
+    consumer: str
+    occupancy_delta: int = 0
+
+
+@dataclass(frozen=True)
+class StaticSchedule:
+    """A certified whole-program schedule (``repro.schedule/1``)."""
+
+    subject: str
+    kernels: Tuple[KernelSchedule, ...]
+    channels: Tuple[ChannelPlan, ...]
+    repetition: Dict[str, int] = field(default_factory=dict)
+    bank_bytes_per_cycle: Dict[str, int] = field(default_factory=dict)
+    predicted_cycles: Tuple[int, int] = (0, 0)
+    schema: str = SCHEDULE_SCHEMA
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["predicted_cycles"] = list(self.predicted_cycles)
+        # schema first, for the same reasons as the analysis reports
+        return {"schema": d.pop("schema"), **d}
+
+
+def _kernel_lanes(pattern) -> int:
+    widths = [w for _ch, w in pattern.reads]
+    widths += [w for _ch, w, _lat in pattern.writes]
+    return max(widths, default=1)
+
+
+def _kernel_iterations(pattern, lanes: int) -> Optional[int]:
+    totals = [t for t in pattern.read_totals + pattern.write_totals
+              if t is not None]
+    if not totals or lanes < 1:
+        return None
+    return max(-(-t // lanes) for t in totals)
+
+
+def _build_schedule(engine, subject: str) -> StaticSchedule:
+    """Compile the certificate.  Only called once the rate passes have
+    all passed, so every kernel has an executable ii=1 pattern."""
+    q, _conflicts = solve_balance(engine)
+    edges = both_sided_edges(engine)
+
+    # Per-channel minimal depths: lanes by default, the reconvergence
+    # window where the FB403 analysis found one.
+    min_depths: Dict[str, int] = {}
+    for _pair, _nodes, chans, _cap, required in \
+            min_depth_requirements(engine):
+        for name in chans:
+            min_depths[name] = max(min_depths.get(name, 0), required)
+
+    per_kernel_dram: Dict[str, int] = {}
+    kernels = []
+    for k in engine.kernels.values():
+        p = k.pattern
+        lanes = _kernel_lanes(p)
+        m = _kernel_iterations(p, lanes)
+        dram = sum(d.elements * d.buf.itemsize for d in p.dram)
+        per_kernel_dram[k.name] = dram
+        segments = (PhaseSegment("fill", k.latency),
+                    PhaseSegment("steady", p.ii, m if m is not None else 0),
+                    PhaseSegment("drain", k.latency))
+        kernels.append(KernelSchedule(
+            kernel=k.name, lanes=lanes, iterations=m, latency=k.latency,
+            ii=p.ii, segments=segments, dram_bytes_per_cycle=dram))
+
+    channels = []
+    for ch, (pk, pw, _pt, ck, _cw, _ct) in edges.items():
+        channels.append(ChannelPlan(
+            channel=ch.name, depth=ch.depth,
+            min_depth=min_depths.get(ch.name, pw), lanes=pw,
+            producer=pk.name, consumer=ck.name))
+
+    banks = {("dram" if bank is None else f"bank{bank}"): nbytes
+             for (_mem, bank), nbytes in bank_demand(engine).items()}
+
+    lo, hi = certified_cycle_band(
+        latencies=[ks.latency for ks in kernels],
+        iis=[ks.ii for ks in kernels],
+        iterations=[ks.iterations for ks in kernels],
+        lanes=[ks.lanes for ks in kernels])
+
+    return StaticSchedule(
+        subject=subject,
+        kernels=tuple(kernels),
+        channels=tuple(sorted(channels, key=lambda c: c.channel)),
+        repetition={name: int(v) for name, v in sorted(q.items())},
+        bank_bytes_per_cycle=banks,
+        predicted_cycles=(lo, hi))
+
+
+def certify(engine) -> Tuple[AnalysisResult, Optional[StaticSchedule]]:
+    """Run the FB4xx rate passes; compile a schedule when they pass.
+
+    Returns ``(result, schedule)`` — ``schedule`` is ``None`` when any
+    error-severity diagnostic fired.  A clean run appends the FB405
+    certificate diagnostic so reports show *why* the design was allowed
+    into certified mode.
+    """
+    subject = f"engine({len(engine.kernels)} kernels)"
+    result = run_passes("rates", engine, {}, subject_name=subject)
+    if not result.ok:
+        return result, None
+    schedule = _build_schedule(engine, subject)
+    lo, hi = schedule.predicted_cycles
+    result.diagnostics.append(Diagnostic(
+        "FB405", Severity.INFO,
+        f"design certified: whole-program static schedule exists "
+        f"({len(schedule.kernels)} kernels, uniform repetition vector, "
+        f"predicted {lo}..{hi} cycles)"))
+    return result, schedule
+
+
+def schedule_key(engine) -> tuple:
+    """Structural fingerprint of a composition.
+
+    Two engines with the same kernel/pattern/channel shape share their
+    certificate even when the payload data differs — totals are part of
+    the key because they fix the steady repetition counts.
+    """
+    kparts = []
+    for k in engine.kernels.values():
+        p = k.pattern
+        if p is None:
+            kparts.append((k.name, k.latency, k.ii, None))
+            continue
+        kparts.append((
+            k.name, k.latency, k.ii,
+            tuple((ch.name, w) for ch, w in p.reads),
+            tuple((ch.name, w, lat) for ch, w, lat in p.writes),
+            p.read_totals, p.write_totals, p.ii,
+            getattr(p, "defer", 0), p._ready is not None))
+    chparts = tuple(sorted((ch.name, ch.depth)
+                           for ch in engine.channels.values()))
+    return tuple(kparts), chparts
+
+
+def ensure_certified(engine, cache: Optional[dict] = None) -> StaticSchedule:
+    """Certify ``engine`` or raise; memoized on ``cache`` when given.
+
+    This is the entry point ``Engine(mode="certified")`` uses: a design
+    that fails any rate pass raises
+    :class:`~repro.analysis.diagnostics.AnalysisError` carrying the full
+    diagnostic list, *before* any cycle is simulated.
+    """
+    key = schedule_key(engine) if cache is not None else None
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result, schedule = certify(engine)
+    if schedule is None:
+        result.raise_if_errors()
+    if cache is not None:
+        cache[key] = schedule
+    return schedule

@@ -125,12 +125,18 @@ def axpydot_streaming(ctx: FblasContext, w, v, u, alpha,
         return _axpydot_streaming(ctx, w, v, u, alpha, width, mode)
 
 
-def _axpydot_streaming(ctx, w, v, u, alpha, width, mode) -> AppResult:
+def build_axpydot_engine(ctx, w, v, u, alpha, width: int = 16,
+                         mode: str = "event", schedule_cache=None):
+    """Build the Fig. 6 streaming engine without running it.
+
+    Returns ``(engine, out)`` where ``out`` collects beta.  Exposed so
+    the static analyzer CLI (``python -m repro.analysis --app axpydot``)
+    and the certified-schedule tests can inspect the design pre-flight.
+    """
     n = w.num_elements
     dtype = w.data.dtype.type
     precision = "single" if w.data.dtype == np.float32 else "double"
-    io_before = ctx.mem.total_elements_moved
-    eng = Engine(memory=ctx.mem, mode=mode)
+    eng = Engine(memory=ctx.mem, mode=mode, schedule_cache=schedule_cache)
     cw = eng.channel("w", 4 * width)
     cv = eng.channel("v", 4 * width)
     cu = eng.channel("u", 4 * width)
@@ -146,6 +152,14 @@ def _axpydot_streaming(ctx, w, v, u, alpha, width, mode) -> AppResult:
         latency=level1_latency("map_reduce", width, precision))
     out = []
     eng.add_kernel("sink", sink_kernel(cres, 1, 1, out))
+    return eng, out
+
+
+def _axpydot_streaming(ctx, w, v, u, alpha, width, mode) -> AppResult:
+    n = w.num_elements
+    precision = "single" if w.data.dtype == np.float32 else "double"
+    io_before = ctx.mem.total_elements_moved
+    eng, out = build_axpydot_engine(ctx, w, v, u, alpha, width, mode)
     report = eng.run()
     io = ctx.mem.total_elements_moved - io_before + 1
     freq = ctx.frequency_for("level1", precision)

@@ -77,7 +77,8 @@ def _steady_map(n, width, ins, outs, emit, block, dtype):
     pat = StaticPattern(
         reads=tuple((ch, width) for ch in ins),
         writes=tuple((ch, width, None) for ch in outs),
-        ii=1, dtype=dtype, ready=ready, block=blk)
+        ii=1, dtype=dtype, ready=ready, block=blk,
+        read_totals=(n,) * len(ins), write_totals=(n,) * len(outs))
     return PatternedGenerator(gen(), pat)
 
 
@@ -115,7 +116,8 @@ def _steady_reduce(n, width, ins, ch_res, fold, block, finalize,
 
     pat = StaticPattern(
         reads=tuple((ch, width) for ch in ins),
-        ii=ii, dtype=dtype, ready=ready, block=blk)
+        ii=ii, dtype=dtype, ready=ready, block=blk,
+        read_totals=(n,) * len(ins))
     return PatternedGenerator(gen(), pat)
 
 

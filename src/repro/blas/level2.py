@@ -15,12 +15,19 @@ streaming implementations with different I/O complexities:
 All kernels expect the matrix stream in the order produced by the matching
 :class:`repro.streaming.tiling.MatrixSchedule` with row-major elements.
 
-The tiled loop nests are not statically regular cycle by cycle (block
-loads, per-tile epilogues, loop-carried solves), so every module here
-carries a *declare-only* :class:`~repro.fpga.pattern.StaticPattern` via
-:func:`_declared`: the steady ports and rates are documented for
-analysis and the bulk engine, but ``ready()`` is pinned to 0 and the
-fast path always falls back to exact event stepping for these kernels.
+The tiled loop nests are mostly not statically regular cycle by cycle
+(block loads, per-tile epilogues, loop-carried solves), so modules here
+carry a *declare-only* :class:`~repro.fpga.pattern.StaticPattern` via
+:func:`_declared`: the steady ports, rates and reordering windows
+(``defer``) are documented for analysis and the bulk engine, but
+``ready()`` is pinned to 0 and the fast path always falls back to exact
+event stepping for these kernels.  The exception is
+:func:`gemv_row_tiles`: when the tile width divides the vectorization
+width evenly its matrix phase *is* regular — one W-wide burst of A per
+cycle for T_N*T_M/W cycles — so it carries an executable pattern over
+the A port alone and the bulk/certified engines fast-forward whole
+tiles, dropping to event stepping only for the x/y block loads and the
+per-row-of-tiles output epilogue.
 """
 
 from __future__ import annotations
@@ -32,15 +39,18 @@ import numpy as np
 
 from ..fpga.kernel import Clock, Pop, Push
 from ..fpga.pattern import PatternedGenerator, StaticPattern
-from .level1 import _chunk, _tree_reduce
+from .level1 import _chunk, _tree_reduce, _tree_reduce_rows
 
 
-def _declared(reads=(), writes=()):
+def _declared(reads=(), writes=(), defer=None):
     """Attach a declare-only port pattern to a level-2 module generator.
 
     ``reads``/``writes`` name the decorated function's channel
     parameters; lane counts come from its bound ``width`` argument, so
-    the derivation is automatic for every call signature.
+    the derivation is automatic for every call signature.  ``defer``
+    optionally maps the bound arguments to the kernel's reordering
+    window (elements consumed before the first push) for the FB403
+    minimal-depth inference.
     """
     def deco(fn):
         sig = inspect.signature(fn)
@@ -53,7 +63,8 @@ def _declared(reads=(), writes=()):
             w = arg.get("width", 1)
             pat = StaticPattern.declare(
                 reads=tuple((arg[name], w) for name in reads),
-                writes=tuple((arg[name], w, None) for name in writes))
+                writes=tuple((arg[name], w, None) for name in writes),
+                defer=defer(arg) if defer is not None else 0)
             return PatternedGenerator(fn(*args, **kwargs), pat)
         return build
     return deco
@@ -87,7 +98,26 @@ def _push_block(ch, values, width):
         done += c
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+class _GemvCursor:
+    """Shared loop state for the patterned row-tiles GEMV.
+
+    The generator drives its matrix phase entirely off this cursor
+    (updating it *before* each end-of-iteration ``Clock``), so the
+    pattern's ``block()`` can fast-forward ``k`` A-bursts and the
+    resumed generator continues seamlessly from the advanced state.
+    """
+
+    __slots__ = ("in_a", "r", "done", "row_acc", "acc", "xs")
+
+    def __init__(self):
+        self.in_a = False      # suspended inside a tile's matrix phase
+        self.r = 0             # current row within the tile
+        self.done = 0          # elements consumed in the current row
+        self.row_acc = None    # partial sum of the current row
+        self.acc = None        # (tile_n,) accumulators for the tile row
+        self.xs = None         # current x block as an ndarray
+
+
 def gemv_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                    tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV y = alpha*A*x + beta*y, A (N x M) in tiles by rows.
@@ -97,32 +127,119 @@ def gemv_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
     replayed ceil(N/T_N) times; ``ch_y`` carries y once; ``ch_out``
     receives y' in T_N blocks.  A block of y is reused on chip across an
     entire row of tiles.
+
+    When ``width`` divides ``tile_m`` the matrix phase is statically
+    regular (one W-wide burst of A per cycle) and the attached pattern is
+    *executable* over the A port: the bulk/certified engines replay whole
+    tiles arithmetically with the same adder-tree and sequential
+    accumulation rounding as the scalar loop.  The x/y loads and the
+    output epilogue stay event-stepped.
     """
     _check_tiles(n, tile_n, m, tile_m)
     alpha = dtype(alpha)
     beta = dtype(beta)
-    for ti in range(n // tile_n):
-        ys = yield from _pop_block(ch_y, tile_n, width)
-        acc = [dtype(0)] * tile_n
-        for tj in range(m // tile_m):
-            xs = yield from _pop_block(ch_x, tile_m, width)
-            for r in range(tile_n):
-                row_acc = dtype(0)
-                done = 0
-                while done < tile_m:
-                    c = min(width, tile_m - done)
+    st = _GemvCursor()
+
+    def gen():
+        for ti in range(n // tile_n):
+            ys = yield from _pop_block(ch_y, tile_n, width)
+            st.acc = np.zeros(tile_n, dtype=dtype)
+            for tj in range(m // tile_m):
+                xs = yield from _pop_block(ch_x, tile_m, width)
+                st.xs = np.asarray(xs, dtype=dtype)
+                st.r = 0
+                st.done = 0
+                st.row_acc = dtype(0)
+                st.in_a = True
+                while st.in_a:
+                    c = min(width, tile_m - st.done)
                     avals = _chunk((yield Pop(ch_a, c)), c)
-                    row_acc = row_acc + _tree_reduce(
+                    st.row_acc = st.row_acc + _tree_reduce(
                         [dtype(a) * dtype(x)
-                         for a, x in zip(avals, xs[done:done + c])], dtype)
+                         for a, x in zip(avals, xs[st.done:st.done + c])],
+                        dtype)
+                    st.done += c
+                    if st.done == tile_m:
+                        st.acc[st.r] = st.acc[st.r] + st.row_acc
+                        st.row_acc = dtype(0)
+                        st.done = 0
+                        st.r += 1
+                        if st.r == tile_n:
+                            st.in_a = False
                     yield Clock()
-                    done += c
-                acc[r] = acc[r] + row_acc
-        result = [alpha * a + beta * dtype(y) for a, y in zip(acc, ys)]
-        yield from _push_block(ch_out, result, width)
+            result = [alpha * a + beta * dtype(y)
+                      for a, y in zip(st.acc, ys)]
+            yield from _push_block(ch_out, result, width)
+
+    defer = m * tile_n                   # a full row of tiles of A
+    if tile_m % width:
+        # Ragged bursts inside a row: not statically regular; keep the
+        # ports and reordering window visible to analysis only.
+        pat = StaticPattern.declare(
+            reads=((ch_a, width), (ch_x, width), (ch_y, width)),
+            writes=((ch_out, width, None),),
+            read_totals=(n * m, m * (n // tile_n), n),
+            write_totals=(n,), defer=defer)
+        return PatternedGenerator(gen(), pat)
+
+    cpr = tile_m // width               # A-bursts per row
+
+    def ready():
+        if not st.in_a:
+            return 0
+        return (tile_n - st.r) * cpr - st.done // width
+
+    def block(k, ins):
+        xv = st.xs.reshape(cpr, width)
+        start = st.r * cpr + st.done // width
+        amat = np.asarray(ins[0]).reshape(k, width)
+        sums = _tree_reduce_rows(amat * xv[(start + np.arange(k)) % cpr])
+        idx = 0
+        if st.done:
+            # Finish the partially accumulated current row first.
+            take = min(k, cpr - st.done // width)
+            st.row_acc = np.add.accumulate(np.concatenate(
+                (np.asarray([st.row_acc], dtype=dtype),
+                 sums[:take])))[-1]
+            st.done += take * width
+            idx = take
+            if st.done == tile_m:
+                st.acc[st.r] = st.acc[st.r] + st.row_acc
+                st.row_acc = dtype(0)
+                st.done = 0
+                st.r += 1
+        full = (k - idx) // cpr
+        if full:
+            # Whole rows: sequential left-folds from an explicit zero,
+            # vectorized across rows (np.add.accumulate is defined
+            # elementwise-sequentially, matching the scalar adds).
+            mat = np.concatenate(
+                (np.zeros((full, 1), dtype=dtype),
+                 sums[idx:idx + full * cpr].reshape(full, cpr)), axis=1)
+            st.acc[st.r:st.r + full] = (
+                st.acc[st.r:st.r + full]
+                + np.add.accumulate(mat, axis=1)[:, -1])
+            st.r += full
+            idx += full * cpr
+        if idx < k:
+            # Leading bursts of the next (incomplete) row.
+            st.row_acc = np.add.accumulate(np.concatenate(
+                (np.asarray([st.row_acc], dtype=dtype),
+                 sums[idx:])))[-1]
+            st.done = (k - idx) * width
+        if st.r == tile_n:
+            st.in_a = False
+        return []
+
+    pat = StaticPattern(
+        reads=((ch_a, width),), ii=1, dtype=dtype,
+        ready=ready, block=block,
+        read_totals=(n * m,), defer=defer)
+    return PatternedGenerator(gen(), pat)
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",),
+           defer=lambda a: a["m"] * a["tile_n"])
 def gemv_row_tiles_colmajor(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                             tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV, tiles by rows, with *column-major* elements inside each tile.
@@ -157,7 +274,8 @@ def gemv_row_tiles_colmajor(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield from _push_block(ch_out, result, width)
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",),
+           defer=lambda a: a["tile_n"] * a["tile_m"])
 def gemv_col_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                    tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV with A (N x M) in tiles by columns (Fig. 2, right).
@@ -198,7 +316,8 @@ def gemv_col_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
             yield from _push_block(ch_out, out, width)
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",),
+           defer=lambda a: a["m"] * a["tile_n"])
 def gemv_row_tiles_db(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                       tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV, tiles by rows, with double-buffered x blocks.
@@ -277,7 +396,8 @@ def y_replay_router(n, passes, ch_from_gemv, ch_feedback, ch_final, width=1):
             done += c
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",),
+           defer=lambda a: a["m"])
 def gemv_nontiled(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                   width=1, dtype=np.float32):
     """Non-tiled GEMV (Listing 1): x replayed for every row of A.
@@ -306,7 +426,8 @@ def gemv_nontiled(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield Clock()
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",),
+           defer=lambda a: a["n"] * a["m"])
 def gemv_transposed_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                               tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV^T s = alpha*A^T*x + beta*s, with A (N x M) in tiles by ROWS.
@@ -415,7 +536,8 @@ def syr2_kernel(n, alpha, ch_a, ch_x_row, ch_y_col, ch_y_row, ch_x_col,
                     done += c
 
 
-@_declared(reads=("ch_a", "ch_b"), writes=("ch_out",))
+@_declared(reads=("ch_a", "ch_b"), writes=("ch_out",),
+           defer=lambda a: a["n"])
 def trsv_kernel(n, ch_a, ch_b, ch_out, width=1, dtype=np.float32,
                 lower=True, unit_diag=False):
     """TRSV: solve A x = b for triangular A streamed row by row.

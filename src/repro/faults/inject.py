@@ -128,6 +128,12 @@ class FaultInjector:
             q.remove(f)
             j = f.index - base
             cyc = self.engine.now
+            if j >= len(out):
+                # A drop at the same index already removed the element
+                # this fault targeted; there is nothing left to disturb.
+                self._note(f, cyc, channel=ch.name, index=f.index,
+                           voided=True)
+                continue
             if f.kind == "corrupt":
                 out[j] = flip_bits(out[j], f.bit)
             elif f.kind == "drop":

@@ -285,9 +285,18 @@ class Engine:
         :mod:`repro.fpga.scheduler`; ``"dense"`` runs the original
         every-kernel-every-cycle reference loop; ``"bulk"`` adds the
         steady-state superstep fast path of :mod:`repro.fpga.bulk` on
-        top of the event core.  All produce identical reports; event
-        mode is faster the more a design stalls or sleeps, bulk mode the
-        longer its pattern-annotated pipelines run at steady state.
+        top of the event core; ``"certified"`` requires a whole-program
+        :class:`repro.analysis.schedule.StaticSchedule` certificate
+        (raising :class:`repro.analysis.AnalysisError` with FB4xx
+        diagnostics when none exists) and then replays steady windows
+        with zero runtime probing or cooldown fallback.  All produce
+        identical reports; event mode is faster the more a design stalls
+        or sleeps, bulk/certified mode the longer its pattern-annotated
+        pipelines run at steady state.
+    schedule_cache:
+        Optional mutable mapping reused across ``"certified"`` runs:
+        structurally identical compositions share one certification
+        (see :func:`repro.analysis.schedule.ensure_certified`).
     observers:
         Iterable of :class:`~repro.fpga.observers.EngineObserver`
         instances notified of run/cycle/kernel/channel events.
@@ -298,10 +307,11 @@ class Engine:
 
     def __init__(self, memory=None, trace: bool = False,
                  preflight: bool = False, mode: str = "event",
-                 observers=(), fault_plan=None):
-        if mode not in ("event", "dense", "bulk"):
+                 observers=(), fault_plan=None, schedule_cache=None):
+        if mode not in ("event", "dense", "bulk", "certified"):
             raise ValueError(
-                f"mode must be 'event', 'dense' or 'bulk', got {mode!r}")
+                f"mode must be 'event', 'dense', 'bulk' or 'certified', "
+                f"got {mode!r}")
         self.memory = memory
         self.trace = trace
         self.preflight = preflight
@@ -327,6 +337,11 @@ class Engine:
         # outside injected runs); the bulk tier consults it to clamp
         # superstep windows away from fault cycles.
         self._injector = None
+        # Certified-mode state: the per-composition certification cache
+        # (shared by the caller, e.g. one per Fblas instance) and the
+        # StaticSchedule of the most recent certified run.
+        self._schedule_cache = schedule_cache
+        self.schedule = None
 
     # -- construction -------------------------------------------------------
     def channel(self, name: str,
@@ -499,6 +514,15 @@ class Engine:
             if self.mode == "bulk":
                 from .bulk import BulkScheduler
                 return BulkScheduler(self, max_cycles).run()
+            if self.mode == "certified":
+                # Certify (or fetch the cached certificate for this
+                # structure) before cycle 0; a design the rate analyzer
+                # rejects raises AnalysisError with FB4xx diagnostics.
+                from ..analysis.schedule import ensure_certified
+                from .bulk import CertifiedScheduler
+                self.schedule = ensure_certified(
+                    self, cache=self._schedule_cache)
+                return CertifiedScheduler(self, max_cycles).run()
             return self._run_dense(max_cycles)
         finally:
             if injector is not None:

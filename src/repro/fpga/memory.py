@@ -224,8 +224,14 @@ def read_kernel(mem: DramModel, buf: DramBuffer, ch, width: int = 1,
     (one full-width contiguous burst per cycle while the bank keeps
     granting it), so bulk mode can fast-forward it; an explicit ``order``
     keeps the general index-at-a-time generator and is always
-    event-stepped.
+    event-stepped.  An order that *is* the linear order — a unit-stride
+    range covering the whole buffer, as the host API's stride plumbing
+    emits for ``inc == 1`` — is normalized to the patterned linear path,
+    so host-level routines stay certifiable in the common case.
     """
+    if (isinstance(order, range) and order.start == 0 and order.step == 1
+            and len(order) == buf.num_elements):
+        order = None
     if order is not None:
         return _read_kernel_ordered(mem, buf, ch, width, order, repeat)
     return _read_kernel_linear(mem, buf, ch, width, repeat)
@@ -311,7 +317,8 @@ def _read_kernel_linear(mem: DramModel, buf: DramBuffer, ch, width, repeat):
 
     pat = StaticPattern(
         writes=((ch, width, 1),), ii=1, ready=ready, block=block,
-        dram=(DramTraffic(mem, buf, width, "read"),))
+        dram=(DramTraffic(mem, buf, width, "read"),),
+        write_totals=(n_el * repeat,))
     return PatternedGenerator(gen(), pat)
 
 
@@ -417,5 +424,6 @@ def _write_kernel_linear(mem: DramModel, buf: DramBuffer, ch, count, width):
 
     pat = StaticPattern(
         reads=((ch, width),), ii=1, ready=ready, block=block,
-        dram=(DramTraffic(mem, buf, width, "write"),))
+        dram=(DramTraffic(mem, buf, width, "write"),),
+        read_totals=(count,))
     return PatternedGenerator(gen(), pat)

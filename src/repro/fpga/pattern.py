@@ -87,31 +87,62 @@ class StaticPattern:
     dram:
         Optional sequence of :class:`DramTraffic` descriptors for memory
         kernels, so bank counters can be advanced arithmetically.
+    read_totals / write_totals:
+        Optional tuples aligned with ``reads`` / ``writes`` giving the
+        *total number of elements* the kernel consumes/produces on each
+        port over a whole run (``None`` entries mean unknown).  The SDF
+        rate analyzer (:mod:`repro.analysis.rate_passes`) uses these for
+        the token-conservation check (FB401); they are metadata only and
+        never affect execution.
+    defer:
+        Elements the kernel must consume on its *first* read port before
+        its first push — the reordering window the FB403 minimal-depth
+        inference sums along reconvergent paths.  Mirrors the ``defer=``
+        argument of ``Engine.add_kernel`` but travels with the pattern,
+        so fully patterned designs need no per-call annotations.
     """
 
     __slots__ = ("reads", "writes", "ii", "dtype", "dram",
+                 "read_totals", "write_totals", "defer",
                  "_ready", "_block")
 
     def __init__(self, reads: Sequence[Tuple] = (),
                  writes: Sequence[Tuple] = (), ii: int = 1,
                  dtype=None, ready: Optional[Callable[[], int]] = None,
                  block: Optional[Callable] = None,
-                 dram: Sequence[DramTraffic] = ()):
+                 dram: Sequence[DramTraffic] = (),
+                 read_totals: Optional[Sequence[Optional[int]]] = None,
+                 write_totals: Optional[Sequence[Optional[int]]] = None,
+                 defer: int = 0):
         self.reads = tuple(reads)
         self.writes = tuple(writes)
         self.ii = ii
         self.dtype = dtype
         self.dram = tuple(dram)
+        self.read_totals = (tuple(read_totals) if read_totals is not None
+                            else (None,) * len(self.reads))
+        self.write_totals = (tuple(write_totals) if write_totals is not None
+                             else (None,) * len(self.writes))
+        if len(self.read_totals) != len(self.reads):
+            raise ValueError("read_totals must align with reads")
+        if len(self.write_totals) != len(self.writes):
+            raise ValueError("write_totals must align with writes")
+        self.defer = defer
         self._ready = ready
         self._block = block
 
     @classmethod
     def declare(cls, reads: Sequence[Tuple] = (),
                 writes: Sequence[Tuple] = (),
-                ii: int = 1) -> "StaticPattern":
+                ii: int = 1,
+                read_totals: Optional[Sequence[Optional[int]]] = None,
+                write_totals: Optional[Sequence[Optional[int]]] = None,
+                defer: int = 0) -> "StaticPattern":
         """Ports-only pattern: documents the steady rates, never engages
         the fast path (``ready()`` is constantly 0)."""
-        return cls(reads=reads, writes=writes, ii=ii)
+        return cls(reads=reads, writes=writes, ii=ii,
+                   read_totals=read_totals, write_totals=write_totals,
+                   defer=defer)
 
     def ready(self) -> int:
         """Full steady iterations executable from the current state."""

@@ -61,7 +61,8 @@ def source_kernel(ch, data: Sequence, width: int = 1, repeat: int = 1):
         return [data[base:base + moved]]
 
     pat = StaticPattern(writes=((ch, width, 1),), ii=1,
-                        ready=ready, block=block)
+                        ready=ready, block=block,
+                        write_totals=(n * repeat,))
     return PatternedGenerator(gen(), pat)
 
 
@@ -91,7 +92,8 @@ def sink_kernel(ch, count: int, width: int = 1, out: Optional[List] = None):
         return []
 
     pat = StaticPattern(reads=((ch, width),), ii=1,
-                        ready=ready, block=block)
+                        ready=ready, block=block,
+                        read_totals=(count,))
     return PatternedGenerator(gen(), pat)
 
 
@@ -125,7 +127,8 @@ def forward_kernel(ch_in, ch_out, count: int, width: int = 1):
 
     pat = StaticPattern(reads=((ch_in, width),),
                         writes=((ch_out, width, 1),), ii=1,
-                        ready=ready, block=block)
+                        ready=ready, block=block,
+                        read_totals=(count,), write_totals=(count,))
     return PatternedGenerator(gen(), pat)
 
 
@@ -162,5 +165,7 @@ def duplicate_kernel(ch_in, outs: Sequence, count: int, width: int = 1):
 
     pat = StaticPattern(reads=((ch_in, width),),
                         writes=tuple((o, width, 1) for o in outs), ii=1,
-                        ready=ready, block=block)
+                        ready=ready, block=block,
+                        read_totals=(count,),
+                        write_totals=(count,) * len(outs))
     return PatternedGenerator(gen(), pat)

@@ -99,11 +99,19 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: :class:`~repro.analysis.AnalysisError` instead of stalling.
         self.preflight = preflight
         #: Engine core used for ``simulate`` calls: ``"event"`` (wake-list
-        #: scheduler, the default), ``"dense"`` (reference cycle loop) or
+        #: scheduler, the default), ``"dense"`` (reference cycle loop),
         #: ``"bulk"`` (event core plus the steady-state superstep fast
         #: path of :mod:`repro.fpga.bulk` — byte-identical results,
-        #: fast-forwarded steady pipeline phases).
+        #: fast-forwarded steady pipeline phases) or ``"certified"``
+        #: (fully static: the FB4xx rate analysis must certify the design
+        #: up front, after which steady windows replay with no runtime
+        #: probing; raises :class:`~repro.analysis.AnalysisError` for
+        #: non-certifiable designs).
         self.engine_mode = engine_mode
+        #: Certified static schedules memoized by structural shape —
+        #: rebuilding the same composition for a new problem instance
+        #: reuses the certificate instead of re-running the rate passes.
+        self._schedule_cache: dict = {}
         #: Recovery ladder for ``simulate`` calls: ``None`` disables it,
         #: ``True`` uses the default :class:`repro.faults.RetryPolicy`,
         #: or pass a policy instance.  When set, every call runs under
@@ -123,7 +131,8 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
     def _engine(self) -> Engine:
         """A fresh simulation engine bound to this context's memory."""
         return Engine(memory=self.context.mem, preflight=self.preflight,
-                      mode=self.engine_mode)
+                      mode=self.engine_mode,
+                      schedule_cache=self._schedule_cache)
 
     # -- convenience passthroughs ------------------------------------------------
     def copy_to_device(self, array, name=None, bank=None):

@@ -115,6 +115,25 @@ def optimal_width_tiled_gemv(bandwidth: float, frequency: float,
     return max(1, math.ceil(bandwidth * t / (frequency * elem_size * (1 + t))))
 
 
+def certified_cycle_band(latencies, iis, iterations, lanes) -> tuple:
+    """Predicted ``(lo, hi)`` cycle band for a certified whole program.
+
+    A single-clock composition of ii=1 pipelines finishes no earlier than
+    its longest member's steady phase (``lo = max M``, from C = L + I*M
+    with the fills overlapped), and no later than that plus every
+    member's fill/drain and epilogue slack — each kernel can add at most
+    its pipeline depth, one initiation and a sub-``lanes`` ragged tail
+    beyond the overlapped steady state.  The band is deliberately
+    two-sided and conservative: the cross-check asserts the measured
+    cycle count of every certified run falls inside it.
+    """
+    ms = [m for m in iterations if m is not None]
+    lo = max(ms, default=0)
+    hi = lo + sum(pipeline_cycles(lt, ii, 0) + ii + w + 4
+                  for lt, ii, w in zip(latencies, iis, lanes)) + 16
+    return lo, hi
+
+
 @dataclass(frozen=True)
 class ModulePerformance:
     """Summary of a dimensioned module: the space/time trade-off point."""

@@ -124,12 +124,19 @@ class ExecutionResult:
 def execute_plan(mdag: BoundMDAG, mem: DramModel,
                  plan: Optional[CompositionPlan] = None,
                  windows=None, buffer_budget: int = 0,
-                 mode: str = "event", recovery=None) -> ExecutionResult:
+                 mode: str = "event", recovery=None,
+                 schedule_cache: Optional[dict] = None) -> ExecutionResult:
     """Plan (unless given) and run a bound MDAG on ``mem``.
 
     ``mode`` selects the engine core (``"event"`` wake-list scheduler,
-    the ``"dense"`` reference loop, or ``"bulk"`` — event stepping with
-    the steady-state superstep fast path) for every component run.
+    the ``"dense"`` reference loop, ``"bulk"`` — event stepping with
+    the steady-state superstep fast path — or ``"certified"``, which
+    requires the FB4xx rate analysis to certify each component up front
+    and then replays steady windows without runtime probing) for every
+    component run.  ``schedule_cache`` optionally shares certified
+    :class:`~repro.analysis.StaticSchedule` artifacts across components
+    and plans (keyed structurally); certified runs default to a
+    per-plan cache.
 
     ``recovery`` (None, True, or a :class:`repro.faults.RetryPolicy`)
     runs every component under the recovery ladder: device memory is
@@ -159,6 +166,8 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
     if recovery is True:
         from ..faults.recovery import RetryPolicy
         recovery = RetryPolicy()
+    if schedule_cache is None and mode == "certified":
+        schedule_cache = {}
 
     reports: List[SimReport] = []
     recovery_log: Optional[List[dict]] = [] if recovery is not None else None
@@ -168,14 +177,15 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
         for comp_idx, component in enumerate(plan.components):
             if recovery is None:
                 _run_component(mdag, mem, plan, cut, scratch, component,
-                               comp_idx, mode, reports)
+                               comp_idx, mode, reports, schedule_cache)
                 continue
             from ..faults.recovery import (MemoryCheckpoint,
                                            run_with_recovery)
             ckpt = MemoryCheckpoint.capture(mem)
             out = run_with_recovery(
                 lambda m, _c=component, _i=comp_idx: _run_component(
-                    mdag, mem, plan, cut, scratch, _c, _i, m, reports),
+                    mdag, mem, plan, cut, scratch, _c, _i, m, reports,
+                    schedule_cache),
                 policy=recovery, mode=mode, restore=ckpt.restore)
             recovery_log.append(out.to_dict())
 
@@ -187,12 +197,13 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
 def _run_component(mdag: BoundMDAG, mem: DramModel, plan: CompositionPlan,
                    cut, scratch: Dict[Tuple[str, str], DramBuffer],
                    component, comp_idx: int, mode: str,
-                   reports: List[SimReport]) -> None:
+                   reports: List[SimReport],
+                   schedule_cache: Optional[dict] = None) -> None:
     """Build and run the engine for one plan component."""
     with _telemetry_span(f"streaming.component[{comp_idx}]",
                          cat="streaming", component=comp_idx,
                          nodes=sorted(component)):
-        eng = Engine(memory=mem, mode=mode)
+        eng = Engine(memory=mem, mode=mode, schedule_cache=schedule_cache)
         in_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
         out_chans: Dict[str, Dict[str, object]] = {n: {} for n in component}
         # interface fanout bookkeeping: read node -> list of its channels

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..analysis import AnalysisError
 from ..host.context import FblasContext
 from . import runtime
 from .chrome_trace import write_chrome_trace
@@ -54,11 +55,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="tile size for the level-2 compositions")
     p.add_argument("--mode", choices=("dense", "event"), default=None,
                    help="engine core (legacy spelling of --engine-mode)")
-    p.add_argument("--engine-mode", choices=("dense", "event", "bulk"),
+    p.add_argument("--engine-mode",
+                   choices=("dense", "event", "bulk", "certified"),
                    default=None, dest="engine_mode",
                    help="engine core: dense reference loop, event "
-                        "wake-list scheduler, or bulk steady-state "
-                        "fast path (default: event)")
+                        "wake-list scheduler, bulk steady-state fast "
+                        "path, or certified static-schedule replay "
+                        "(default: event)")
     p.add_argument("--seed", type=int, default=7, help="input data seed")
     p.add_argument("--trace", metavar="PATH",
                    help="write Chrome trace_event JSON here")
@@ -131,9 +134,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"drift JSON written to {args.metrics}")
         return 1 if rep.flagged() else 0
 
-    with runtime.session() as tel:
-        result = _run_app(args.app, args.n, args.width, args.tile,
-                          args.mode, args.seed)
+    try:
+        with runtime.session() as tel:
+            result = _run_app(args.app, args.n, args.width, args.tile,
+                              args.mode, args.seed)
+    except AnalysisError as exc:
+        # certified mode rejects non-certifiable designs before cycle 0
+        # (e.g. the default width 16 exceeds the per-bank DRAM budget).
+        print(str(exc), file=sys.stderr)
+        return 1
     print(f"{args.app}: {result.cycles} cycles, "
           f"{result.io_elements} I/O elements, "
           f"{result.seconds * 1e6:.1f} us modeled "

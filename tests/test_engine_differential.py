@@ -18,6 +18,11 @@ Two families of random designs:
   fast path does engage and every counter must still match — including
   specs that deadlock (Sec. V parity) and mixed static/dynamic designs
   that force mid-run fallback.
+
+A third property covers ``mode="certified"``: any composition the FB4xx
+rate analysis certifies must replay byte-identical to the event core
+with zero runtime probes/cooldowns, and any composition it refuses must
+be refused *before* a single cycle is simulated.
 """
 
 import numpy as np
@@ -470,3 +475,68 @@ class TestDifferentialDirected:
     def test_mode_validation(self):
         with pytest.raises(ValueError):
             Engine(mode="quantum")
+
+
+# ---------------------------------------------------------------------------
+# Certified mode: certification implies byte-identical probe-free replay.
+# ---------------------------------------------------------------------------
+
+def _build_certified_fanout(eng, spec, out):
+    """The patterned fan-out with a *patterned* scalar sink, so the whole
+    design is certifiable (``scalar_sink`` is deliberately dynamic)."""
+    n, w = spec["n"], spec["width"]
+    data = [np.float32((i % 13) - 6) for i in range(n)]
+    cin = eng.channel("cin", 8)
+    ca = eng.channel("ca", max(spec["depth_a"], w))
+    cb = eng.channel("cb", max(spec["depth_b"], w))
+    cmid = eng.channel("cmid", 8)
+    cres = eng.channel("cres", 4)
+    eng.add_kernel("src", source_kernel(cin, data, w))
+    eng.add_kernel("dup", duplicate_kernel(cin, (ca, cb), n, w))
+    eng.add_kernel("scal", level1.scal_kernel(n, 3.0, cb, cmid, w),
+                   latency=spec["lat"])
+    eng.add_kernel("dot", level1.dot_kernel(n, ca, cmid, cres, w),
+                   latency=spec["lat"])
+    eng.add_kernel("sink", sink_kernel(cres, 1, 1, out))
+
+
+class TestDifferentialCertified:
+    """When certification succeeds, the certified core must be
+    indistinguishable from the event core (data, cycles, all stats)
+    while never probing; when it fails, the design is rejected before
+    cycle 0."""
+
+    def _check(self, build, spec):
+        from repro.analysis import AnalysisError
+
+        eng = Engine(mode="certified")
+        out = []
+        build(eng, spec, out)
+        try:
+            report = eng.run(max_cycles=200_000)
+        except AnalysisError:
+            # Not certifiable (dynamic stage, mixed lanes, ...): the
+            # refusal is pre-flight — nothing ran.
+            assert all(k.stats.active_cycles == 0
+                       for k in eng.kernels.values())
+            return
+        except DeadlockError as exc:
+            certified = ("deadlock", exc.cycle, dict(exc.blocked),
+                         _stats(eng), None)
+        else:
+            certified = ("done", report.cycles, out, _stats(eng), None)
+        assert eng._bulk_probes == 0, f"certified run probed for {spec}"
+        assert eng._bulk_cooldowns == 0
+        event = _outcome("event", build, spec, False)
+        assert certified == event, (
+            f"certified diverged from event for {spec}")
+
+    @settings(max_examples=100, deadline=None)
+    @given(patterned_chain_spec)
+    def test_certified_chains_match_event(self, spec):
+        self._check(_build_patterned_chain, spec)
+
+    @settings(max_examples=60, deadline=None)
+    @given(patterned_fanout_spec)
+    def test_certified_fanout_matches_event(self, spec):
+        self._check(_build_certified_fanout, spec)

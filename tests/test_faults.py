@@ -131,6 +131,25 @@ class TestChannelFaults:
         vals, out = self._run(plan, expect=11)
         assert out == vals[:5] + vals[4:]
 
+    def test_drop_then_dup_same_index_is_voided(self):
+        """Two faults can land on the same push index; once the drop has
+        removed the element, the dup (or corrupt) targeting it has
+        nothing left to disturb and must be voided, not crash."""
+        plan = FaultPlan(seed=0, channel_faults=(
+            ChannelFault("c", 4, "drop"),
+            ChannelFault("c", 4, "dup"),))
+        vals = [float(i) for i in range(10)]
+        with inject(plan) as ctx:
+            eng = Engine()
+            ch = eng.channel("c", 4)
+            out = []
+            eng.add_kernel("src", _src(ch, vals))
+            eng.add_kernel("sink", _collect(ch, 9, out))
+            eng.run()
+            assert ctx.faults_injected == 2
+            assert any(e.get("voided") for e in ctx.fired)
+        assert out == vals[:4] + vals[5:]
+
     def test_faults_fire_once_per_context(self):
         plan = FaultPlan(seed=0, channel_faults=(
             ChannelFault("c", 3, "corrupt", bit=63),))
