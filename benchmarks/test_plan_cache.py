@@ -1,0 +1,277 @@
+"""The compiled-plan cache: repeat requests skip planning entirely.
+
+The tentpole promise of the plan IR is *compile once*: a composition is
+compiled to a :class:`repro.plan.PlanIR` the first time it is seen, and
+every structurally identical repeat request — new problem instance, same
+shape — replays the recorded decisions.  Two caches carry this:
+
+* the executor's ``plan_cache`` (keyed on the structural MDAG
+  fingerprint) skips MDAG validation, scheduling and pattern derivation;
+* the certified-mode ``schedule_cache`` (keyed on ``plan_key``) skips
+  the FB4xx rate passes and schedule compilation — this is the cache a
+  repeated host-API call hits (``Fblas`` holds one per instance).
+
+This module measures both hit paths against their miss paths and
+*asserts the hits happen* (via :meth:`repro.plan.PlanCache.stats`) and
+that a hit is never slower than the work it skips.  Results land in
+``BENCH_plan_cache.json`` (override with ``BENCH_PLAN_CACHE_JSON``).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import ensure_certified
+from repro.apps.axpydot import build_axpydot_engine
+from repro.host import Fblas, FblasContext
+from repro.plan import PlanCache, compile_plan, mdag_fingerprint
+from repro.streaming import execute_plan
+
+from bench_common import print_table
+
+SEED = 17
+BENCH_PATH = os.environ.get("BENCH_PLAN_CACHE_JSON",
+                            "BENCH_plan_cache.json")
+REPEATS = 8
+
+
+def f32(rng, *shape):
+    return np.asarray(rng.normal(size=shape if len(shape) > 1 else shape[0]),
+                      dtype=np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def _axpydot_mdag(n):
+    from repro.apps.axpydot import axpydot_mdag
+    return axpydot_mdag(n)
+
+
+def _bound_axpydot(mem, w, v, u, alpha, n, width):
+    """The Fig. 6 AXPYDOT as a bound MDAG (the executor's input)."""
+    from repro.blas import level1
+    from repro.fpga.resources import level1_latency
+    from repro.streaming import (BoundMDAG, ComputeBinding, ReadBinding,
+                                 WriteBinding, scalar_stream, vector_stream)
+    g = BoundMDAG()
+    g.add_interface("read_w")
+    g.add_interface("read_v")
+    g.add_interface("read_u")
+    g.add_module("axpy")
+    g.add_module("dot")
+    g.add_interface("write_beta")
+    sig = vector_stream(n)
+    g.connect("read_w", "axpy", sig, sig, dst_port="w")
+    g.connect("read_v", "axpy", sig, sig, dst_port="v")
+    g.connect("axpy", "dot", sig, sig, src_port="z", dst_port="z")
+    g.connect("read_u", "dot", sig, sig, dst_port="u")
+    g.connect("dot", "write_beta", scalar_stream(), scalar_stream(),
+              src_port="res", dst_port="res")
+    beta = mem.allocate("beta_out", 1)
+    g.bind("read_w", ReadBinding(mem.bind("w_buf", w), width))
+    g.bind("read_v", ReadBinding(mem.bind("v_buf", v), width))
+    g.bind("read_u", ReadBinding(mem.bind("u_buf", u), width))
+    g.bind("axpy", ComputeBinding(
+        lambda ins, outs: level1.axpy_kernel(
+            n, -alpha, ins["v"], ins["w"], outs["z"], width),
+        latency=level1_latency("map", width)))
+    g.bind("dot", ComputeBinding(
+        lambda ins, outs: level1.dot_kernel(
+            n, ins["z"], ins["u"], outs["res"], width),
+        latency=level1_latency("map_reduce", width)))
+    g.bind("write_beta", WriteBinding(beta, 1))
+    return g
+
+
+def bench_executor_plan_cache(n=4096):
+    """Repeat ``execute_plan`` calls over fresh problem instances of the
+    same shape: call 1 compiles, calls 2..K hit the MDAG fingerprint."""
+    from repro.fpga.memory import DramModel
+
+    rng = np.random.default_rng(SEED)
+    cache = PlanCache()
+    wall = []
+    reports = []
+    for _ in range(REPEATS):
+        w, v, u = (f32(rng, n) for _ in range(3))
+        mem = DramModel(num_banks=4)
+        g = _bound_axpydot(mem, w, v, u, 0.5, n, 8)
+        t0 = time.perf_counter()
+        res = execute_plan(g, mem, plan_cache=cache)
+        wall.append(time.perf_counter() - t0)
+        reports.append([r.to_dict() for r in res.reports])
+    assert all(r == reports[0] for r in reports[1:])
+    return {
+        "bench": "executor_plan_cache", "size": n, "repeats": REPEATS,
+        "miss_seconds": round(wall[0], 4),
+        "hit_seconds": round(min(wall[1:]), 4),
+        **cache.stats(),
+    }
+
+
+def bench_plan_compile_vs_hit(n=4096):
+    """The planning step in isolation: ``compile_plan`` (validate +
+    schedule + record) vs a fingerprint lookup in a warm cache."""
+    mdag = _axpydot_mdag(n)
+    cache = PlanCache()
+    key = mdag_fingerprint(mdag, None, 0)
+
+    t0 = time.perf_counter()
+    cache[key] = compile_plan(mdag)
+    compile_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(REPEATS):
+        plan = cache.get(key)
+        assert plan is not None
+    lookup_s = (time.perf_counter() - t0) / REPEATS
+    return {
+        "bench": "compile_vs_lookup", "size": n, "repeats": REPEATS,
+        "miss_seconds": round(compile_s, 6),
+        "hit_seconds": round(lookup_s, 6),
+        **cache.stats(),
+    }
+
+
+def bench_certified_schedule_cache(n=8192):
+    """Certified-mode engines sharing one schedule cache: the first run
+    pays the FB4xx passes, repeats replay the certificate."""
+    rng = np.random.default_rng(SEED)
+    cache = PlanCache()
+    wall = []
+    for _ in range(REPEATS):
+        ctx = FblasContext()
+        bufs = [ctx.copy_to_device(f32(rng, n)) for _ in range(3)]
+        eng, _out = build_axpydot_engine(ctx, *bufs, np.float32(0.7),
+                                         width=8, mode="certified",
+                                         schedule_cache=cache)
+        t0 = time.perf_counter()
+        eng.run()
+        wall.append(time.perf_counter() - t0)
+    return {
+        "bench": "certified_schedule_cache", "size": n, "repeats": REPEATS,
+        "miss_seconds": round(wall[0], 4),
+        "hit_seconds": round(min(wall[1:]), 4),
+        **cache.stats(),
+    }
+
+
+def bench_certify_vs_replay(n=8192):
+    """``ensure_certified`` in isolation: full rate passes on a miss vs
+    a ``plan_key`` lookup on a hit."""
+    rng = np.random.default_rng(SEED)
+    ctx = FblasContext()
+    bufs = [ctx.copy_to_device(f32(rng, n)) for _ in range(3)]
+    eng, _out = build_axpydot_engine(ctx, *bufs, np.float32(0.7), width=8)
+    plan = compile_plan(eng)
+    cache = PlanCache()
+
+    t0 = time.perf_counter()
+    ensure_certified(plan, cache=cache)
+    certify_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(REPEATS):
+        ensure_certified(plan, cache=cache)
+    replay_s = (time.perf_counter() - t0) / REPEATS
+    return {
+        "bench": "certify_vs_replay", "size": n, "repeats": REPEATS,
+        "miss_seconds": round(certify_s, 6),
+        "hit_seconds": round(replay_s, 6),
+        **cache.stats(),
+    }
+
+
+def bench_host_api_repeat_calls(n=2048):
+    """The user-visible path: repeated ``Fblas`` calls of the same shape
+    on one instance share the instance's schedule cache."""
+    rng = np.random.default_rng(SEED)
+    fb = Fblas(engine_mode="certified", width=8)
+    x = fb.copy_to_device(f32(rng, n))
+    y = fb.copy_to_device(f32(rng, n))
+    wall = []
+    values = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        values.append(fb.dot(x, y))
+        wall.append(time.perf_counter() - t0)
+    assert all(v == values[0] for v in values[1:])
+    return {
+        "bench": "host_api_repeat_dot", "size": n, "repeats": REPEATS,
+        "miss_seconds": round(wall[0], 4),
+        "hit_seconds": round(min(wall[1:]), 4),
+        **fb._schedule_cache.stats(),
+    }
+
+
+def collect():
+    return [
+        bench_executor_plan_cache(),
+        bench_plan_compile_vs_hit(),
+        bench_certified_schedule_cache(),
+        bench_certify_vs_replay(),
+        bench_host_api_repeat_calls(),
+    ]
+
+
+ENTRIES = collect()
+
+
+def _row(name):
+    return next(e for e in ENTRIES if e["bench"] == name)
+
+
+def test_regenerate_and_dump():
+    print_table(
+        "Compiled-plan caches: miss (compile/certify) vs hit (replay)",
+        ["bench", "size", "repeats", "miss s", "hit s", "entries",
+         "hits", "misses"],
+        [(e["bench"], e["size"], e["repeats"], e["miss_seconds"],
+          e["hit_seconds"], e["entries"], e["hits"], e["misses"])
+         for e in ENTRIES])
+    payload = {
+        "benchmark": "plan_cache",
+        "unit_note": "miss_seconds = first request (compiles/certifies); "
+                     "hit_seconds = best repeat (replays the cached "
+                     "artifact); hits/misses from PlanCache.stats()",
+        "entries": ENTRIES,
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def test_executor_cache_hits():
+    """Every repeat request hit the fingerprint: one compilation total."""
+    e = _row("executor_plan_cache")
+    assert e["misses"] == 1, e
+    assert e["hits"] == REPEATS - 1, e
+    assert e["entries"] == 1, e
+
+
+def test_certified_cache_hits():
+    """One certification, REPEATS - 1 certificate replays."""
+    e = _row("certified_schedule_cache")
+    assert e["misses"] == 1, e
+    assert e["hits"] == REPEATS - 1, e
+
+
+def test_host_api_repeat_calls_hit_plan_key_cache():
+    """The acceptance assertion: a repeated host-API call of the same
+    shape hits the instance's plan_key-keyed schedule cache."""
+    e = _row("host_api_repeat_dot")
+    assert e["hits"] >= REPEATS - 1, e
+    assert e["misses"] >= 1, e
+
+
+def test_hit_path_skips_the_work():
+    """A warm lookup must be orders of magnitude cheaper than the work
+    it skips (scheduling / the FB4xx passes).  10x is a very loose CI
+    floor — locally it is >1000x."""
+    for name in ("compile_vs_lookup", "certify_vs_replay"):
+        e = _row(name)
+        assert e["hit_seconds"] * 10 <= e["miss_seconds"], e

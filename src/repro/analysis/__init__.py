@@ -81,9 +81,15 @@ def analyze_mdag(mdag, windows: Optional[Dict[Tuple[str, str], int]] = None,
 
 def analyze_engine(engine) -> AnalysisResult:
     """Run every engine pre-flight pass; see
-    :mod:`repro.analysis.engine_passes`."""
-    return run_passes("engine", engine, {},
-                      subject_name=f"engine({len(engine.kernels)} kernels)")
+    :mod:`repro.analysis.engine_passes`.
+
+    ``engine`` may be a live :class:`~repro.fpga.engine.Engine` or an
+    already-compiled :class:`~repro.plan.PlanIR` — the passes consume
+    the typed plan either way.
+    """
+    from ..plan import as_plan
+    plan = as_plan(engine)
+    return run_passes("engine", plan, {}, subject_name=plan.subject)
 
 
 def analyze_specs(specs: Iterable, device=None) -> AnalysisResult:
@@ -102,7 +108,8 @@ def analyze_rates(engine) -> AnalysisResult:
     """Run every SDF rate pass; see :mod:`repro.analysis.rate_passes`.
 
     Identical to :func:`certify` minus the schedule compilation: a clean
-    result carries the FB405 certificate diagnostic.
+    result carries the FB405 certificate diagnostic.  ``engine`` may be
+    a live engine or a compiled :class:`~repro.plan.PlanIR`.
     """
     result, _schedule = certify(engine)
     return result

@@ -9,6 +9,7 @@ Usage::
 
     python -m repro.analysis routines.json [--device stratix10] [--json]
     python -m repro.analysis --app atax [--sarif]
+    python -m repro.analysis --app bicg --plan
     python -m repro.analysis --demo
     python -m repro.analysis --list-codes
 
@@ -50,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit machine-readable JSON (repro.analysis/1)")
     fmt.add_argument("--sarif", action="store_true",
                      help="emit SARIF 2.1.0 for CI code scanning")
+    fmt.add_argument("--plan", action="store_true",
+                     help="with --app: dump the compiled plan IR "
+                          "(repro.plan/1 JSON) instead of diagnostics")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
     parser.add_argument("--list-codes", action="store_true",
@@ -154,6 +158,40 @@ def analyze_app(name: str) -> AnalysisResult:
     return result
 
 
+def plan_for_app(name: str):
+    """Compile one Sec. V application to its :class:`~repro.plan.PlanIR`.
+
+    AXPYDOT compiles from its live streaming engine (the fully patterned
+    design, so the plan carries ports, DRAM traffic, and memory
+    identity); the other apps compile from their MDAGs through the
+    scheduler, so the plan carries planned channel depths and I/O
+    predictions.
+    """
+    import numpy as np
+
+    from ..plan import compile_plan
+
+    if name == "axpydot":
+        from ..apps.axpydot import build_axpydot_engine
+        from ..host.context import FblasContext
+        n = 1024
+        ctx = FblasContext()
+        rng = np.random.default_rng(7)
+        bufs = [ctx.copy_to_device(
+            rng.standard_normal(n).astype(np.float32)) for _ in range(3)]
+        eng, _out = build_axpydot_engine(ctx, *bufs, np.float32(0.5),
+                                         width=8)
+        return compile_plan(eng)
+    if name == "atax":
+        from ..apps.atax import atax_mdag
+        return compile_plan(atax_mdag(64, 64, 8, 8))
+    if name == "bicg":
+        from ..apps.bicg import bicg_mdag
+        return compile_plan(bicg_mdag(64, 64, 8, 8))
+    from ..apps.gemver import gemver_component1_mdag
+    return compile_plan(gemver_component1_mdag(64, 8))
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_codes:
@@ -162,6 +200,12 @@ def main(argv=None) -> int:
         return 0
     if args.demo:
         return run_demo(args.json)
+    if args.plan:
+        if not args.app:
+            print("error: --plan requires --app", file=sys.stderr)
+            return 2
+        print(plan_for_app(args.app).to_json())
+        return 0
     if args.app:
         result = analyze_app(args.app)
         _emit(result, args.json, args.sarif)

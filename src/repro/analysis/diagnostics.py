@@ -80,7 +80,10 @@ CODES: Dict[str, str] = {
 #: Version header for machine-readable analyzer reports.
 ANALYSIS_SCHEMA = "repro.analysis/1"
 
-#: Version header for certified static-schedule artifacts.
+#: Version header for certified static-schedule artifacts.  Compiled
+#: plan dumps carry ``repro.plan/1`` (:data:`repro.plan.PLAN_SCHEMA`) —
+#: the plan is the *input* artifact the rate passes consume, the
+#: schedule the *output* certificate they produce.
 SCHEDULE_SCHEMA = "repro.schedule/1"
 
 

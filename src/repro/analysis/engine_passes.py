@@ -1,9 +1,11 @@
-"""Pre-flight passes over an :class:`~repro.fpga.engine.Engine`.
+"""Pre-flight passes over a compiled plan's kernel annotations.
 
 Kernels opt in to static analysis by declaring their ports
-(``Engine.add_kernel(..., reads=..., writes=..., defer=...)``).  From the
-annotations these passes build the kernel graph (vertices: kernels;
-edges: channels) and prove properties about it before cycle 0:
+(``Engine.add_kernel(..., reads=..., writes=..., defer=...)``).  The
+annotations are compiled into the typed :class:`~repro.plan.PlanIR`
+(live engines are coerced through :func:`repro.plan.as_plan` at the
+boundary); from the plan these passes build the kernel graph (vertices:
+kernels; edges: channels) and prove properties about it before cycle 0:
 
 * wiring sanity — every channel has exactly one producer and one consumer
   (FB006/FB007), the graph is acyclic (FB004);
@@ -38,29 +40,30 @@ from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 
+from ..plan import PlanIR, PlanPort
 from .diagnostics import Diagnostic, Severity
 from .graphs import disjoint_paths, reconvergent_pairs
 from .passes import register
 from .rate_passes import bank_demand
 
 
-def _fully_annotated(engine) -> bool:
-    return all(k.annotated for k in engine.kernels.values())
+def _fully_annotated(plan: PlanIR) -> bool:
+    return all(k.annotated for k in plan.kernels)
 
 
-def _port_maps(engine):
-    """Channel name -> list of (kernel, WritePort) / list of kernel names."""
-    writers: Dict[str, List[Tuple[object, object]]] = {}
+def _port_maps(plan: PlanIR):
+    """Channel name -> list of (kernel name, PlanPort) / list of names."""
+    writers: Dict[str, List[Tuple[str, PlanPort]]] = {}
     readers: Dict[str, List[str]] = {}
-    for k in engine.kernels.values():
-        for port in k.write_ports:
-            writers.setdefault(port.channel.name, []).append((k, port))
-        for ch in k.read_channels:
-            readers.setdefault(ch.name, []).append(k.name)
+    for k in plan.kernels:
+        for port in k.annotated_writes:
+            writers.setdefault(port.channel, []).append((k.name, port))
+        for ch in k.annotated_reads:
+            readers.setdefault(ch, []).append(k.name)
     return writers, readers
 
 
-def _kernel_graph(engine) -> nx.DiGraph:
+def _kernel_graph(plan: PlanIR) -> nx.DiGraph:
     """Kernel graph; edge (u, v) aggregates every channel u feeds v with.
 
     Edge attributes: ``depth_lo`` (min FIFO depth over parallel channels
@@ -68,33 +71,34 @@ def _kernel_graph(engine) -> nx.DiGraph:
     ``cap_hi`` (summed depth + staging headroom — an upper bound),
     ``lanes`` (largest push batch) and ``channels`` (names).
     """
-    writers, readers = _port_maps(engine)
+    writers, readers = _port_maps(plan)
+    kernel_latency = {k.name: k.latency for k in plan.kernels}
     g = nx.DiGraph()
-    g.add_nodes_from(k.name for k in engine.kernels.values() if k.annotated)
+    g.add_nodes_from(k.name for k in plan.kernels if k.annotated)
     for ch_name, ws in writers.items():
-        for kernel, port in ws:
+        for kname, port in ws:
             latency = (port.latency if port.latency is not None
-                       else kernel.latency)
+                       else kernel_latency[kname])
             headroom = port.lanes * latency
-            depth = port.channel.depth
+            depth = plan.depth_of(ch_name)
             for reader in readers.get(ch_name, ()):
-                if g.has_edge(kernel.name, reader):
-                    data = g.edges[kernel.name, reader]
+                if g.has_edge(kname, reader):
+                    data = g.edges[kname, reader]
                     data["depth_lo"] = min(data["depth_lo"], depth)
                     data["cap_hi"] += depth + headroom
                     data["lanes"] = max(data["lanes"], port.lanes)
                     data["channels"].append(ch_name)
                 else:
-                    g.add_edge(kernel.name, reader, depth_lo=depth,
+                    g.add_edge(kname, reader, depth_lo=depth,
                                cap_hi=depth + headroom, lanes=port.lanes,
                                channels=[ch_name])
     return g
 
 
 @register("engine", "coverage")
-def check_coverage(engine, ctx) -> Iterable[Diagnostic]:
+def check_coverage(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB301: kernels invisible to the static passes."""
-    for k in engine.kernels.values():
+    for k in plan.kernels:
         if not k.annotated:
             yield Diagnostic(
                 "FB301", Severity.INFO,
@@ -105,12 +109,13 @@ def check_coverage(engine, ctx) -> Iterable[Diagnostic]:
 
 
 @register("engine", "wiring")
-def check_wiring(engine, ctx) -> Iterable[Diagnostic]:
+def check_wiring(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB006/FB007: every channel needs exactly one writer and reader."""
-    if not _fully_annotated(engine):
+    if not _fully_annotated(plan):
         return
-    writers, readers = _port_maps(engine)
-    for name in engine.channels:
+    writers, readers = _port_maps(plan)
+    for ch in plan.channels:
+        name = ch.name
         n_w = len(writers.get(name, ()))
         n_r = len(readers.get(name, ()))
         if n_w == 0 and n_r == 0:
@@ -125,7 +130,7 @@ def check_wiring(engine, ctx) -> Iterable[Diagnostic]:
             yield Diagnostic(
                 "FB006", Severity.WARNING,
                 f"channel {name!r} is written by "
-                f"{[k.name for k, _p in writers[name]]} but has no "
+                f"{[k for k, _p in writers[name]]} but has no "
                 "consumer; it fills up and back-pressures its producer",
                 obj=name)
         if n_w > 1 or n_r > 1:
@@ -137,9 +142,9 @@ def check_wiring(engine, ctx) -> Iterable[Diagnostic]:
 
 
 @register("engine", "cycles")
-def check_cycles(engine, ctx) -> Iterable[Diagnostic]:
+def check_cycles(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB004: a cycle of empty FIFOs can never prime itself."""
-    g = _kernel_graph(engine)
+    g = _kernel_graph(plan)
     if not nx.is_directed_acyclic_graph(g):
         cycle = nx.find_cycle(g)
         path = " -> ".join(u for u, _v in cycle) + f" -> {cycle[-1][1]}"
@@ -148,7 +153,7 @@ def check_cycles(engine, ctx) -> Iterable[Diagnostic]:
 
 
 @register("engine", "bank-bandwidth")
-def check_bank_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
+def check_bank_bandwidth(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB104: per-bank DRAM over-subscription (performance lint).
 
     Sums the steady-state bytes/cycle each kernel's pattern-declared
@@ -158,9 +163,12 @@ def check_bank_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
     still runs, the memory model just rations grants and the pipeline
     stalls below its paper throughput.
     """
-    for (mem, bank), nbytes in sorted(
-            bank_demand(engine).items(),
-            key=lambda kv: -1 if kv[0][1] is None else kv[0][1]):
+    mem = plan.memory
+    if mem is None:
+        return
+    for bank, nbytes in sorted(
+            bank_demand(plan).items(),
+            key=lambda kv: -1 if kv[0] is None else kv[0]):
         if bank is None or nbytes <= mem.bytes_per_cycle:
             continue
         yield Diagnostic(
@@ -174,13 +182,14 @@ def check_bank_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
 
 
 @register("engine", "depths")
-def check_depths(engine, ctx) -> Iterable[Diagnostic]:
+def check_depths(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB002/FB003/FB008: the channel-depth sufficiency prover."""
-    if not _fully_annotated(engine):
+    if not _fully_annotated(plan):
         return
-    g = _kernel_graph(engine)
+    g = _kernel_graph(plan)
     if not nx.is_directed_acyclic_graph(g):
         return                              # FB004 already reported
+    kernel_defer = {k.name: k.defer for k in plan.kernels}
     for a, b in reconvergent_pairs(g):
         paths = disjoint_paths(g, a, b)
         stats = []
@@ -188,7 +197,7 @@ def check_depths(engine, ctx) -> Iterable[Diagnostic]:
             edges = list(zip(p[:-1], p[1:]))
             stats.append({
                 "nodes": p,
-                "defer": sum(engine.kernels[k].defer for k in p[1:-1]),
+                "defer": sum(kernel_defer[k] for k in p[1:-1]),
                 "lo": sum(g.edges[e]["depth_lo"] for e in edges),
                 "hi": sum(g.edges[e]["cap_hi"] for e in edges),
                 "first_lanes": g.edges[edges[0]]["lanes"] if edges else 0,

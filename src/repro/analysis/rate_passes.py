@@ -1,4 +1,4 @@
-"""SDF rate analysis over an engine's ``StaticPattern`` ports (FB4xx).
+"""SDF rate analysis over a plan's ``StaticPattern`` ports (FB4xx).
 
 A design whose kernels all carry executable
 :class:`~repro.fpga.pattern.StaticPattern`\\ s is a synchronous-dataflow
@@ -36,6 +36,12 @@ ports participate in FB400/FB401 — a single-sided edge (e.g. a
 reduction's event-stepped epilogue push) is dynamic by construction and
 is left to the runtime checks.
 
+Every helper and pass here consumes the typed
+:class:`~repro.plan.PlanIR` — live engines are accepted for
+convenience and coerced through :func:`repro.plan.as_plan` at the
+boundary, so the passes themselves never introspect kernel generators
+or channel objects.
+
 The passes live in their own ``"rates"`` registry;
 :func:`repro.analysis.analyze_rates` runs them, and
 :func:`repro.analysis.schedule.certify` compiles a
@@ -49,40 +55,49 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from ..plan import PlanIR, as_plan
 from .diagnostics import Diagnostic, Severity
 from .graphs import disjoint_paths, reconvergent_pairs
 from .passes import register
 
 
 # ---------------------------------------------------------------------------
-# Shared structure extraction
+# Shared structure extraction (PlanIR views)
 # ---------------------------------------------------------------------------
 
-def pattern_ports(engine):
+def pattern_ports(subject) -> Tuple[Dict[str, List[Tuple[str, int,
+                                                         Optional[int]]]],
+                                    Dict[str, List[Tuple[str, int,
+                                                         Optional[int]]]]]:
     """Port maps from pattern declarations (not ``add_kernel`` lint
     annotations — patterns are the executable contract).
 
-    Returns ``(producers, consumers)``; each maps a channel object to a
+    Returns ``(producers, consumers)``; each maps a channel name to a
     list of ``(kernel, lanes, total_elements_or_None)`` tuples (write
     latency is resolved separately where needed).
     """
-    producers: Dict[object, List[Tuple]] = {}
-    consumers: Dict[object, List[Tuple]] = {}
-    for k in engine.kernels.values():
-        p = k.pattern
-        if p is None:
+    plan = as_plan(subject)
+    producers: Dict[str, List[Tuple[str, int, Optional[int]]]] = {}
+    consumers: Dict[str, List[Tuple[str, int, Optional[int]]]] = {}
+    for k in plan.kernels:
+        if not k.patterned:
             continue
-        for (ch, w), total in zip(p.reads, p.read_totals):
-            consumers.setdefault(ch, []).append((k, w, total))
-        for (ch, w, _lat), total in zip(p.writes, p.write_totals):
-            producers.setdefault(ch, []).append((k, w, total))
+        for port in k.reads:
+            consumers.setdefault(port.channel, []).append(
+                (k.name, port.lanes, port.total))
+        for port in k.writes:
+            producers.setdefault(port.channel, []).append(
+                (k.name, port.lanes, port.total))
     return producers, consumers
 
 
-def both_sided_edges(engine):
+def both_sided_edges(subject) -> Dict[str, Tuple[str, int, Optional[int],
+                                                 str, int, Optional[int]]]:
     """Channels with exactly one pattern producer and one pattern
-    consumer — the SDF edges the balance equations range over."""
-    producers, consumers = pattern_ports(engine)
+    consumer — the SDF edges the balance equations range over.  Keyed
+    by channel name; values are ``(producer, p_lanes, p_total,
+    consumer, c_lanes, c_total)``."""
+    producers, consumers = pattern_ports(subject)
     edges = {}
     for ch, ps in producers.items():
         cs = consumers.get(ch)
@@ -93,7 +108,7 @@ def both_sided_edges(engine):
     return edges
 
 
-def solve_balance(engine):
+def solve_balance(subject):
     """Solve the SDF balance equations over the both-sided edges.
 
     Returns ``(q, conflicts)``: the repetition vector as
@@ -101,23 +116,24 @@ def solve_balance(engine):
     and the list of conflicting channels ``(ch, pk, ck, expected,
     got)``.  Kernels not touched by any both-sided edge get rate 1.
     """
-    edges = both_sided_edges(engine)
+    plan = as_plan(subject)
+    edges = both_sided_edges(plan)
     q: Dict[str, Fraction] = {}
     conflicts = []
     for ch, (pk, pw, _pt, ck, cw, _ct) in edges.items():
-        qp = q.get(pk.name)
-        qc = q.get(ck.name)
+        qp = q.get(pk)
+        qc = q.get(ck)
         if qp is None and qc is None:
-            q[pk.name] = Fraction(1)
-            q[ck.name] = Fraction(pw, cw)
+            q[pk] = Fraction(1)
+            q[ck] = Fraction(pw, cw)
         elif qc is None:
-            q[ck.name] = qp * Fraction(pw, cw)
+            q[ck] = qp * Fraction(pw, cw)
         elif qp is None:
-            q[pk.name] = qc * Fraction(cw, pw)
+            q[pk] = qc * Fraction(cw, pw)
         else:
             if qp * pw != qc * cw:
                 conflicts.append((ch, pk, ck, qp * Fraction(pw, cw), qc))
-    for k in engine.kernels.values():
+    for k in plan.kernels:
         q.setdefault(k.name, Fraction(1))
     lo = min(q.values(), default=Fraction(1))
     if lo > 0:
@@ -125,26 +141,24 @@ def solve_balance(engine):
     return q, conflicts
 
 
-def bank_demand(engine):
+def bank_demand(subject) -> Dict[Optional[int], int]:
     """Steady-state DRAM demand in bytes/cycle from pattern traffic.
 
-    Returns ``{(mem, bank): bytes_per_cycle}``; ``bank`` is ``None`` for
+    Returns ``{bank: bytes_per_cycle}``; ``bank`` is ``None`` for
     interleaved buffers (drawing from the pooled budget).  Only
     pattern-declared traffic is visible — dynamic (ordered) memory
     kernels contribute nothing here, which FB404 surfaces separately.
+    Budgets come from the plan's :class:`~repro.plan.PlanMemory`.
     """
-    demand: Dict[Tuple, int] = {}
-    for k in engine.kernels.values():
-        p = k.pattern
-        if p is None:
-            continue
-        for d in p.dram:
-            key = (d.mem, d.buf.bank)
-            demand[key] = demand.get(key, 0) + d.elements * d.buf.itemsize
+    plan = as_plan(subject)
+    demand: Dict[Optional[int], int] = {}
+    for k in plan.kernels:
+        for t in k.dram:
+            demand[t.bank] = demand.get(t.bank, 0) + t.elements * t.itemsize
     return demand
 
 
-def _pattern_kernel_graph(engine) -> nx.DiGraph:
+def _pattern_kernel_graph(plan: PlanIR) -> nx.DiGraph:
     """Kernel graph over pattern ports, supplemented by ``add_kernel``
     annotations.
 
@@ -156,51 +170,53 @@ def _pattern_kernel_graph(engine) -> nx.DiGraph:
     min depth, ``channels`` = names).
     """
     g = nx.DiGraph()
-    g.add_nodes_from(k.name for k in engine.kernels.values()
-                     if k.pattern is not None or k.annotated)
+    g.add_nodes_from(k.name for k in plan.kernels
+                     if k.patterned or k.annotated)
 
-    def add(pk_name, ck_name, ch, lanes):
+    def add(pk_name, ck_name, ch_name, lanes):
+        depth = plan.depth_of(ch_name)
         if g.has_edge(pk_name, ck_name):
             data = g.edges[pk_name, ck_name]
-            if ch.name in data["channels"]:
+            if ch_name in data["channels"]:
                 return
-            data["depth_lo"] = min(data["depth_lo"], ch.depth)
+            data["depth_lo"] = min(data["depth_lo"], depth)
             data["lanes"] = max(data["lanes"], lanes)
-            data["channels"].append(ch.name)
+            data["channels"].append(ch_name)
         else:
-            g.add_edge(pk_name, ck_name, depth_lo=ch.depth, lanes=lanes,
-                       channels=[ch.name])
+            g.add_edge(pk_name, ck_name, depth_lo=depth, lanes=lanes,
+                       channels=[ch_name])
 
-    for ch, (pk, pw, _pt, ck, _cw, _ct) in both_sided_edges(engine).items():
-        add(pk.name, ck.name, ch, pw)
-    writers: Dict[str, List[Tuple]] = {}
+    for ch, (pk, pw, _pt, ck, _cw, _ct) in both_sided_edges(plan).items():
+        add(pk, ck, ch, pw)
+    writers: Dict[str, List[Tuple[str, str, int]]] = {}
     readers: Dict[str, List[str]] = {}
-    for k in engine.kernels.values():
-        for port in k.write_ports:
-            writers.setdefault(port.channel.name, []).append(
+    for k in plan.kernels:
+        for port in k.annotated_writes:
+            writers.setdefault(port.channel, []).append(
                 (k.name, port.channel, port.lanes))
-        for ch in k.read_channels:
-            readers.setdefault(ch.name, []).append(k.name)
+        for ch in k.annotated_reads:
+            readers.setdefault(ch, []).append(k.name)
     for name, ws in writers.items():
         rs = readers.get(name, ())
         if len(ws) != 1 or len(rs) != 1:
             continue
-        (pk_name, ch, lanes), = ws
-        add(pk_name, rs[0], ch, lanes)
+        (pk_name, ch_name, lanes), = ws
+        add(pk_name, rs[0], ch_name, lanes)
     return g
 
 
-def min_depth_requirements(engine):
+def min_depth_requirements(subject):
     """Inferred minimal deadlock-free depth per reconvergent branch.
 
     Returns a list of ``(pair, branch_nodes, channels, capacity,
     required)`` tuples, one per branch of every reconvergent pattern
     pair whose sibling branch defers output (``required > 0``).
     """
-    g = _pattern_kernel_graph(engine)
+    plan = as_plan(subject)
+    g = _pattern_kernel_graph(plan)
     if not nx.is_directed_acyclic_graph(g):
         return []                        # FB004 territory
-    kernels = engine.kernels
+    kernels = plan.kernel_map
     out = []
     for a, b in reconvergent_pairs(g):
         paths = disjoint_paths(g, a, b)
@@ -210,11 +226,9 @@ def min_depth_requirements(engine):
             defer = 0
             for name in p[1:-1]:
                 k = kernels[name]
-                pat = k.pattern
-                pdefer = getattr(pat, "defer", 0) if pat is not None else 0
                 # A pattern declares only its steady-window ports, so the
                 # add_kernel annotation may know the larger window.
-                defer += max(pdefer, k.defer)
+                defer += max(k.pattern_defer, k.defer)
             stats.append({
                 "nodes": p,
                 "defer": defer,
@@ -238,11 +252,10 @@ def min_depth_requirements(engine):
 # ---------------------------------------------------------------------------
 
 @register("rates", "certifiable")
-def check_certifiable(engine, ctx) -> Iterable[Diagnostic]:
+def check_certifiable(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB404: every kernel needs an executable ii=1 StaticPattern."""
-    for k in engine.kernels.values():
-        p = k.pattern
-        if p is None:
+    for k in plan.kernels:
+        if not k.patterned:
             yield Diagnostic(
                 "FB404", Severity.ERROR,
                 f"kernel {k.name!r} carries no StaticPattern; its firing "
@@ -250,95 +263,96 @@ def check_certifiable(engine, ctx) -> Iterable[Diagnostic]:
                 obj=k.name,
                 fix="wrap the generator in PatternedGenerator with an "
                     "executable StaticPattern")
-        elif p._ready is None:
+        elif not k.executable:
             yield Diagnostic(
                 "FB404", Severity.ERROR,
                 f"kernel {k.name!r} has a declare-only pattern (ports "
                 "documented, no block executor); the fast path can never "
                 "engage for it", obj=k.name,
                 fix="supply ready=/block= so the pattern is executable")
-        elif p.ii != 1:
+        elif k.pattern_ii != 1:
             yield Diagnostic(
                 "FB404", Severity.ERROR,
-                f"kernel {k.name!r} initiates every {p.ii} cycles; "
+                f"kernel {k.name!r} initiates every {k.pattern_ii} cycles; "
                 "whole-program windows require ii == 1", obj=k.name)
 
 
 @register("rates", "rates")
-def check_rates(engine, ctx) -> Iterable[Diagnostic]:
+def check_rates(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB400: balance equations must yield a uniform repetition vector."""
-    edges = both_sided_edges(engine)
-    producers, consumers = pattern_ports(engine)
+    edges = both_sided_edges(plan)
+    producers, consumers = pattern_ports(plan)
     for ch, ps in producers.items():
         if len(ps) > 1:
             yield Diagnostic(
                 "FB400", Severity.ERROR,
-                f"channel {ch.name!r} has {len(ps)} pattern producers; "
-                "SDF edges are single-producer", obj=ch.name)
+                f"channel {ch!r} has {len(ps)} pattern producers; "
+                "SDF edges are single-producer", obj=ch)
     for ch, cs in consumers.items():
         if len(cs) > 1:
             yield Diagnostic(
                 "FB400", Severity.ERROR,
-                f"channel {ch.name!r} has {len(cs)} pattern consumers; "
-                "SDF edges are single-consumer", obj=ch.name)
-    q, conflicts = solve_balance(engine)
+                f"channel {ch!r} has {len(cs)} pattern consumers; "
+                "SDF edges are single-consumer", obj=ch)
+    q, conflicts = solve_balance(plan)
     for ch, pk, ck, expected, got in conflicts:
         yield Diagnostic(
             "FB400", Severity.ERROR,
-            f"channel {ch.name!r}: balance equations are inconsistent — "
-            f"propagation forces rate {expected} on {ck.name!r} but its "
+            f"channel {ch!r}: balance equations are inconsistent — "
+            f"propagation forces rate {expected} on {ck!r} but its "
             f"other edges force {got}; no repetition vector exists",
-            edge=(pk.name, ck.name), obj=ch.name)
+            edge=(pk, ck), obj=ch)
     if not conflicts:
         for ch, (pk, pw, _pt, ck, cw, _ct) in edges.items():
             if pw != cw:
                 yield Diagnostic(
                     "FB400", Severity.ERROR,
-                    f"channel {ch.name!r}: producer {pk.name!r} pushes "
-                    f"{pw} lanes/cycle but consumer {ck.name!r} pops "
+                    f"channel {ch!r}: producer {pk!r} pushes "
+                    f"{pw} lanes/cycle but consumer {ck!r} pops "
                     f"{cw}; the repetition vector "
-                    f"({ck.name}: {q[ck.name]} firings per {pk.name} "
+                    f"({ck}: {q[ck]} firings per {pk} "
                     "firing) is not uniform, so no single-clock ii=1 "
                     "steady state exists",
-                    edge=(pk.name, ck.name), obj=ch.name,
-                    fix=f"match the lanes (width) on {ch.name!r}")
+                    edge=(pk, ck), obj=ch,
+                    fix=f"match the lanes (width) on {ch!r}")
 
 
 @register("rates", "tokens")
-def check_tokens(engine, ctx) -> Iterable[Diagnostic]:
+def check_tokens(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB401: per-channel element totals must conserve."""
     for ch, (pk, _pw, ptot, ck, _cw, ctot) in both_sided_edges(
-            engine).items():
+            plan).items():
         if ptot is None or ctot is None or ptot == ctot:
             continue
         if ptot < ctot:
             yield Diagnostic(
                 "FB401", Severity.ERROR,
-                f"channel {ch.name!r}: consumer {ck.name!r} expects "
-                f"{ctot} elements but producer {pk.name!r} emits only "
+                f"channel {ch!r}: consumer {ck!r} expects "
+                f"{ctot} elements but producer {pk!r} emits only "
                 f"{ptot}; the consumer starves after the common prefix",
-                edge=(pk.name, ck.name), obj=ch.name)
+                edge=(pk, ck), obj=ch)
         else:
             yield Diagnostic(
                 "FB401", Severity.ERROR,
-                f"channel {ch.name!r}: producer {pk.name!r} emits {ptot} "
-                f"elements but consumer {ck.name!r} accepts only {ctot}; "
+                f"channel {ch!r}: producer {pk!r} emits {ptot} "
+                f"elements but consumer {ck!r} accepts only {ctot}; "
                 f"the surplus {ptot - ctot} accumulate until the channel "
                 "back-pressures the producer forever",
-                edge=(pk.name, ck.name), obj=ch.name)
+                edge=(pk, ck), obj=ch)
 
 
 @register("rates", "bandwidth")
-def check_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
+def check_bandwidth(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB402: steady DRAM demand must fit every bank budget in full."""
-    demand = bank_demand(engine)
-    pooled: Dict[int, Tuple[object, int]] = {}
-    for (mem, bank), nbytes in sorted(
-            demand.items(), key=lambda kv: (id(kv[0][0]), -1 if kv[0][1]
-                                            is None else kv[0][1])):
-        mid = id(mem)
-        prev = pooled.get(mid, (mem, 0))[1]
-        pooled[mid] = (mem, prev + nbytes)
+    demand = bank_demand(plan)
+    mem = plan.memory
+    if mem is None:
+        return
+    total = 0
+    for bank, nbytes in sorted(
+            demand.items(),
+            key=lambda kv: -1 if kv[0] is None else kv[0]):
+        total += nbytes
         if bank is None:
             continue
         if nbytes > mem.bytes_per_cycle:
@@ -351,21 +365,20 @@ def check_bandwidth(engine, ctx) -> Iterable[Diagnostic]:
                 obj=f"bank{bank}",
                 fix="spread the buffers over more banks or reduce the "
                     "vectorization width")
-    for mid, (mem, total) in pooled.items():
-        budget = mem.num_banks * mem.bytes_per_cycle
-        if total > budget:
-            yield Diagnostic(
-                "FB402", Severity.ERROR,
-                f"aggregate DRAM demand {total} B/cycle exceeds the "
-                f"pooled budget {budget} ({mem.num_banks} banks x "
-                f"{mem.bytes_per_cycle} B)", obj="dram")
+    budget = mem.num_banks * mem.bytes_per_cycle
+    if total > budget:
+        yield Diagnostic(
+            "FB402", Severity.ERROR,
+            f"aggregate DRAM demand {total} B/cycle exceeds the "
+            f"pooled budget {budget} ({mem.num_banks} banks x "
+            f"{mem.bytes_per_cycle} B)", obj="dram")
 
 
 @register("rates", "min-depths")
-def check_min_depths(engine, ctx) -> Iterable[Diagnostic]:
+def check_min_depths(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB403: exact minimal deadlock-free depths on reconvergent pairs."""
     for (a, b), nodes, chans, capacity, required in \
-            min_depth_requirements(engine):
+            min_depth_requirements(plan):
         if capacity >= required:
             continue
         name = chans[0] if chans else "?"

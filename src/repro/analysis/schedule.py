@@ -10,15 +10,22 @@ fill / steady-window / drain phase plan per kernel, the per-channel
 minimal depths, the per-bank byte budget, and a two-sided predicted
 cycle band from the ``C = L + II * M`` pipeline model.
 
+Certification is a **PlanIR -> StaticSchedule** pass: the subject is
+compiled once through :func:`repro.plan.compile_plan` (live engines are
+coerced at the boundary) and both the rate passes and the schedule
+builder consume only the typed plan.  :func:`ensure_certified` memoizes
+on :attr:`~repro.plan.PlanIR.plan_key` — a structural SHA-256 that
+includes the device-catalog identity of the plan's memory, so
+rebuilding the same composition for a new problem instance reuses the
+certificate while a schedule certified on one device is never replayed
+on another.
+
 ``Engine(mode="certified")`` calls :func:`ensure_certified` before
 running and then executes through
 :class:`~repro.fpga.bulk.CertifiedScheduler`, which replays steady
 windows against the certificate with **no** runtime probing,
 fingerprinting, or cooldown fallback — the O(channels) phase-alignment
-check replaces the bulk tier's speculative probe entirely.  Schedules
-are structural, so :func:`ensure_certified` caches them by a key over
-(kernel, pattern, channel-depth) shape: rebuilding the same composition
-for a new problem instance reuses the certificate.
+check replaces the bulk tier's speculative probe entirely.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..models.performance import certified_cycle_band
+from ..plan import PlanIR, PlanKernel, as_plan
 from .diagnostics import (
     SCHEDULE_SCHEMA,
     AnalysisResult,
@@ -104,58 +112,55 @@ class StaticSchedule:
         return {"schema": d.pop("schema"), **d}
 
 
-def _kernel_lanes(pattern) -> int:
-    widths = [w for _ch, w in pattern.reads]
-    widths += [w for _ch, w, _lat in pattern.writes]
+def _kernel_lanes(k: PlanKernel) -> int:
+    widths = [p.lanes for p in k.reads]
+    widths += [p.lanes for p in k.writes]
     return max(widths, default=1)
 
 
-def _kernel_iterations(pattern, lanes: int) -> Optional[int]:
-    totals = [t for t in pattern.read_totals + pattern.write_totals
-              if t is not None]
+def _kernel_iterations(k: PlanKernel, lanes: int) -> Optional[int]:
+    totals = [p.total for p in k.reads + k.writes if p.total is not None]
     if not totals or lanes < 1:
         return None
     return max(-(-t // lanes) for t in totals)
 
 
-def _build_schedule(engine, subject: str) -> StaticSchedule:
+def _build_schedule(plan: PlanIR) -> StaticSchedule:
     """Compile the certificate.  Only called once the rate passes have
     all passed, so every kernel has an executable ii=1 pattern."""
-    q, _conflicts = solve_balance(engine)
-    edges = both_sided_edges(engine)
+    q, _conflicts = solve_balance(plan)
+    edges = both_sided_edges(plan)
 
     # Per-channel minimal depths: lanes by default, the reconvergence
     # window where the FB403 analysis found one.
     min_depths: Dict[str, int] = {}
     for _pair, _nodes, chans, _cap, required in \
-            min_depth_requirements(engine):
+            min_depth_requirements(plan):
         for name in chans:
             min_depths[name] = max(min_depths.get(name, 0), required)
 
-    per_kernel_dram: Dict[str, int] = {}
     kernels = []
-    for k in engine.kernels.values():
-        p = k.pattern
-        lanes = _kernel_lanes(p)
-        m = _kernel_iterations(p, lanes)
-        dram = sum(d.elements * d.buf.itemsize for d in p.dram)
-        per_kernel_dram[k.name] = dram
+    for k in plan.kernels:
+        lanes = _kernel_lanes(k)
+        m = _kernel_iterations(k, lanes)
+        dram = sum(t.elements * t.itemsize for t in k.dram)
         segments = (PhaseSegment("fill", k.latency),
-                    PhaseSegment("steady", p.ii, m if m is not None else 0),
+                    PhaseSegment("steady", k.pattern_ii,
+                                 m if m is not None else 0),
                     PhaseSegment("drain", k.latency))
         kernels.append(KernelSchedule(
             kernel=k.name, lanes=lanes, iterations=m, latency=k.latency,
-            ii=p.ii, segments=segments, dram_bytes_per_cycle=dram))
+            ii=k.pattern_ii, segments=segments, dram_bytes_per_cycle=dram))
 
     channels = []
     for ch, (pk, pw, _pt, ck, _cw, _ct) in edges.items():
         channels.append(ChannelPlan(
-            channel=ch.name, depth=ch.depth,
-            min_depth=min_depths.get(ch.name, pw), lanes=pw,
-            producer=pk.name, consumer=ck.name))
+            channel=ch, depth=plan.depth_of(ch),
+            min_depth=min_depths.get(ch, pw), lanes=pw,
+            producer=pk, consumer=ck))
 
     banks = {("dram" if bank is None else f"bank{bank}"): nbytes
-             for (_mem, bank), nbytes in bank_demand(engine).items()}
+             for bank, nbytes in bank_demand(plan).items()}
 
     lo, hi = certified_cycle_band(
         latencies=[ks.latency for ks in kernels],
@@ -164,7 +169,7 @@ def _build_schedule(engine, subject: str) -> StaticSchedule:
         lanes=[ks.lanes for ks in kernels])
 
     return StaticSchedule(
-        subject=subject,
+        subject=plan.subject,
         kernels=tuple(kernels),
         channels=tuple(sorted(channels, key=lambda c: c.channel)),
         repetition={name: int(v) for name, v in sorted(q.items())},
@@ -172,19 +177,20 @@ def _build_schedule(engine, subject: str) -> StaticSchedule:
         predicted_cycles=(lo, hi))
 
 
-def certify(engine) -> Tuple[AnalysisResult, Optional[StaticSchedule]]:
+def certify(subject) -> Tuple[AnalysisResult, Optional[StaticSchedule]]:
     """Run the FB4xx rate passes; compile a schedule when they pass.
 
-    Returns ``(result, schedule)`` — ``schedule`` is ``None`` when any
-    error-severity diagnostic fired.  A clean run appends the FB405
-    certificate diagnostic so reports show *why* the design was allowed
-    into certified mode.
+    ``subject`` may be an engine, an MDAG, or an already-compiled
+    :class:`~repro.plan.PlanIR`.  Returns ``(result, schedule)`` —
+    ``schedule`` is ``None`` when any error-severity diagnostic fired.
+    A clean run appends the FB405 certificate diagnostic so reports
+    show *why* the design was allowed into certified mode.
     """
-    subject = f"engine({len(engine.kernels)} kernels)"
-    result = run_passes("rates", engine, {}, subject_name=subject)
+    plan = as_plan(subject)
+    result = run_passes("rates", plan, {}, subject_name=plan.subject)
     if not result.ok:
         return result, None
-    schedule = _build_schedule(engine, subject)
+    schedule = _build_schedule(plan)
     lo, hi = schedule.predicted_cycles
     result.diagnostics.append(Diagnostic(
         "FB405", Severity.INFO,
@@ -194,44 +200,35 @@ def certify(engine) -> Tuple[AnalysisResult, Optional[StaticSchedule]]:
     return result, schedule
 
 
-def schedule_key(engine) -> tuple:
-    """Structural fingerprint of a composition.
+def schedule_key(subject) -> str:
+    """Structural fingerprint of a composition: the plan's ``plan_key``.
 
-    Two engines with the same kernel/pattern/channel shape share their
-    certificate even when the payload data differs — totals are part of
-    the key because they fix the steady repetition counts.
+    Two designs with the same kernel/pattern/channel shape *on the same
+    device* share their certificate even when the payload data differs —
+    totals are part of the key because they fix the steady repetition
+    counts, and the memory's device-catalog identity is part of the key
+    so a certificate never crosses device boundaries.
     """
-    kparts = []
-    for k in engine.kernels.values():
-        p = k.pattern
-        if p is None:
-            kparts.append((k.name, k.latency, k.ii, None))
-            continue
-        kparts.append((
-            k.name, k.latency, k.ii,
-            tuple((ch.name, w) for ch, w in p.reads),
-            tuple((ch.name, w, lat) for ch, w, lat in p.writes),
-            p.read_totals, p.write_totals, p.ii,
-            getattr(p, "defer", 0), p._ready is not None))
-    chparts = tuple(sorted((ch.name, ch.depth)
-                           for ch in engine.channels.values()))
-    return tuple(kparts), chparts
+    return as_plan(subject).plan_key
 
 
-def ensure_certified(engine, cache: Optional[dict] = None) -> StaticSchedule:
-    """Certify ``engine`` or raise; memoized on ``cache`` when given.
+def ensure_certified(subject, cache: Optional[dict] = None
+                     ) -> StaticSchedule:
+    """Certify ``subject`` or raise; memoized on ``cache`` when given.
 
     This is the entry point ``Engine(mode="certified")`` uses: a design
     that fails any rate pass raises
     :class:`~repro.analysis.diagnostics.AnalysisError` carrying the full
-    diagnostic list, *before* any cycle is simulated.
+    diagnostic list, *before* any cycle is simulated.  The cache is
+    keyed on :attr:`~repro.plan.PlanIR.plan_key`.
     """
-    key = schedule_key(engine) if cache is not None else None
+    plan = as_plan(subject)
+    key = plan.plan_key if cache is not None else None
     if cache is not None:
         hit = cache.get(key)
         if hit is not None:
             return hit
-    result, schedule = certify(engine)
+    result, schedule = certify(plan)
     if schedule is None:
         result.raise_if_errors()
     if cache is not None:

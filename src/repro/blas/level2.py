@@ -426,8 +426,26 @@ def gemv_nontiled(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
         yield Clock()
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",),
-           defer=lambda a: a["n"] * a["m"])
+class _GemvTCursor:
+    """Shared loop state for the patterned transposed GEMV.
+
+    Like :class:`_GemvCursor`, the generator drives its matrix phase
+    entirely off this cursor, so the pattern's ``block()`` can
+    fast-forward ``k`` A-bursts and the resumed generator continues
+    from the advanced state.
+    """
+
+    __slots__ = ("in_a", "tj", "r", "done", "xs", "s")
+
+    def __init__(self):
+        self.in_a = False      # suspended inside a row-of-tiles A phase
+        self.tj = 0            # current tile column
+        self.r = 0             # current row within the tile
+        self.done = 0          # elements consumed in the current row
+        self.xs = None         # current x block as an ndarray
+        self.s = None          # (m,) on-chip accumulator
+
+
 def gemv_transposed_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
                               tile_n, tile_m, width=1, dtype=np.float32):
     """GEMV^T s = alpha*A^T*x + beta*s, with A (N x M) in tiles by ROWS.
@@ -438,31 +456,131 @@ def gemv_transposed_row_tiles(n, m, alpha, beta, ch_a, ch_x, ch_y, ch_out,
     (costing M*sizeof(elem) bytes of M20K) instead of replaying its
     output.  ``ch_x`` carries the N-element input once, in T_N blocks;
     ``ch_y`` the M-element addend once; ``ch_out`` the M-element result.
+
+    Like :func:`gemv_row_tiles`, when ``width`` divides ``tile_m`` the
+    matrix phase is statically regular — one W-wide burst of A per cycle
+    for a whole row of tiles — so the attached pattern is *executable*
+    over the A port and the bulk/certified engines fast-forward whole
+    rows of tiles with the scalar loop's exact accumulation order.
     """
     _check_tiles(n, tile_n, m, tile_m)
     alpha = dtype(alpha)
     beta = dtype(beta)
-    s = [dtype(0)] * m
-    for ti in range(n // tile_n):
-        xs = yield from _pop_block(ch_x, tile_n, width)
-        for tj in range(m // tile_m):
-            for r in range(tile_n):
-                done = 0
-                while done < tile_m:
-                    c = min(width, tile_m - done)
-                    avals = _chunk((yield Pop(ch_a, c)), c)
-                    xr = dtype(xs[r])
-                    col0 = tj * tile_m + done
-                    for k, a in enumerate(avals):
-                        s[col0 + k] = s[col0 + k] + dtype(a) * xr
-                    yield Clock()
-                    done += c
-    ys = yield from _pop_block(ch_y, m, width)
-    result = [alpha * sv + beta * dtype(y) for sv, y in zip(s, ys)]
-    yield from _push_block(ch_out, result, width)
+    st = _GemvTCursor()
+
+    def gen():
+        st.s = np.zeros(m, dtype=dtype)
+        for ti in range(n // tile_n):
+            xs = yield from _pop_block(ch_x, tile_n, width)
+            st.xs = np.asarray(xs, dtype=dtype)
+            st.tj = 0
+            st.r = 0
+            st.done = 0
+            st.in_a = True
+            while st.in_a:
+                c = min(width, tile_m - st.done)
+                avals = _chunk((yield Pop(ch_a, c)), c)
+                xr = st.xs[st.r]
+                col0 = st.tj * tile_m + st.done
+                for k, a in enumerate(avals):
+                    st.s[col0 + k] = st.s[col0 + k] + dtype(a) * xr
+                st.done += c
+                if st.done == tile_m:
+                    st.done = 0
+                    st.r += 1
+                    if st.r == tile_n:
+                        st.r = 0
+                        st.tj += 1
+                        if st.tj == m // tile_m:
+                            st.in_a = False
+                yield Clock()
+        ys = yield from _pop_block(ch_y, m, width)
+        result = [alpha * sv + beta * dtype(y) for sv, y in zip(st.s, ys)]
+        yield from _push_block(ch_out, result, width)
+
+    defer = n * m                        # the whole matrix before pushing
+    if tile_m % width:
+        pat = StaticPattern.declare(
+            reads=((ch_a, width), (ch_x, width), (ch_y, width)),
+            writes=((ch_out, width, None),),
+            read_totals=(n * m, n, m), write_totals=(m,), defer=defer)
+        return PatternedGenerator(gen(), pat)
+
+    cpr = tile_m // width               # A-bursts per row segment
+    bpt = tile_n * cpr                  # A-bursts per tile (one tj block)
+    col_tiles = m // tile_m
+
+    def ready():
+        if not st.in_a:
+            return 0
+        return col_tiles * bpt - (st.tj * bpt + st.r * cpr
+                                  + st.done // width)
+
+    def _fold(bursts, tj, pos):
+        # Sequential scalar-order fold of `bursts` starting at burst
+        # `pos` within tile column `tj` (partial tiles only).
+        for i in range(len(bursts)):
+            r, b = divmod(pos + i, cpr)
+            c0 = tj * tile_m + b * width
+            st.s[c0:c0 + width] = st.s[c0:c0 + width] + bursts[i] * st.xs[r]
+
+    def block(k, ins):
+        amat = np.asarray(ins[0]).reshape(k, width)
+        idx = 0
+        pos = st.r * cpr + st.done // width
+        if pos:
+            # Finish the partially consumed current tile column first.
+            take = min(k, bpt - pos)
+            _fold(amat[:take], st.tj, pos)
+            idx = take
+            pos += take
+            if pos == bpt:
+                st.tj += 1
+                pos = 0
+        full = (k - idx) // bpt
+        for _ in range(full):
+            # Whole tile columns: each s segment receives its tile_n
+            # contributions as a sequential left-fold over rows
+            # (np.add.accumulate is defined elementwise-sequentially,
+            # matching the scalar adds).
+            seg = st.s[st.tj * tile_m:(st.tj + 1) * tile_m]
+            contrib = (amat[idx:idx + bpt].reshape(tile_n, cpr, width)
+                       * st.xs[:, None, None])
+            seg[:] = np.add.accumulate(
+                np.concatenate((seg.reshape(1, cpr, width), contrib),
+                               axis=0), axis=0)[-1].reshape(-1)
+            idx += bpt
+            st.tj += 1
+        if idx < k:
+            # Leading bursts of the next (incomplete) tile column.
+            _fold(amat[idx:], st.tj, 0)
+            pos = k - idx
+        st.r, db = divmod(pos, cpr)
+        st.done = db * width
+        if st.tj == col_tiles:
+            st.in_a = False
+        return []
+
+    pat = StaticPattern(
+        reads=((ch_a, width),), ii=1, dtype=dtype,
+        ready=ready, block=block,
+        read_totals=(n * m,), defer=defer)
+    return PatternedGenerator(gen(), pat)
 
 
-@_declared(reads=("ch_a", "ch_x", "ch_y"), writes=("ch_out",))
+class _GerCursor:
+    """Shared loop state for the patterned GER (see :class:`_GemvCursor`)."""
+
+    __slots__ = ("in_a", "r", "done", "axs", "ys")
+
+    def __init__(self):
+        self.in_a = False      # suspended inside one tile's matrix phase
+        self.r = 0             # current row within the tile
+        self.done = 0          # elements consumed in the current row
+        self.axs = None        # alpha * x block as an ndarray
+        self.ys = None         # current y block as an ndarray
+
+
 def ger_kernel(n, m, alpha, ch_a, ch_x, ch_y, ch_out,
                tile_n, tile_m, width=1, dtype=np.float32):
     """GER A' = A + alpha*x*y^T, A in tiles by rows (map-class routine).
@@ -471,24 +589,78 @@ def ger_kernel(n, m, alpha, ch_a, ch_x, ch_y, ch_out,
     row of tiles); ``ch_y`` carries y in T_M blocks, the whole vector
     replayed ceil(N/T_N) times; ``ch_out`` receives A' in the same tile
     order as ``ch_a``.
+
+    When ``width`` divides ``tile_m`` each tile's matrix phase is
+    statically regular — one W-wide burst of A in and one W-wide burst
+    of A' out per cycle — so the attached pattern is *executable* over
+    both matrix ports and the bulk/certified engines replay whole tiles
+    arithmetically; only the x/y block loads stay event-stepped.
     """
     _check_tiles(n, tile_n, m, tile_m)
     alpha = dtype(alpha)
-    for ti in range(n // tile_n):
-        xs = yield from _pop_block(ch_x, tile_n, width)
-        for tj in range(m // tile_m):
-            ys = yield from _pop_block(ch_y, tile_m, width)
-            for r in range(tile_n):
-                xr = alpha * dtype(xs[r])
-                done = 0
-                while done < tile_m:
-                    c = min(width, tile_m - done)
+    st = _GerCursor()
+
+    def gen():
+        for ti in range(n // tile_n):
+            xs = yield from _pop_block(ch_x, tile_n, width)
+            st.axs = alpha * np.asarray(xs, dtype=dtype)
+            for tj in range(m // tile_m):
+                ys = yield from _pop_block(ch_y, tile_m, width)
+                st.ys = np.asarray(ys, dtype=dtype)
+                st.r = 0
+                st.done = 0
+                st.in_a = True
+                while st.in_a:
+                    c = min(width, tile_m - st.done)
                     avals = _chunk((yield Pop(ch_a, c)), c)
+                    xr = st.axs[st.r]
                     yield Push(ch_out, tuple(
-                        dtype(a) + xr * dtype(y)
-                        for a, y in zip(avals, ys[done:done + c])), None)
+                        dtype(a) + xr * y
+                        for a, y in zip(avals,
+                                        st.ys[st.done:st.done + c])), None)
+                    st.done += c
+                    if st.done == tile_m:
+                        st.done = 0
+                        st.r += 1
+                        if st.r == tile_n:
+                            st.in_a = False
                     yield Clock()
-                    done += c
+
+    if tile_m % width:
+        pat = StaticPattern.declare(
+            reads=((ch_a, width), (ch_x, width), (ch_y, width)),
+            writes=((ch_out, width, None),),
+            read_totals=(n * m, n, m * (n // tile_n)),
+            write_totals=(n * m,))
+        return PatternedGenerator(gen(), pat)
+
+    cpr = tile_m // width               # A-bursts per row
+
+    def ready():
+        if not st.in_a:
+            return 0
+        return tile_n * cpr - (st.r * cpr + st.done // width)
+
+    def block(k, ins):
+        amat = np.asarray(ins[0]).reshape(k, width)
+        pos = st.r * cpr + st.done // width + np.arange(k)
+        # Each burst is an independent elementwise map: A + (alpha*x_r)
+        # times the matching y segment — same products and adds as the
+        # scalar loop, vectorized across bursts.
+        out = amat + (st.axs[pos // cpr, None]
+                      * st.ys.reshape(cpr, width)[pos % cpr])
+        p = st.r * cpr + st.done // width + k
+        st.r, db = divmod(p, cpr)
+        st.done = db * width
+        if st.r == tile_n:
+            st.in_a = False
+        return [out.reshape(-1)]
+
+    pat = StaticPattern(
+        reads=((ch_a, width),), writes=((ch_out, width, None),),
+        ii=1, dtype=dtype, ready=ready, block=block,
+        read_totals=(n * m,), write_totals=(n * m,))
+    return PatternedGenerator(gen(), pat)
 
 
 @_declared(reads=("ch_a", "ch_x_row", "ch_x_col"), writes=("ch_out",))

@@ -29,15 +29,31 @@ from ..fpga.resources import (
     level1_resources,
     level2_resources,
 )
+from ..plan import PlanIR, compile_plan
 from ..streaming.mdag import MDAG
 from . import templates
 from .spec import RoutineSpec, SpecError
 
 
+def _plan_for_emission(mdag: MDAG) -> PlanIR:
+    """Compile the MDAG once; fall back to a structural (unplanned)
+    view for graphs the scheduler rejects — codegen still emits those
+    so the analyzer's report can be read next to the source."""
+    from ..streaming.mdag import MDAGError
+    from ..streaming.scheduler import CompositionPlan, PlanningError
+    from ..plan import plan_from_composition
+    try:
+        return compile_plan(mdag)
+    except (PlanningError, MDAGError):
+        passthrough = CompositionPlan(
+            mdag=mdag, components=[set(mdag.graph.nodes)])
+        return plan_from_composition(mdag, passthrough)
+
+
 def emit_composition(mdag: MDAG, specs: Dict[str, RoutineSpec],
                      name: str = "composition",
-                     port_map: Optional[Dict[str, Dict[str, str]]] = None
-                     ) -> str:
+                     port_map: Optional[Dict[str, Dict[str, str]]] = None,
+                     plan: Optional[PlanIR] = None) -> str:
     """Emit the composition source.
 
     Parameters
@@ -51,8 +67,17 @@ def emit_composition(mdag: MDAG, specs: Dict[str, RoutineSpec],
         routine's port name (e.g. ``{"dot": {"axpy": "x", "read_u":
         "y"}}``).  When omitted, ports are assigned to neighbours in
         declaration order.
+    plan:
+        Optional pre-compiled :class:`~repro.plan.PlanIR`; by default
+        the MDAG is compiled through :func:`repro.plan.compile_plan`,
+        so the channel declarations carry the *planned* depths (the
+        scheduler's reordering-window sizing included) rather than the
+        raw edge attributes.
     """
     port_map = port_map or {}
+    if plan is None:
+        plan = _plan_for_emission(mdag)
+    edge_depths = {(e.src, e.dst): e.depth for e in plan.edges}
     compute_nodes = [n for n in mdag.graph.nodes
                      if mdag.kind(n) == "compute"]
     missing = [n for n in compute_nodes if n not in specs]
@@ -72,14 +97,15 @@ def emit_composition(mdag: MDAG, specs: Dict[str, RoutineSpec],
     def edge_channel(u, v):
         return f"{u}__{v}"
 
-    for u, v, data in mdag.graph.edges(data=True):
+    for e in plan.edges:
+        u, v = e.src, e.dst
         ctype = "float"
         for node in (u, v):
             if node in specs:
                 ctype = specs[node].ctype
         lines.append(
             f"channel {ctype} {edge_channel(u, v)} "
-            f"__attribute__((depth({data['depth']})));")
+            f"__attribute__((depth({edge_depths[(u, v)]})));")
     lines.append("")
 
     # -- module sources with port aliasing -------------------------------------

@@ -93,7 +93,8 @@ class DramModel:
     """
 
     def __init__(self, num_banks: int = 4, bytes_per_cycle: int = 64,
-                 interleaving: bool = False, stride_penalty: float = 2.0):
+                 interleaving: bool = False, stride_penalty: float = 2.0,
+                 device: Optional[str] = None):
         if num_banks < 1:
             raise ValueError("need at least one DRAM bank")
         if bytes_per_cycle < 1:
@@ -103,6 +104,12 @@ class DramModel:
         self.num_banks = num_banks
         self.bytes_per_cycle = bytes_per_cycle
         self.interleaving = interleaving
+        #: Device-catalog identity of the board this DRAM belongs to.
+        #: Participates in the structural ``plan_key`` so a schedule
+        #: certified against one device is never replayed on another.
+        self.device_label = (device if device is not None
+                             else f"generic-dram-{num_banks}"
+                                  f"x{bytes_per_cycle}")
         #: Budget multiplier charged for non-contiguous accesses: strided
         #: bursts waste DRAM row activations, so a gather of k elements
         #: costs ``stride_penalty * k`` elements of budget (the effect
@@ -333,8 +340,14 @@ def write_kernel(mem: DramModel, buf: DramBuffer, ch, count: int,
     rate.
 
     Like :func:`read_kernel`, the linear path is pattern-annotated for
-    bulk mode; an explicit ``order`` is always event-stepped.
+    bulk mode; an explicit ``order`` is always event-stepped — except a
+    unit-stride range starting at 0 (the linear order spelled out, as
+    :meth:`repro.streaming.tiling.MatrixSchedule.indices` produces for
+    full-width row bands), which is normalized to the patterned path.
     """
+    if (isinstance(order, range) and order.start == 0 and order.step == 1
+            and len(order) == count):
+        order = None
     if order is not None:
         return _write_kernel_ordered(mem, buf, ch, count, width, order)
     return _write_kernel_linear(mem, buf, ch, count, width)

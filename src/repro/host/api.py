@@ -31,6 +31,7 @@ import numpy as np
 
 from ..fpga.device import STRATIX10, FpgaDevice
 from ..fpga.engine import Engine
+from ..plan import PlanCache
 from ..telemetry.runtime import active as _telemetry_active
 from ._l1 import Level1Mixin
 from ._l2 import Level2Mixin
@@ -108,10 +109,17 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: probing; raises :class:`~repro.analysis.AnalysisError` for
         #: non-certifiable designs).
         self.engine_mode = engine_mode
-        #: Certified static schedules memoized by structural shape —
-        #: rebuilding the same composition for a new problem instance
-        #: reuses the certificate instead of re-running the rate passes.
-        self._schedule_cache: dict = {}
+        #: Certified static schedules memoized on the structural
+        #: ``plan_key`` (device identity included) — rebuilding the same
+        #: composition for a new problem instance reuses the certificate
+        #: instead of re-running the rate passes.  A counting
+        #: :class:`repro.plan.PlanCache`, so hit rates are observable.
+        self._schedule_cache: PlanCache = PlanCache()
+        #: Compiled :class:`repro.plan.PlanIR` artifacts memoized on a
+        #: structural MDAG fingerprint: repeat ``simulate`` requests of
+        #: the same composition shape skip MDAG validation, scheduling
+        #: and pattern derivation entirely.
+        self.plan_cache: PlanCache = PlanCache()
         #: Recovery ladder for ``simulate`` calls: ``None`` disables it,
         #: ``True`` uses the default :class:`repro.faults.RetryPolicy`,
         #: or pass a policy instance.  When set, every call runs under

@@ -81,7 +81,8 @@ class FblasContext:
         self.mem = DramModel(
             num_banks=device.dram_banks,
             bytes_per_cycle=device.bytes_per_cycle(f),
-            interleaving=interleaving)
+            interleaving=interleaving,
+            device=device.name)
         self.records: List[CallRecord] = []
         self._buffer_seq = 0
 

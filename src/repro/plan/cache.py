@@ -1,0 +1,58 @@
+"""Keyed caches for compiled plans and certified schedules.
+
+:class:`PlanCache` is a counting dict: it speaks the plain mapping
+protocol the certifier's ``ensure_certified(cache=...)`` hook and the
+executor's ``plan_cache=`` hook expect, while keeping hit/miss counters
+so the host API (and the cache benchmark) can assert that repeat
+requests really skipped scheduling and pattern derivation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """A dict-protocol cache with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any, default: Optional[Any] = None) -> Any:
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        return default
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._store[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._store[key] = value
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses}
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return (f"PlanCache(entries={len(self._store)}, hits={self.hits}, "
+                f"misses={self.misses})")

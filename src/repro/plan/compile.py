@@ -1,0 +1,245 @@
+"""Compile live objects into the plan IR, and back.
+
+``compile_plan`` is the single entry point: hand it an
+:class:`~repro.fpga.engine.Engine`, an
+:class:`~repro.streaming.mdag.MDAG` (bound or not), or an existing
+:class:`~repro.plan.ir.PlanIR`, and get the typed plan back.  MDAG
+compilation runs :func:`repro.streaming.scheduler.plan_composition`
+exactly once and records its decisions (components, materialized/sized
+edges, final depths) in the IR; :func:`composition_from_plan` rebuilds
+the scheduler's :class:`~repro.streaming.scheduler.CompositionPlan`
+from the IR without re-planning — this is what makes the executor's
+plan cache skip MDAG validation and scheduling entirely on a hit.
+
+Imports of :mod:`repro.streaming` stay inside functions: the streaming
+package itself imports :mod:`repro.plan`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .ir import (
+    PlanChannel,
+    PlanEdge,
+    PlanIR,
+    PlanKernel,
+    PlanMemory,
+    PlanPlacement,
+    PlanPort,
+    PlanPrediction,
+    PlanTraffic,
+)
+
+__all__ = [
+    "as_plan", "compile_plan", "composition_from_plan",
+    "mdag_fingerprint", "plan_from_composition", "plan_from_engine",
+    "plan_from_mdag",
+]
+
+
+def compile_plan(subject: Any, *, windows: Optional[Dict] = None,
+                 buffer_budget: int = 0,
+                 device: Optional[str] = None) -> PlanIR:
+    """Compile ``subject`` (Engine | MDAG | PlanIR) into a :class:`PlanIR`.
+
+    An engine compiles to the kernel/channel/pattern view the analyzer
+    and certifier consume; an MDAG is scheduled once (``windows`` and
+    ``buffer_budget`` forwarded to the planner) and compiles to the
+    edge/component view the executor and codegen consume.  A PlanIR
+    passes through unchanged.
+    """
+    if isinstance(subject, PlanIR):
+        return subject
+    if hasattr(subject, "kernels") and hasattr(subject, "channels"):
+        return plan_from_engine(subject)
+    if hasattr(subject, "graph") and hasattr(subject, "kind"):
+        return plan_from_mdag(subject, windows=windows,
+                              buffer_budget=buffer_budget, device=device)
+    raise TypeError(
+        f"cannot compile a plan from {type(subject).__name__}; expected "
+        "an Engine, an MDAG, or a PlanIR")
+
+
+def as_plan(subject: Any) -> PlanIR:
+    """Coerce ``subject`` to a :class:`PlanIR` (no planner options)."""
+    return compile_plan(subject)
+
+
+# ---------------------------------------------------------------------------
+# Engine -> PlanIR
+# ---------------------------------------------------------------------------
+
+def _memory_label(mem: Any) -> str:
+    label = getattr(mem, "device_label", None)
+    if label:
+        return str(label)
+    return (f"generic-dram-{getattr(mem, 'num_banks', 0)}"
+            f"x{getattr(mem, 'bytes_per_cycle', 0)}")
+
+
+def plan_from_engine(engine: Any) -> PlanIR:
+    """The analyzer/certifier view: kernels, patterns, channels, DRAM."""
+    kernels: List[PlanKernel] = []
+    channel_depths: Dict[str, int] = {
+        name: ch.depth for name, ch in engine.channels.items()}
+    buffers: Dict[str, Any] = {}
+    mem = engine.memory
+
+    for k in engine.kernels.values():
+        p = k.pattern
+        reads: Tuple[PlanPort, ...] = ()
+        writes: Tuple[PlanPort, ...] = ()
+        dram: Tuple[PlanTraffic, ...] = ()
+        if p is not None:
+            reads = tuple(
+                PlanPort(channel=ch.name, lanes=w, total=total)
+                for (ch, w), total in zip(p.reads, p.read_totals))
+            writes = tuple(
+                PlanPort(channel=ch.name, lanes=w, latency=lat, total=total)
+                for (ch, w, lat), total in zip(p.writes, p.write_totals))
+            dram = tuple(
+                PlanTraffic(buffer=d.buf.name, bank=d.buf.bank,
+                            elements=d.elements, itemsize=d.buf.itemsize,
+                            kind=d.kind)
+                for d in p.dram)
+            for d in p.dram:
+                buffers[d.buf.name] = d.buf
+                if mem is None:
+                    mem = d.mem
+            for ch, _w in p.reads:
+                channel_depths.setdefault(ch.name, ch.depth)
+            for ch, _w, _lat in p.writes:
+                channel_depths.setdefault(ch.name, ch.depth)
+        annotated_writes = tuple(
+            PlanPort(channel=port.channel.name, lanes=port.lanes,
+                     latency=port.latency)
+            for port in k.write_ports)
+        for port in k.write_ports:
+            channel_depths.setdefault(port.channel.name, port.channel.depth)
+        for ch in k.read_channels:
+            channel_depths.setdefault(ch.name, ch.depth)
+        kernels.append(PlanKernel(
+            name=k.name, latency=k.latency, ii=k.ii, defer=k.defer,
+            annotated=k.annotated,
+            patterned=p is not None,
+            executable=p is not None and p._ready is not None,
+            pattern_ii=p.ii if p is not None else 1,
+            pattern_defer=getattr(p, "defer", 0) if p is not None else 0,
+            reads=reads, writes=writes,
+            annotated_reads=tuple(ch.name for ch in k.read_channels),
+            annotated_writes=annotated_writes,
+            dram=dram))
+
+    memory = None
+    device = None
+    if mem is not None:
+        device = _memory_label(mem)
+        memory = PlanMemory(device=device,
+                            num_banks=mem.num_banks,
+                            bytes_per_cycle=mem.bytes_per_cycle,
+                            interleaving=mem.interleaving)
+
+    placements = tuple(
+        PlanPlacement(buffer=name, bank=buf.bank,
+                      elements=buf.num_elements, itemsize=buf.itemsize)
+        for name, buf in sorted(buffers.items()))
+
+    return PlanIR(
+        subject=f"engine({len(engine.kernels)} kernels)",
+        device=device,
+        kernels=tuple(kernels),
+        channels=tuple(PlanChannel(name=n, depth=d)
+                       for n, d in channel_depths.items()),
+        memory=memory,
+        placements=placements)
+
+
+# ---------------------------------------------------------------------------
+# MDAG -> PlanIR (plans once, records the decisions)
+# ---------------------------------------------------------------------------
+
+def plan_from_mdag(mdag: Any, *, windows: Optional[Dict] = None,
+                   buffer_budget: int = 0,
+                   device: Optional[str] = None) -> PlanIR:
+    """Validate + schedule the MDAG once; record the plan in the IR."""
+    from ..streaming.scheduler import plan_composition
+    comp = plan_composition(mdag, windows=windows,
+                            buffer_budget=buffer_budget)
+    return plan_from_composition(mdag, comp, device=device)
+
+
+def plan_from_composition(mdag: Any, comp: Any,
+                          device: Optional[str] = None) -> PlanIR:
+    """Record an already-computed ``CompositionPlan`` in the IR."""
+    cut = set(comp.materialized_edges)
+    sized = set(comp.sized_edges)
+    edges: List[PlanEdge] = []
+    channels: List[PlanChannel] = []
+    for u, v, data in mdag.graph.edges(data=True):
+        produces = data["produces"]
+        consumes = data["consumes"]
+        depth = comp.channel_depths.get((u, v), data["depth"])
+        materialized = (u, v) in cut
+        edges.append(PlanEdge(
+            src=u, dst=v,
+            src_kind=mdag.kind(u), dst_kind=mdag.kind(v),
+            src_port=data.get("src_port", "out"),
+            dst_port=data.get("dst_port", "in"),
+            produces_total=produces.total,
+            produces_order=tuple(produces.order),
+            consumes_total=consumes.total,
+            consumes_order=tuple(consumes.order),
+            depth=depth,
+            materialized=materialized,
+            sized=(u, v) in sized))
+        if not materialized:
+            channels.append(PlanChannel(name=f"{u}__{v}", depth=depth))
+    return PlanIR(
+        subject=f"mdag({mdag.graph.number_of_nodes()} nodes)",
+        device=device,
+        channels=tuple(channels),
+        edges=tuple(edges),
+        components=tuple(tuple(sorted(c)) for c in comp.components),
+        predictions=PlanPrediction(
+            io_elements=comp.io_operations(),
+            sequential_io_elements=comp.sequential_io_operations()))
+
+
+def composition_from_plan(plan: PlanIR, mdag: Any) -> Any:
+    """Rebuild the scheduler's ``CompositionPlan`` from the IR.
+
+    This is the cache-hit path: no MDAG validation, no ``analyze()``,
+    no remedy loop — the recorded decisions are replayed verbatim.
+    """
+    from ..streaming.scheduler import CompositionPlan
+    components: List[Set[str]] = [set(c) for c in plan.components]
+    materialized = sorted((e.src, e.dst) for e in plan.edges
+                          if e.materialized)
+    depths = {(e.src, e.dst): e.depth for e in plan.edges
+              if not e.materialized}
+    sized = [(e.src, e.dst) for e in plan.edges if e.sized]
+    return CompositionPlan(mdag=mdag, components=components,
+                           materialized_edges=materialized,
+                           channel_depths=depths, sized_edges=sized)
+
+
+def mdag_fingerprint(mdag: Any, windows: Optional[Dict] = None,
+                     buffer_budget: int = 0) -> Tuple[Any, ...]:
+    """Structural pre-compile key for an MDAG + planner options.
+
+    Bindings (buffers, factories) are deliberately excluded: the plan
+    only depends on graph structure, signatures and depths, so repeat
+    requests over new problem instances of the same shape hit the
+    cache.
+    """
+    nodes = tuple(sorted(
+        (n, mdag.kind(n)) for n in mdag.graph.nodes))
+    edges = tuple(sorted(
+        (u, v, data["depth"],
+         data.get("src_port", "out"), data.get("dst_port", "in"),
+         data["produces"].total, tuple(data["produces"].order),
+         data["consumes"].total, tuple(data["consumes"].order))
+        for u, v, data in mdag.graph.edges(data=True)))
+    window_items = tuple(sorted((windows or {}).items()))
+    return (nodes, edges, window_items, buffer_budget)

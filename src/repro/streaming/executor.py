@@ -31,9 +31,16 @@ from ..fpga.engine import Engine, SimReport
 from ..fpga.errors import ReproError
 from ..fpga.memory import DramBuffer, DramModel, read_kernel, write_kernel
 from ..fpga.util import duplicate_kernel
+from ..plan import (
+    PlanIR,
+    composition_from_plan,
+    mdag_fingerprint,
+    plan_from_composition,
+    plan_from_mdag,
+)
 from ..telemetry.runtime import span as _telemetry_span
 from .mdag import MDAG, MDAGError
-from .scheduler import CompositionPlan, plan_composition
+from .scheduler import CompositionPlan
 
 
 class ExecutionError(ReproError):
@@ -110,6 +117,9 @@ class ExecutionResult:
     #: Per-component recovery outcomes (dicts) when ``execute_plan`` ran
     #: with a recovery policy; None otherwise.
     recovery: Optional[List[dict]] = None
+    #: The compiled :class:`~repro.plan.PlanIR` the run executed from
+    #: (None only when the caller handed in a raw ``CompositionPlan``).
+    plan_ir: Optional[PlanIR] = None
 
     @property
     def cycles(self) -> int:
@@ -122,11 +132,21 @@ class ExecutionResult:
 
 
 def execute_plan(mdag: BoundMDAG, mem: DramModel,
-                 plan: Optional[CompositionPlan] = None,
+                 plan=None,
                  windows=None, buffer_budget: int = 0,
                  mode: str = "event", recovery=None,
-                 schedule_cache: Optional[dict] = None) -> ExecutionResult:
+                 schedule_cache: Optional[dict] = None,
+                 plan_cache: Optional[dict] = None) -> ExecutionResult:
     """Plan (unless given) and run a bound MDAG on ``mem``.
+
+    ``plan`` may be a pre-compiled :class:`~repro.plan.PlanIR` (or a
+    legacy :class:`CompositionPlan`); by default the MDAG is compiled
+    through :func:`repro.plan.compile_plan` so every execution consumes
+    the typed IR.  ``plan_cache`` (any mapping, e.g.
+    :class:`repro.plan.PlanCache`) memoizes compiled plans on a
+    structural MDAG fingerprint: a hit skips MDAG validation,
+    scheduling, and pattern derivation entirely and replays the
+    recorded decisions.
 
     ``mode`` selects the engine core (``"event"`` wake-list scheduler,
     the ``"dense"`` reference loop, ``"bulk"`` — event stepping with
@@ -146,9 +166,27 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
     engine tier for the re-attempt.  Outcomes are recorded per component
     in :attr:`ExecutionResult.recovery`.
     """
+    plan_ir: Optional[PlanIR] = None
     if plan is None:
-        plan = plan_composition(mdag, windows=windows,
-                                buffer_budget=buffer_budget)
+        key = (mdag_fingerprint(mdag, windows, buffer_budget)
+               if plan_cache is not None else None)
+        if plan_cache is not None:
+            plan_ir = plan_cache.get(key)
+        if plan_ir is None:
+            plan_ir = plan_from_mdag(
+                mdag, windows=windows, buffer_budget=buffer_budget,
+                device=getattr(mem, "device_label", None))
+            if plan_cache is not None:
+                plan_cache[key] = plan_ir
+        plan = composition_from_plan(plan_ir, mdag)
+    elif isinstance(plan, PlanIR):
+        plan_ir = plan
+        plan = composition_from_plan(plan_ir, mdag)
+    else:
+        # Legacy CompositionPlan handed in directly: record it in the
+        # IR anyway so the result still carries the typed artifact.
+        plan_ir = plan_from_composition(
+            mdag, plan, device=getattr(mem, "device_label", None))
     _check_bound(mdag)
     io_before = mem.total_elements_moved
     cut = set(plan.materialized_edges)
@@ -191,7 +229,7 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
 
     return ExecutionResult(plan=plan, reports=reports,
                            io_elements=mem.total_elements_moved - io_before,
-                           recovery=recovery_log)
+                           recovery=recovery_log, plan_ir=plan_ir)
 
 
 def _run_component(mdag: BoundMDAG, mem: DramModel, plan: CompositionPlan,

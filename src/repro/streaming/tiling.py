@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator
+from typing import Iterable, Iterator
 
 
 class TileOrder(Enum):
@@ -103,8 +103,22 @@ class MatrixSchedule:
                 for r in range(r0, r0 + self.tile_rows):
                     yield r * self.cols + c
 
-    def indices(self) -> Iterator[int]:
-        """Flat row-major indices of the whole matrix in streaming order."""
+    def indices(self) -> Iterable[int]:
+        """Flat row-major indices of the whole matrix in streaming order.
+
+        When the streaming order *is* the linear row-major order —
+        full-width row bands (``tile_cols == cols``) with row-major
+        elements — the result is a unit-stride :class:`range`, which
+        :func:`repro.fpga.memory.read_kernel` and
+        :func:`~repro.fpga.memory.write_kernel` normalize onto their
+        patterned linear fast path, keeping such schedules certifiable.
+        """
+        if (self.elem_order is ElementOrder.ROW_MAJOR
+                and self.tile_cols == self.cols):
+            return range(self.num_elements)
+        return self._indices_iter()
+
+    def _indices_iter(self) -> Iterator[int]:
         for ti, tj in self.tiles():
             yield from self.tile_elements(ti, tj)
 

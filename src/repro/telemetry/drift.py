@@ -38,9 +38,10 @@ from ..fpga.resources import level1_latency
 from ..host.context import FblasContext
 from ..models import iomodel
 from ..models.performance import pipeline_cycles
+from ..plan import PlanIR, compile_plan
 
-__all__ = ["DriftEntry", "DriftReport", "entries_for", "drift_report",
-           "DRIFT_SCHEMA", "DEFAULT_THRESHOLD", "APPS"]
+__all__ = ["DriftEntry", "DriftReport", "entries_for", "entries_from_plan",
+           "drift_report", "DRIFT_SCHEMA", "DEFAULT_THRESHOLD", "APPS"]
 
 #: Schema tag for serialized drift reports.
 DRIFT_SCHEMA = "repro.drift/1"
@@ -118,6 +119,33 @@ def entries_for(app: str, measured_cycles: float, measured_io: float,
     ]
 
 
+def entries_from_plan(app: str, plan: PlanIR, measured_cycles: float,
+                      measured_io: float) -> List[DriftEntry]:
+    """Compare a measured run against a plan's attached predictions.
+
+    The plan IR is the single carrier of model output: each probe
+    compiles its application MDAG once, stamps the closed-form numbers
+    into :attr:`repro.plan.PlanIR.predictions` via
+    :meth:`~repro.plan.PlanIR.with_predictions`, and the drift entries
+    are derived from the plan alone — so what the report compares is
+    exactly what the compiled plan claims.
+    """
+    pred = plan.predictions
+    if pred is None or pred.cycles_lo is None or pred.cycles_hi is None:
+        raise ValueError(
+            f"plan for {app!r} carries no cycle prediction; attach one "
+            "with PlanIR.with_predictions() before computing drift")
+    if pred.io_elements is None:
+        raise ValueError(
+            f"plan for {app!r} carries no io_elements prediction")
+    # A point prediction (lo == hi) is passed through unchanged so the
+    # drift numbers stay identical to the closed form that produced it.
+    modeled_cycles = (pred.cycles_lo if pred.cycles_lo == pred.cycles_hi
+                      else (pred.cycles_lo + pred.cycles_hi) / 2)
+    return entries_for(app, measured_cycles, measured_io,
+                       modeled_cycles, pred.io_elements)
+
+
 # ---------------------------------------------------------------------------
 # Per-application measured-vs-modeled probes (small, deterministic sizes)
 # ---------------------------------------------------------------------------
@@ -128,7 +156,7 @@ def _rng():
 
 def drift_axpydot(n: int = 2048, width: int = 16,
                   mode: str = "event") -> List[DriftEntry]:
-    from ..apps.axpydot import axpydot_streaming
+    from ..apps.axpydot import axpydot_mdag, axpydot_streaming
     rng = _rng()
     ctx = FblasContext()
     w = ctx.copy_to_device(rng.standard_normal(n).astype(np.float32))
@@ -140,13 +168,15 @@ def drift_axpydot(n: int = 2048, width: int = 16,
         l_axpy=level1_latency("map", width, "single"),
         l_dot=level1_latency("map_reduce", width, "single"),
         width=width)
-    return entries_for("axpydot", res.cycles, res.io_elements,
-                       model.streaming_cycles, model.streaming_io)
+    plan = compile_plan(axpydot_mdag(n)).with_predictions(
+        cycles_lo=model.streaming_cycles, cycles_hi=model.streaming_cycles,
+        io_elements=model.streaming_io)
+    return entries_from_plan("axpydot", plan, res.cycles, res.io_elements)
 
 
 def drift_bicg(n: int = 64, m: int = 64, tile: int = 8, width: int = 8,
                mode: str = "event") -> List[DriftEntry]:
-    from ..apps.bicg import bicg_streaming
+    from ..apps.bicg import bicg_mdag, bicg_streaming
     rng = _rng()
     ctx = FblasContext()
     a = ctx.copy_to_device(rng.standard_normal((n, m)).astype(np.float32))
@@ -156,13 +186,15 @@ def drift_bicg(n: int = 64, m: int = 64, tile: int = 8, width: int = 8,
     model = iomodel.bicg(
         n, m, l_gemv=level1_latency("map_reduce", width, "single"),
         width=width)
-    return entries_for("bicg", res.cycles, res.io_elements,
-                       model.streaming_cycles, model.streaming_io)
+    plan = compile_plan(bicg_mdag(n, m, tile, tile)).with_predictions(
+        cycles_lo=model.streaming_cycles, cycles_hi=model.streaming_cycles,
+        io_elements=model.streaming_io)
+    return entries_from_plan("bicg", plan, res.cycles, res.io_elements)
 
 
 def drift_atax(m: int = 64, n: int = 64, tile: int = 8, width: int = 8,
                mode: str = "event") -> List[DriftEntry]:
-    from ..apps.atax import atax_streaming
+    from ..apps.atax import atax_mdag, atax_streaming
     rng = _rng()
     ctx = FblasContext()
     a = ctx.copy_to_device(rng.standard_normal((m, n)).astype(np.float32))
@@ -173,13 +205,15 @@ def drift_atax(m: int = 64, n: int = 64, tile: int = 8, width: int = 8,
     # matrix effectively streams through the chained pipeline twice.
     modeled_cycles = pipeline_cycles(2 * lat, 1, 2 * math.ceil(m * n / width))
     modeled_io = iomodel.atax_io(n, m, streaming_valid=True)
-    return entries_for("atax", res.cycles, res.io_elements,
-                       modeled_cycles, modeled_io)
+    plan = compile_plan(atax_mdag(m, n, tile, tile)).with_predictions(
+        cycles_lo=modeled_cycles, cycles_hi=modeled_cycles,
+        io_elements=modeled_io)
+    return entries_from_plan("atax", plan, res.cycles, res.io_elements)
 
 
 def drift_gemver(n: int = 32, tile: int = 8, width: int = 8,
                  mode: str = "event") -> List[DriftEntry]:
-    from ..apps.gemver import gemver_streaming
+    from ..apps.gemver import gemver_full_streaming_mdag, gemver_streaming
     rng = _rng()
     ctx = FblasContext()
     f32 = np.float32
@@ -201,8 +235,10 @@ def drift_gemver(n: int = 32, tile: int = 8, width: int = 8,
     steps = math.ceil(n * n / width)
     modeled_cycles = (pipeline_cycles(2 * l_map + l_red, 1, steps)
                       + pipeline_cycles(l_red, 1, steps))
-    return entries_for("gemver", res.cycles, res.io_elements,
-                       modeled_cycles, model.streaming_io)
+    plan = compile_plan(gemver_full_streaming_mdag(n, tile)).with_predictions(
+        cycles_lo=modeled_cycles, cycles_hi=modeled_cycles,
+        io_elements=model.streaming_io)
+    return entries_from_plan("gemver", plan, res.cycles, res.io_elements)
 
 
 _PROBES: Dict[str, Tuple] = {

@@ -540,3 +540,68 @@ class TestDifferentialCertified:
     @given(patterned_fanout_spec)
     def test_certified_fanout_matches_event(self, spec):
         self._check(_build_certified_fanout, spec)
+
+
+# ---------------------------------------------------------------------------
+# Plan IR routing: certifying the *compiled* plan of one build must yield
+# the exact certificate a separately built identical engine replays.
+# ---------------------------------------------------------------------------
+
+class TestDifferentialPlanIR:
+    """One side routed through ``compile_plan()``.
+
+    A probe engine is compiled to the typed :class:`repro.plan.PlanIR`
+    and *the IR* is certified into a :class:`repro.plan.PlanCache`.  A
+    second, separately built engine then runs in certified mode against
+    that cache: its ``plan_key`` must hit the IR-derived entry (the IR
+    is structurally faithful to the live engine), and the replay must
+    stay byte-identical to the event core — data, cycles, every kernel
+    and channel counter."""
+
+    def _check(self, build, spec):
+        from repro.analysis import AnalysisError, ensure_certified
+        from repro.plan import PlanCache, compile_plan
+
+        probe = Engine(mode="certified")
+        build(probe, spec, [])
+        plan = compile_plan(probe)
+        cache = PlanCache()
+        try:
+            ensure_certified(plan, cache=cache)
+        except AnalysisError:
+            # Refusals are covered by TestDifferentialCertified; here we
+            # only require the IR to be refused iff the engine is.
+            with pytest.raises(AnalysisError):
+                ensure_certified(probe)
+            return
+        assert plan.plan_key in cache
+
+        eng = Engine(mode="certified", schedule_cache=cache)
+        out = []
+        build(eng, spec, out)
+        hits_before = cache.hits
+        try:
+            report = eng.run(max_cycles=200_000)
+        except DeadlockError as exc:
+            certified = ("deadlock", exc.cycle, dict(exc.blocked),
+                         _stats(eng), None)
+        else:
+            certified = ("done", report.cycles, out, _stats(eng), None)
+        # The separately built engine hashed to the same plan_key and
+        # replayed the certificate derived from the compiled IR.
+        assert cache.hits > hits_before, f"plan_key missed for {spec}"
+        assert eng._bulk_probes == 0
+        assert eng._bulk_cooldowns == 0
+        event = _outcome("event", build, spec, False)
+        assert certified == event, (
+            f"IR-certified run diverged from event for {spec}")
+
+    @settings(max_examples=60, deadline=None)
+    @given(patterned_chain_spec)
+    def test_ir_certified_chains_match_event(self, spec):
+        self._check(_build_patterned_chain, spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(patterned_fanout_spec)
+    def test_ir_certified_fanout_matches_event(self, spec):
+        self._check(_build_certified_fanout, spec)
