@@ -23,6 +23,7 @@ trigger its module-level data collection.
 
 import json
 import os
+import tempfile
 import time
 
 import numpy as np
@@ -41,9 +42,18 @@ BENCH_PATH = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
 MIN_BASELINE_FRACTION = 0.9
 #: Observer-on may cost this much at most (state sweep + histograms).
 MAX_INSTRUMENTED_SLOWDOWN = 60.0
+#: Ledger-lite (no observers, JSONL sink on) must keep this fraction of
+#: the observer-off throughput: its cost is per *request*, not per cycle.
+MIN_LEDGER_FRACTION = 0.9
+
+#: A ledger-lite session: the ring + JSONL sink stay on, but no engine
+#: observer attaches — the run report is harvested post-run, so the
+#: per-cycle hot path and the bulk/certified fast paths are untouched.
+LEDGER_LITE = dict(metrics=False, kernel_slices=False, occupancy=False)
 
 
-def _run(with_session: bool, mode: str = "event", width: int = WIDTH):
+def _run(with_session: bool, mode: str = "event", width: int = WIDTH,
+         session_kwargs=None):
     rng = np.random.default_rng(SEED)
     mk = lambda: np.asarray(rng.normal(size=N), dtype=np.float32)  # noqa: E731
     w, v, u = mk(), mk(), mk()
@@ -51,7 +61,7 @@ def _run(with_session: bool, mode: str = "event", width: int = WIDTH):
     dw, dv, du = (ctx.copy_to_device(x) for x in (w, v, u))
     t0 = time.perf_counter()
     if with_session:
-        with telemetry.session():
+        with telemetry.session(**(session_kwargs or {})):
             res = axpydot_streaming(ctx, dw, dv, du, 0.7, width=width,
                                     mode=mode)
     else:
@@ -62,12 +72,19 @@ def _run(with_session: bool, mode: str = "event", width: int = WIDTH):
 
 
 def _best_of(k, with_session: bool, mode: str = "event",
-             width: int = WIDTH):
+             width: int = WIDTH, session_kwargs=None):
     """(cycles, steps, min wall) over k runs — min defeats CI jitter."""
-    runs = [_run(with_session, mode, width) for _ in range(k)]
+    runs = [_run(with_session, mode, width, session_kwargs)
+            for _ in range(k)]
     cycles = {r[0] for r in runs}
     assert len(cycles) == 1, f"non-deterministic cycles: {cycles}"
     return runs[0][0], runs[0][1], min(r[2] for r in runs)
+
+
+def _ledger_kwargs():
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-ledger-"),
+                        "ledger.jsonl")
+    return dict(LEDGER_LITE, ledger_path=path)
 
 
 def _baseline_entry():
@@ -93,6 +110,30 @@ CYCLES_BULK8, STEPS_BULK8, WALL_BULK8 = _best_of(3, with_session=False,
                                                  mode="bulk", width=8)
 CYCLES_BULK_ON, STEPS_BULK_ON, WALL_BULK_ON = _best_of(
     1, with_session=True, mode="bulk", width=8)
+# Ledger-lite sessions: the correlated run ledger with the JSONL sink,
+# no observers — on the event core and on the engaged bulk fast path.
+# The event-core pair is measured *interleaved* with fresh plain runs:
+# the 90% gate compares contemporaneous samples, so thermal/turbo drift
+# between module-level measurement phases cannot fail it spuriously.
+
+
+def _interleaved(k, session_kwargs):
+    plain = []
+    inst = []
+    for _ in range(k):
+        plain.append(_run(False))
+        inst.append(_run(True, session_kwargs=session_kwargs))
+    assert {r[0] for r in plain} == {r[0] for r in inst}, \
+        "session changed the simulated cycles"
+    return (plain[0][0], plain[0][1], min(r[2] for r in plain),
+            inst[0][1], min(r[2] for r in inst))
+
+
+(CYCLES_LED, STEPS_LED_OFF, WALL_LED_OFF,
+ STEPS_LED, WALL_LED) = _interleaved(5, _ledger_kwargs())
+CYCLES_BULK_LED, STEPS_BULK_LED, WALL_BULK_LED = _best_of(
+    3, with_session=True, mode="bulk", width=8,
+    session_kwargs=_ledger_kwargs())
 BASELINE = _baseline_entry()
 
 
@@ -112,6 +153,10 @@ def test_report_and_table():
          f"{WALL_BULK8:.4f}", round(STEPS_BULK8 / WALL_BULK8)),
         ("bulk observer-on (w8, disabled)", CYCLES_BULK_ON,
          f"{WALL_BULK_ON:.4f}", round(STEPS_BULK_ON / WALL_BULK_ON)),
+        ("ledger-lite (event)", CYCLES_LED,
+         f"{WALL_LED:.4f}", round(STEPS_LED / WALL_LED)),
+        ("ledger-lite (w8, bulk engaged)", CYCLES_BULK_LED,
+         f"{WALL_BULK_LED:.4f}", round(STEPS_BULK_LED / WALL_BULK_LED)),
     ]
     if BASELINE is not None:
         rows.append(("baseline (BENCH_engine.json)", BASELINE["cycles"],
@@ -158,6 +203,36 @@ def test_bulk_simulation_unperturbed():
     assert STEPS_BULK8 == STEPS_EV8
     assert CYCLES_BULK_ON == CYCLES_BULK8
     assert STEPS_BULK_ON == STEPS_BULK8
+
+
+def test_ledger_simulation_unperturbed():
+    """The ledger must never change what is simulated — including on the
+    bulk fast path, which a ledger-lite session must leave engaged."""
+    assert CYCLES_LED == CYCLES_OFF
+    assert STEPS_LED == STEPS
+    assert CYCLES_BULK_LED == CYCLES_BULK8
+    assert STEPS_BULK_LED == STEPS_BULK8
+
+
+def test_ledger_on_throughput_floor():
+    """The CI gate: ledger-enabled throughput holds >= 90% of the
+    observer-off baseline (interleaved samples).  Ledger appends are per
+    request (one record per engine run), so the per-cycle path must be
+    unchanged."""
+    fraction = (STEPS_LED / WALL_LED) / (STEPS_LED_OFF / WALL_LED_OFF)
+    assert fraction >= MIN_LEDGER_FRACTION, (
+        f"ledger-on throughput is only {fraction:.2f}x of observer-off "
+        f"(floor {MIN_LEDGER_FRACTION:.0%}) — the ledger leaked onto "
+        f"the hot path")
+
+
+def test_ledger_keeps_bulk_fast_path_engaged():
+    """A ledger-lite session attaches no observers, so the bulk
+    superstep fast path must stay engaged and clearly beat event."""
+    engaged = (STEPS_BULK_LED / WALL_BULK_LED) / (STEPS_EV8 / WALL_EV8)
+    assert engaged >= 2.0, (
+        f"bulk+ledger throughput only {engaged:.2f}x of event — the "
+        f"ledger disengaged the fast path")
 
 
 def test_bulk_observer_off_throughput():

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..fpga.errors import HangError, TransientFaultError
 from ..host.context import FblasContext
+from ..telemetry.ledger import correlate, mint_run_id
 from .plan import FaultPlan
 from .recovery import RetryPolicy, run_with_recovery
 from .runtime import inject
@@ -180,14 +181,19 @@ def run_trial(spec: AppSpec, seed: int, size: int = 8,
         buffers=spec.buffers, banks=4,
         n_faults=n_faults or (1 + seed % 3),
         element_horizon=max(16, size * size), cycle_horizon=64 * size)
+    # One correlation id per trial: the hang reports and recovery
+    # outcomes produced inside carry the same id as this row, so
+    # campaign JSON joins against any concurrently recorded ledger.
+    run_id = mint_run_id()
     record: dict = {
         "app": spec.name,
         "seed": seed,
         "mode": mode,
+        "run_id": run_id,
         "planned_faults": len(plan),
         "plan": plan.to_dict(),
     }
-    with inject(plan) as ctx:
+    with correlate(run_id), inject(plan) as ctx:
         outcome = None
         try:
             if recover:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..fpga.errors import ChannelPressure, HangReport, KernelState
+from ..telemetry.ledger import current_run_id
 
 __all__ = ["build_hang_report"]
 
@@ -158,6 +159,7 @@ def build_hang_report(engine, cycle: int, kind: str,
         channels=[ChannelPressure(ch.name, ch.occupancy, ch.in_flight,
                                   ch.depth)
                   for ch in engine.channels.values()],
+        run_id=current_run_id(),
     )
     if any(k.annotated for k in kernels):
         try:

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..fpga.errors import (DeadlockError, SimulationError,
                            TransientFaultError)
+from ..telemetry.ledger import current_run_id
 from .metrics import DEMOTIONS, RETRIES, count
 from .runtime import active as _faults_active
 
@@ -70,6 +71,10 @@ class RecoveryOutcome:
     #: Chronological action log: dicts with ``action`` ("retry" |
     #: "demote"), the triggering error type, and backoff/mode details.
     actions: List[Dict] = field(default_factory=list)
+    #: Correlation id of the request the ladder ran under (the ambient
+    #: :func:`repro.telemetry.ledger.current_run_id` when recovery
+    #: started), joining this outcome against its run-ledger record.
+    run_id: Optional[str] = None
 
     @property
     def recovered(self) -> bool:
@@ -77,13 +82,18 @@ class RecoveryOutcome:
         return bool(self.actions)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "mode": self.mode,
             "retries": self.retries,
             "demotions": self.demotions,
             "recovered": self.recovered,
             "actions": list(self.actions),
         }
+        # Correlated only under a telemetry session; uncorrelated
+        # outcomes keep their pre-ledger shape.
+        if self.run_id is not None:
+            doc["run_id"] = self.run_id
+        return doc
 
 
 class MemoryCheckpoint:
@@ -142,7 +152,7 @@ def run_with_recovery(attempt: Callable[[str], object],
     failures) propagate to the caller.
     """
     policy = policy or RetryPolicy()
-    out = RecoveryOutcome(mode=mode)
+    out = RecoveryOutcome(mode=mode, run_id=current_run_id())
     budget = policy.max_retries
     delay = policy.backoff_base
     ctx = _faults_active()

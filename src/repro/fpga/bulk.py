@@ -74,10 +74,12 @@ class BulkScheduler(WakeListScheduler):
         super().__init__(engine, max_cycles)
         self._cool = 0            # cycles left before the next probe
         self._cooldown = 1        # next backoff length
-        # Introspection for tests/benchmarks: number of supersteps and
-        # total cycles they fast-forwarded, plus how often the runtime
-        # had to speculate (probe) and back off (cooldown) — a certified
-        # run keeps the last two at zero.
+        # Introspection for tests/benchmarks/telemetry: number of
+        # supersteps and total cycles they fast-forwarded, plus how
+        # often the runtime had to speculate (probe) and back off
+        # (cooldown) — a certified run keeps the last two at zero.
+        # Exposed as Engine.bulk_stats() and copied into each
+        # engine-run ledger record by the telemetry session.
         engine._bulk_windows = 0
         engine._bulk_cycles = 0
         engine._bulk_probes = 0

@@ -408,6 +408,23 @@ class Engine:
                          dict(tr.timelines) if tr else {},
                          bank_stats=self._bank_delta())
 
+    def bulk_stats(self) -> Optional[Dict[str, int]]:
+        """Superstep counters of the most recent bulk/certified run.
+
+        ``windows`` (supersteps replayed), ``bulk_cycles`` (cycles they
+        fast-forwarded), ``probes`` (speculative fingerprint probes) and
+        ``cooldowns`` (probe back-offs) — the introspection the bulk
+        tier maintains per run (a certified run keeps the last two at
+        zero).  None before any bulk/certified run; the telemetry
+        session copies these into each engine-run ledger record.
+        """
+        if not hasattr(self, "_bulk_windows"):
+            return None
+        return {"windows": self._bulk_windows,
+                "bulk_cycles": self._bulk_cycles,
+                "probes": self._bulk_probes,
+                "cooldowns": self._bulk_cooldowns}
+
     # -- execution ----------------------------------------------------------
     def cycle_budget(self) -> int:
         """Default ``max_cycles``: finite, derived from the declared work.
@@ -457,8 +474,11 @@ class Engine:
         proves the composition invalid.
 
         When a :func:`repro.telemetry.session` is active, the run is
-        instrumented (metrics, spans, kernel slices) for its duration;
-        otherwise the single ``active()`` check here is the entire cost.
+        instrumented (metrics, spans, kernel slices) for its duration
+        and appends one correlated
+        :class:`~repro.telemetry.ledger.RunRecord` to the session's run
+        ledger; otherwise the single ``active()`` check here is the
+        entire cost.
         When a fault plan is bound (constructor ``fault_plan`` or ambient
         :func:`repro.faults.inject` context), its faults are armed for
         the duration of the run.

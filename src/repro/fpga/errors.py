@@ -178,6 +178,10 @@ class HangReport:
     #: Static-analyzer diagnostics (``Diagnostic.to_dict`` form) for the
     #: hung engine, when its kernels carry port annotations.
     analysis: List[dict] = field(default_factory=list)
+    #: Correlation id of the request that hung (the ambient
+    #: :func:`repro.telemetry.ledger.current_run_id` at build time), so
+    #: the forensics document joins against its run-ledger record.
+    run_id: Optional[str] = None
 
     # -- derived views -----------------------------------------------------
     @property
@@ -219,10 +223,14 @@ class HangReport:
             "wait_cycles": [list(c) for c in self.wait_cycles],
             "channels": [c.to_dict() for c in self.channels],
             "analysis": list(self.analysis),
+            "run_id": self.run_id,
         }
 
     def render_text(self) -> str:
-        lines = [f"{self.kind} at cycle {self.cycle}: {self.reason}"]
+        header = f"{self.kind} at cycle {self.cycle}: {self.reason}"
+        if self.run_id is not None:
+            header += f" [run {self.run_id}]"
+        lines = [header]
         live = [k for k in self.kernels if k.state != "done"]
         if live:
             lines.append("kernels:")

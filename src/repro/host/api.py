@@ -32,6 +32,7 @@ import numpy as np
 from ..fpga.device import STRATIX10, FpgaDevice
 from ..fpga.engine import Engine
 from ..plan import PlanCache
+from ..telemetry.ledger import run_scope
 from ..telemetry.runtime import active as _telemetry_active
 from ._l1 import Level1Mixin
 from ._l2 import Level2Mixin
@@ -113,13 +114,15 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: ``plan_key`` (device identity included) — rebuilding the same
         #: composition for a new problem instance reuses the certificate
         #: instead of re-running the rate passes.  A counting
-        #: :class:`repro.plan.PlanCache`, so hit rates are observable.
-        self._schedule_cache: PlanCache = PlanCache()
+        #: :class:`repro.plan.PlanCache`, so hit rates are observable
+        #: (and, under a telemetry session, exported as the labelled
+        #: ``plan_cache.requests`` counter).
+        self._schedule_cache: PlanCache = PlanCache(name="host.schedule")
         #: Compiled :class:`repro.plan.PlanIR` artifacts memoized on a
         #: structural MDAG fingerprint: repeat ``simulate`` requests of
         #: the same composition shape skip MDAG validation, scheduling
         #: and pattern derivation entirely.
-        self.plan_cache: PlanCache = PlanCache()
+        self.plan_cache: PlanCache = PlanCache(name="host.plan")
         #: Recovery ladder for ``simulate`` calls: ``None`` disables it,
         #: ``True`` uses the default :class:`repro.faults.RetryPolicy`,
         #: or pass a policy instance.  When set, every call runs under
@@ -163,6 +166,14 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         The routine name is only known *after* the thunk runs (it appends
         a :class:`~repro.host.context.CallRecord`), so the span opens
         generically and is renamed from the records it produced.
+
+        Each instrumented call is also one **ledger request**: it mints
+        the root ``run_id`` (stamped into the span, hence the Chrome
+        trace), correlates everything the call spawns — engine runs,
+        hang forensics, recovery outcomes — under that id, and appends a
+        ``host.call`` :class:`~repro.telemetry.ledger.RunRecord` with
+        the plan/certificate cache deltas, the recovery summary and the
+        rolled-up certified cycle band.
         """
         runner = thunk
         if self.resilience is not None and self.mode == "simulate":
@@ -172,7 +183,13 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
             return runner()
         recs = self.context.records
         before = len(recs)
-        with tel.span("host.call", cat="host") as sp:
+        prior_recovery = self.last_recovery
+        pc0 = self.plan_cache.stats()
+        sc0 = self._schedule_cache.stats()
+        with tel.span("host.call", cat="host") as sp, \
+                run_scope(tel.ledger, "host.call",
+                          engine_mode=self.engine_mode) as lrec:
+            sp.args["run_id"] = lrec.run_id
             out = runner()
             new = recs[before:]
             if new:
@@ -180,6 +197,20 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
                 sp.args["routine"] = new[-1].routine
                 sp.args["precision"] = new[-1].precision
                 sp.args["cycles"] = sum(r.cycles for r in new)
+                lrec.label = new[-1].routine
+                lrec.cycles = sum(r.cycles for r in new)
+            pc1 = self.plan_cache.stats()
+            sc1 = self._schedule_cache.stats()
+            lrec.plan_cache = {"hits": pc1["hits"] - pc0["hits"],
+                               "misses": pc1["misses"] - pc0["misses"]}
+            lrec.schedule_cache = {"hits": sc1["hits"] - sc0["hits"],
+                                   "misses": sc1["misses"] - sc0["misses"]}
+            if self.last_recovery is not prior_recovery:
+                outcome = self.last_recovery
+                lrec.recovery = outcome.to_dict()
+                lrec.retries = outcome.retries
+                lrec.demotions = outcome.demotions
+                lrec.engine_mode = outcome.mode
             return out
 
     def _run_resilient(self, thunk: Callable):

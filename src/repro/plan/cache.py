@@ -5,6 +5,15 @@ protocol the certifier's ``ensure_certified(cache=...)`` hook and the
 executor's ``plan_cache=`` hook expect, while keeping hit/miss counters
 so the host API (and the cache benchmark) can assert that repeat
 requests really skipped scheduling and pattern derivation.
+
+When a telemetry session is active, every counted lookup also
+increments the labelled ``plan_cache.requests`` counter in the
+session's metrics registry (labels: ``cache`` — this cache's name —
+and ``result`` — ``hit``/``miss``), so cache efficiency is visible to
+metrics scrapes and the run ledger without polling each cache object.
+The telemetry import is deferred into the lookup path to keep this
+module import-light (and the check is the usual single ``active()``
+read, so an un-instrumented lookup stays O(1) dict work).
 """
 
 from __future__ import annotations
@@ -15,18 +24,35 @@ __all__ = ["PlanCache"]
 
 
 class PlanCache:
-    """A dict-protocol cache with hit/miss accounting."""
+    """A dict-protocol cache with hit/miss accounting.
 
-    def __init__(self) -> None:
+    ``name`` labels this cache's series in the telemetry metrics
+    registry (e.g. ``"host.plan"``, ``"host.schedule"``,
+    ``"executor.schedule"``); anonymous caches report as ``"plan"``.
+    """
+
+    def __init__(self, name: str = "plan") -> None:
+        self.name = name
         self._store: Dict[Any, Any] = {}
         self.hits = 0
         self.misses = 0
 
+    def _observe(self, result: str) -> None:
+        from ..telemetry.runtime import active
+        tel = active()
+        if tel is not None:
+            tel.registry.counter(
+                "plan_cache.requests",
+                "compiled-plan / certificate cache lookups by outcome",
+            ).inc(1, cache=self.name, result=result)
+
     def get(self, key: Any, default: Optional[Any] = None) -> Any:
         if key in self._store:
             self.hits += 1
+            self._observe("hit")
             return self._store[key]
         self.misses += 1
+        self._observe("miss")
         return default
 
     def __getitem__(self, key: Any) -> Any:
@@ -54,5 +80,5 @@ class PlanCache:
                 "misses": self.misses}
 
     def __repr__(self) -> str:   # pragma: no cover - debugging aid
-        return (f"PlanCache(entries={len(self._store)}, hits={self.hits}, "
-                f"misses={self.misses})")
+        return (f"PlanCache(name={self.name!r}, entries={len(self._store)}, "
+                f"hits={self.hits}, misses={self.misses})")

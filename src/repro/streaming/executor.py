@@ -32,12 +32,15 @@ from ..fpga.errors import ReproError
 from ..fpga.memory import DramBuffer, DramModel, read_kernel, write_kernel
 from ..fpga.util import duplicate_kernel
 from ..plan import (
+    PlanCache,
     PlanIR,
     composition_from_plan,
     mdag_fingerprint,
     plan_from_composition,
     plan_from_mdag,
 )
+from ..telemetry.ledger import run_scope as _ledger_scope
+from ..telemetry.runtime import active as _telemetry_active
 from ..telemetry.runtime import span as _telemetry_span
 from .mdag import MDAG, MDAGError
 from .scheduler import CompositionPlan
@@ -165,13 +168,48 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
     component from that checkpoint, and a watchdog trip demotes the
     engine tier for the re-attempt.  Outcomes are recorded per component
     in :attr:`ExecutionResult.recovery`.
+
+    Under a telemetry session, each invocation is one ledger request:
+    an ``execute_plan`` :class:`~repro.telemetry.ledger.RunRecord` is
+    appended carrying the ``plan_key``, the structural MDAG fingerprint
+    digest, the plan-cache hit/miss for this request, and the
+    per-component recovery roll-up; every component's engine run
+    becomes a child record under the same correlation id.
     """
+    tel = _telemetry_active()
+    if tel is None:
+        return _execute_plan(mdag, mem, plan, windows, buffer_budget,
+                             mode, recovery, schedule_cache, plan_cache,
+                             None)
+    cur = tel.spans.current()
+    with _ledger_scope(tel.ledger, "execute_plan", engine_mode=mode,
+                       label=cur.name if cur is not None else None) as lrec:
+        return _execute_plan(mdag, mem, plan, windows, buffer_budget,
+                             mode, recovery, schedule_cache, plan_cache,
+                             lrec)
+
+
+def _execute_plan(mdag: BoundMDAG, mem: DramModel, plan, windows,
+                  buffer_budget: int, mode: str, recovery,
+                  schedule_cache: Optional[dict],
+                  plan_cache: Optional[dict],
+                  lrec) -> ExecutionResult:
+    """The :func:`execute_plan` body, with an optional ledger record to
+    fill (``lrec`` is None exactly when no telemetry session is active)."""
     plan_ir: Optional[PlanIR] = None
     if plan is None:
+        # The structural fingerprint doubles as the plan-cache key and
+        # the ledger correlation fact, so compute it when either wants it.
         key = (mdag_fingerprint(mdag, windows, buffer_budget)
-               if plan_cache is not None else None)
+               if plan_cache is not None or lrec is not None else None)
+        if lrec is not None:
+            lrec.mdag_fingerprint = _fingerprint_digest(key)
         if plan_cache is not None:
             plan_ir = plan_cache.get(key)
+            if lrec is not None:
+                lrec.plan_cache = ({"hits": 1, "misses": 0}
+                                   if plan_ir is not None
+                                   else {"hits": 0, "misses": 1})
         if plan_ir is None:
             plan_ir = plan_from_mdag(
                 mdag, windows=windows, buffer_budget=buffer_budget,
@@ -201,11 +239,16 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
             scratch[(u, v)] = mem.allocate(
                 f"_mat_{u}_{v}_{len(scratch)}", total, dtype=np.float64)
 
+    if lrec is not None and plan_ir is not None:
+        lrec.plan_key = plan_ir.plan_key
+
     if recovery is True:
         from ..faults.recovery import RetryPolicy
         recovery = RetryPolicy()
     if schedule_cache is None and mode == "certified":
-        schedule_cache = {}
+        # A counting, named cache so per-plan certificate reuse shows up
+        # in the metrics registry and the run ledger.
+        schedule_cache = PlanCache(name="executor.schedule")
 
     reports: List[SimReport] = []
     recovery_log: Optional[List[dict]] = [] if recovery is not None else None
@@ -227,9 +270,23 @@ def execute_plan(mdag: BoundMDAG, mem: DramModel,
                 policy=recovery, mode=mode, restore=ckpt.restore)
             recovery_log.append(out.to_dict())
 
+    if lrec is not None:
+        lrec.cycles = sum(r.cycles for r in reports)
+        if recovery_log:
+            lrec.retries = sum(r["retries"] for r in recovery_log)
+            lrec.demotions = sum(r["demotions"] for r in recovery_log)
+            lrec.recovery = {"components": list(recovery_log)}
     return ExecutionResult(plan=plan, reports=reports,
                            io_elements=mem.total_elements_moved - io_before,
                            recovery=recovery_log, plan_ir=plan_ir)
+
+
+def _fingerprint_digest(key) -> Optional[str]:
+    """Short stable hex digest of a structural MDAG fingerprint tuple."""
+    if key is None:
+        return None
+    import hashlib
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
 
 
 def _run_component(mdag: BoundMDAG, mem: DramModel, plan: CompositionPlan,

@@ -23,7 +23,7 @@ the timeline is for.
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Any, Dict, List, Tuple
 
 __all__ = ["CHROME_TRACE_SCHEMA", "STATE_NAMES", "trace_events",
            "to_chrome_trace", "write_chrome_trace"]
@@ -42,7 +42,7 @@ def _engine_pid(run: int) -> int:
     return _ENGINE_PID_BASE + run
 
 
-def trace_events(session) -> List[dict]:
+def trace_events(session: Any) -> List[dict]:
     """Render a :class:`~repro.telemetry.runtime.TelemetrySession` to a
     list of ``trace_event`` dicts (sorted by timestamp)."""
     meta: List[dict] = [{
@@ -71,7 +71,7 @@ def trace_events(session) -> List[dict]:
 
     # Kernel slices: one tid per (run, kernel), allocated in first-seen
     # order so the Perfetto rows match the composition's kernel order.
-    tids = {}
+    tids: Dict[Tuple[int, str], int] = {}
     for sl in session.slices:
         name = STATE_NAMES.get(sl.state)
         if name is None:                     # "-": kernel already done
@@ -102,7 +102,7 @@ def trace_events(session) -> List[dict]:
     return meta + events
 
 
-def to_chrome_trace(session) -> dict:
+def to_chrome_trace(session: Any) -> dict:
     """The full JSON-object form of the trace."""
     return {
         "traceEvents": trace_events(session),
@@ -116,7 +116,7 @@ def to_chrome_trace(session) -> dict:
     }
 
 
-def write_chrome_trace(session, path) -> dict:
+def write_chrome_trace(session: Any, path: str) -> dict:
     """Serialize the session's trace to ``path``; returns the object."""
     doc = to_chrome_trace(session)
     with open(path, "w", encoding="utf-8") as fh:

@@ -6,14 +6,26 @@ telemetry session and emits any combination of:
 * ``--trace out.json`` — Chrome/Perfetto ``trace_event`` timeline,
 * ``--metrics out.json`` — metrics registry + per-run SimReport
   summaries + the app result, one JSON document,
+* ``--ledger out.jsonl`` — the correlated run ledger (one
+  ``repro.runrecord/1`` row per request),
+* ``--prometheus out.prom`` — the metrics registry in Prometheus text
+  exposition format,
 * ``--report`` — text bottleneck report plus the model-vs-measured
   drift table for all four applications.
+
+The ``report`` subcommand reads a previously written ledger JSONL and
+renders the fleet-style table (per-plan runs, cache hit rates, cycle
+percentiles, band-regression flags, slowest requests, fault/recovery
+summary); ``--drift-threshold`` sets the relative band overshoot that
+flags a regression, the same knob the drift sweep uses.
 
 Examples::
 
     python -m repro.telemetry axpydot --trace /tmp/t.json \\
         --metrics /tmp/m.json --report
     python -m repro.telemetry atax --n 128 --tile 8 --trace atax.json
+    python -m repro.telemetry atax --ledger ledger.jsonl --prometheus m.prom
+    python -m repro.telemetry report ledger.jsonl --drift-threshold 0.1
     python -m repro.telemetry drift
 """
 
@@ -22,7 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -44,9 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
         description="Run a streaming composition with telemetry attached.")
-    p.add_argument("app", choices=_APPS + ("drift",),
-                   help="composition to run, or 'drift' for the "
-                        "model-vs-measured sweep only")
+    p.add_argument("app", choices=_APPS + ("drift", "report"),
+                   help="composition to run, 'drift' for the "
+                        "model-vs-measured sweep, or 'report' to render "
+                        "a run-ledger JSONL as a fleet table")
+    p.add_argument("path", nargs="?", default=None,
+                   help="ledger JSONL path (required by 'report', "
+                        "meaningless otherwise)")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (vector length / matrix side)")
     p.add_argument("--width", type=int, default=None,
@@ -67,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="write Chrome trace_event JSON here")
     p.add_argument("--metrics", metavar="PATH",
                    help="write metrics + run summaries JSON here")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="write the correlated run ledger (JSONL, one "
+                        "repro.runrecord/1 row per request) here")
+    p.add_argument("--prometheus", metavar="PATH",
+                   help="write the metrics registry in Prometheus text "
+                        "exposition format here")
     p.add_argument("--report", action="store_true",
                    help="print the bottleneck report and the drift table")
     p.add_argument("--drift-threshold", type=float,
@@ -76,16 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_app(app: str, n: Optional[int], width: Optional[int], tile: int,
-             mode: str, seed: int):
+             mode: str, seed: int) -> Any:
     """Build inputs and run one streaming composition; returns AppResult."""
     rng = np.random.default_rng(seed)
     ctx = FblasContext()
     f32 = np.float32
 
-    def vec(k):
+    def vec(k: int) -> Any:
         return ctx.copy_to_device(rng.standard_normal(k).astype(f32))
 
-    def mat(r, c):
+    def mat(r: int, c: int) -> Any:
         return ctx.copy_to_device(rng.standard_normal((r, c)).astype(f32))
 
     if app == "axpydot":
@@ -116,6 +138,23 @@ def _run_app(app: str, n: Optional[int], width: Optional[int], tile: int,
     raise ValueError(f"unknown app {app!r}")       # pragma: no cover
 
 
+def _report_command(path: Optional[str], threshold: float) -> int:
+    """The ``report`` subcommand: ledger JSONL -> fleet table."""
+    from .ledger import LedgerQuery, fleet_report, read_ledger
+    if not path:
+        print("report requires a ledger JSONL path "
+              "(python -m repro.telemetry report ledger.jsonl)",
+              file=sys.stderr)
+        return 2
+    try:
+        records = read_ledger(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read ledger {path}: {exc}", file=sys.stderr)
+        return 2
+    print(fleet_report(records, threshold=threshold))
+    return 1 if LedgerQuery(records).regressions(threshold) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.mode and args.engine_mode and args.mode != args.engine_mode:
@@ -123,6 +162,12 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     args.mode = args.engine_mode or args.mode or "event"
+    if args.app == "report":
+        return _report_command(args.path, args.drift_threshold)
+    if args.path is not None:
+        print(f"positional path {args.path!r} only applies to 'report'",
+              file=sys.stderr)
+        return 2
 
     if args.app == "drift":
         rep = drift_report(threshold=args.drift_threshold, mode=args.mode)
@@ -135,7 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if rep.flagged() else 0
 
     try:
-        with runtime.session() as tel:
+        with runtime.session(ledger_path=args.ledger) as tel:
             result = _run_app(args.app, args.n, args.width, args.tile,
                               args.mode, args.seed)
     except AnalysisError as exc:
@@ -165,6 +210,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(payload, fh, indent=1)
             fh.write("\n")
         print(f"metrics written to {args.metrics}")
+    if args.ledger:
+        print(f"ledger written to {args.ledger} "
+              f"({len(tel.ledger)} records)")
+    if args.prometheus:
+        from .prometheus import write_prometheus
+        write_prometheus(tel.registry, args.prometheus)
+        print(f"prometheus metrics written to {args.prometheus}")
     if args.report:
         print()
         print(tel.report())

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -150,7 +150,7 @@ def entries_from_plan(app: str, plan: PlanIR, measured_cycles: float,
 # Per-application measured-vs-modeled probes (small, deterministic sizes)
 # ---------------------------------------------------------------------------
 
-def _rng():
+def _rng() -> np.random.Generator:
     return np.random.default_rng(7)
 
 
@@ -241,7 +241,7 @@ def drift_gemver(n: int = 32, tile: int = 8, width: int = 8,
     return entries_from_plan("gemver", plan, res.cycles, res.io_elements)
 
 
-_PROBES: Dict[str, Tuple] = {
+_PROBES: Dict[str, Callable[..., List[DriftEntry]]] = {
     "axpydot": drift_axpydot,
     "bicg": drift_bicg,
     "atax": drift_atax,

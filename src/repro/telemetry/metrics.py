@@ -25,7 +25,7 @@ telemetry artifacts, benchmark JSON and tests share one format.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
@@ -42,7 +42,7 @@ DEFAULT_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 LabelKey = Tuple[Tuple[str, object], ...]
 
 
-def _key(labels: dict) -> LabelKey:
+def _key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted(labels.items()))
 
 
@@ -51,10 +51,10 @@ class Metric:
 
     kind = "metric"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
-        self._series: Dict[LabelKey, object] = {}
+        self._series: Dict[LabelKey, Any] = {}
 
     def labelsets(self) -> List[dict]:
         return [dict(k) for k in self._series]
@@ -64,7 +64,7 @@ class Metric:
         for k, v in self._series.items():
             yield dict(k), v
 
-    def _export_value(self, value) -> object:
+    def _export_value(self, value: Any) -> object:
         return value
 
     def to_dict(self) -> dict:
@@ -85,19 +85,19 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def inc(self, value: float = 1, **labels) -> None:
+    def inc(self, value: float = 1, **labels: object) -> None:
         if value < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (inc {value})")
         k = _key(labels)
         self._series[k] = self._series.get(k, 0) + value
 
-    def get(self, **labels) -> float:
-        return self._series.get(_key(labels), 0)
+    def get(self, **labels: object) -> float:
+        return float(self._series.get(_key(labels), 0))
 
     def total(self) -> float:
         """Sum across all label sets."""
-        return sum(self._series.values())
+        return float(sum(self._series.values()))
 
 
 class Gauge(Metric):
@@ -105,20 +105,22 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         self._series[_key(labels)] = value
 
-    def get(self, **labels) -> Optional[float]:
+    def get(self, **labels: object) -> Optional[float]:
         return self._series.get(_key(labels))
 
 
 class _HistSeries:
     __slots__ = ("bucket_counts", "count", "sum")
 
-    def __init__(self, nbuckets: int):
+    def __init__(self, nbuckets: int) -> None:
         self.bucket_counts = [0] * (nbuckets + 1)   # +1 for +inf
         self.count = 0
-        self.sum = 0
+        # int until a float is observed: exports stay integer-typed for
+        # integer-only series (occupancy counts, cycle totals).
+        self.sum: float = 0
 
 
 class Histogram(Metric):
@@ -134,7 +136,7 @@ class Histogram(Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         super().__init__(name, help)
         if not buckets or list(buckets) != sorted(set(buckets)):
             raise ValueError("buckets must be sorted and unique")
@@ -150,7 +152,8 @@ class Histogram(Metric):
                 hi = mid
         return lo                              # == len(buckets) -> +inf
 
-    def observe(self, value: float, count: int = 1, **labels) -> None:
+    def observe(self, value: float, count: int = 1,
+                **labels: object) -> None:
         if count < 1:
             return
         k = _key(labels)
@@ -161,15 +164,15 @@ class Histogram(Metric):
         s.count += count
         s.sum += value * count
 
-    def mean(self, **labels) -> float:
+    def mean(self, **labels: object) -> float:
         s = self._series.get(_key(labels))
         if s is None or s.count == 0:
             return 0.0
-        return s.sum / s.count
+        return float(s.sum / s.count)
 
-    def count(self, **labels) -> int:
+    def count(self, **labels: object) -> int:
         s = self._series.get(_key(labels))
-        return 0 if s is None else s.count
+        return 0 if s is None else int(s.count)
 
     def _export_value(self, s: _HistSeries) -> object:
         bounds = [*map(float, self.buckets), "+inf"]
@@ -184,10 +187,10 @@ class Histogram(Metric):
 class MetricsRegistry:
     """Owns metrics; get-or-create accessors keep callers declarative."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
 
-    def _get(self, cls, name: str, help: str, **kw) -> Metric:
+    def _get(self, cls: Any, name: str, help: str, **kw: object) -> Any:
         m = self._metrics.get(name)
         if m is None:
             m = self._metrics[name] = cls(name, help, **kw)
@@ -209,7 +212,7 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())
 
     def __len__(self) -> int:

@@ -33,7 +33,7 @@ import back into ``fpga`` would be a cycle).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .metrics import MetricsRegistry
 from .spans import Slice
@@ -58,17 +58,17 @@ class MetricsObserver:
     wants_kernel_states = True       # drives the stall-cause profiler
 
     def __init__(self, registry: MetricsRegistry, run: int = 0,
-                 occupancy: bool = True):
+                 occupancy: bool = True) -> None:
         from ..fpga.observers import StallChainProfiler
         self.registry = registry
         self.run = run
         self.occupancy = occupancy
         self.profiler = StallChainProfiler()
-        self.last_report = None
-        self._engine = None
+        self.last_report: Optional[Any] = None
+        self._engine: Optional[Any] = None
 
     # -- protocol forwarding -------------------------------------------------
-    def on_run_start(self, engine) -> None:
+    def on_run_start(self, engine: Any) -> None:
         self._engine = engine
         self.profiler.on_run_start(engine)
 
@@ -80,10 +80,10 @@ class MetricsObserver:
             for name, ch in self._engine.channels.items():
                 hist.observe(ch.occupancy, run=run, channel=name)
 
-    def on_kernel_state(self, t: int, kernel, state: str) -> None:
+    def on_kernel_state(self, t: int, kernel: Any, state: str) -> None:
         self.profiler.on_kernel_state(t, kernel, state)
 
-    def on_channel_op(self, t: int, kernel, channel, kind: str,
+    def on_channel_op(self, t: int, kernel: Any, channel: Any, kind: str,
                       count: int) -> None:
         self.profiler.on_channel_op(t, kernel, channel, kind, count)
 
@@ -98,7 +98,7 @@ class MetricsObserver:
                              channel=name)
 
     # -- aggregation ---------------------------------------------------------
-    def on_run_end(self, report) -> None:
+    def on_run_end(self, report: Any) -> None:
         self.last_report = report
         reg, run = self.registry, self.run
         reg.counter("sim.cycles", "simulated cycles per engine run").inc(
@@ -173,23 +173,24 @@ class SliceRecorder:
     #: Upper bound on recorded slices per engine run.
     MAX_SLICES = 250_000
 
-    def __init__(self, sink: List[Slice], offset: int = 0, run: int = 0):
+    def __init__(self, sink: List[Slice], offset: int = 0,
+                 run: int = 0) -> None:
         self.sink = sink
         self.offset = offset
         self.run = run
         self.truncated = False
-        self._engine = None
+        self._engine: Optional[Any] = None
         self._open: Dict[str, list] = {}      # kernel -> [state, start]
         self._count = 0
         self._final_t: Optional[int] = None
 
-    def on_run_start(self, engine) -> None:
+    def on_run_start(self, engine: Any) -> None:
         self._engine = engine
 
     def on_cycle(self, t: int) -> None:
         pass
 
-    def on_channel_op(self, t: int, kernel, channel, kind: str,
+    def on_channel_op(self, t: int, kernel: Any, channel: Any, kind: str,
                       count: int) -> None:
         pass
 
@@ -214,7 +215,7 @@ class SliceRecorder:
                                start=self.offset + start,
                                end=self.offset + end))
 
-    def on_kernel_state(self, t: int, kernel, state: str) -> None:
+    def on_kernel_state(self, t: int, kernel: Any, state: str) -> None:
         self._transition(kernel.name, state, t)
 
     def on_quiet(self, start: int, cycles: int) -> None:
@@ -233,5 +234,5 @@ class SliceRecorder:
             self._emit(name, state, start, t)
         self._open.clear()
 
-    def on_run_end(self, report) -> None:
+    def on_run_end(self, report: Any) -> None:
         self.finalize(report.cycles)

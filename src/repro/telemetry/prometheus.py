@@ -1,0 +1,117 @@
+"""Prometheus text-exposition export of the metrics registry.
+
+Renders a :class:`~repro.telemetry.metrics.MetricsRegistry` (the
+``repro.metrics/1`` data model) to the Prometheus text format 0.0.4,
+so the future multi-tenant service layer can expose a ``/metrics``
+endpoint that any Prometheus-compatible scraper consumes without a
+client library:
+
+* metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots in
+  registry names become underscores) and prefixed ``repro_``;
+* counters gain the conventional ``_total`` suffix;
+* histograms are emitted as *cumulative* ``_bucket{le="..."}`` series
+  (the registry stores per-bucket counts; Prometheus wants running
+  totals up to each bound, ``+Inf`` included) plus exact ``_sum`` and
+  ``_count``;
+* label values are escaped per the exposition spec (backslash,
+  newline, double quote).
+
+The mapping is lossless for counters/gauges and sum/count-lossless for
+histograms (bucket *bounds* are the registry's own).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "to_prometheus", "write_prometheus"]
+
+#: The Content-Type a serving endpoint should declare for this payload.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_PREFIX = "repro_"
+_BAD_NAME_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+_BAD_FIRST_CHAR = re.compile(r"^[^a-zA-Z_:]")
+
+
+def _metric_name(name: str) -> str:
+    out = _BAD_NAME_CHAR.sub("_", name)
+    if _BAD_FIRST_CHAR.match(out):
+        out = "_" + out
+    return _NAME_PREFIX + out
+
+
+def _escape_label(value: object) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels(labels: Dict[str, object],
+            extra: Optional[Tuple[str, str]] = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):                     # pragma: no cover
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)  # type: ignore[arg-type]
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registry metric to one exposition-format document."""
+    lines: List[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):
+        if isinstance(metric, Counter):
+            name = _metric_name(metric.name) + "_total"
+            kind = "counter"
+        elif isinstance(metric, Histogram):
+            name = _metric_name(metric.name)
+            kind = "histogram"
+        elif isinstance(metric, Gauge):
+            name = _metric_name(metric.name)
+            kind = "gauge"
+        else:                                       # pragma: no cover
+            name = _metric_name(metric.name)
+            kind = "untyped"
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in sorted(metric.series(),
+                                    key=lambda kv: repr(sorted(kv[0].items()))):
+            if isinstance(metric, Histogram):
+                bounds = [*(_fmt(float(b)) for b in metric.buckets), "+Inf"]
+                cumulative = 0
+                for bound, count in zip(bounds, value.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels(labels, ('le', bound))} {cumulative}")
+                lines.append(f"{name}_sum{_labels(labels)} "
+                             f"{_fmt(value.sum)}")
+                lines.append(f"{name}_count{_labels(labels)} "
+                             f"{value.count}")
+            else:
+                lines.append(f"{name}{_labels(labels)} {_fmt(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> str:
+    """Serialize the registry's exposition document to ``path``."""
+    text = to_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

@@ -11,7 +11,14 @@ One :class:`TelemetrySession` observes a whole host program.  It owns
   coherent timeline,
 * the per-run :class:`~repro.fpga.engine.SimReport` summaries
   (``session.runs``, in :meth:`SimReport.to_dict` schema) and the
-  kernel :class:`~repro.telemetry.spans.Slice` list.
+  kernel :class:`~repro.telemetry.spans.Slice` list,
+* the correlated :class:`~repro.telemetry.ledger.RunLedger`: every
+  engine run (and, through the instrumented host API and executor,
+  every request above it) mints a ``run_id`` and appends a
+  :class:`~repro.telemetry.ledger.RunRecord` on completion.  The same
+  id is stamped into the run's span (hence the Chrome trace), its
+  SimReport summary, and any :class:`HangReport` /
+  :class:`RecoveryOutcome` the run produces.
 
 Activation is a context manager::
 
@@ -32,13 +39,25 @@ the run and opens an ``engine.run`` span; the instrumented layers
 module-level :func:`span` helper, which degrades to a shared no-op
 context manager when no session is active.  The simulator is
 single-threaded; so is the session.
+
+**Ledger-lite mode.**  ``session(metrics=False, kernel_slices=False,
+occupancy=False, ledger_path=...)`` attaches *no observers at all*:
+the bulk/certified fast paths stay engaged (any attached observer
+disables them by contract) and the per-run cost is O(kernels) record
+assembly after the run, not per-cycle callbacks.  This is the
+configuration the ledger-on overhead gate in
+``benchmarks/test_telemetry_overhead.py`` holds at >= 90% of the
+observer-off throughput baseline.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager, nullcontext
-from typing import List, Optional, Tuple
+from typing import Any, ContextManager, Iterator, List, Optional, Tuple
 
+from . import ledger as _ledger
+from .ledger import RunLedger, RunRecord
 from .metrics import MetricsRegistry
 from .observers import MetricsObserver, SliceRecorder
 from .spans import Slice, SpanRecorder
@@ -47,6 +66,13 @@ __all__ = ["TelemetrySession", "active", "session", "span"]
 
 _NULL = nullcontext()
 _ACTIVE: Optional["TelemetrySession"] = None
+
+#: Bulk-tier introspection attributes rolled into each engine-run
+#: ledger record (set per run by :class:`repro.fpga.bulk.BulkScheduler`).
+_BULK_COUNTERS = (("windows", "_bulk_windows"),
+                  ("bulk_cycles", "_bulk_cycles"),
+                  ("probes", "_bulk_probes"),
+                  ("cooldowns", "_bulk_cooldowns"))
 
 
 def active() -> Optional["TelemetrySession"]:
@@ -58,7 +84,8 @@ def active() -> Optional["TelemetrySession"]:
     return _ACTIVE
 
 
-def span(name: str, cat: str = "host", **args):
+def span(name: str, cat: str = "host",
+         **args: object) -> ContextManager[Any]:
     """Open a span on the active session; no-op context when inactive."""
     s = _ACTIVE
     if s is None:
@@ -67,11 +94,11 @@ def span(name: str, cat: str = "host", **args):
 
 
 @contextmanager
-def session(**kwargs):
+def session(**kwargs: object) -> Iterator["TelemetrySession"]:
     """Activate a fresh :class:`TelemetrySession` for the with-block."""
     global _ACTIVE
     prev = _ACTIVE
-    s = TelemetrySession(**kwargs)
+    s = TelemetrySession(**kwargs)  # type: ignore[arg-type]
     _ACTIVE = s
     try:
         yield s
@@ -80,7 +107,7 @@ def session(**kwargs):
 
 
 class TelemetrySession:
-    """Aggregates metrics, spans, slices and run summaries.
+    """Aggregates metrics, spans, slices, run summaries and the ledger.
 
     Parameters
     ----------
@@ -90,9 +117,22 @@ class TelemetrySession:
         metrics-only observation of very long runs.
     occupancy:
         Sample per-channel occupancy histograms every executed cycle.
+    metrics:
+        Attach the :class:`MetricsObserver` to every run.  Disabling it
+        (together with ``kernel_slices``) leaves the engine entirely
+        observer-free — the *ledger-lite* mode that keeps the
+        bulk/certified fast paths engaged while still recording one
+        :class:`RunRecord` per run.
+    ledger_path:
+        Optional JSONL sink path for the run ledger (size-rotated; see
+        :class:`repro.telemetry.ledger.JsonlSink`).
+    ledger_capacity:
+        In-memory ring capacity of the ledger.
     """
 
-    def __init__(self, kernel_slices: bool = True, occupancy: bool = True):
+    def __init__(self, kernel_slices: bool = True, occupancy: bool = True,
+                 metrics: bool = True, ledger_path: Optional[str] = None,
+                 ledger_capacity: int = _ledger.DEFAULT_CAPACITY) -> None:
         self.registry = MetricsRegistry()
         self.clock = 0
         self.spans = SpanRecorder(lambda: self.clock)
@@ -103,65 +143,102 @@ class TelemetrySession:
         self.instants: List[dict] = []
         self.kernel_slices = kernel_slices
         self.occupancy = occupancy
+        self.metrics = metrics
+        #: The correlated run ledger (ring + optional JSONL sink).
+        self.ledger = RunLedger(capacity=ledger_capacity, path=ledger_path)
         self._run_seq = 0
         self._run_offset = 0
         self._profilers: List[Tuple[int, object]] = []
 
-    def span(self, name: str, cat: str = "host", **args):
+    def span(self, name: str, cat: str = "host",
+             **args: object) -> ContextManager[Any]:
         return self.spans.span(name, cat, **args)
 
     def instant(self, name: str, cycle: Optional[int] = None,
-                cat: str = "fault", **args) -> None:
+                cat: str = "fault", **args: object) -> None:
         """Record a point event on the session timeline.
 
         With ``cycle`` (engine-local), the event lands inside the current
         engine run at that cycle (tagged with the run index, so the
         Chrome exporter places it on that run's process row); without, it
-        lands on the host row at the current session clock.
+        lands on the host row at the current session clock.  The ambient
+        run id (if any) is stamped into the event args so trace markers
+        join against ledger rows.
         """
         if cycle is not None and self._run_seq:
-            run = self._run_seq - 1
+            run: Optional[int] = self._run_seq - 1
             ts = self._run_offset + cycle
         else:
             run = None
             ts = self.clock
+        args_d = dict(args)
+        rid = _ledger.current_run_id()
+        if rid is not None:
+            args_d.setdefault("run_id", rid)
         self.instants.append({"name": name, "cat": cat, "ts": ts,
-                              "run": run, "args": dict(args)})
+                              "run": run, "args": args_d})
 
     # -- engine hookup -------------------------------------------------------
+    def _counter_total(self, name: str) -> float:
+        m = self.registry.get(name)
+        total = getattr(m, "total", None)
+        return total() if callable(total) else 0.0
+
     @contextmanager
-    def engine_run(self, engine):
+    def engine_run(self, engine: Any) -> Iterator["TelemetrySession"]:
         """Instrument one :meth:`Engine.run` (called by the engine).
 
-        Attaches the run observers, opens the ``engine.run`` span, and —
+        Attaches the run observers (when enabled), opens the
+        ``engine.run`` span, mints the run's correlation id, and —
         crucially — advances the session clock by the cycles the run
         executed, even when the run raises (a deadlocked run still shows
-        its partial timeline, ending at the deadlock cycle).
+        its partial timeline, ending at the deadlock cycle).  One
+        :class:`RunRecord` is appended per run, success or failure, with
+        the certificate-cache delta, the certified predicted band, the
+        bulk superstep counters and the fault counter delta filled in.
         """
         idx = self._run_seq
         self._run_seq += 1
         t0 = engine.now
         offset = self.clock - t0
         self._run_offset = offset
-        mo = MetricsObserver(self.registry, run=idx,
-                             occupancy=self.occupancy)
-        attach = [mo]
+        mo: Optional[MetricsObserver] = None
+        attach: List[object] = []
+        if self.metrics:
+            mo = MetricsObserver(self.registry, run=idx,
+                                 occupancy=self.occupancy)
+            attach.append(mo)
         if self.kernel_slices:
-            sl = SliceRecorder(self.slices, offset=offset, run=idx)
+            sl: Optional[SliceRecorder] = SliceRecorder(
+                self.slices, offset=offset, run=idx)
             attach.append(sl)
         else:
             sl = None
+        rec = RunRecord(run_id=_ledger.mint_run_id(), kind="engine.run",
+                        parent_id=_ledger.current_run_id(),
+                        label=f"engine.run[{idx}]",
+                        engine_mode=engine.mode)
         sp = self.spans.open(f"engine.run[{idx}]", cat="engine", run=idx,
-                             mode=engine.mode, kernels=len(engine.kernels),
+                             run_id=rec.run_id, mode=engine.mode,
+                             kernels=len(engine.kernels),
                              channels=len(engine.channels))
+        sched_cache = getattr(engine, "_schedule_cache", None)
+        stats = getattr(sched_cache, "stats", None)
+        sc0 = stats() if callable(stats) else None
+        faults0 = self._counter_total("faults_injected")
+        wall0 = time.perf_counter()
         for o in attach:
             engine.add_observer(o)
+        _ledger._STACK.append(rec.run_id)
         try:
             yield self
         except BaseException as exc:
             sp.args.setdefault("error", type(exc).__name__)
+            rec.outcome = _ledger.classify_outcome(exc)
+            rec.error = type(exc).__name__
             raise
         finally:
+            _ledger._STACK.pop()
             for o in attach:
                 try:
                     engine._observers.remove(o)
@@ -172,12 +249,45 @@ class TelemetrySession:
                 sl.finalize(end_t)
             self.clock = offset + end_t
             self.spans.close(sp, cycles=end_t - t0)
-            self._profilers.append((idx, mo.profiler))
-            if mo.last_report is not None:
-                d = mo.last_report.to_dict()
-                d["run"] = idx
-                d["offset"] = offset + t0
-                self.runs.append(d)
+            if mo is not None:
+                self._profilers.append((idx, mo.profiler))
+            report_dict: Optional[dict] = None
+            if mo is not None and mo.last_report is not None:
+                report_dict = mo.last_report.to_dict()
+            elif rec.error is None and not self.metrics:
+                # Ledger-lite: no observer saw the run end; the engine's
+                # own report builder is O(kernels) and side-effect free.
+                try:
+                    report_dict = engine._build_report().to_dict()
+                except Exception:       # pragma: no cover - best-effort
+                    report_dict = None
+            if report_dict is not None:
+                report_dict["run"] = idx
+                report_dict["offset"] = offset + t0
+                report_dict["run_id"] = rec.run_id
+                self.runs.append(report_dict)
+                rec.stall_cycles = report_dict["total_stall_cycles"]
+                rec.kernel_steps = report_dict["kernel_steps"]
+            rec.cycles = end_t - t0
+            rec.wall_seconds = time.perf_counter() - wall0
+            schedule = getattr(engine, "schedule", None)
+            if schedule is not None:
+                band = getattr(schedule, "predicted_cycles", None)
+                if band is not None:
+                    rec.predicted_cycles = (int(band[0]), int(band[1]))
+            if sc0 is not None:
+                sc1 = stats()
+                rec.schedule_cache = {
+                    "hits": sc1["hits"] - sc0["hits"],
+                    "misses": sc1["misses"] - sc0["misses"]}
+            rec.faults_injected = int(
+                self._counter_total("faults_injected") - faults0)
+            bulk = {label: getattr(engine, attr)
+                    for label, attr in _BULK_COUNTERS
+                    if hasattr(engine, attr)}
+            if bulk:
+                rec.bulk = bulk
+            self.ledger.append(rec)
 
     # -- reporting -----------------------------------------------------------
     def report(self, top: int = 8) -> str:

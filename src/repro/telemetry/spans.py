@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 __all__ = ["Slice", "Span", "SpanRecorder"]
 
@@ -78,19 +78,19 @@ class SpanRecorder:
     exactly what the trace exporter needs.
     """
 
-    def __init__(self, clock: Callable[[], int]):
+    def __init__(self, clock: Callable[[], int]) -> None:
         self._clock = clock
         self.spans: List[Span] = []
         self._stack: List[Span] = []
 
-    def open(self, name: str, cat: str = "host", **args) -> Span:
+    def open(self, name: str, cat: str = "host", **args: object) -> Span:
         span = Span(name=name, cat=cat, start=self._clock(),
                     depth=len(self._stack), args=args)
         self.spans.append(span)
         self._stack.append(span)
         return span
 
-    def close(self, span: Span, **args) -> Span:
+    def close(self, span: Span, **args: object) -> Span:
         if span.end is not None:
             raise ValueError(f"span {span.name!r} already closed")
         while self._stack and self._stack[-1] is not span:
@@ -106,7 +106,8 @@ class SpanRecorder:
         return self._stack[-1] if self._stack else None
 
     @contextmanager
-    def span(self, name: str, cat: str = "host", **args):
+    def span(self, name: str, cat: str = "host",
+             **args: object) -> Iterator[Span]:
         s = self.open(name, cat, **args)
         try:
             yield s
