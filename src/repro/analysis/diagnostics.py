@@ -62,8 +62,11 @@ CODES: Dict[str, str] = {
     "FB202": "tile size is not a multiple of the vectorization width",
     "FB301": "kernel without port annotations (pre-flight coverage is "
              "partial)",
-    "FB104": "per-bank DRAM bandwidth over-subscription (steady-state "
-             "demand exceeds one bank's share of the Table II budget)",
+    "FB104": "per-channel DRAM bandwidth over-subscription (steady-state "
+             "demand exceeds one channel's share of the Table II budget)",
+    "FB105": "memory placement conflict (out-of-range channel, or a "
+             "channel over-subscribed only because several buffers "
+             "share it)",
     "FB400": "SDF rate mismatch on a channel (balance equations have no "
              "consistent repetition vector)",
     "FB401": "unbounded accumulation or structural starvation (declared "

@@ -181,6 +181,69 @@ def check_bank_bandwidth(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
                 "vectorization width")
 
 
+@register("engine", "placement-conflicts")
+def check_placement_conflicts(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
+    """FB105: memory placement conflicts.
+
+    Two parts.  An out-of-range placement — a buffer whose channel set
+    names a channel the device does not have — is an error (the design
+    cannot be built).  A *conflict* is a warning: a channel shared by
+    two or more buffers whose combined pattern-declared demand
+    over-subscribes it even though each buffer alone would fit — the
+    situation an explicit placement exists to avoid, so the fix is to
+    move one buffer to a free channel.
+    """
+    mem = plan.memory
+    if mem is None:
+        return
+    for p in plan.placements:
+        members = p.channels if p.channels else (
+            (p.bank,) if p.bank is not None else ())
+        bad = [c for c in members if not (0 <= c < mem.num_banks)]
+        if bad:
+            yield Diagnostic(
+                "FB105", Severity.ERROR,
+                f"buffer {p.buffer!r} is placed on channel(s) "
+                f"{sorted(bad)} but the device has only "
+                f"{mem.num_banks} channels",
+                obj=p.buffer,
+                fix=f"use channels in [0, {mem.num_banks})")
+    # Per-channel demand split by buffer, from pattern-declared traffic.
+    per_channel: Dict[int, Dict[str, int]] = {}
+    for k in plan.kernels:
+        for t in k.dram:
+            nbytes = t.elements * t.itemsize
+            if t.channels:
+                share = -(-nbytes // len(t.channels))
+                targets = [(c, share) for c in t.channels]
+            elif t.bank is not None:
+                targets = [(t.bank, nbytes)]
+            else:
+                continue
+            for c, b in targets:
+                if not (0 <= c < mem.num_banks):
+                    continue                # out-of-range reported above
+                by_buf = per_channel.setdefault(c, {})
+                by_buf[t.buffer] = by_buf.get(t.buffer, 0) + b
+    for c in sorted(per_channel):
+        by_buf = per_channel[c]
+        total = sum(by_buf.values())
+        if len(by_buf) < 2 or total <= mem.bytes_per_cycle:
+            continue
+        if max(by_buf.values()) > mem.bytes_per_cycle:
+            continue                        # one buffer alone: FB104's case
+        names = ", ".join(f"{b!r} ({v} B/cycle)"
+                          for b, v in sorted(by_buf.items()))
+        yield Diagnostic(
+            "FB105", Severity.WARNING,
+            f"placement conflict on channel {c}: {names} together need "
+            f"{total} B/cycle against a {mem.bytes_per_cycle} B/cycle "
+            "budget, though each buffer alone fits",
+            obj=f"channel{c}",
+            fix="place one of the conflicting buffers on a different "
+                "channel (Placement.single/striped/channel_range)")
+
+
 @register("engine", "depths")
 def check_depths(plan: PlanIR, ctx) -> Iterable[Diagnostic]:
     """FB002/FB003/FB008: the channel-depth sufficiency prover."""

@@ -144,17 +144,26 @@ def solve_balance(subject):
 def bank_demand(subject) -> Dict[Optional[int], int]:
     """Steady-state DRAM demand in bytes/cycle from pattern traffic.
 
-    Returns ``{bank: bytes_per_cycle}``; ``bank`` is ``None`` for
-    interleaved buffers (drawing from the pooled budget).  Only
-    pattern-declared traffic is visible — dynamic (ordered) memory
-    kernels contribute nothing here, which FB404 surfaces separately.
-    Budgets come from the plan's :class:`~repro.plan.PlanMemory`.
+    Returns ``{channel: bytes_per_cycle}``; ``channel`` is ``None`` for
+    interleaved buffers (drawing from the pooled budget).  Traffic on a
+    striped/range placement spreads evenly over its member channels
+    (rounded up per channel — the conservative direction for a
+    feasibility lint).  Only pattern-declared traffic is visible —
+    dynamic (ordered) memory kernels contribute nothing here, which
+    FB404 surfaces separately.  Budgets come from the plan's
+    :class:`~repro.plan.PlanMemory`.
     """
     plan = as_plan(subject)
     demand: Dict[Optional[int], int] = {}
     for k in plan.kernels:
         for t in k.dram:
-            demand[t.bank] = demand.get(t.bank, 0) + t.elements * t.itemsize
+            nbytes = t.elements * t.itemsize
+            if t.channels:
+                share = -(-nbytes // len(t.channels))
+                for c in t.channels:
+                    demand[c] = demand.get(c, 0) + share
+            else:
+                demand[t.bank] = demand.get(t.bank, 0) + nbytes
     return demand
 
 

@@ -753,3 +753,167 @@ def _check_tiles(n, tile_n, m, tile_m):
     if n % tile_n or m % tile_m:
         raise ValueError(
             f"matrix {n}x{m} not divisible into {tile_n}x{tile_m} tiles")
+
+
+# ---------------------------------------------------------------------------
+# Sharded multi-lane GEMV (HBM many-channel placement)
+# ---------------------------------------------------------------------------
+
+def shard_row_tiles(n, tile_n, lanes):
+    """Round-robin row-tile partition: lane ``l`` owns global row tiles
+    ``l, l+lanes, l+2*lanes, ...``.
+
+    Returns one list of global row-tile indices per lane.  Striping (not
+    contiguous blocks) keeps the lanes' workloads balanced for any tile
+    count and makes the merge schedule a plain round-robin.
+    """
+    if n < 1 or tile_n < 1 or n % tile_n:
+        raise ValueError(f"n={n} not divisible into {tile_n}-row tiles")
+    tiles = n // tile_n
+    if not (1 <= lanes <= tiles):
+        raise ValueError(f"lanes={lanes} must be in [1, {tiles}] "
+                         f"(one row tile per lane minimum)")
+    return [list(range(lane, tiles, lanes)) for lane in range(lanes)]
+
+
+def shard_gemv_streams(a, y, tile_n, tile_m, lanes, dtype=np.float32):
+    """Host-side pre-sharding for :func:`gemv_row_tiles_sharded`.
+
+    Returns ``(a_streams, y_streams)``: per lane, the flat A tile stream
+    (the lane's row tiles in ascending global order, each as a full row
+    of T_N x T_M tiles with row-major elements — exactly the
+    :func:`gemv_row_tiles` contract for the lane's sub-matrix) and the
+    matching y blocks.  Each lane's stream is what gets bound to that
+    lane's memory channel.
+    """
+    a = np.asarray(a, dtype=dtype)
+    y = np.asarray(y, dtype=dtype)
+    n, m = a.shape
+    _check_tiles(n, tile_n, m, tile_m)
+    parts = shard_row_tiles(n, tile_n, lanes)
+    a_streams, y_streams = [], []
+    for tiles in parts:
+        blocks = [a[t * tile_n:(t + 1) * tile_n,
+                    tj * tile_m:(tj + 1) * tile_m].reshape(-1)
+                  for t in tiles for tj in range(m // tile_m)]
+        a_streams.append(np.concatenate(blocks))
+        y_streams.append(np.concatenate(
+            [y[t * tile_n:(t + 1) * tile_n] for t in tiles]))
+    return a_streams, y_streams
+
+
+def gemv_row_tiles_sharded(n, m, alpha, beta, lane_ports, ch_out,
+                           tile_n, tile_m, width=1, dtype=np.float32):
+    """Multi-lane GEMV: row tiles striped across lanes, merged in order.
+
+    ``lane_ports`` is one ``(ch_a, ch_x, ch_y, ch_part)`` tuple per lane.
+    Each lane runs an unmodified :func:`gemv_row_tiles` over its share of
+    row tiles (so every output row's arithmetic — order, rounding, adder
+    tree — is exactly the single-lane computation), pushing its y' blocks
+    into ``ch_part``; a :func:`~repro.fpga.util.merge_kernel` reassembles
+    the T_N blocks into global row order on ``ch_out``.  The result is
+    bitwise identical to the single-lane kernel while each lane's A
+    stream can live in (and draw bandwidth from) its own memory channel.
+
+    Returns ``(lane_gens, merge_gen)``; register each as a kernel.
+    """
+    from ..fpga.util import merge_kernel
+
+    lanes = len(lane_ports)
+    _check_tiles(n, tile_n, m, tile_m)
+    parts = shard_row_tiles(n, tile_n, lanes)
+    lane_gens = []
+    for (ch_a, ch_x, ch_y, ch_part), tiles in zip(lane_ports, parts):
+        lane_gens.append(gemv_row_tiles(
+            len(tiles) * tile_n, m, alpha, beta, ch_a, ch_x, ch_y,
+            ch_part, tile_n, tile_m, width, dtype))
+    schedule = [(t % lanes, tile_n) for t in range(n // tile_n)]
+    merge = merge_kernel([p[3] for p in lane_ports], ch_out, schedule,
+                         width)
+    return lane_gens, merge
+
+
+def build_sharded_gemv_engine(a, x, y, alpha=1.0, beta=1.0, *, lanes,
+                              tile_n, tile_m, width=1, mode="event",
+                              dtype=np.float32, mem=None, placements=None,
+                              part_depth=None, share_x=False,
+                              max_cycles=None):
+    """Wire a complete sharded GEMV design and return ``(engine, out)``.
+
+    With ``mem`` (a :class:`~repro.fpga.memory.DramModel`), each lane's
+    pre-sharded A stream is bound as its own DRAM buffer — placed on
+    channel ``lane % num_channels`` unless ``placements`` (one
+    :class:`~repro.fpga.memory.Placement` per lane) says otherwise — and
+    streamed through the patterned linear read kernel, so per-channel
+    bandwidth limits throttle each lane independently.  Without ``mem``,
+    A is generated on chip (no DRAM term), the Sec. VI-B scaling setup.
+
+    ``share_x`` feeds every lane's x replay from one duplicated source —
+    the reconvergent shape where an undersized ``part_depth`` (the
+    lane-partial merge channels) provably deadlocks: a lane that runs
+    ahead fills its partial channel, the shared x duplicator blocks on
+    that lane, and the lane the merge is actually waiting on starves.
+    ``run(engine)`` is left to the caller so observers can be attached.
+    """
+    from ..fpga.engine import Engine
+    from ..fpga.memory import read_kernel
+    from ..fpga.util import duplicate_kernel, sink_kernel, source_kernel
+
+    a = np.asarray(a, dtype=dtype)
+    x = np.asarray(x, dtype=dtype)
+    y = np.asarray(y, dtype=dtype)
+    n, m = a.shape
+    parts = shard_row_tiles(n, tile_n, lanes)
+    if share_x and len({len(p) for p in parts}) != 1:
+        raise ValueError("share_x requires the row-tile count to divide "
+                         "evenly across lanes")
+    a_streams, y_streams = shard_gemv_streams(a, y, tile_n, tile_m, lanes,
+                                              dtype)
+    depth = max(8 * width, 2 * tile_m)
+    if part_depth is None:
+        part_depth = max(2 * tile_n, width)
+
+    eng = Engine(mode=mode, memory=mem)
+    lane_ports = []
+    for lane in range(lanes):
+        lane_ports.append((eng.channel(f"a{lane}", depth),
+                           eng.channel(f"x{lane}", depth),
+                           eng.channel(f"y{lane}", depth),
+                           eng.channel(f"part{lane}", part_depth)))
+    ch_out = eng.channel("out", depth)
+
+    for lane, (ca, cx, cy, _) in enumerate(lane_ports):
+        replay = len(parts[lane])
+        if mem is not None:
+            pl = placements[lane] if placements is not None else None
+            bank = None if pl is not None else lane % mem.num_banks
+            buf = mem.bind(f"A{lane}", a_streams[lane], bank=bank,
+                           placement=pl)
+            eng.add_kernel(f"readA{lane}", read_kernel(mem, buf, ca, width),
+                           latency=2)
+        else:
+            eng.add_kernel(f"srcA{lane}",
+                           source_kernel(ca, a_streams[lane], width),
+                           latency=2)
+        if not share_x:
+            eng.add_kernel(f"srcx{lane}",
+                           source_kernel(cx, x, width, repeat=replay),
+                           latency=2)
+        eng.add_kernel(f"srcy{lane}",
+                       source_kernel(cy, y_streams[lane], width), latency=2)
+    if share_x:
+        cx0 = eng.channel("xroot", depth)
+        replay = len(parts[0])
+        eng.add_kernel("srcx", source_kernel(cx0, x, width, repeat=replay),
+                       latency=2)
+        eng.add_kernel("dupx", duplicate_kernel(
+            cx0, [p[1] for p in lane_ports], m * replay, width))
+
+    lane_gens, merge = gemv_row_tiles_sharded(
+        n, m, alpha, beta, lane_ports, ch_out, tile_n, tile_m, width, dtype)
+    for lane, g in enumerate(lane_gens):
+        eng.add_kernel(f"gemv{lane}", g, latency=8)
+    eng.add_kernel("merge", merge, latency=2)
+    out: list = []
+    eng.add_kernel("sink", sink_kernel(ch_out, n, width, out))
+    return eng, out

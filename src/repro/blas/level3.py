@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..fpga.kernel import Clock, Pop, Push
-from .level2 import _pop_block, _push_block
+from .level2 import _pop_block, _push_block, shard_row_tiles
 from . import reference
 
 
@@ -65,6 +65,76 @@ def gemm_tiled(n, m, k, alpha, beta, ch_a, ch_b, ch_c, ch_out,
                     out.append(alpha * acc[r][j]
                                + beta * dtype(ctile[r * tile_m + j]))
             yield from _push_block(ch_out, out, width)
+
+
+# ---------------------------------------------------------------------------
+# Sharded multi-lane GEMM (HBM many-channel placement)
+# ---------------------------------------------------------------------------
+
+def shard_gemm_streams(a, b, c, tile_n, tile_m, lanes, dtype=np.float32):
+    """Host-side pre-sharding for :func:`gemm_tiled_sharded`.
+
+    Returns ``(a_streams, b_streams, c_streams)``: per lane, the flat A
+    strip-column stream, B strip-row stream and C tile stream in exactly
+    the order the lane's :func:`gemm_tiled` instance consumes them (its
+    C row tiles in ascending global order).
+    """
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
+    c = np.asarray(c, dtype=dtype)
+    n, k = a.shape
+    m = b.shape[1]
+    _check(n, tile_n, m, tile_m)
+    parts = shard_row_tiles(n, tile_n, lanes)
+    col_tiles = m // tile_m
+    a_streams, b_streams, c_streams = [], [], []
+    for tiles in parts:
+        a_blocks, b_blocks, c_blocks = [], [], []
+        for ti in tiles:
+            rows = slice(ti * tile_n, (ti + 1) * tile_n)
+            for tj in range(col_tiles):
+                cols = slice(tj * tile_m, (tj + 1) * tile_m)
+                c_blocks.append(c[rows, cols].reshape(-1))
+                for kk in range(k):
+                    a_blocks.append(a[rows, kk])
+                    b_blocks.append(b[kk, cols])
+        a_streams.append(np.concatenate(a_blocks))
+        b_streams.append(np.concatenate(b_blocks))
+        c_streams.append(np.concatenate(c_blocks))
+    return a_streams, b_streams, c_streams
+
+
+def gemm_tiled_sharded(n, m, k, alpha, beta, lane_ports, ch_out,
+                       tile_n, tile_m, width=1, dtype=np.float32):
+    """Multi-lane GEMM: C row tiles striped across lanes, merged in order.
+
+    ``lane_ports`` is one ``(ch_a, ch_b, ch_c, ch_part)`` tuple per lane.
+    Each lane runs an unmodified :func:`gemm_tiled` over its share of C
+    row tiles (round-robin, via :func:`~repro.blas.level2.shard_row_tiles`),
+    so every output tile's arithmetic is exactly the single-lane
+    computation; a :func:`~repro.fpga.util.merge_kernel` reassembles the
+    T_N*T_M tiles into global (ti, tj) order on ``ch_out``.  Bitwise
+    identical to the single-lane kernel while each lane's A/B/C streams
+    can live in their own memory channels.
+
+    Returns ``(lane_gens, merge_gen)``; register each as a kernel.
+    """
+    from ..fpga.util import merge_kernel
+
+    lanes = len(lane_ports)
+    _check(n, tile_n, m, tile_m)
+    parts = shard_row_tiles(n, tile_n, lanes)
+    lane_gens = []
+    for (ch_a, ch_b, ch_c, ch_part), tiles in zip(lane_ports, parts):
+        lane_gens.append(gemm_tiled(
+            len(tiles) * tile_n, m, k, alpha, beta, ch_a, ch_b, ch_c,
+            ch_part, tile_n, tile_m, width, dtype))
+    schedule = [(ti % lanes, tile_n * tile_m)
+                for ti in range(n // tile_n)
+                for _ in range(m // tile_m)]
+    merge = merge_kernel([p[3] for p in lane_ports], ch_out, schedule,
+                         width)
+    return lane_gens, merge
 
 
 def syrk_tiled(n, k, alpha, beta, ch_a, ch_at, ch_c, ch_out,

@@ -8,7 +8,15 @@ calibration of Tables I and III (:mod:`resources`).
 """
 
 from .channel import Channel, ChannelError
-from .device import ARRIA10, DEVICES, STRATIX10, FpgaDevice, FrequencyModel, PowerModel
+from .device import (
+    ARRIA10,
+    DEVICES,
+    STRATIX10,
+    U280,
+    FpgaDevice,
+    FrequencyModel,
+    PowerModel,
+)
 from .engine import DeadlockError, Engine, SimReport, SimulationError
 from .errors import (
     EccError,
@@ -28,7 +36,13 @@ from .observers import (
     TraceObserver,
 )
 from .scheduler import WakeListScheduler
-from .memory import DramBuffer, DramModel, read_kernel, write_kernel
+from .memory import (
+    DramBuffer,
+    DramModel,
+    Placement,
+    read_kernel,
+    write_kernel,
+)
 from .resources import (
     ResourceUsage,
     fully_unrolled_resources,
@@ -40,6 +54,7 @@ from .resources import (
 from .util import (
     duplicate_kernel,
     forward_kernel,
+    merge_kernel,
     scalar_sink,
     sink_kernel,
     source_kernel,
@@ -51,11 +66,12 @@ __all__ = [
     "EngineObserver", "FaultError", "FpgaDevice", "FrequencyModel",
     "HangError", "HangReport", "JsonlEventDump", "Kernel",
     "KernelCrashError", "LivelockError", "Pop", "PowerModel", "Push",
-    "ReproError", "ResourceUsage", "STRATIX10", "SimReport",
+    "Placement", "ReproError", "ResourceUsage", "STRATIX10", "SimReport",
     "SimulationError", "StallChainProfiler", "TraceObserver",
-    "TransientFaultError",
+    "TransientFaultError", "U280",
     "WakeListScheduler", "duplicate_kernel", "forward_kernel",
     "fully_unrolled_resources", "gemm_systolic_resources", "level1_latency",
+    "merge_kernel",
     "level1_resources", "level2_resources", "read_kernel", "scalar_sink",
     "sink_kernel", "source_kernel", "write_kernel",
 ]

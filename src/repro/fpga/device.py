@@ -83,9 +83,30 @@ STRATIX10 = FpgaDevice(
     f_max=270e6,
 )
 
+#: Xilinx Alveo U280 (HBM2) — the post-paper many-channel generation the
+#: ROADMAP targets.  ``dram_banks`` counts HBM *pseudo-channels*: 8 GB of
+#: HBM2 split into 32 independently-addressed 256 MB channels, ~460 GB/s
+#: aggregate.  The resource row maps vendor units onto Table II's columns
+#: (LUTs reported in the ``alms`` slot, BRAM36 blocks in ``m20ks``).
+U280 = FpgaDevice(
+    name="Alveo U280 HBM2",
+    total=ResourceBudget(alms=1_304_000, ffs=2_607_000, m20ks=2_016,
+                         dsps=9_024),
+    available=ResourceBudget(alms=1_080_000, ffs=2_160_000, m20ks=1_812,
+                             dsps=9_020),
+    dram_banks=32,
+    dram_bank_bytes=256 * 1024 * 1024,
+    dram_bank_bandwidth=14.375 * GB,    # 460 GB/s / 32 pseudo-channels
+    hyperflex=False,
+    hardened_double=False,
+    f_max_hyperflex=300e6,
+    f_max=300e6,
+)
+
 DEVICES: Dict[str, FpgaDevice] = {
     "arria10": ARRIA10,
     "stratix10": STRATIX10,
+    "u280": U280,
 }
 
 
@@ -152,8 +173,8 @@ class PowerModel:
     measures whole-board power via ``aocl``, hence the large static share.
     """
 
-    STATIC = {"arria10": 46.0, "stratix10": 57.5}
-    DYNAMIC = {"arria10": 7.5, "stratix10": 15.0}
+    STATIC = {"arria10": 46.0, "stratix10": 57.5, "u280": 65.0}
+    DYNAMIC = {"arria10": 7.5, "stratix10": 15.0, "u280": 35.0}
 
     def __init__(self, device: FpgaDevice):
         self.device = device

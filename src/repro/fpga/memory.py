@@ -1,16 +1,29 @@
-"""Off-chip DRAM model: banks, bandwidth, interleaving, I/O accounting.
+"""Off-chip memory model: channels, placement, bandwidth, I/O accounting.
 
-The evaluation boards carry 2 (Arria) or 4 (Stratix) DDR4 modules.  On the
-Stratix board, automatic memory interleaving is disabled by the BSP, so each
-buffer lives in a single bank and two kernels touching the same bank contend
-for its bandwidth — the effect that slows the non-streamed AXPYDOT in the
-paper (Sec. VI-C) and boosts the measured speedup from 3x to 4x.
+The model generalizes from the paper's DDR4 boards — 2 (Arria) or 4
+(Stratix) modules — to *N pseudo-channels* so the same machinery covers
+HBM-class parts (the U280 catalog entry exposes 32 pseudo-channels).
+Vocabulary: a *channel* is the unit of independent bandwidth; on the
+paper's DDR boards one DDR bank is one channel, so ``bank`` and
+``channel`` are interchangeable here and the legacy ``bank`` spelling is
+kept throughout the API.  A :class:`Placement` says which channels a
+buffer's traffic is allowed to draw from:
 
-The model is deliberately simple and countable:
+* ``Placement.single(c)`` — the buffer lives in one channel (the manual
+  allocation the Stratix BSP forces; two kernels touching the same
+  channel contend for its bandwidth, the effect behind the paper's
+  Sec. VI-C AXPYDOT speedup going from 3x to 4x);
+* ``Placement.striped(channels)`` — the buffer's traffic spreads over an
+  explicit set of K channels, drawing from each member's budget;
+* ``Placement.channel_range(start, stop)`` — striped over the contiguous
+  block ``[start, stop)``, the shape HBM placement tools emit.
 
-* each bank grants at most ``bytes_per_cycle`` bytes per simulated cycle;
-* a buffer is placed in one bank (or striped over all of them when
-  interleaving is on, drawing from the pooled budget);
+The model stays deliberately simple and countable:
+
+* each channel grants at most ``bytes_per_cycle`` bytes per simulated
+  cycle; striped buffers draw from their member channels' budgets;
+* a buffer allocated with neither a bank nor a placement is round-robin
+  placed (or pooled across all channels when ``interleaving`` is on);
 * every element moved is counted, giving the *number of memory I/O
   operations* the paper's Sec. V analysis reasons about.
 
@@ -21,12 +34,62 @@ and channels: they are the circles of the paper's MDAG figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .kernel import Clock, Pop, Push
 from .pattern import DramTraffic, PatternedGenerator, StaticPattern
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Which memory channels a DRAM buffer may draw bandwidth from.
+
+    ``kind`` is one of ``"single"``, ``"striped"`` or ``"range"``;
+    ``channels`` is the ordered tuple of member channel indices.  Use the
+    constructors rather than the raw dataclass so the invariants hold.
+    """
+
+    kind: str
+    channels: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "striped", "range"):
+            raise ValueError(f"unknown placement kind {self.kind!r}")
+        if not self.channels:
+            raise ValueError("placement needs at least one channel")
+        if len(set(self.channels)) != len(self.channels):
+            raise ValueError("placement channels must be distinct")
+        if any(c < 0 for c in self.channels):
+            raise ValueError("placement channels must be non-negative")
+        if self.kind == "single" and len(self.channels) != 1:
+            raise ValueError("single placement takes exactly one channel")
+
+    @classmethod
+    def single(cls, channel: int) -> "Placement":
+        """The buffer lives entirely in one channel."""
+        return cls("single", (int(channel),))
+
+    @classmethod
+    def striped(cls, channels: Iterable[int]) -> "Placement":
+        """The buffer's traffic spreads over an explicit channel set."""
+        return cls("striped", tuple(int(c) for c in channels))
+
+    @classmethod
+    def channel_range(cls, start: int, stop: int) -> "Placement":
+        """Striped over the contiguous channel block ``[start, stop)``."""
+        if stop <= start:
+            raise ValueError("empty channel range")
+        return cls("range", tuple(range(int(start), int(stop))))
+
+    def describe(self) -> str:
+        """Compact human label (``ch3``, ``striped[0,2]``, ``range[0:4]``)."""
+        if self.kind == "single":
+            return f"ch{self.channels[0]}"
+        if self.kind == "range":
+            return f"range[{self.channels[0]}:{self.channels[-1] + 1}]"
+        return "striped[" + ",".join(str(c) for c in self.channels) + "]"
 
 
 @dataclass
@@ -53,14 +116,21 @@ class DramBuffer:
     """A named allocation in device DRAM.
 
     ``data`` is the backing numpy array (the "device memory").  ``bank`` is
-    the DDR module index, or ``None`` when the buffer is interleaved across
-    all banks.
+    the channel index for single-channel buffers, or ``None`` when the
+    buffer is interleaved (pooled) or striped over several channels; the
+    full story lives in ``placement`` (``None`` means pooled/interleaved).
     """
 
-    def __init__(self, name: str, data: np.ndarray, bank: Optional[int]):
+    def __init__(self, name: str, data: np.ndarray, bank: Optional[int],
+                 placement: Optional[Placement] = None):
+        if placement is None and bank is not None:
+            placement = Placement.single(bank)
+        if placement is not None and placement.kind == "single":
+            bank = placement.channels[0]
         self.name = name
         self.data = data
         self.bank = bank
+        self.placement = placement
         self.elements_read = 0
         self.elements_written = 0
 
@@ -73,23 +143,27 @@ class DramBuffer:
         return self.data.size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        where = "interleaved" if self.bank is None else f"bank {self.bank}"
+        where = ("interleaved" if self.placement is None
+                 else self.placement.describe())
         return f"DramBuffer({self.name!r}, {self.data.shape}, {where})"
 
 
 class DramModel:
-    """Banked DRAM with per-cycle bandwidth budgets.
+    """N-channel DRAM/HBM with per-channel per-cycle bandwidth budgets.
 
     Parameters
     ----------
     num_banks:
-        Number of DDR modules on the board.
+        Number of memory channels on the board (DDR modules on the
+        paper's boards, pseudo-channels on HBM parts; ``num_channels``
+        is an alias).
     bytes_per_cycle:
-        Peak bytes one bank can move per FPGA clock cycle (bank bandwidth
-        divided by design frequency).
+        Peak bytes one channel can move per FPGA clock cycle (channel
+        bandwidth divided by design frequency).
     interleaving:
-        When True, buffers allocated without an explicit bank are striped
-        across all banks and draw from the pooled budget.
+        When True, buffers allocated without an explicit bank or
+        placement are striped across all channels and draw from the
+        pooled budget.
     """
 
     def __init__(self, num_banks: int = 4, bytes_per_cycle: int = 64,
@@ -125,31 +199,60 @@ class DramModel:
         # Last cycle each bank was charged a busy cycle (so several
         # grants in one cycle count once).
         self._busy_mark = [-1] * num_banks
+        # Per-channel raw grants of the most recent _grant call, so the
+        # read/write wrappers can attribute useful bytes per channel.
+        self._last_grants: List[Tuple[int, int]] = []
         # Fault-injection hook (repro.faults.FaultInjector); when set,
         # begin_cycle lets it flip DRAM bits, raise ECC events and cap
         # bank budgets for the cycle.  None outside an injected run.
         self.fault_hook = None
         self.begin_cycle(0)
 
+    @property
+    def num_channels(self) -> int:
+        """Alias: one DDR bank is one channel; HBM exposes many."""
+        return self.num_banks
+
     # -- allocation ---------------------------------------------------------
     def allocate(self, name: str, shape, dtype=np.float32,
-                 bank: Optional[int] = None) -> DramBuffer:
+                 bank: Optional[int] = None,
+                 placement: Optional[Placement] = None) -> DramBuffer:
         """Allocate a zero-initialised buffer."""
-        return self.bind(name, np.zeros(shape, dtype=dtype), bank)
+        return self.bind(name, np.zeros(shape, dtype=dtype), bank,
+                         placement=placement)
 
     def bind(self, name: str, data: np.ndarray,
-             bank: Optional[int] = None) -> DramBuffer:
-        """Place an existing array in DRAM (copying host data to device)."""
+             bank: Optional[int] = None,
+             placement: Optional[Placement] = None) -> DramBuffer:
+        """Place an existing array in DRAM (copying host data to device).
+
+        ``placement`` pins the buffer to an explicit channel set;
+        ``bank=k`` is shorthand for ``Placement.single(k)``.  With
+        neither, the buffer is round-robin placed (or pooled when
+        ``interleaving`` is on).
+        """
         if name in self.buffers:
             raise ValueError(f"duplicate buffer name {name!r}")
-        if bank is not None and not (0 <= bank < self.num_banks):
-            raise ValueError(f"bank {bank} out of range [0,{self.num_banks})")
-        if bank is None and not self.interleaving:
+        if placement is not None:
+            if bank is not None and placement != Placement.single(bank):
+                raise ValueError(
+                    f"buffer {name!r}: bank={bank} contradicts placement "
+                    f"{placement.describe()}")
+            for c in placement.channels:
+                if not (0 <= c < self.num_banks):
+                    raise ValueError(
+                        f"placement channel {c} out of range "
+                        f"[0,{self.num_banks})")
+        elif bank is not None:
+            if not (0 <= bank < self.num_banks):
+                raise ValueError(
+                    f"bank {bank} out of range [0,{self.num_banks})")
+        elif not self.interleaving:
             # Round-robin placement, mirroring manual allocation on the
             # Stratix board where interleaving is disabled.
             bank = self._next_bank
             self._next_bank = (self._next_bank + 1) % self.num_banks
-        buf = DramBuffer(name, np.array(data, copy=True), bank)
+        buf = DramBuffer(name, np.array(data, copy=True), bank, placement)
         self.buffers[name] = buf
         return buf
 
@@ -169,7 +272,30 @@ class DramModel:
             self.fault_hook.on_memory_cycle(self, cycle)
 
     def _grant(self, buf: DramBuffer, nbytes: int) -> int:
-        if buf.bank is None:
+        self._last_grants = []
+        pl = buf.placement
+        if pl is not None and len(pl.channels) > 1:
+            # Striped/range placement: draw from each member channel's
+            # remaining budget in order until the request is met.
+            granted = 0
+            need = nbytes
+            for c in pl.channels:
+                take = min(need, self._budget[c])
+                if take > 0:
+                    self._budget[c] -= take
+                    self._pool_budget = max(0, self._pool_budget - take)
+                    if self._busy_mark[c] != self._cycle:
+                        self._busy_mark[c] = self._cycle
+                        self.bank_stats[c].busy_cycles += 1
+                    self._last_grants.append((c, take))
+                    granted += take
+                    need -= take
+                if need == 0:
+                    break
+            if granted == 0 and nbytes > 0:
+                for c in pl.channels:
+                    self.bank_stats[c].denied_cycles += 1
+        elif buf.bank is None:
             granted = min(nbytes, self._pool_budget)
             self._pool_budget -= granted
         else:
@@ -179,9 +305,11 @@ class DramModel:
             self._pool_budget = max(0, self._pool_budget - granted)
             if granted == 0:
                 self.bank_stats[buf.bank].denied_cycles += 1
-            elif self._busy_mark[buf.bank] != self._cycle:
-                self._busy_mark[buf.bank] = self._cycle
-                self.bank_stats[buf.bank].busy_cycles += 1
+            else:
+                self._last_grants.append((buf.bank, granted))
+                if self._busy_mark[buf.bank] != self._cycle:
+                    self._busy_mark[buf.bank] = self._cycle
+                    self.bank_stats[buf.bank].busy_cycles += 1
         return granted
 
     def request_read(self, buf: DramBuffer, nbytes: int,
@@ -194,19 +322,41 @@ class DramModel:
         """
         factor = 1.0 if contiguous else self.stride_penalty
         granted = int(self._grant(buf, int(nbytes * factor)) // factor)
-        if buf.bank is not None:
-            self.bank_stats[buf.bank].bytes_read += granted
+        for c, raw in self._last_grants:
+            self.bank_stats[c].bytes_read += int(raw // factor)
         return granted
 
     def request_write(self, buf: DramBuffer, nbytes: int,
                       contiguous: bool = True) -> int:
         factor = 1.0 if contiguous else self.stride_penalty
         granted = int(self._grant(buf, int(nbytes * factor)) // factor)
-        if buf.bank is not None:
-            self.bank_stats[buf.bank].bytes_written += granted
+        for c, raw in self._last_grants:
+            self.bank_stats[c].bytes_written += int(raw // factor)
         return granted
 
     # -- accounting ---------------------------------------------------------
+    def placement_summary(self) -> dict:
+        """Compact description of where every buffer lives.
+
+        The run ledger stamps this on each :class:`RunRecord` so fleet
+        reports can split results by device and memory layout.
+        """
+        by_kind: Dict[str, int] = {}
+        placements: Dict[str, str] = {}
+        for name, buf in self.buffers.items():
+            kind = ("interleaved" if buf.placement is None
+                    else buf.placement.kind)
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            placements[name] = ("interleaved" if buf.placement is None
+                                else buf.placement.describe())
+        return {
+            "device": self.device_label,
+            "channels": self.num_banks,
+            "buffers": len(self.buffers),
+            "by_kind": by_kind,
+            "placements": placements,
+        }
+
     @property
     def total_elements_moved(self) -> int:
         """Total memory I/O operations (element reads + writes) so far."""

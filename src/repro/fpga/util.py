@@ -132,6 +132,54 @@ def forward_kernel(ch_in, ch_out, count: int, width: int = 1):
     return PatternedGenerator(gen(), pat)
 
 
+def merge_kernel(inputs: Sequence, ch_out, schedule, width: int = 1):
+    """Merge several lane streams into one, block by block.
+
+    ``schedule`` is a sequence of ``(lane_index, count)`` pairs: pop
+    ``count`` elements from ``inputs[lane_index]``, forward them to
+    ``ch_out``, then move to the next entry.  The sharded GEMV/GEMM
+    builders use this to reassemble per-lane row tiles into the global
+    row order, so the merged stream is bitwise identical to the
+    single-lane stream.
+
+    The active read port changes from block to block, so no single
+    static pattern covers the loop: the pattern is declare-only (ports
+    and totals for the analyzer; always event-stepped, which is cheap —
+    the merge only moves output elements, a sliver of the matrix
+    traffic).
+    """
+    inputs = tuple(inputs)
+    schedule = tuple((int(lane), int(count)) for lane, count in schedule)
+    for lane, count in schedule:
+        if not (0 <= lane < len(inputs)):
+            raise ValueError(f"merge schedule lane {lane} out of range")
+        if count < 1:
+            raise ValueError("merge schedule counts must be positive")
+    read_totals = [0] * len(inputs)
+    for lane, count in schedule:
+        read_totals[lane] += count
+    total = sum(read_totals)
+
+    def gen():
+        for lane, count in schedule:
+            ch_in = inputs[lane]
+            done = 0
+            while done < count:
+                chunk = min(width, count - done)
+                vals = yield Pop(ch_in, chunk)
+                if chunk == 1:
+                    vals = (vals,)
+                yield Push(ch_out, tuple(vals), 1)
+                done += chunk
+                yield Clock()
+
+    pat = StaticPattern.declare(
+        reads=tuple((ch, width) for ch in inputs),
+        writes=((ch_out, width, 1),), ii=1,
+        read_totals=tuple(read_totals), write_totals=(total,))
+    return PatternedGenerator(gen(), pat)
+
+
 def duplicate_kernel(ch_in, outs: Sequence, count: int, width: int = 1):
     """Fan a stream out to several consumers (one producer, many readers).
 

@@ -13,6 +13,8 @@ from .performance import (
     optimal_width_tiled_gemv,
     pipeline_cycles,
     routine_flops,
+    sharded_gemv_cycles,
+    sharded_gemv_speedup,
 )
 from .workdepth import (
     LA,
@@ -37,4 +39,5 @@ __all__ = [
     "gemm_systolic_cycles", "gemv_app", "gemv_cycles", "iomodel",
     "level1_cycles", "optimal_width", "optimal_width_tiled_gemv",
     "pipeline_cycles", "routine_class", "routine_flops", "scal_app",
+    "sharded_gemv_cycles", "sharded_gemv_speedup",
 ]

@@ -24,7 +24,15 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..fpga.device import DEVICES, FpgaDevice, FrequencyModel
 from ..fpga.resources import (
@@ -34,7 +42,12 @@ from ..fpga.resources import (
     level1_resources,
     level2_resources,
 )
-from .performance import gemm_systolic_cycles, level1_cycles, pipeline_cycles
+from .performance import (
+    gemm_systolic_cycles,
+    level1_cycles,
+    pipeline_cycles,
+    sharded_gemv_cycles,
+)
 from .workdepth import routine_class
 
 #: Sweep size at which ``workers=None`` starts using a process pool.
@@ -73,7 +86,9 @@ class DesignPoint:
                 f"us, {self.usage.dsps} DSPs")
 
 
-def _sweep(fn, items, workers: Optional[int]) -> List[DesignPoint]:
+def _sweep(fn: Callable[[Any], Optional[DesignPoint]],
+           items: Iterable[Tuple[Any, ...]],
+           workers: Optional[int]) -> List[DesignPoint]:
     """Map a point evaluator over candidates, serially or in a pool.
 
     The evaluator must be a module-level function taking one argument
@@ -107,7 +122,7 @@ def _canonical_device(device: FpgaDevice) -> FpgaDevice:
     return device
 
 
-def _eval_level1(args) -> Optional[DesignPoint]:
+def _eval_level1(args: Tuple[Any, ...]) -> Optional[DesignPoint]:
     routine, n, device, precision, w = args
     device = _canonical_device(device)
     klass = routine_class(routine)
@@ -136,7 +151,7 @@ def explore_level1(routine: str, n: int, device: FpgaDevice,
                   workers)
 
 
-def _eval_gemv(args) -> Optional[DesignPoint]:
+def _eval_gemv(args: Tuple[Any, ...]) -> Optional[DesignPoint]:
     n, m, device, precision, w, t = args
     device = _canonical_device(device)
     usage = level2_resources(w, t, precision, device=device)
@@ -166,7 +181,62 @@ def explore_gemv(n: int, m: int, device: FpgaDevice,
                   workers)
 
 
-def _eval_systolic(args) -> Optional[DesignPoint]:
+def _eval_gemv_sharded(args: Tuple[Any, ...]) -> Optional[DesignPoint]:
+    n, m, device, precision, w, t, lanes, chans = args
+    device = _canonical_device(device)
+    if chans > device.dram_banks or lanes > n // t:
+        return None
+    # Lane datapaths are replicated; the merge kernel adds one more
+    # level-2 stage's worth of registers/logic but no DSPs.
+    lane = level2_resources(w, t, precision, device=device)
+    usage = ResourceUsage(luts=lane.luts * lanes + lane.luts // 4,
+                          ffs=lane.ffs * lanes + lane.ffs // 4,
+                          m20ks=lane.m20ks * lanes,
+                          dsps=lane.dsps * lanes)
+    if not usage.fits(device):
+        return None
+    f = FrequencyModel(device).estimate(
+        "level2", precision, utilization=usage.utilization(device))
+    itemsize = 8 if precision == "double" else 4
+    bpc = max(1, int(device.dram_bank_bandwidth / f))
+    cd = level1_latency("map_reduce", w, precision)
+    cycles = sharded_gemv_cycles(n, m, t, w, lanes, bpc,
+                                 itemsize=itemsize, latency=cd,
+                                 channels=chans)
+    return DesignPoint(
+        routine="gemv_sharded", precision=precision,
+        params=(("chans", chans), ("lanes", lanes),
+                ("tile", t), ("width", w)),
+        usage=usage, cycles=cycles, frequency=f)
+
+
+def explore_gemv_sharded(n: int, m: int, device: FpgaDevice,
+                         precision: str = "single",
+                         widths: Optional[Sequence[int]] = None,
+                         tiles: Optional[Sequence[int]] = None,
+                         lanes: Optional[Sequence[int]] = None,
+                         workers: Optional[int] = None) -> List[DesignPoint]:
+    """Co-optimize (width, tile, lanes, placement) for the sharded GEMV.
+
+    The placement axis is the number of memory channels the lanes
+    spread over (``chans``): one channel per lane (the split placement
+    the sharded builders default to) against all lanes contending for a
+    single channel (the no-placement baseline) — the two ends of the
+    placement spectrum, so the frontier shows exactly when explicit
+    placement pays.  Points whose channel count exceeds the device's or
+    whose lane count exceeds the row-tile count are infeasible.
+    """
+    widths = widths or (8, 16, 32, 64)
+    tiles = tiles or (128, 256, 512)
+    lanes = lanes or (1, 2, 4, 8)
+    return _sweep(_eval_gemv_sharded,
+                  ((n, m, device, precision, w, t, ln, chans)
+                   for w in widths for t in tiles for ln in lanes
+                   for chans in sorted({1, ln})),
+                  workers)
+
+
+def _eval_systolic(args: Tuple[Any, ...]) -> Optional[DesignPoint]:
     n, m, k, device, precision, pr, pc, ratio = args
     device = _canonical_device(device)
     tr, tc = pr * ratio, pc * ratio

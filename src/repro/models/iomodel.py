@@ -59,6 +59,66 @@ def gemm_io_tiled(n: int, m: int, k: int, tile_n: int, tile_m: int) -> int:
 
 
 # ---------------------------------------------------------------------------
+# HBM channels: bandwidth terms and sharded-GEMV accounting
+# ---------------------------------------------------------------------------
+
+def channel_bytes_per_cycle(channel_bandwidth: float,
+                            frequency: float) -> int:
+    """One memory channel's bandwidth expressed in bytes per clock cycle.
+
+    The per-channel analogue of
+    :meth:`~repro.fpga.device.FpgaDevice.bytes_per_cycle`: on HBM parts
+    each pseudo-channel contributes this budget independently, which is
+    what makes placement a performance lever.
+    """
+    if channel_bandwidth <= 0 or frequency <= 0:
+        raise ValueError("bandwidth and frequency must be positive")
+    return max(1, int(channel_bandwidth / frequency))
+
+
+def lane_read_rate(width: int, bytes_per_cycle: float,
+                   itemsize: int = 4) -> float:
+    """Steady elements/cycle one lane reads from its channel share.
+
+    The lane wants ``width`` elements per cycle; the channel grants at
+    most ``bytes_per_cycle`` bytes — whichever is smaller throttles.
+    A fractional result models the residue accumulation of partial
+    grants (a 47 B/cycle channel feeds 11.75 f32/cycle on average).
+    """
+    if width < 1 or itemsize < 1 or bytes_per_cycle <= 0:
+        raise ValueError("invalid width/itemsize/bytes_per_cycle")
+    return min(float(width), bytes_per_cycle / itemsize)
+
+
+def sharded_read_rate(width: int, lanes: int, channels: int,
+                      bytes_per_cycle: float, itemsize: int = 4) -> float:
+    """Aggregate steady elements/cycle of ``lanes`` parallel readers.
+
+    With one channel per lane (``channels >= lanes``) every lane owns a
+    full ``bytes_per_cycle`` budget and the aggregate rate is
+    near-linear in the lane count (until ``lanes * width`` caps it).
+    With fewer channels than lanes the channel budgets are shared.
+    """
+    if lanes < 1 or channels < 1:
+        raise ValueError("lanes and channels must be positive")
+    per_lane = bytes_per_cycle * min(channels, lanes) / lanes
+    return lanes * lane_read_rate(width, per_lane, itemsize)
+
+
+def gemv_io_sharded(n: int, m: int, tile_n: int, lanes: int) -> int:
+    """Total I/O of the sharded tiles-by-rows GEMV: same as single-lane.
+
+    Striping row tiles across lanes moves *bandwidth*, not volume: each
+    lane replays x once per row tile it owns, and the per-lane replay
+    counts sum to the single-lane ceil(N/T_N), so the total is exactly
+    :func:`gemv_io_tiles_by_rows` for every lane count.  (The merge
+    kernel is channel-to-channel and contributes no memory I/O.)
+    """
+    _check(n, m, lanes)
+    return gemv_io_tiles_by_rows(n, m, tile_n)
+
+
+# ---------------------------------------------------------------------------
 # Composed applications (Sec. V)
 # ---------------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 from .workdepth import circuit, routine_class
 
@@ -47,6 +48,52 @@ def gemv_cycles(n: int, m: int, width: int, latency: int | None = None) -> int:
     """Cycles for a streamed GEMV: one tile element bundle per cycle."""
     cd = latency if latency is not None else circuit("map_reduce", width).depth
     return pipeline_cycles(cd, 1, math.ceil(n * m / width))
+
+
+def sharded_gemv_cycles(n: int, m: int, tile_n: int, width: int,
+                        lanes: int, bytes_per_cycle: float,
+                        itemsize: int = 4, latency: int | None = None,
+                        channels: int | None = None) -> int:
+    """Bandwidth-aware cycles for the sharded row-tiles GEMV.
+
+    Each lane streams its share of row tiles from its own channel at
+    :func:`~repro.models.iomodel.lane_read_rate` elements per cycle (the
+    channel budget throttles widths the memory cannot feed); the design
+    finishes with its slowest lane — ``ceil(T/lanes)`` row tiles when
+    the tile count T doesn't divide evenly.  ``channels`` defaults to
+    one per lane; with fewer, lanes share channel budgets.
+    """
+    from .iomodel import lane_read_rate
+
+    if n % tile_n:
+        raise ValueError(f"n={n} not divisible into {tile_n}-row tiles")
+    tiles = n // tile_n
+    if not (1 <= lanes <= tiles):
+        raise ValueError(f"lanes={lanes} must be in [1, {tiles}]")
+    if channels is None:
+        channels = lanes
+    per_lane_bpc = bytes_per_cycle * min(channels, lanes) / lanes
+    rate = lane_read_rate(width, per_lane_bpc, itemsize)
+    worst_lane_elems = math.ceil(tiles / lanes) * tile_n * m
+    cd = latency if latency is not None else circuit("map_reduce",
+                                                     width).depth
+    return cd + math.ceil(worst_lane_elems / rate)
+
+
+def sharded_gemv_speedup(n: int, m: int, tile_n: int, width: int,
+                         lanes: int, bytes_per_cycle: float,
+                         itemsize: int = 4) -> float:
+    """Model speedup of ``lanes``-lane sharded GEMV over single-lane.
+
+    Near-linear on bandwidth-bound sizes (``width * itemsize`` well
+    above ``bytes_per_cycle``); saturates at the compute limit once the
+    aggregate channel bandwidth covers ``lanes * width`` elements/cycle.
+    """
+    one = sharded_gemv_cycles(n, m, tile_n, width, 1, bytes_per_cycle,
+                              itemsize)
+    many = sharded_gemv_cycles(n, m, tile_n, width, lanes, bytes_per_cycle,
+                               itemsize)
+    return one / many
 
 
 def gemm_systolic_cycles(n: int, m: int, k: int, pr: int, pc: int,
@@ -115,7 +162,9 @@ def optimal_width_tiled_gemv(bandwidth: float, frequency: float,
     return max(1, math.ceil(bandwidth * t / (frequency * elem_size * (1 + t))))
 
 
-def certified_cycle_band(latencies, iis, iterations, lanes) -> tuple:
+def certified_cycle_band(latencies: Sequence[int], iis: Sequence[int],
+                         iterations: Sequence[Optional[int]],
+                         lanes: Sequence[int]) -> Tuple[int, int]:
     """Predicted ``(lo, hi)`` cycle band for a certified whole program.
 
     A single-clock composition of ii=1 pipelines finishes no earlier than

@@ -101,7 +101,11 @@ def plan_from_engine(engine: Any) -> PlanIR:
             dram = tuple(
                 PlanTraffic(buffer=d.buf.name, bank=d.buf.bank,
                             elements=d.elements, itemsize=d.buf.itemsize,
-                            kind=d.kind)
+                            kind=d.kind,
+                            channels=(d.buf.placement.channels
+                                      if d.buf.placement is not None
+                                      and len(d.buf.placement.channels) > 1
+                                      else ()))
                 for d in p.dram)
             for d in p.dram:
                 buffers[d.buf.name] = d.buf
@@ -142,7 +146,12 @@ def plan_from_engine(engine: Any) -> PlanIR:
 
     placements = tuple(
         PlanPlacement(buffer=name, bank=buf.bank,
-                      elements=buf.num_elements, itemsize=buf.itemsize)
+                      elements=buf.num_elements, itemsize=buf.itemsize,
+                      kind=(buf.placement.kind
+                            if buf.placement is not None else "interleaved"),
+                      channels=(buf.placement.channels
+                                if buf.placement is not None
+                                and len(buf.placement.channels) > 1 else ()))
         for name, buf in sorted(buffers.items()))
 
     return PlanIR(

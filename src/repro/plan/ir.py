@@ -61,13 +61,19 @@ class PlanPort:
 
 @dataclass(frozen=True)
 class PlanTraffic:
-    """Steady-state DRAM traffic of one kernel on one buffer."""
+    """Steady-state DRAM traffic of one kernel on one buffer.
+
+    ``channels`` lists the member channels of a striped/range placement
+    (the demand spreads over them); empty means the traffic hits the
+    single ``bank`` (or the pooled budget when ``bank`` is ``None``).
+    """
 
     buffer: str
     bank: Optional[int]
     elements: int
     itemsize: int
     kind: str                    # "read" | "write"
+    channels: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -122,12 +128,22 @@ class PlanMemory:
 
 @dataclass(frozen=True)
 class PlanPlacement:
-    """One DRAM buffer placement referenced by the plan's traffic."""
+    """One DRAM buffer placement referenced by the plan's traffic.
+
+    ``kind`` is the :class:`~repro.fpga.memory.Placement` vocabulary
+    (``"single"`` / ``"striped"`` / ``"range"``, plus ``"interleaved"``
+    for pooled buffers) and ``channels`` its member channels (empty for
+    single/interleaved, where ``bank`` is authoritative).  Both
+    participate in :attr:`PlanIR.plan_key`, so two layouts of the same
+    kernels are distinct plans and certificates never cross placements.
+    """
 
     buffer: str
     bank: Optional[int]
     elements: int
     itemsize: int
+    kind: str = "single"
+    channels: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -295,7 +311,17 @@ class PlanIR:
                 annotated_reads=tuple(k["annotated_reads"]),
                 annotated_writes=tuple(port(p)
                                        for p in k["annotated_writes"]),
-                dram=tuple(PlanTraffic(**t) for t in k["dram"]))
+                dram=tuple(traffic(t) for t in k["dram"]))
+
+        def traffic(t: Mapping[str, Any]) -> PlanTraffic:
+            t = dict(t)
+            t["channels"] = tuple(t.get("channels", ()))
+            return PlanTraffic(**t)
+
+        def placement(p: Mapping[str, Any]) -> PlanPlacement:
+            p = dict(p)
+            p["channels"] = tuple(p.get("channels", ()))
+            return PlanPlacement(**p)
 
         def edge(e: Mapping[str, Any]) -> PlanEdge:
             e = dict(e)
@@ -312,7 +338,7 @@ class PlanIR:
             channels=tuple(PlanChannel(**c)
                            for c in data.get("channels", ())),
             memory=PlanMemory(**memory) if memory else None,
-            placements=tuple(PlanPlacement(**p)
+            placements=tuple(placement(p)
                              for p in data.get("placements", ())),
             edges=tuple(edge(e) for e in data.get("edges", ())),
             components=tuple(tuple(c)

@@ -138,6 +138,12 @@ class RunRecord:
     #: Routine / app / span label, e.g. ``"dot"`` or ``"app.atax"``.
     label: Optional[str] = None
     engine_mode: Optional[str] = None
+    #: Device catalog label the run's memory model was built from
+    #: (e.g. ``"u280"``), when the engine had a DRAM model attached.
+    device_label: Optional[str] = None
+    #: :meth:`repro.fpga.memory.DramModel.placement_summary` snapshot —
+    #: channel count and per-buffer placements at run time.
+    memory: Optional[Dict[str, Any]] = None
     cycles: int = 0
     stall_cycles: int = 0
     kernel_steps: int = 0
@@ -197,6 +203,8 @@ class RunRecord:
             "parent_id": self.parent_id,
             "label": self.label,
             "engine_mode": self.engine_mode,
+            "device_label": self.device_label,
+            "memory": dict(self.memory) if self.memory is not None else None,
             "cycles": self.cycles,
             "stall_cycles": self.stall_cycles,
             "kernel_steps": self.kernel_steps,
@@ -235,6 +243,9 @@ class RunRecord:
             parent_id=d.get("parent_id"),
             label=d.get("label"),
             engine_mode=d.get("engine_mode"),
+            device_label=d.get("device_label"),
+            memory=(dict(d["memory"])
+                    if d.get("memory") is not None else None),
             cycles=int(d.get("cycles", 0)),
             stall_cycles=int(d.get("stall_cycles", 0)),
             kernel_steps=int(d.get("kernel_steps", 0)),
@@ -458,6 +469,19 @@ class LedgerQuery:
             groups.setdefault(r.plan_key or "-", []).append(r)
         return {k: LedgerQuery(v) for k, v in sorted(groups.items())}
 
+    def by_device(self) -> Dict[str, "LedgerQuery"]:
+        """Group records by device_label ("-" buckets the unlabeled).
+
+        The device split of :meth:`by_plan`: percentile and
+        band-regression comparisons only make sense within one memory
+        model, so the fleet report renders its table per device when
+        more than one appears in the set.
+        """
+        groups: Dict[str, List[RunRecord]] = {}
+        for r in self._records:
+            groups.setdefault(r.device_label or "-", []).append(r)
+        return {k: LedgerQuery(v) for k, v in sorted(groups.items())}
+
     def outcomes(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for r in self._records:
@@ -537,26 +561,33 @@ def fleet_report(records: Iterable[RunRecord],
     lines[0] += (" (" + ", ".join(f"{k}: {n}"
                                   for k, n in sorted(by_kind.items())) + ")")
 
-    lines.append("")
-    lines.append(f"  {'plan_key':14s} {'runs':>5s} {'plan$':>6s} "
-                 f"{'cert$':>6s} {'p50 cy':>10s} {'p95 cy':>10s} "
-                 f"{'max cy':>10s} {'band':>6s}")
-    for key, group in q.by_plan().items():
-        agg = group.aggregate("cycles")
-        regs = group.regressions(threshold)
-        if regs:
-            band = f"+{max(e for _r, e in regs):.0%}!"
-        elif any(r.in_band for r in group.records):
-            band = "ok"
-        else:
-            band = "-"
-        shown = key[:12] + ".." if len(key) > 14 else key
-        lines.append(
-            f"  {shown:14s} {int(agg['count']):>5d} "
-            f"{_fmt_rate(group.hit_rate('plan_cache')):>6s} "
-            f"{_fmt_rate(group.hit_rate('schedule_cache')):>6s} "
-            f"{agg['p50']:>10.0f} {agg['p95']:>10.0f} "
-            f"{agg['max']:>10.0f} {band:>6s}")
+    # Percentiles and band comparisons are only meaningful within one
+    # memory model, so the per-plan table splits by device when the set
+    # spans more than one.
+    by_device = q.by_device()
+    for dev, dq in by_device.items():
+        lines.append("")
+        if len(by_device) > 1:
+            lines.append(f"  device {dev}: {len(dq)} records")
+        lines.append(f"  {'plan_key':14s} {'runs':>5s} {'plan$':>6s} "
+                     f"{'cert$':>6s} {'p50 cy':>10s} {'p95 cy':>10s} "
+                     f"{'max cy':>10s} {'band':>6s}")
+        for key, group in dq.by_plan().items():
+            agg = group.aggregate("cycles")
+            regs = group.regressions(threshold)
+            if regs:
+                band = f"+{max(e for _r, e in regs):.0%}!"
+            elif any(r.in_band for r in group.records):
+                band = "ok"
+            else:
+                band = "-"
+            shown = key[:12] + ".." if len(key) > 14 else key
+            lines.append(
+                f"  {shown:14s} {int(agg['count']):>5d} "
+                f"{_fmt_rate(group.hit_rate('plan_cache')):>6s} "
+                f"{_fmt_rate(group.hit_rate('schedule_cache')):>6s} "
+                f"{agg['p50']:>10.0f} {agg['p95']:>10.0f} "
+                f"{agg['max']:>10.0f} {band:>6s}")
 
     slow = q.slowest(top)
     if slow:

@@ -218,6 +218,12 @@ class TelemetrySession:
                         parent_id=_ledger.current_run_id(),
                         label=f"engine.run[{idx}]",
                         engine_mode=engine.mode)
+        mem = getattr(engine, "memory", None)
+        if mem is not None:
+            rec.device_label = getattr(mem, "device_label", None)
+            summary = getattr(mem, "placement_summary", None)
+            if callable(summary):
+                rec.memory = summary()
         sp = self.spans.open(f"engine.run[{idx}]", cat="engine", run=idx,
                              run_id=rec.run_id, mode=engine.mode,
                              kernels=len(engine.kernels),
