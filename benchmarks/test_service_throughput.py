@@ -1,0 +1,269 @@
+"""Service throughput: multiplexed tenants vs one caller at a time.
+
+The service's performance promise is that multiplexing *repeat* work
+through one shared front end beats naive per-caller simulation, because
+three amortizations compound:
+
+* **batched fusion** — compatible queued requests stream back-to-back
+  through one pipeline (the Table V regime), paying one engine setup for
+  the whole batch;
+* **bulk tier** — the service runs the fused batches on the bulk engine
+  core, which advances whole ready-windows instead of single cycles;
+* **shared compiled-plan cache** — repeat :class:`~repro.service.PlanJob`
+  designs hit the MDAG-fingerprint cache regardless of which tenant or
+  worker saw them first.
+
+The gate asserts the headline acceptance number: sustained request
+throughput on repeat plans at least **5x** the single-caller baseline.
+Results (req/s, p95 latency, cache hit rate, recovery counts) land in
+``BENCH_service.json`` (override with ``BENCH_SERVICE_JSON``).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.faults import FaultPlan, KernelFault, inject
+from repro.host.api import Fblas
+from repro.service import PlanJob, RoutineJob, SimulationService
+
+from bench_common import print_table
+
+SEED = 23
+BENCH_PATH = os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+N = 256          # vector length of the repeat plan
+#: Width 8 keeps each reader's DRAM burst (32 B) inside the device's
+#: per-bank byte budget, so the bulk tier's ready-windows engage on the
+#: fused pipelines (see BENCH_bulk.json: axpydot_w8 vs plain axpydot).
+#: Baseline and service share the width — summation order, and hence
+#: the bit-equality assertions, depend on it.
+WIDTH = 8
+REQUESTS = 64    # requests per phase
+WORKERS = 2
+
+_RNG = np.random.default_rng(SEED)
+
+
+def _make_payloads(k=REQUESTS, n=N):
+    return [(_RNG.standard_normal(n).astype(np.float32),
+             _RNG.standard_normal(n).astype(np.float32))
+            for _ in range(k)]
+
+
+#: One shared request stream: baseline, service and fault phases must
+#: see identical bytes for the byte-equality assertions to mean anything.
+PAYLOADS = _make_payloads()
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+def bench_single_caller_baseline():
+    """One caller, one request at a time, stock host API defaults —
+    what every tenant would do without the service."""
+    jobs = PAYLOADS
+    fb = Fblas(width=WIDTH)           # event tier: the default
+    values = []
+    t0 = time.perf_counter()
+    for x, y in jobs:
+        values.append(fb.dot(fb.copy_to_device(x), fb.copy_to_device(y)))
+    wall = time.perf_counter() - t0
+    return {
+        "bench": "single_caller_baseline", "requests": len(jobs),
+        "wall_seconds": round(wall, 4),
+        "req_per_s": round(len(jobs) / wall, 2),
+    }, values
+
+
+def bench_service_multiplexed(reference):
+    """The same request stream pushed through the service at once: the
+    backlog fuses into batched bulk runs."""
+    jobs = PAYLOADS
+    lat = []
+    with SimulationService(workers=WORKERS, max_queue=2 * REQUESTS,
+                           engine_mode="bulk", width=WIDTH,
+                           max_batch=16) as svc:
+        t0 = time.perf_counter()
+        tickets = [svc.submit(RoutineJob("dot", (x, y))) for x, y in jobs]
+        values = [t.result(timeout=300) for t in tickets]
+        wall = time.perf_counter() - t0
+        stats = svc.stats()
+        lat = sorted(r.wall_seconds for r in svc.ledger.records()
+                     if r.kind == "service.request")
+    # Byte-identical to the single-caller baseline — the speedup is
+    # real only if the answers are the same answers.
+    assert all(np.float32(a) == np.float32(b)
+               for a, b in zip(values, reference))
+    p95 = lat[int(0.95 * (len(lat) - 1))] if lat else 0.0
+    return {
+        "bench": "service_multiplexed", "requests": len(jobs),
+        "wall_seconds": round(wall, 4),
+        "req_per_s": round(len(jobs) / wall, 2),
+        "p95_latency_ms": round(p95 * 1e3, 2),
+        "batched_runs": stats["batched_runs"],
+        "fused_jobs": stats["fused_jobs"],
+    }
+
+
+def make_axpydot_planjob(n, width):
+    """The Fig. 6 AXPYDOT as a service PlanJob (re-entrant builder)."""
+    from repro.blas import level1
+    from repro.fpga.resources import level1_latency
+    from repro.streaming import (BoundMDAG, ComputeBinding, ReadBinding,
+                                 WriteBinding, scalar_stream, vector_stream)
+    w = _RNG.standard_normal(n).astype(np.float32)
+    v = _RNG.standard_normal(n).astype(np.float32)
+    u = _RNG.standard_normal(n).astype(np.float32)
+    alpha = 0.7
+
+    def build(ctx):
+        mem = ctx.mem
+        g = BoundMDAG()
+        g.add_interface("read_w")
+        g.add_interface("read_v")
+        g.add_interface("read_u")
+        g.add_module("axpy")
+        g.add_module("dot")
+        g.add_interface("write_beta")
+        sig = vector_stream(n)
+        g.connect("read_w", "axpy", sig, sig, dst_port="w")
+        g.connect("read_v", "axpy", sig, sig, dst_port="v")
+        g.connect("axpy", "dot", sig, sig, src_port="z", dst_port="z")
+        g.connect("read_u", "dot", sig, sig, dst_port="u")
+        g.connect("dot", "write_beta", scalar_stream(), scalar_stream(),
+                  src_port="res", dst_port="res")
+        beta = mem.allocate("beta_out", 1)
+        g.bind("read_w", ReadBinding(mem.bind("w_buf", w), width))
+        g.bind("read_v", ReadBinding(mem.bind("v_buf", v), width))
+        g.bind("read_u", ReadBinding(mem.bind("u_buf", u), width))
+        g.bind("axpy", ComputeBinding(
+            lambda ins, outs: level1.axpy_kernel(
+                n, -alpha, ins["v"], ins["w"], outs["z"], width),
+            latency=level1_latency("map", width)))
+        g.bind("dot", ComputeBinding(
+            lambda ins, outs: level1.dot_kernel(
+                n, ins["z"], ins["u"], outs["res"], width),
+            latency=level1_latency("map_reduce", width)))
+        g.bind("write_beta", WriteBinding(beta, 1))
+        return g, (lambda: float(beta.data[0]))
+
+    return PlanJob(build, name="axpydot")
+
+
+def bench_plan_cache_hit_rate():
+    """Repeat PlanJobs from different tenants share one compiled plan."""
+    job = make_axpydot_planjob(N, WIDTH)
+    repeats = 8
+    with SimulationService(workers=WORKERS, engine_mode="event") as svc:
+        values = [svc.call(job, tenant=f"tenant-{i % 4}", timeout=120)
+                  for i in range(repeats)]
+        stats = svc.plan_cache.stats()
+    assert all(v == values[0] for v in values[1:])
+    total = stats["hits"] + stats["misses"]
+    return {
+        "bench": "plan_cache_hit_rate", "requests": repeats,
+        "entries": stats["entries"], "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": round(stats["hits"] / total, 3) if total else 0.0,
+    }
+
+
+def bench_recovery_under_faults(reference):
+    """A seeded crash storm: the ladder retries, every answer stays
+    bit-identical, and the ledger counts the recovery work."""
+    from repro.faults import RetryPolicy
+    jobs = PAYLOADS[:16]
+    # Three one-shot crashes per kernel name: a single run can eat
+    # several in a row, so the budget must cover the whole storm.
+    plan = FaultPlan(seed=SEED, kernel_faults=tuple(
+        KernelFault(kernel=k, at_cycle=c, kind="crash")
+        for k in ("dot", "batched_dot") for c in (2, 5, 9)))
+    with SimulationService(workers=WORKERS, max_queue=64,
+                           engine_mode="bulk", width=WIDTH,
+                           retry_policy=RetryPolicy(max_retries=8)) as svc:
+        with inject(plan) as ctx:
+            tickets = [svc.submit(RoutineJob("dot", (x, y)))
+                       for x, y in jobs]
+            values = [t.result(timeout=300) for t in tickets]
+        recs = [r for r in svc.ledger.records()
+                if r.kind == "service.request"]
+    assert all(np.float32(a) == np.float32(b)
+               for a, b in zip(values, reference[:len(jobs)]))
+    assert all(r.outcome == "ok" for r in recs)
+    return {
+        "bench": "recovery_under_faults", "requests": len(jobs),
+        "faults_fired": ctx.faults_injected,
+        "retries": sum(r.retries for r in recs),
+        "demotions": sum(r.demotions for r in recs),
+        "all_ok": all(r.outcome == "ok" for r in recs),
+    }
+
+
+def collect():
+    baseline, reference = bench_single_caller_baseline()
+    service = bench_service_multiplexed(reference)
+    return [
+        baseline,
+        service,
+        bench_plan_cache_hit_rate(),
+        bench_recovery_under_faults(reference),
+    ]
+
+
+ENTRIES = collect()
+
+
+def _row(name):
+    return next(e for e in ENTRIES if e["bench"] == name)
+
+
+def _speedup():
+    return (_row("service_multiplexed")["req_per_s"]
+            / _row("single_caller_baseline")["req_per_s"])
+
+
+def test_regenerate_and_dump():
+    print_table(
+        "Service throughput vs single caller (repeat dot, "
+        f"N={N}, W={WIDTH})",
+        ["bench", "requests", "req/s", "notes"],
+        [(e["bench"], e.get("requests", ""), e.get("req_per_s", ""),
+          "; ".join(f"{k}={v}" for k, v in e.items()
+                    if k not in ("bench", "requests", "req_per_s")))
+         for e in ENTRIES])
+    payload = {
+        "benchmark": "service_throughput",
+        "unit_note": "req_per_s = admitted requests resolved per wall "
+                     "second; baseline = sequential stock Fblas (event "
+                     "tier); service = bulk tier + batched fusion; "
+                     "speedup gated >= 5x",
+        "speedup": round(_speedup(), 2),
+        "entries": ENTRIES,
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def test_service_beats_single_caller_5x():
+    """The acceptance gate: >= 5x sustained req/s on repeat plans."""
+    assert _speedup() >= 5.0, ENTRIES
+
+
+def test_fusion_actually_happened():
+    e = _row("service_multiplexed")
+    assert e["batched_runs"] >= 1 and e["fused_jobs"] >= REQUESTS // 4, e
+
+
+def test_plan_cache_hit_rate():
+    e = _row("plan_cache_hit_rate")
+    assert e["entries"] == 1 and e["misses"] == 1, e
+    assert e["hit_rate"] >= 0.8, e
+
+
+def test_recovery_kept_every_answer():
+    e = _row("recovery_under_faults")
+    assert e["all_ok"] and e["retries"] >= 1, e

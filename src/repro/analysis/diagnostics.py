@@ -75,6 +75,8 @@ CODES: Dict[str, str] = {
              "memory model's per-cycle budget",
     "FB403": "channel depth below the inferred minimal deadlock-free "
              "depth of a reconvergent pattern pair",
+    "FB500": "service admission: malformed request (argument, shape or "
+             "dtype validation failed before any design was built)",
     "FB404": "kernel not certifiable for static scheduling (no "
              "executable StaticPattern, or ii != 1)",
     "FB405": "design certified: a whole-program StaticSchedule exists",

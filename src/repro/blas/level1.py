@@ -357,6 +357,119 @@ def iamax_kernel(n, ch_x, ch_res, width=1, dtype=np.float32):
                           finalize, 1, dtype)
 
 
+def batched_dot_kernel(b, n, ch_x, ch_y, ch_res, width=1, dtype=np.float32):
+    """Batched DOT: ``b`` independent length-``n`` dot products streamed
+    back to back over one pipeline (Table V batched-operation territory).
+
+    Each segment accumulates exactly like :func:`dot_kernel` — fresh
+    accumulator, pairwise adder tree per burst, strictly sequential fold
+    across bursts — so every result is bit-identical to ``b`` separate
+    single-problem runs.  All ``b`` results are pushed in one
+    event-stepped epilogue, which keeps the entire ``b*n``-element read
+    phase a single regular patterned region: when ``width`` divides
+    ``n``, ``block()`` replays bursts spanning segment boundaries by
+    folding each segment's contiguous run of burst sums separately;
+    otherwise bursts stop at segment boundaries so tails stay scalar.
+    """
+    if b < 1 or n < 1:
+        raise ValueError("batched dot needs b >= 1 and n >= 1")
+    total = b * n
+    accs = [dtype(0)] * b
+    st = _Cursor()
+
+    def gen():
+        while st.done < total:
+            seg = st.done // n
+            c = min(width, (seg + 1) * n - st.done)
+            xs = _chunk((yield Pop(ch_x, c)), c)
+            ys = _chunk((yield Pop(ch_y, c)), c)
+            accs[seg] = accs[seg] + _tree_reduce(
+                [dtype(x) * dtype(y) for x, y in zip(xs, ys)], dtype)
+            st.done += c
+            yield Clock()
+        for seg in range(b):
+            yield Push(ch_res, (accs[seg],), None)
+            yield Clock()
+
+    def ready():
+        if n % width == 0:
+            return (total - st.done) // width
+        seg_end = (st.done // n + 1) * n
+        return (seg_end - st.done) // width
+
+    def blk(k, arrs):
+        xa, ya = arrs
+        rows = _tree_reduce_rows((xa * ya).reshape(k, width))
+        pos, i = st.done, 0
+        while i < k:
+            seg = pos // n
+            take = min(k - i, ((seg + 1) * n - pos) // width)
+            accs[seg] = _fold_rows(accs[seg], rows[i:i + take])
+            i += take
+            pos += take * width
+        st.done = pos
+        return []
+
+    pat = StaticPattern(
+        reads=((ch_x, width), (ch_y, width)),
+        ii=1, dtype=dtype, ready=ready, block=blk,
+        read_totals=(total, total))
+    return PatternedGenerator(gen(), pat)
+
+
+def batched_axpy_kernel(b, n, alphas, ch_x, ch_y, ch_out,
+                        width=1, dtype=np.float32):
+    """Batched AXPY: ``b`` independent ``alpha_i * x_i + y_i`` updates
+    streamed back to back over one pipeline.
+
+    ``alphas`` holds one scalar per segment.  The vectorized ``block()``
+    multiplies by a per-element alpha array (each segment's scalar
+    repeated ``n`` times) — elementwise, that is the same IEEE operation
+    as the scalar listing's ``alpha * x``, so results stay bit-identical
+    to ``b`` separate :func:`axpy_kernel` runs.  Bursts never straddle a
+    segment inside the generator (``c`` stops at the boundary); the
+    pattern spans segments only when ``width`` divides ``n``, where
+    boundaries coincide with burst edges.
+    """
+    if len(alphas) != b:
+        raise ValueError(f"need {b} alphas, got {len(alphas)}")
+    total = b * n
+    alpha_seg = np.asarray([dtype(a) for a in alphas], dtype=dtype)
+    alpha_elem = np.repeat(alpha_seg, n)
+    st = _Cursor()
+
+    def gen():
+        while st.done < total:
+            seg = st.done // n
+            c = min(width, (seg + 1) * n - st.done)
+            a = alpha_seg[seg]
+            xs = _chunk((yield Pop(ch_x, c)), c)
+            ys = _chunk((yield Pop(ch_y, c)), c)
+            yield Push(ch_out, tuple(a * dtype(x) + dtype(y)
+                                     for x, y in zip(xs, ys)), None)
+            st.done += c
+            yield Clock()
+
+    def ready():
+        if n % width == 0:
+            return (total - st.done) // width
+        seg_end = (st.done // n + 1) * n
+        return (seg_end - st.done) // width
+
+    def blk(k, arrs):
+        xa, ya = arrs
+        base = st.done
+        st.done += k * width
+        return [alpha_elem[base:base + k * width] * xa + ya]
+
+    pat = StaticPattern(
+        reads=((ch_x, width), (ch_y, width)),
+        writes=((ch_out, width, None),),
+        ii=1, dtype=dtype, ready=ready, block=blk,
+        read_totals=(total, total), write_totals=(total,))
+    return PatternedGenerator(gen(), pat)
+
+
 def rotg_kernel(ch_ab, ch_out, dtype=np.float32):
     """ROTG: pop (a, b), push (r, z, c, s)."""
     ab = yield Pop(ch_ab, 2)

@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..fpga.errors import (DeadlockError, SimulationError,
+from ..fpga.errors import (DeadlineExceeded, DeadlockError, SimulationError,
                            TransientFaultError)
 from ..telemetry.ledger import current_run_id
 from .metrics import DEMOTIONS, RETRIES, count
@@ -141,6 +141,8 @@ def run_with_recovery(attempt: Callable[[str], object],
                       policy: Optional[RetryPolicy] = None,
                       mode: str = "event",
                       restore: Optional[Callable[[], None]] = None,
+                      deadline_s: Optional[float] = None,
+                      clock: Callable[[], float] = time.monotonic,
                       ) -> RecoveryOutcome:
     """Drive ``attempt(mode)`` through the recovery ladder.
 
@@ -150,12 +152,43 @@ def run_with_recovery(attempt: Callable[[str], object],
     :meth:`MemoryCheckpoint.restore` — is invoked before every re-run.
     Unrecoverable errors (deadlocks, exhausted retry budget, dense-tier
     failures) propagate to the caller.
+
+    ``deadline_s`` bounds the **total wall-clock time across retries**:
+    before the first attempt and before every re-attempt the elapsed
+    time (per ``clock``, injectable for tests) is checked against the
+    deadline, and an expired budget raises
+    :class:`~repro.fpga.errors.DeadlineExceeded` — chained to the error
+    that triggered the re-attempt, so forensics keep the root cause.  A
+    completed attempt is never discarded: the deadline stops *further
+    recovery work*, it does not throw away a result that arrived late.
+    The ledger classifies the outcome as ``"deadline"``, distinct from
+    ``"deadlock"`` (a deterministic design property) — one is a policy
+    budget, the other a proof.
     """
     policy = policy or RetryPolicy()
     out = RecoveryOutcome(mode=mode, run_id=current_run_id())
     budget = policy.max_retries
     delay = policy.backoff_base
     ctx = _faults_active()
+    t0 = clock()
+
+    def check_deadline(cause: Optional[BaseException]) -> None:
+        if deadline_s is None:
+            return
+        elapsed = clock() - t0
+        if elapsed >= deadline_s:
+            out.actions.append({
+                "action": "deadline", "mode": out.mode,
+                "deadline_s": deadline_s, "elapsed_s": elapsed,
+                "error": type(cause).__name__ if cause else None,
+            })
+            raise DeadlineExceeded(
+                f"recovery deadline of {deadline_s:g}s exhausted after "
+                f"{elapsed:.3f}s ({out.retries} retries, "
+                f"{out.demotions} demotions)",
+                deadline_s=deadline_s, elapsed_s=elapsed) from cause
+
+    check_deadline(None)
     while True:
         try:
             out.result = attempt(out.mode)
@@ -165,6 +198,7 @@ def run_with_recovery(attempt: Callable[[str], object],
         except TransientFaultError as exc:
             if budget <= 0:
                 raise
+            check_deadline(exc)
             budget -= 1
             out.retries += 1
             out.actions.append({
@@ -183,6 +217,7 @@ def run_with_recovery(attempt: Callable[[str], object],
             nxt = DEMOTION.get(out.mode)
             if not policy.demote or nxt is None:
                 raise
+            check_deadline(exc)
             out.demotions += 1
             out.actions.append({
                 "action": "demote", "from": out.mode, "to": nxt,

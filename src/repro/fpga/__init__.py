@@ -19,6 +19,7 @@ from .device import (
 )
 from .engine import DeadlockError, Engine, SimReport, SimulationError
 from .errors import (
+    DeadlineExceeded,
     EccError,
     FaultError,
     HangError,
@@ -62,7 +63,8 @@ from .util import (
 
 __all__ = [
     "ARRIA10", "BlockedState", "Channel", "ChannelError", "Clock", "DEVICES",
-    "DeadlockError", "DramBuffer", "DramModel", "EccError", "Engine",
+    "DeadlineExceeded", "DeadlockError", "DramBuffer", "DramModel",
+    "EccError", "Engine",
     "EngineObserver", "FaultError", "FpgaDevice", "FrequencyModel",
     "HangError", "HangReport", "JsonlEventDump", "Kernel",
     "KernelCrashError", "LivelockError", "Pop", "PowerModel", "Push",

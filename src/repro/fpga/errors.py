@@ -61,6 +61,25 @@ class ChannelError(ReproError):
     """Raised on FIFO protocol violations (pop from empty, push to full...)."""
 
 
+class DeadlineExceeded(ReproError):
+    """A wall-clock deadline bounded the request and expired.
+
+    Raised by :func:`repro.faults.run_with_recovery` when ``deadline_s``
+    runs out across retries, and by the service layer
+    (:mod:`repro.service`) when a request's deadline expires while it is
+    still queued.  Deliberately *not* a :class:`SimulationError` (a
+    deadline is a caller policy, not a simulator failure, so the
+    recovery ladder neither retries nor demotes it) — the run ledger
+    classifies it as the distinct outcome ``"deadline"``.
+    """
+
+    def __init__(self, message: str, deadline_s: Optional[float] = None,
+                 elapsed_s: Optional[float] = None):
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        super().__init__(message)
+
+
 class FaultError(ReproError):
     """Base class of errors raised by *injected* faults (:mod:`repro.faults`)."""
 

@@ -256,6 +256,18 @@ class DramModel:
         self.buffers[name] = buf
         return buf
 
+    def release(self, name: str) -> None:
+        """Drop a bound buffer, freeing its name for rebinding.
+
+        Long-lived device contexts that churn through per-request
+        buffers (e.g. service workers) must release them: checkpoints
+        snapshot *every* bound buffer, so leaking one per request makes
+        checkpoint capture grow without bound.  Releasing an unknown
+        name raises ``KeyError``; kernels holding views of a released
+        buffer keep their (now unbound) storage alive.
+        """
+        del self.buffers[name]
+
     # -- per-cycle bandwidth ------------------------------------------------
     def begin_cycle(self, cycle: int) -> None:
         """Reset bandwidth budgets; called by the engine each clock edge."""

@@ -83,6 +83,8 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
                  systolic_rows: int = 4, systolic_cols: int = 4,
                  channel_depth: int = 256, preflight: bool = False,
                  engine_mode: str = "event", resilience=None,
+                 plan_cache: Optional[PlanCache] = None,
+                 schedule_cache: Optional[PlanCache] = None,
                  **context_kwargs):
         if mode not in ("simulate", "model"):
             raise ValueError(f"mode must be simulate/model, got {mode!r}")
@@ -117,12 +119,20 @@ class Fblas(Level1Mixin, Level2Mixin, Level3Mixin):
         #: :class:`repro.plan.PlanCache`, so hit rates are observable
         #: (and, under a telemetry session, exported as the labelled
         #: ``plan_cache.requests`` counter).
-        self._schedule_cache: PlanCache = PlanCache(name="host.schedule")
+        #: Both caches accept externally-owned instances so a service
+        #: layer can share one compiled-plan cache across its whole
+        #: worker fleet (every worker's repeat plans hit the same
+        #: entries).
+        self._schedule_cache: PlanCache = (
+            schedule_cache if schedule_cache is not None
+            else PlanCache(name="host.schedule"))
         #: Compiled :class:`repro.plan.PlanIR` artifacts memoized on a
         #: structural MDAG fingerprint: repeat ``simulate`` requests of
         #: the same composition shape skip MDAG validation, scheduling
         #: and pattern derivation entirely.
-        self.plan_cache: PlanCache = PlanCache(name="host.plan")
+        self.plan_cache: PlanCache = (
+            plan_cache if plan_cache is not None
+            else PlanCache(name="host.plan"))
         #: Recovery ladder for ``simulate`` calls: ``None`` disables it,
         #: ``True`` uses the default :class:`repro.faults.RetryPolicy`,
         #: or pass a policy instance.  When set, every call runs under

@@ -1,0 +1,24 @@
+"""Multi-tenant simulation service (robustness layer).
+
+A session-multiplexing front end over the host API: many concurrent
+tenants submit :class:`RoutineJob` / :class:`EngineJob` / :class:`AppJob`
+requests to one :class:`SimulationService`, which admission-checks them
+(FBxxx pre-flight), bounds them with deadlines and a bounded queue,
+executes them on a supervised worker pool under the
+:mod:`repro.faults` recovery ladder, degrades per-plan (never
+per-fleet), fuses compatible small jobs into batched engine runs, and
+records every outcome in the correlated run ledger.
+
+``python -m repro.service`` runs the concurrent soak/smoke driver.
+"""
+
+from .errors import (AdmissionRejected, ServiceClosed, ServiceError,
+                     ServiceOverload, invalid_request)
+from .jobs import BATCHABLE_ROUTINES, AppJob, EngineJob, PlanJob, RoutineJob
+from .service import SimulationService, Ticket
+
+__all__ = [
+    "AdmissionRejected", "AppJob", "BATCHABLE_ROUTINES", "EngineJob",
+    "PlanJob", "RoutineJob", "ServiceClosed", "ServiceError",
+    "ServiceOverload", "SimulationService", "Ticket", "invalid_request",
+]

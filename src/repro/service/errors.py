@@ -1,0 +1,70 @@
+"""Typed service-layer errors.
+
+The class hierarchy is how the run ledger classifies outcomes
+(:func:`repro.telemetry.ledger.classify_outcome` matches MRO class
+*names*):
+
+* :class:`ServiceOverload` -> ``"overload"`` — the bounded admission
+  queue shed this request instead of buffering unboundedly.
+* :class:`AdmissionRejected` -> ``"rejected"`` (via its
+  :class:`~repro.analysis.AnalysisError` base) — the FBxxx pre-flight
+  proved the design broken before any cycle was simulated; the full
+  diagnostic list rides on the exception.
+* :class:`~repro.fpga.errors.DeadlineExceeded` -> ``"deadline"`` is
+  raised by the recovery ladder itself, not defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import AnalysisError, AnalysisResult, Diagnostic, Severity
+from ..fpga.errors import ReproError
+
+__all__ = ["AdmissionRejected", "ServiceClosed", "ServiceError",
+           "ServiceOverload", "invalid_request"]
+
+
+class ServiceError(ReproError):
+    """Base class of service-layer failures."""
+
+
+class ServiceOverload(ServiceError):
+    """The admission queue is full: load was shed, try again later.
+
+    Carries the queue bound so clients can implement informed backoff.
+    """
+
+    def __init__(self, message: str, queue_depth: Optional[int] = None):
+        self.queue_depth = queue_depth
+        super().__init__(message)
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down and no longer accepts submissions."""
+
+
+class AdmissionRejected(AnalysisError):
+    """Admission control rejected the request at submit time.
+
+    A subclass of :class:`~repro.analysis.AnalysisError` so the ledger
+    classifies it as ``"rejected"`` and callers that already handle
+    pre-flight failures need no new except-clause.  ``result`` holds the
+    full :class:`~repro.analysis.AnalysisResult` with every FBxxx
+    diagnostic the analyzer produced.
+    """
+
+
+def invalid_request(message: str, obj: Optional[str] = None,
+                    ) -> AdmissionRejected:
+    """An :class:`AdmissionRejected` for malformed requests.
+
+    Request-shape problems (unknown routine, mismatched vector lengths,
+    non-float dtypes) are found before any design exists, so there is no
+    analyzer run to attach — synthesize a one-diagnostic FB500 result so
+    the rejection still carries a stable machine-readable code.
+    """
+    res = AnalysisResult(subject=obj or "service request")
+    res.diagnostics.append(Diagnostic(
+        code="FB500", severity=Severity.ERROR, message=message, obj=obj))
+    return AdmissionRejected(res)

@@ -39,6 +39,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import threading
 import time
 import uuid
 from collections import deque
@@ -66,11 +67,41 @@ DEFAULT_MAX_BYTES = 8_000_000
 
 _SESSION_PREFIX = uuid.uuid4().hex[:8]
 _SEQ = itertools.count(1)
-_STACK: List[str] = []
+
+
+class _RunIdStack(threading.local):
+    """Per-thread correlation stack.
+
+    The stack used to be a plain module list, which was correct while
+    the simulator was strictly single-caller.  The service layer
+    (:mod:`repro.service`) runs one request per *worker thread*, and a
+    shared stack would interleave unrelated trails — thread-locality
+    keeps "the innermost open request" a per-trail fact while leaving
+    single-threaded behaviour byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self.items: List[str] = []
+
+    def append(self, run_id: str) -> None:
+        self.items.append(run_id)
+
+    def pop(self) -> str:
+        return self.items.pop()
+
+    def peek(self) -> Optional[str]:
+        return self.items[-1] if self.items else None
+
+
+_STACK = _RunIdStack()
 
 
 def mint_run_id() -> str:
-    """A fresh correlation id: process-unique prefix + monotonic counter."""
+    """A fresh correlation id: process-unique prefix + monotonic counter.
+
+    ``itertools.count`` is handed out under the GIL atomically, so ids
+    stay unique across concurrent service workers.
+    """
     return f"r-{_SESSION_PREFIX}-{next(_SEQ):06d}"
 
 
@@ -79,9 +110,10 @@ def current_run_id() -> Optional[str]:
 
     This is what forensics artifacts (:class:`HangReport`,
     :class:`RecoveryOutcome`, campaign rows) stamp so they join against
-    the ledger row of the request that produced them.
+    the ledger row of the request that produced them.  Per-thread: a
+    service worker's trail never leaks into another worker's records.
     """
-    return _STACK[-1] if _STACK else None
+    return _STACK.peek()
 
 
 @contextmanager
@@ -105,6 +137,11 @@ _OUTCOME_BY_TYPE: Dict[str, str] = {
     "TransientFaultError": "transient_fault",
     "FaultError": "fault",
     "AnalysisError": "rejected",
+    # Service-layer outcomes: an expired wall-clock budget is a policy
+    # decision (distinct from the deterministic "deadlock" proof), and a
+    # full admission queue sheds load instead of buffering unboundedly.
+    "DeadlineExceeded": "deadline",
+    "ServiceOverload": "overload",
 }
 
 
@@ -137,6 +174,10 @@ class RunRecord:
     parent_id: Optional[str] = None
     #: Routine / app / span label, e.g. ``"dot"`` or ``"app.atax"``.
     label: Optional[str] = None
+    #: Multi-tenant attribution: which client/session submitted the
+    #: request (service-layer requests always carry one; single-caller
+    #: requests leave it None).
+    tenant: Optional[str] = None
     engine_mode: Optional[str] = None
     #: Device catalog label the run's memory model was built from
     #: (e.g. ``"u280"``), when the engine had a DRAM model attached.
@@ -202,6 +243,7 @@ class RunRecord:
             "kind": self.kind,
             "parent_id": self.parent_id,
             "label": self.label,
+            "tenant": self.tenant,
             "engine_mode": self.engine_mode,
             "device_label": self.device_label,
             "memory": dict(self.memory) if self.memory is not None else None,
@@ -242,6 +284,7 @@ class RunRecord:
             kind=d["kind"],
             parent_id=d.get("parent_id"),
             label=d.get("label"),
+            tenant=d.get("tenant"),
             engine_mode=d.get("engine_mode"),
             device_label=d.get("device_label"),
             memory=(dict(d["memory"])
@@ -281,6 +324,14 @@ class JsonlSink:
     ``2 * max_bytes`` on disk.  Writes open/append/close per record:
     ledger appends are per *request*, not per cycle, so durability wins
     over handle caching.
+
+    Safe under concurrent writers: a per-append lock serializes the
+    size check, the (atomic, :func:`os.replace`) rotation and the
+    append itself, so service workers sharing one ledger file never
+    produce interleaved/torn lines, lose a record into a just-rotated
+    generation, or double-rotate.  Each line is also written in a
+    single ``fh.write`` call, so even a foreign writer appending to the
+    same file cannot split a record.
     """
 
     def __init__(self, path: str,
@@ -288,19 +339,21 @@ class JsonlSink:
         self.path = os.fspath(path)
         self.max_bytes = max_bytes
         self.rotations = 0
+        self._lock = threading.Lock()
         self._size = (os.path.getsize(self.path)
                       if os.path.exists(self.path) else 0)
 
     def write(self, record: RunRecord) -> None:
         line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
         data = line.encode("utf-8")
-        if self._size and self._size + len(data) > self.max_bytes:
-            os.replace(self.path, self.path + ".1")
-            self.rotations += 1
-            self._size = 0
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line)
-        self._size += len(data)
+        with self._lock:
+            if self._size and self._size + len(data) > self.max_bytes:
+                os.replace(self.path, self.path + ".1")
+                self.rotations += 1
+                self._size = 0
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+            self._size += len(data)
 
 
 def read_ledger(path: str) -> List[RunRecord]:
@@ -320,45 +373,59 @@ def read_ledger(path: str) -> List[RunRecord]:
 
 
 class RunLedger:
-    """Bounded in-memory ring of records plus the optional JSONL sink."""
+    """Bounded in-memory ring of records plus the optional JSONL sink.
+
+    Appends are serialized by an internal lock so concurrent service
+    workers can share one ledger: the ring append, the running count
+    and the sink write stay coherent, and ``deque(maxlen=...)``
+    eviction never races a concurrent snapshot (readers copy the ring
+    under the same lock).
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  path: Optional[str] = None,
                  max_bytes: int = DEFAULT_MAX_BYTES) -> None:
         self._ring: Deque[RunRecord] = deque(maxlen=capacity)
+        self._lock = threading.RLock()
         self.sink = JsonlSink(path, max_bytes) if path else None
         #: Total records ever appended (ring evictions included).
         self.appended = 0
 
     def append(self, record: RunRecord) -> RunRecord:
         record.band_check()
-        self._ring.append(record)
-        self.appended += 1
+        with self._lock:
+            self._ring.append(record)
+            self.appended += 1
         if self.sink is not None:
             self.sink.write(record)
         return record
 
     def records(self) -> List[RunRecord]:
-        return list(self._ring)
+        with self._lock:
+            return list(self._ring)
 
     def children(self, run_id: str) -> List[RunRecord]:
         """Records whose parent is ``run_id`` (direct children only)."""
-        return [r for r in self._ring if r.parent_id == run_id]
+        with self._lock:
+            return [r for r in self._ring if r.parent_id == run_id]
 
     def find(self, run_id: str) -> Optional[RunRecord]:
-        for r in self._ring:
-            if r.run_id == run_id:
-                return r
+        with self._lock:
+            for r in self._ring:
+                if r.run_id == run_id:
+                    return r
         return None
 
     def query(self) -> "LedgerQuery":
-        return LedgerQuery(self._ring)
+        return LedgerQuery(self.records())
 
     def __len__(self) -> int:
         return len(self._ring)
 
     def __iter__(self) -> Iterator[RunRecord]:
-        return iter(self._ring)
+        # Iterate a snapshot: a deque raises RuntimeError when mutated
+        # mid-iteration, and service workers append concurrently.
+        return iter(self.records())
 
     def merge_children_into(self, rec: RunRecord) -> None:
         """Roll child records' facts up into a parent record.
@@ -417,6 +484,7 @@ class LedgerQuery:
 
     def filter(self, kind: Optional[str] = None,
                label: Optional[str] = None,
+               tenant: Optional[str] = None,
                plan_key: Optional[str] = None,
                engine_mode: Optional[str] = None,
                outcome: Optional[str] = None,
@@ -427,6 +495,8 @@ class LedgerQuery:
             out = [r for r in out if r.kind == kind]
         if label is not None:
             out = [r for r in out if r.label == label]
+        if tenant is not None:
+            out = [r for r in out if r.tenant == tenant]
         if plan_key is not None:
             out = [r for r in out if r.plan_key == plan_key]
         if engine_mode is not None:
@@ -482,6 +552,40 @@ class LedgerQuery:
             groups.setdefault(r.device_label or "-", []).append(r)
         return {k: LedgerQuery(v) for k, v in sorted(groups.items())}
 
+    def by_tenant(self) -> Dict[str, "LedgerQuery"]:
+        """Group records by tenant ("-" buckets the unattributed)."""
+        groups: Dict[str, List[RunRecord]] = {}
+        for r in self._records:
+            groups.setdefault(r.tenant or "-", []).append(r)
+        return {k: LedgerQuery(v) for k, v in sorted(groups.items())}
+
+    def tenant_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant service-quality facts for the fleet report.
+
+        For each tenant: request count, p50/p95 wall milliseconds,
+        rejection rate (admission refusals over submissions), deadline
+        and overload counts, and recovery activity (retries/demotions)
+        — the numbers a per-tenant SLO dashboard would plot.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant, group in self.by_tenant().items():
+            n = len(group)
+            walls = group.aggregate("wall_seconds")
+            outcomes = group.outcomes()
+            out[tenant] = {
+                "requests": n,
+                "ok": outcomes.get("ok", 0),
+                "rejected": outcomes.get("rejected", 0),
+                "rejection_rate": outcomes.get("rejected", 0) / n if n else 0,
+                "deadline": outcomes.get("deadline", 0),
+                "overload": outcomes.get("overload", 0),
+                "p50_ms": walls["p50"] * 1e3,
+                "p95_ms": walls["p95"] * 1e3,
+                "retries": sum(r.retries for r in group.records),
+                "demotions": sum(r.demotions for r in group.records),
+            }
+        return out
+
     def outcomes(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for r in self._records:
@@ -509,6 +613,7 @@ class LedgerQuery:
 @contextmanager
 def run_scope(ledger: Optional[RunLedger], kind: str,
               label: Optional[str] = None,
+              tenant: Optional[str] = None,
               engine_mode: Optional[str] = None) -> Iterator[RunRecord]:
     """Open one ledger record around a request.
 
@@ -519,7 +624,7 @@ def run_scope(ledger: Optional[RunLedger], kind: str,
     """
     rec = RunRecord(run_id=mint_run_id(), kind=kind,
                     parent_id=current_run_id(), label=label,
-                    engine_mode=engine_mode)
+                    tenant=tenant, engine_mode=engine_mode)
     t0 = time.perf_counter()
     _STACK.append(rec.run_id)
     try:
@@ -588,6 +693,21 @@ def fleet_report(records: Iterable[RunRecord],
                 f"{_fmt_rate(group.hit_rate('schedule_cache')):>6s} "
                 f"{agg['p50']:>10.0f} {agg['p95']:>10.0f} "
                 f"{agg['max']:>10.0f} {band:>6s}")
+
+    # Per-tenant service quality, when any record carries attribution.
+    if any(r.tenant for r in q.records):
+        lines.append("")
+        lines.append(
+            f"  {'tenant':12s} {'reqs':>5s} {'ok':>5s} {'rej%':>6s} "
+            f"{'ddl':>4s} {'ovl':>4s} {'p50 ms':>8s} {'p95 ms':>8s} "
+            f"{'retry':>6s} {'demote':>6s}")
+        for tenant, row in q.tenant_summary().items():
+            lines.append(
+                f"  {tenant:12s} {int(row['requests']):>5d} "
+                f"{int(row['ok']):>5d} {row['rejection_rate']:>6.0%} "
+                f"{int(row['deadline']):>4d} {int(row['overload']):>4d} "
+                f"{row['p50_ms']:>8.2f} {row['p95_ms']:>8.2f} "
+                f"{int(row['retries']):>6d} {int(row['demotions']):>6d}")
 
     slow = q.slowest(top)
     if slow:

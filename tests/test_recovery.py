@@ -13,8 +13,8 @@ from repro.faults import (FaultPlan, KernelFault, MemoryCheckpoint,
                           RecoveryOutcome, RetryPolicy, inject,
                           run_with_recovery)
 from repro.faults.campaign import OUTCOMES, render_summary, run_campaign
-from repro.fpga.errors import (DeadlockError, KernelCrashError,
-                               SimulationError)
+from repro.fpga.errors import (DeadlineExceeded, DeadlockError,
+                               KernelCrashError, SimulationError)
 from repro.fpga.memory import DramModel
 from repro.fpga.resources import level1_latency
 from repro.host.api import Fblas
@@ -137,6 +137,81 @@ class TestRunWithRecovery:
         assert doc == {"mode": "dense", "retries": 2, "demotions": 1,
                        "recovered": True,
                        "actions": [{"action": "retry"}]}
+
+
+class _FakeClock:
+    """Deterministic clock: advances ``step`` seconds per reading."""
+
+    def __init__(self, step=1.0, start=100.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestRecoveryDeadline:
+    def test_expired_budget_stops_retries_and_chains_the_cause(self):
+        attempt = _Flaky(5, _crash)
+        with pytest.raises(DeadlineExceeded) as exc:
+            run_with_recovery(attempt, policy=RetryPolicy(max_retries=5),
+                              deadline_s=2.5, clock=_FakeClock(step=1.0))
+        # t0=100, pre-check 101, attempt1 fails, pre-retry check 102
+        # (1 retry consumed), attempt2 fails, check 103 >= 102.5: stop.
+        assert attempt.calls == 2
+        assert isinstance(exc.value.__cause__, KernelCrashError)
+        assert exc.value.deadline_s == 2.5
+
+    def test_deadline_error_carries_the_forensic_summary(self):
+        attempt = _Flaky(5, _crash)
+        with pytest.raises(DeadlineExceeded, match=r"1 retries"):
+            run_with_recovery(attempt, policy=RetryPolicy(max_retries=5),
+                              deadline_s=2.5, clock=_FakeClock(step=1.0))
+
+    def test_checked_before_first_attempt(self):
+        attempt = _Flaky(0, _crash)
+        with pytest.raises(DeadlineExceeded):
+            run_with_recovery(attempt, deadline_s=0.5,
+                              clock=_FakeClock(step=1.0))
+        assert attempt.calls == 0         # never even tried
+
+    def test_completed_attempt_is_never_discarded(self):
+        # The attempt finishes after the deadline has technically
+        # passed; the result still comes back — the deadline bounds
+        # *further recovery work*, not a result that arrived late.
+        clock = _FakeClock(step=10.0)
+        out = run_with_recovery(lambda mode: "late-but-done",
+                                deadline_s=15.0, clock=clock)
+        assert out.result == "late-but-done"
+
+    def test_deadline_bounds_demotions_too(self):
+        calls = []
+
+        def attempt(mode):
+            calls.append(mode)
+            raise SimulationError(f"{mode} wedged")
+
+        with pytest.raises(DeadlineExceeded) as exc:
+            run_with_recovery(attempt, mode="bulk", deadline_s=2.5,
+                              clock=_FakeClock(step=1.0))
+        assert calls == ["bulk", "event"]      # dense never reached
+        assert isinstance(exc.value.__cause__, SimulationError)
+
+    def test_classified_distinct_from_deadlock(self):
+        from repro.telemetry.ledger import classify_outcome
+        ddl = DeadlineExceeded("budget", deadline_s=1.0, elapsed_s=2.0)
+        dlk = DeadlockError(7, {"k": "pop"})
+        assert classify_outcome(ddl) == "deadline"
+        assert classify_outcome(dlk) == "deadlock"
+        assert classify_outcome(ddl) != classify_outcome(dlk)
+
+    def test_no_deadline_means_no_clock_pressure(self):
+        out = run_with_recovery(_Flaky(2, _crash),
+                                policy=RetryPolicy(max_retries=3),
+                                clock=_FakeClock(step=1e9))
+        assert out.retries == 2 and out.result == "event"
 
 
 class TestMemoryCheckpoint:

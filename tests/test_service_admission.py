@@ -1,0 +1,128 @@
+"""Admission control mirrors the static analyzer (satellite property).
+
+The service must accept an :class:`~repro.service.EngineJob` **iff** a
+direct FBxxx analysis of the same design reports no errors, and a
+rejected design must never reach a worker — admission builds it exactly
+once, for the pre-flight, and no engine run is ever recorded for it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.analysis import analyze_engine
+from repro.fpga import DeadlockError, Engine
+from repro.host.context import FblasContext
+from repro.service import (AdmissionRejected, EngineJob, RoutineJob,
+                           SimulationService)
+from test_preflight import (_delay_body, _fanout_body, _join_body,
+                            _sink_body)
+
+N = 64
+
+
+def wire_diamond(eng, depth_b, defer, n=N):
+    """The test_preflight diamond, wired onto a caller-supplied engine."""
+    ca = eng.channel("ca", n)
+    cb = eng.channel("cb", depth_b)
+    cd = eng.channel("cd", 8)
+    co = eng.channel("co", 4)
+    eng.add_kernel("src", _fanout_body(ca, cb, n),
+                   writes=[(ca, 1, 1), (cb, 1, 1)])
+    eng.add_kernel("delay", _delay_body(ca, cd, n, defer),
+                   reads=(ca,), writes=[(cd, 1, 1)], defer=defer)
+    eng.add_kernel("join", _join_body(cd, cb, co, n),
+                   reads=(cd, cb), writes=[(co, 1, 1)])
+    eng.add_kernel("sink", _sink_body(co), reads=(co,))
+
+
+def direct_verdict(depth_b, defer):
+    """What the analyzer says about the design, asked directly."""
+    probe = Engine(memory=FblasContext().mem)
+    wire_diamond(probe, depth_b, defer)
+    return analyze_engine(probe)
+
+
+@pytest.fixture(scope="module")
+def svc():
+    with SimulationService(workers=1, max_queue=32,
+                           engine_mode="event") as s:
+        yield s
+
+
+class TestAdmissionMirrorsAnalyzer:
+    @given(depth_b=st.integers(min_value=1, max_value=96),
+           defer=st.integers(min_value=8, max_value=N))
+    @settings(max_examples=25, deadline=None)
+    def test_accept_iff_direct_analysis_is_clean(self, svc, depth_b, defer):
+        verdict = direct_verdict(depth_b, defer)
+        build_calls = []
+
+        def build(eng, ctx):
+            build_calls.append(1)
+            wire_diamond(eng, depth_b, defer)
+            return None
+
+        job = EngineJob(build, name="diamond")
+        if verdict.errors:
+            with pytest.raises(AdmissionRejected) as exc:
+                svc.submit(job, tenant="hyp")
+            # The synchronous rejection carries the analyzer's verdict...
+            assert {d.code for d in exc.value.diagnostics} >= \
+                {d.code for d in verdict.errors}
+            # ...and the design was built exactly once (the pre-flight
+            # probe) — it never reached a worker.
+            assert build_calls == [1]
+        else:
+            ticket = svc.submit(job, tenant="hyp")
+            try:
+                ticket.result(timeout=60)
+            except DeadlockError:
+                # Not provable statically, but real at runtime: the
+                # worker's typed error — never an admission decision.
+                pass
+            # Admission probe + at least one worker attempt.
+            assert len(build_calls) >= 2
+
+    def test_known_deadlock_is_rejected_with_fb003(self, svc):
+        with pytest.raises(AdmissionRejected) as exc:
+            svc.submit(EngineJob(
+                lambda eng, ctx: wire_diamond(eng, depth_b=4, defer=48),
+                name="diamond"))
+        assert any(d.code == "FB003" for d in exc.value.diagnostics)
+
+    def test_known_good_design_runs(self, svc):
+        out = []
+
+        def build(eng, ctx):
+            wire_diamond(eng, depth_b=N, defer=16)
+            return lambda: "done"
+
+        assert svc.call(EngineJob(build, name="diamond"),
+                        timeout=60) == "done"
+
+
+class TestRejectedNeverReachesWorker:
+    def test_no_engine_run_record_for_rejected_request(self):
+        with telemetry.session() as tel:
+            with SimulationService(workers=1, engine_mode="event") as svc:
+                with pytest.raises(AdmissionRejected):
+                    svc.submit(EngineJob(
+                        lambda eng, ctx: wire_diamond(eng, 4, 48),
+                        name="bad"), tenant="t0")
+                rejected_id = [r for r in tel.ledger.records()
+                               if r.kind == "service.request"][-1].run_id
+                # A control request DOES mint engine-run records...
+                x = np.ones(N, dtype=np.float32)
+                svc.call(RoutineJob("dot", (x, x)), tenant="t0",
+                         timeout=60)
+            recs = tel.ledger.records()
+        assert any(r.kind == "engine.run" for r in recs)
+        # ...but nothing was ever simulated for the rejected request:
+        # no engine.run record exists under (or anywhere near) its id.
+        assert not [r for r in recs if r.kind == "engine.run"
+                    and rejected_id in (r.run_id, r.parent_id)]
+        rej = next(r for r in recs if r.run_id == rejected_id)
+        assert rej.outcome == "rejected"
